@@ -1,0 +1,48 @@
+"""Ablation — deriving the §7.4 adaptation table from characterization.
+
+Runs the end-to-end derivation (measure worst-case ACmin(t_mro)/ACmin(tRAS)
+over temperatures / data patterns / access patterns, shrink T_RH
+accordingly) against the Mfr. S 8Gb B-die — the same die the paper used
+for its Table 3 — and prints the measured table next to the paper's.
+"""
+
+from repro.mitigation.adapt import ADAPTATION_TABLE
+from repro.mitigation.derive import derive_adaptation
+
+from conftest import emit, run_once
+
+T_MRO = (36.0, 186.0, 636.0)
+
+
+def _campaign():
+    return derive_adaptation(
+        module_id="S0",
+        t_rh=1000,
+        t_mro_values=T_MRO,
+        temperatures=(80.0,),
+        sites=2,
+    )
+
+
+def test_ablation_derive_adaptation(benchmark):
+    derived = run_once(benchmark, _campaign)
+    rows = [
+        [
+            f"{t_mro:.0f}ns",
+            derived.thresholds[t_mro],
+            ADAPTATION_TABLE[t_mro],
+            f"{derived.reduction_factors[t_mro]:.3f}",
+        ]
+        for t_mro in T_MRO
+    ]
+    emit(
+        "Derived T'_RH (this model, S 8Gb B-die) vs paper Table 3",
+        ["t_mro", "derived T'_RH", "paper T'_RH", "measured factor"],
+        rows,
+    )
+    # Monotone decrease with t_mro, anchored at T_RH for the tRAS cap.
+    assert derived.thresholds[36.0] == 1000
+    assert derived.thresholds[636.0] < derived.thresholds[186.0] <= 1000
+    # Same direction as the paper; our model's small-t_on reduction is
+    # milder (hammer on-time boost only), so derived T' >= paper's.
+    assert derived.thresholds[636.0] >= ADAPTATION_TABLE[636.0] - 150

@@ -1,0 +1,76 @@
+"""Ablation — dose-model design choices (DESIGN.md §2).
+
+Compares the calibrated dose model against ablated variants:
+
+* **no soft onset** (press dose linear from tRAS): destroys Obsv. 3's
+  slow initial ACmin reduction — sub-us openings become far too strong;
+* **no off-time recovery**: sparse-activation patterns (the real-system
+  A=1 case) would press as effectively as dense ones;
+* **no sandwich boost**: double-sided RowHammer loses its advantage.
+"""
+
+import dataclasses
+
+from repro import units
+from repro.dram.datapattern import DataPattern
+from repro.dram.disturb import DoseParameters
+
+from conftest import emit, run_once
+
+BASE = DoseParameters()
+VARIANTS = {
+    "calibrated": BASE,
+    "no-soft-onset": dataclasses.replace(
+        BASE, press_soft_onset_single=1e-3, press_soft_onset_double=1e-3
+    ),
+    "no-off-recovery": dataclasses.replace(BASE, press_off_recovery_tau=1e15),
+    "no-sandwich": dataclasses.replace(BASE, hammer_sandwich_boost=1.0),
+}
+CB = DataPattern.CHECKERBOARD
+
+
+def _profile(params):
+    out = {}
+    for t_on in (66.0, 186.0, 636.0, units.TREFI):
+        out[("press_eff", t_on)] = params.press_effective_on_time(t_on)
+    out["hammer_double"] = params.hammer_dose(36.0, 15.0, 50.0, CB, sandwiched=True)
+    out["press_sparse"] = params.press_dose(636.0, 50.0, CB, t_off=6000.0)
+    out["press_dense"] = params.press_dose(636.0, 50.0, CB, t_off=15.0)
+    return out
+
+
+def _campaign():
+    return {name: _profile(params) for name, params in VARIANTS.items()}
+
+
+def test_ablation_dose_model(benchmark):
+    profiles = run_once(benchmark, _campaign)
+    rows = []
+    for name, profile in profiles.items():
+        rows.append(
+            [
+                name,
+                f"{profile[('press_eff', 186.0)]:.2f}",
+                f"{profile[('press_eff', units.TREFI)]:.0f}",
+                f"{profile['hammer_double']:.2f}",
+                f"{profile['press_sparse'] / max(profile['press_dense'], 1e-12):.2f}",
+            ]
+        )
+    emit(
+        "Dose-model ablation",
+        ["variant", "eff(186ns)", "eff(7.8us)", "double hammer dose",
+         "sparse/dense press"],
+        rows,
+    )
+    base = profiles["calibrated"]
+    # Soft onset: short openings contribute ~nothing, long ones ~linearly.
+    assert base[("press_eff", 186.0)] < 30.0
+    assert profiles["no-soft-onset"][("press_eff", 186.0)] > 100.0
+    # Off recovery: sparse patterns lose most of their press dose.
+    assert base["press_sparse"] < 0.35 * base["press_dense"]
+    sparse = profiles["no-off-recovery"]["press_sparse"]
+    dense = profiles["no-off-recovery"]["press_dense"]
+    assert abs(sparse - dense) < 1e-6 * dense  # recovery disabled
+    # Sandwich boost: the double-sided hammer advantage.
+    assert base["hammer_double"] > 2.0
+    assert profiles["no-sandwich"]["hammer_double"] == 1.0

@@ -1,0 +1,65 @@
+"""E-F1 — Fig. 1: ACmin of RowHammer vs RowPress, single/double, 80 degC.
+
+Prints the box-and-whiskers statistics behind Fig. 1: conventional
+RowHammer (t_AggON = 36 ns) against RowPress at 7.8 us, 70.2 us, and
+30 ms, for both access patterns, per manufacturer.
+"""
+
+from repro import units
+from repro.characterization import CharacterizationRunner, box_stats
+from repro.characterization.patterns import AccessPattern
+
+from conftest import BENCH_MODULES, BENCH_SITES, emit, fmt, run_once
+
+POINTS = (36.0, units.TREFI, 9 * units.TREFI, 30 * units.MS)
+
+
+def _campaign():
+    runner = CharacterizationRunner(module_ids=BENCH_MODULES, sites_per_module=BENCH_SITES)
+    records = []
+    for access in (AccessPattern.SINGLE_SIDED, AccessPattern.DOUBLE_SIDED):
+        records.extend(
+            runner.acmin_sweep(t_aggon_values=POINTS, access=access, temperature_c=80.0)
+        )
+    return records
+
+
+def test_fig01_acmin_summary(benchmark):
+    records = run_once(benchmark, _campaign)
+    rows = []
+    for access in ("single", "double"):
+        for t_aggon in POINTS:
+            for mfr in ("S", "H", "M"):
+                values = [
+                    r.acmin
+                    for r in records
+                    if r.access == access
+                    and r.t_aggon == t_aggon
+                    and r.die_key.startswith(mfr)
+                    and r.acmin is not None
+                ]
+                if not values:
+                    rows.append([access, units.format_time(t_aggon), mfr] + ["-"] * 5)
+                    continue
+                stats = box_stats(values)
+                rows.append(
+                    [
+                        access,
+                        units.format_time(t_aggon),
+                        mfr,
+                        fmt(stats.minimum),
+                        fmt(stats.first_quartile),
+                        fmt(stats.median),
+                        fmt(stats.third_quartile),
+                        fmt(stats.maximum),
+                    ]
+                )
+    emit(
+        "Fig. 1: ACmin distribution, RowHammer (36ns) vs RowPress @ 80C",
+        ["access", "tAggON", "mfr", "min", "q1", "median", "q3", "max"],
+        rows,
+    )
+    # Headline claim: RowPress reduces ACmin by orders of magnitude.
+    hammer = [r.acmin for r in records if r.t_aggon == 36.0 and r.acmin]
+    press = [r.acmin for r in records if r.t_aggon == 9 * units.TREFI and r.acmin]
+    assert min(hammer) > 20 * (sum(press) / len(press))

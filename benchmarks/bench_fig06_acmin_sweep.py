@@ -1,0 +1,47 @@
+"""E-F6 — Fig. 6: ACmin as t_AggON increases (50 degC, single-sided).
+
+Prints the per-die mean/min/max ACmin across the sweep and the log-log
+trend-line slope beyond 7.8 us (paper: -1.020 / -1.013 / -1.013).
+"""
+
+from repro import units
+from repro.characterization import CharacterizationRunner, aggregate_by_die
+from repro.characterization.results import loglog_slope
+
+from conftest import BENCH_MODULES, BENCH_SITES, BENCH_SWEEP, emit, fmt, run_once
+
+
+def _campaign():
+    runner = CharacterizationRunner(module_ids=BENCH_MODULES, sites_per_module=BENCH_SITES)
+    return runner.acmin_sweep(t_aggon_values=BENCH_SWEEP, temperature_c=50.0)
+
+
+def test_fig06_acmin_sweep(benchmark):
+    records = run_once(benchmark, _campaign)
+    rows = []
+    slope_points: dict[str, list[tuple[float, float]]] = {}
+    for t_aggon in BENCH_SWEEP:
+        sub = [r for r in records if r.t_aggon == t_aggon]
+        for die, aggregate in aggregate_by_die(sub, lambda r: r.acmin).items():
+            rows.append(
+                [
+                    units.format_time(t_aggon),
+                    die,
+                    fmt(aggregate.mean, 4),
+                    fmt(aggregate.minimum),
+                    fmt(aggregate.maximum),
+                    f"{aggregate.observed}/{aggregate.count}",
+                ]
+            )
+            if aggregate.mean is not None and t_aggon >= units.TREFI:
+                slope_points.setdefault(die, []).append((t_aggon, aggregate.mean))
+    emit(
+        "Fig. 6: ACmin vs tAggON (single-sided, 50C)",
+        ["tAggON", "die", "mean", "min", "max", "rows w/ flip"],
+        rows,
+    )
+    for die, points in sorted(slope_points.items()):
+        if len(points) >= 3:
+            slope = loglog_slope(points)
+            print(f"log-log slope beyond 7.8us, {die}: {slope:.3f} (paper ~ -1.01)")
+            assert -1.25 < slope < -0.8

@@ -1,0 +1,40 @@
+"""E-F7 — Fig. 7: ACmin between 7.8 us and 70.2 us in linear scale.
+
+Reproduces the observation that the ACmin *reduction rate* (per us of
+added t_AggON) falls as t_AggON grows — ACmin does not reduce linearly.
+"""
+
+from repro import units
+from repro.characterization import CharacterizationRunner, aggregate_by_die
+
+from conftest import BENCH_MODULES, BENCH_SITES, emit, fmt, run_once
+
+POINTS = (units.TREFI, 15 * units.US, 30 * units.US, 9 * units.TREFI)
+
+
+def _campaign():
+    runner = CharacterizationRunner(module_ids=BENCH_MODULES, sites_per_module=BENCH_SITES)
+    return runner.acmin_sweep(t_aggon_values=POINTS, temperature_c=50.0)
+
+
+def test_fig07_acmin_linear(benchmark):
+    records = run_once(benchmark, _campaign)
+    means: dict[str, dict[float, float]] = {}
+    rows = []
+    for t_aggon in POINTS:
+        sub = [r for r in records if r.t_aggon == t_aggon]
+        for die, aggregate in aggregate_by_die(sub, lambda r: r.acmin).items():
+            if aggregate.mean is not None:
+                means.setdefault(die, {})[t_aggon] = aggregate.mean
+            rows.append([f"{t_aggon/units.US:.1f}us", die, fmt(aggregate.mean, 4)])
+    emit("Fig. 7: ACmin, 7.8us..70.2us (linear axes)", ["tAggON", "die", "mean"], rows)
+    for die, series in sorted(means.items()):
+        if not all(t in series for t in POINTS):
+            continue
+        early = (series[POINTS[0]] - series[POINTS[1]]) / ((15 - 7.8))
+        late = (series[POINTS[2]] - series[POINTS[3]]) / ((70.2 - 30))
+        print(
+            f"{die}: reduction rate 7.8->15us = {early:.2f}/us, "
+            f"30->70.2us = {late:.3f}/us (paper: ~ -0.4 then ~ -0.02)"
+        )
+        assert early > 3 * late > 0  # decelerating reduction (Obsv. 3)

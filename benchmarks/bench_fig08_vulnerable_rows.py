@@ -1,0 +1,40 @@
+"""E-F8 — Fig. 8: fraction of rows with at least one bitflip (50 degC).
+
+Also checks Obsv. 4's technology-scaling trend on the three Samsung 8Gb
+die revisions (B -> C -> D gets more vulnerable).
+"""
+
+from repro import units
+from repro.characterization import CharacterizationRunner, aggregate_by_die
+
+from conftest import BENCH_SITES, emit, run_once
+
+MODULES = ["S0", "S2", "S3", "H0", "M4"]
+POINTS = (36.0, units.TREFI, 9 * units.TREFI, 6 * units.MS, 30 * units.MS)
+
+
+def _campaign():
+    runner = CharacterizationRunner(module_ids=MODULES, sites_per_module=8)
+    return runner.acmin_sweep(t_aggon_values=POINTS, temperature_c=50.0)
+
+
+def test_fig08_vulnerable_rows(benchmark):
+    records = run_once(benchmark, _campaign)
+    rows = []
+    fractions: dict[str, dict[float, float]] = {}
+    for t_aggon in POINTS:
+        sub = [r for r in records if r.t_aggon == t_aggon]
+        for die, aggregate in aggregate_by_die(sub, lambda r: r.acmin).items():
+            rows.append(
+                [units.format_time(t_aggon), die, f"{aggregate.hit_fraction:.2f}"]
+            )
+            fractions.setdefault(die, {})[t_aggon] = aggregate.hit_fraction
+    emit(
+        "Fig. 8: fraction of rows with >= 1 bitflip (single-sided, 50C)",
+        ["tAggON", "die", "fraction"],
+        rows,
+    )
+    # Obsv. 4: the newest Samsung die (D) reaches at least the B-die's
+    # vulnerable-row fraction in the press regime.
+    press_point = 6 * units.MS
+    assert fractions["S-8Gb-D"][press_point] >= fractions["S-8Gb-B"][press_point]

@@ -1,0 +1,42 @@
+"""E-F9 — Fig. 9: minimum t_AggON to flip vs. activation count.
+
+Paper: t_AggONmin falls from ~45 ms at AC=1 to ~4.5 us at AC=10K with a
+log-log slope of -1.000 (the press dose is aggregate on-time).
+"""
+
+from repro import units
+from repro.characterization import CharacterizationRunner, aggregate_by_die
+from repro.characterization.results import loglog_slope
+
+from conftest import BENCH_MODULES, emit, fmt, run_once
+
+COUNTS = (1, 10, 100, 1000, 10000)
+
+
+def _campaign():
+    runner = CharacterizationRunner(module_ids=BENCH_MODULES, sites_per_module=4)
+    return runner.taggonmin_sweep(activation_counts=COUNTS, temperature_c=50.0)
+
+
+def test_fig09_taggonmin(benchmark):
+    records = run_once(benchmark, _campaign)
+    rows = []
+    slope_points: dict[str, list[tuple[float, float]]] = {}
+    for count in COUNTS:
+        sub = [r for r in records if r.activation_count == count]
+        for die, aggregate in aggregate_by_die(sub, lambda r: r.taggonmin).items():
+            mean_ms = aggregate.mean / units.MS if aggregate.mean else None
+            min_ms = aggregate.minimum / units.MS if aggregate.minimum else None
+            rows.append([count, die, fmt(mean_ms), fmt(min_ms)])
+            if aggregate.mean:
+                slope_points.setdefault(die, []).append((count, aggregate.mean))
+    emit(
+        "Fig. 9: tAggONmin vs activation count (single-sided, 50C)",
+        ["AC", "die", "mean (ms)", "min (ms)"],
+        rows,
+    )
+    for die, points in sorted(slope_points.items()):
+        if len(points) >= 3:
+            slope = loglog_slope(points)
+            print(f"{die}: log-log slope {slope:.3f} (paper ~ -1.000)")
+            assert -1.1 < slope < -0.9

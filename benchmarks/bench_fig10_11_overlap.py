@@ -1,0 +1,128 @@
+"""E-F10/11 — Figs. 10-11: RowPress cells vs RowHammer / retention cells.
+
+Collects the bitflip cell sets at each t_AggON (at the budget-maximal
+activation count, the @ACmax variant of Fig. 11) and reports the overlap
+ratios; paper bounds: < 0.013 % vs RowHammer, < 0.34 % vs retention for
+t_AggON >= 7.8 us.
+"""
+
+from repro import units
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.characterization.overlap import overlap_ratio
+from repro.characterization.patterns import RowSite, build_disturb_program, max_activations
+from repro.characterization.retention_test import retention_failures
+from repro.dram.catalog import build_module
+from repro.dram.geometry import Geometry
+
+from conftest import emit, run_once
+
+POINTS = (186.0, 636.0, units.TREFI, 9 * units.TREFI)
+SITES = [RowSite(0, 1, 20 + 16 * i) for i in range(6)]
+
+
+def _campaign():
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=192, row_bits=65536
+    )
+    module = build_module("S3", geometry=geometry)
+    bench = TestingInfrastructure(module)
+
+    def collect(t_aggon):
+        flips = []
+        victims = []
+        for site in SITES:
+            bench.fresh_experiment()
+            program, site_victims = build_disturb_program(
+                site, t_aggon, max_activations(t_aggon)
+            )
+            flips.extend(bench.run(program).bitflips)
+            victims.extend(site_victims)
+        return flips, victims
+
+    hammer_flips, victims = collect(36.0)
+    retention_flips = [
+        flip
+        for row_flips in retention_failures(module, victims).values()
+        for flip in row_flips
+    ]
+    results = {}
+    for t_aggon in POINTS:
+        press_flips, _ = collect(t_aggon)
+        results[t_aggon] = (
+            len(press_flips),
+            overlap_ratio(press_flips, hammer_flips),
+            overlap_ratio(press_flips, retention_flips),
+        )
+    return results
+
+
+def test_fig11_overlap_at_acmax(benchmark):
+    results = run_once(benchmark, _campaign)
+    rows = [
+        [
+            units.format_time(t_aggon),
+            count,
+            f"{hammer_overlap:.4%}",
+            f"{retention_overlap:.4%}",
+        ]
+        for t_aggon, (count, hammer_overlap, retention_overlap) in sorted(results.items())
+    ]
+    emit(
+        "Fig. 11: overlap of RowPress-flipped cells @ ACmax",
+        ["tAggON", "press flips", "vs RowHammer", "vs retention"],
+        rows,
+    )
+    for t_aggon, (count, hammer_overlap, retention_overlap) in results.items():
+        if t_aggon >= units.TREFI and count:
+            assert hammer_overlap < 0.013
+            assert retention_overlap < 0.0034 + 0.01
+
+
+def _acmin_campaign():
+    """Fig. 10 variant: flip sets collected at each site's own ACmin."""
+    from repro.characterization.acmin import AcminSearch
+    from repro.characterization.patterns import ExperimentConfig
+
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=192, row_bits=65536
+    )
+    module = build_module("S3", geometry=geometry)
+    bench = TestingInfrastructure(module)
+    searcher = AcminSearch(infra=bench, config=ExperimentConfig())
+
+    def collect_at_acmin(t_aggon):
+        flips = []
+        for site in SITES:
+            acmin = searcher.search(site, t_aggon)
+            if acmin is None:
+                continue
+            bench.fresh_experiment()
+            program, _ = build_disturb_program(site, t_aggon, acmin)
+            flips.extend(bench.run(program).bitflips)
+        return flips
+
+    hammer_flips = collect_at_acmin(36.0)
+    results = {}
+    for t_aggon in (units.TREFI, 9 * units.TREFI):
+        press_flips = collect_at_acmin(t_aggon)
+        results[t_aggon] = (
+            len(press_flips),
+            overlap_ratio(press_flips, hammer_flips),
+        )
+    return results
+
+
+def test_fig10_overlap_at_acmin(benchmark):
+    results = run_once(benchmark, _acmin_campaign)
+    rows = [
+        [units.format_time(t_aggon), count, f"{overlap:.4%}"]
+        for t_aggon, (count, overlap) in sorted(results.items())
+    ]
+    emit(
+        "Fig. 10: overlap of RowPress cells @ ACmin with RowHammer cells @ ACmin",
+        ["tAggON", "press flips", "vs RowHammer"],
+        rows,
+    )
+    for t_aggon, (count, overlap) in results.items():
+        if count:
+            assert overlap < 0.013  # paper's bound

@@ -1,0 +1,52 @@
+"""E-F12 — Fig. 12: fraction of 1->0 bitflips as t_AggON grows.
+
+Paper (Obsv. 8): for Mfr. S/H dies the dominant direction moves from
+0->1 (RowHammer, injection) to 100 % 1->0 (RowPress, attraction); Mfr. M
+16Gb E-die trends the opposite way (anti-cell layout).
+"""
+
+from repro import units
+from repro.characterization import CharacterizationRunner
+
+from conftest import emit, run_once
+
+POINTS = (36.0, units.TREFI, 9 * units.TREFI)
+MODULES = ["S3", "M4"]
+
+
+def _campaign():
+    runner = CharacterizationRunner(module_ids=MODULES, sites_per_module=5)
+    return runner.ber_sweep(t_aggon_values=POINTS, temperature_c=80.0)
+
+
+def test_fig12_direction(benchmark):
+    records = run_once(benchmark, _campaign)
+    rows = []
+    fractions: dict[tuple[str, float], float] = {}
+    for die in sorted({r.die_key for r in records}):
+        for t_aggon in POINTS:
+            sub = [r for r in records if r.die_key == die and r.t_aggon == t_aggon]
+            flips = sum(r.bitflips for r in sub)
+            one_to_zero = sum(r.one_to_zero for r in sub)
+            fraction = one_to_zero / flips if flips else None
+            fractions[(die, t_aggon)] = fraction
+            rows.append(
+                [
+                    die,
+                    units.format_time(t_aggon),
+                    flips,
+                    f"{fraction:.2f}" if fraction is not None else "-",
+                ]
+            )
+    emit(
+        "Fig. 12: fraction of 1->0 bitflips (checkerboard, 80C)",
+        ["die", "tAggON", "flips", "frac 1->0"],
+        rows,
+    )
+    # Samsung: hammer 0->1 dominant, press 100% 1->0.
+    assert fractions[("S-8Gb-D", 36.0)] < 0.2
+    assert fractions[("S-8Gb-D", units.TREFI)] > 0.95
+    # Micron E-die: opposite trend (mostly anti cells).
+    assert fractions[("M-16Gb-E", 36.0)] > 0.5
+    if fractions[("M-16Gb-E", units.TREFI)] is not None:
+        assert fractions[("M-16Gb-E", units.TREFI)] < 0.5

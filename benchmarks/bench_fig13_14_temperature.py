@@ -1,0 +1,60 @@
+"""E-F13/14 — Figs. 13-14: temperature sensitivity (Obsv. 9-10).
+
+ACmin at 80 degC normalized to 50 degC (< 1 everywhere in the press
+regime) and the vulnerable-row fraction at 80 degC (rising toward 100 %,
+including Mfr. H 4Gb A-die, which shows no bitflips at all at 50 degC).
+"""
+
+from repro import units
+from repro.characterization import CharacterizationRunner, aggregate_by_die
+
+from conftest import BENCH_SITES, emit, fmt, run_once
+
+POINTS = (636.0, units.TREFI, 9 * units.TREFI, 6 * units.MS)
+MODULES = ["S3", "H0", "H4", "M4"]
+
+
+def _campaign():
+    runner = CharacterizationRunner(module_ids=MODULES, sites_per_module=BENCH_SITES)
+    cool = runner.acmin_sweep(t_aggon_values=POINTS, temperature_c=50.0)
+    hot = runner.acmin_sweep(t_aggon_values=POINTS, temperature_c=80.0)
+    return cool, hot
+
+
+def test_fig13_14_temperature(benchmark):
+    cool, hot = run_once(benchmark, _campaign)
+    rows = []
+    ratios = []
+    for t_aggon in POINTS:
+        cool_by_die = aggregate_by_die(
+            [r for r in cool if r.t_aggon == t_aggon], lambda r: r.acmin
+        )
+        hot_by_die = aggregate_by_die(
+            [r for r in hot if r.t_aggon == t_aggon], lambda r: r.acmin
+        )
+        for die in sorted(cool_by_die):
+            cool_mean = cool_by_die[die].mean
+            hot_mean = hot_by_die[die].mean
+            ratio = hot_mean / cool_mean if cool_mean and hot_mean else None
+            if ratio is not None and t_aggon >= units.TREFI:
+                ratios.append(ratio)
+            rows.append(
+                [
+                    units.format_time(t_aggon),
+                    die,
+                    fmt(cool_mean, 4),
+                    fmt(hot_mean, 4),
+                    fmt(ratio, 2),
+                    f"{cool_by_die[die].hit_fraction:.2f}",
+                    f"{hot_by_die[die].hit_fraction:.2f}",
+                ]
+            )
+    emit(
+        "Figs. 13-14: ACmin and vulnerable-row fraction, 50C vs 80C",
+        ["tAggON", "die", "mean@50C", "mean@80C", "80C/50C", "frac@50C", "frac@80C"],
+        rows,
+    )
+    assert ratios and all(r < 1.0 for r in ratios)  # Obsv. 9
+    # Obsv. 10: H-4Gb-A shows bitflips only at 80C (in the press regime).
+    h4_cool = [r for r in cool if r.die_key == "H-4Gb-A" and r.t_aggon == 6 * units.MS]
+    assert all(r.acmin is None for r in h4_cool)

@@ -1,0 +1,62 @@
+"""E-F15 — Fig. 15: t_AggONmin at AC=1 across the 50-80 degC sweep.
+
+Paper (Obsv. 11): the single-activation on-time threshold falls by
+1.6-2.8x from 50 to 80 degC.
+"""
+
+import numpy as np
+
+from repro import units
+from repro.characterization import CharacterizationRunner
+from repro.characterization.taggonmin import find_taggonmin
+
+from conftest import emit, fmt, run_once
+
+TEMPERATURES = (50.0, 55.0, 60.0, 65.0, 70.0, 75.0, 80.0)
+MODULES = ["S3", "H0", "M4"]
+
+
+def _campaign():
+    runner = CharacterizationRunner(module_ids=MODULES, sites_per_module=4)
+    results: dict[tuple[str, float], list[float]] = {}
+    for module_id in MODULES:
+        bench = runner.bench(module_id)
+        sites = runner.sites(bench.module)
+        for temperature in TEMPERATURES:
+            bench.module.device.set_temperature(temperature)
+            values = []
+            for site in sites:
+                value = find_taggonmin(bench, site, activation_count=1)
+                if value is not None:
+                    values.append(value)
+            results[(bench.module.info.die_key, temperature)] = values
+        bench.module.device.set_temperature(50.0)
+    return results
+
+
+def test_fig15_taggonmin_temperature(benchmark):
+    results = run_once(benchmark, _campaign)
+    dies = sorted({die for die, _ in results})
+    rows = []
+    for die in dies:
+        for temperature in TEMPERATURES:
+            values = results[(die, temperature)]
+            mean_ms = np.mean(values) / units.MS if values else None
+            min_ms = np.min(values) / units.MS if values else None
+            rows.append([die, temperature, len(values), fmt(mean_ms), fmt(min_ms)])
+    emit(
+        "Fig. 15: tAggONmin at AC=1 vs temperature",
+        ["die", "T (degC)", "rows", "mean (ms)", "min (ms)"],
+        rows,
+    )
+    for die in dies:
+        cool = results[(die, 50.0)]
+        hot = results[(die, 80.0)]
+        if cool and hot:
+            ratio = np.mean(cool) / np.mean(hot)
+            print(f"{die}: 50C/80C tAggONmin ratio = {ratio:.2f} (paper: 1.6-2.8)")
+            assert ratio > 1.1
+        # Monotone-ish decrease across the sweep.
+        means = [np.mean(results[(die, t)]) for t in TEMPERATURES if results[(die, t)]]
+        if len(means) >= 4:
+            assert means[-1] < means[0]

@@ -1,0 +1,85 @@
+"""E-F17/18 — Figs. 17-18: double-sided RowPress and single - double.
+
+Fig. 17: double-sided ACmin falls with t_AggON (slope ~ -1.01 beyond
+7.8 us).  Fig. 18: the single-minus-double ACmin difference flips sign —
+double-sided wins in the hammer regime, single-sided in the press regime
+(Obsv. 13), more decisively at 80 degC.
+"""
+
+from repro import units
+from repro.characterization import CharacterizationRunner, aggregate_by_die
+from repro.characterization.patterns import AccessPattern
+from repro.characterization.results import loglog_slope
+
+from conftest import emit, fmt, run_once
+
+POINTS = (36.0, 636.0, units.TREFI, 9 * units.TREFI, 300 * units.US)
+MODULES = ["S3", "H0"]
+
+
+def _campaign():
+    runner = CharacterizationRunner(module_ids=MODULES, sites_per_module=5)
+    out = {}
+    for temperature in (50.0, 80.0):
+        single = runner.acmin_sweep(
+            t_aggon_values=POINTS, access=AccessPattern.SINGLE_SIDED,
+            temperature_c=temperature,
+        )
+        double = runner.acmin_sweep(
+            t_aggon_values=POINTS, access=AccessPattern.DOUBLE_SIDED,
+            temperature_c=temperature,
+        )
+        out[temperature] = (single, double)
+    return out
+
+
+def test_fig17_18_double_sided(benchmark):
+    results = run_once(benchmark, _campaign)
+    rows = []
+    slope_points: dict[str, list[tuple[float, float]]] = {}
+    for temperature, (single, double) in sorted(results.items()):
+        for t_aggon in POINTS:
+            singles = aggregate_by_die(
+                [r for r in single if r.t_aggon == t_aggon], lambda r: r.acmin
+            )
+            doubles = aggregate_by_die(
+                [r for r in double if r.t_aggon == t_aggon], lambda r: r.acmin
+            )
+            for die in sorted(singles):
+                s_mean = singles[die].mean
+                d_mean = doubles[die].mean
+                diff = s_mean - d_mean if s_mean and d_mean else None
+                rows.append(
+                    [
+                        f"{temperature:.0f}C",
+                        units.format_time(t_aggon),
+                        die,
+                        fmt(s_mean, 4),
+                        fmt(d_mean, 4),
+                        fmt(diff, 4),
+                    ]
+                )
+                if temperature == 50.0 and d_mean and t_aggon >= units.TREFI:
+                    slope_points.setdefault(die, []).append((t_aggon, d_mean))
+    emit(
+        "Figs. 17-18: single vs double-sided ACmin (diff = single - double)",
+        ["T", "tAggON", "die", "single", "double", "single-double"],
+        rows,
+    )
+    for die, points in sorted(slope_points.items()):
+        if len(points) >= 3:
+            slope = loglog_slope(points)
+            print(f"Fig.17 slope {die}: {slope:.3f} (paper ~ -1.01)")
+            assert -1.25 < slope < -0.8
+    # Sign flip (Obsv. 13) at 80 degC for the S die.
+    single80, double80 = results[80.0]
+
+    def mean_of(records, t_aggon):
+        agg = aggregate_by_die(
+            [r for r in records if r.t_aggon == t_aggon and r.die_key == "S-8Gb-D"],
+            lambda r: r.acmin,
+        )
+        return agg["S-8Gb-D"].mean
+
+    assert mean_of(single80, 36.0) > mean_of(double80, 36.0)  # double wins hammer
+    assert mean_of(single80, 9 * units.TREFI) <= mean_of(double80, 9 * units.TREFI) * 1.1

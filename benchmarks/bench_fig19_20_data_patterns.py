@@ -1,0 +1,102 @@
+"""E-F19/20 — Figs. 19-20: data-pattern sensitivity (Obsv. 14-15).
+
+ACmin of each data pattern normalized to checkerboard, for the three
+representative die revisions at 50 and 80 degC (single-sided), plus the
+double-sided Mfr. S 8Gb B-die grid of Fig. 20.
+"""
+
+from repro import units
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.dram.catalog import build_module
+from repro.dram.datapattern import DataPattern
+from repro.dram.geometry import Geometry
+from repro.characterization.acmin import AcminSearch
+from repro.characterization.patterns import AccessPattern, ExperimentConfig, RowSite
+
+from conftest import emit, run_once
+
+PATTERNS = [
+    DataPattern.CHECKERBOARD,
+    DataPattern.CHECKERBOARD_I,
+    DataPattern.ROWSTRIPE,
+    DataPattern.ROWSTRIPE_I,
+    DataPattern.COLSTRIPE,
+    DataPattern.COLSTRIPE_I,
+]
+POINTS = (36.0, 636.0, units.TREFI)
+MODULES = ("S0", "H0", "M4")  # the three representative dies
+SITES = [RowSite(0, 1, 24 + 20 * i) for i in range(3)]
+
+
+def _geometry():
+    return Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=128, row_bits=65536
+    )
+
+
+def _grid(bench, access, temperature):
+    bench.module.device.set_temperature(temperature)
+    grid = {}
+    for pattern in PATTERNS:
+        searcher = AcminSearch(
+            infra=bench, config=ExperimentConfig(access=access, data=pattern)
+        )
+        for t_aggon in POINTS:
+            values = [searcher.search(site, t_aggon) for site in SITES]
+            values = [v for v in values if v is not None]
+            grid[(pattern, t_aggon)] = min(values) if values else None
+    bench.module.device.set_temperature(50.0)
+    return grid
+
+
+def _campaign():
+    results = {}
+    for module_id in MODULES:
+        bench = TestingInfrastructure(build_module(module_id, geometry=_geometry()))
+        for temperature in (50.0, 80.0):
+            results[(module_id, "single", temperature)] = _grid(
+                bench, AccessPattern.SINGLE_SIDED, temperature
+            )
+    # Fig. 20: double-sided S 8Gb B-die.
+    bench = TestingInfrastructure(build_module("S0", geometry=_geometry()))
+    results[("S0", "double", 50.0)] = _grid(bench, AccessPattern.DOUBLE_SIDED, 50.0)
+    return results
+
+
+def test_fig19_20_data_patterns(benchmark):
+    results = run_once(benchmark, _campaign)
+    rows = []
+    for (module_id, access, temperature), grid in sorted(results.items()):
+        for pattern in PATTERNS:
+            cells = []
+            for t_aggon in POINTS:
+                value = grid[(pattern, t_aggon)]
+                baseline = grid[(DataPattern.CHECKERBOARD, t_aggon)]
+                if value is None:
+                    cells.append("NoFlip")
+                elif baseline:
+                    cells.append(f"{value / baseline:.2f}")
+                else:
+                    cells.append("-")
+            rows.append([module_id, access, f"{temperature:.0f}C", pattern.value] + cells)
+    emit(
+        "Figs. 19-20: ACmin normalized to checkerboard (<1 = more effective)",
+        ["module", "access", "T", "pattern"] + [units.format_time(t) for t in POINTS],
+        rows,
+    )
+    s0_50 = results[("S0", "single", 50.0)]
+    # Obsv. 15: RowStripe is the best *hammer* pattern...
+    assert s0_50[(DataPattern.ROWSTRIPE, 36.0)] < s0_50[(DataPattern.CHECKERBOARD, 36.0)]
+    # ...but cannot induce any press bitflip on the S 8Gb B-die.
+    assert s0_50[(DataPattern.ROWSTRIPE, units.TREFI)] is None
+    # Obsv. 14: checkerboard always works as t_AggON grows.
+    assert s0_50[(DataPattern.CHECKERBOARD, units.TREFI)] is not None
+    # CSI: best press pattern at 50C, worst at 80C (S 8Gb B-die).
+    s0_80 = results[("S0", "single", 80.0)]
+    csi_50 = s0_50[(DataPattern.COLSTRIPE_I, units.TREFI)]
+    cb_50 = s0_50[(DataPattern.CHECKERBOARD, units.TREFI)]
+    csi_80 = s0_80[(DataPattern.COLSTRIPE_I, units.TREFI)]
+    cb_80 = s0_80[(DataPattern.CHECKERBOARD, units.TREFI)]
+    if csi_50 and csi_80:
+        assert csi_50 / cb_50 < 1.05
+        assert csi_80 / cb_80 > 1.0

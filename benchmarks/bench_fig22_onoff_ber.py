@@ -1,0 +1,100 @@
+"""E-F22 — Fig. 22 (and App. C Figs. 27-37): RowPress-ONOFF BER grid.
+
+Sweeps Delta t_A2A x (fraction of Delta t_A2A contributing to t_AggON)
+for single- and double-sided patterns at 50 and 80 degC on the
+representative Mfr. S 8Gb D-die, and checks Obsv. 16-18.
+"""
+
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.dram.catalog import build_module
+from repro.dram.geometry import Geometry
+from repro.characterization.ber import onoff_sweep
+from repro.characterization.patterns import AccessPattern, RowSite
+
+from conftest import emit, run_once
+
+DELTAS = [240.0, 1200.0, 6000.0]
+FRACTIONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+SITE = RowSite(0, 1, 40)
+
+
+def _campaign():
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=96, row_bits=65536
+    )
+    bench = TestingInfrastructure(build_module("S3", geometry=geometry))
+    results = {}
+    for access in (AccessPattern.SINGLE_SIDED, AccessPattern.DOUBLE_SIDED):
+        for temperature in (50.0, 80.0):
+            bench.module.device.set_temperature(temperature)
+            results[(access.value, temperature)] = onoff_sweep(
+                bench, SITE, DELTAS, FRACTIONS, access=access
+            )
+    bench.module.device.set_temperature(50.0)
+    return results
+
+
+def _appendix_campaign():
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=96, row_bits=65536
+    )
+    results = {}
+    for module_id in ("S0", "H0", "M4"):
+        bench = TestingInfrastructure(build_module(module_id, geometry=geometry))
+        bench.module.device.set_temperature(80.0)
+        results[module_id] = onoff_sweep(
+            bench, SITE, [240.0, 6000.0], [0.0, 1.0],
+            access=AccessPattern.DOUBLE_SIDED,
+        )
+    return results
+
+
+def test_figs27_37_onoff_other_dies(benchmark):
+    """App. C (Figs. 27-37): the ONOFF trends hold across die revisions."""
+    results = run_once(benchmark, _appendix_campaign)
+    rows = []
+    for module_id, grid in sorted(results.items()):
+        for delta in (240.0, 6000.0):
+            rows.append(
+                [
+                    module_id,
+                    f"{delta:.0f}ns",
+                    f"{grid[(delta, 0.0)].ber:.2e}",
+                    f"{grid[(delta, 1.0)].ber:.2e}",
+                ]
+            )
+    emit(
+        "Figs. 27-37 (sample): double-sided ONOFF BER at 80C, other dies",
+        ["module", "dtA2A", "0% on", "100% on"],
+        rows,
+    )
+    # Obsv. 18 holds for every probed die revision.
+    for module_id, grid in results.items():
+        for delta in (240.0, 6000.0):
+            assert grid[(delta, 1.0)].bitflips >= grid[(delta, 0.0)].bitflips, module_id
+
+
+def test_fig22_onoff_ber(benchmark):
+    results = run_once(benchmark, _campaign)
+    rows = []
+    for (access, temperature), grid in sorted(results.items()):
+        for delta in DELTAS:
+            cells = [f"{grid[(delta, f)].ber:.2e}" for f in FRACTIONS]
+            rows.append([access, f"{temperature:.0f}C", f"{delta:.0f}ns"] + cells)
+    emit(
+        "Fig. 22: ONOFF BER vs on-time share (columns: % of dtA2A to tAggON)",
+        ["access", "T", "dtA2A"] + [f"{f:.0%}" for f in FRACTIONS],
+        rows,
+    )
+    single50 = results[("single", 50.0)]
+    # Obsv. 16: small delta -> BER falls with on-time share; large delta ->
+    # BER rises with on-time share.
+    assert single50[(240.0, 1.0)].bitflips <= single50[(240.0, 0.0)].bitflips
+    assert single50[(6000.0, 1.0)].bitflips >= single50[(6000.0, 0.0)].bitflips
+    # Obsv. 17: temperature amplifies the large-delta/high-on-share corner.
+    single80 = results[("single", 80.0)]
+    assert single80[(6000.0, 1.0)].bitflips >= single50[(6000.0, 1.0)].bitflips
+    # Obsv. 18: double-sided BER rises with on-time share for all deltas.
+    double50 = results[("double", 50.0)]
+    for delta in DELTAS:
+        assert double50[(delta, 1.0)].bitflips >= double50[(delta, 0.0)].bitflips

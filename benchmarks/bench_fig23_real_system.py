@@ -1,0 +1,69 @@
+"""E-F23 — Fig. 23: user-level RowPress bitflips on the demo system.
+
+Runs Algorithm 1 across the (NUM_AGGR_ACTS, NUM_READS) grid against the
+TRR-protected demo platform and prints total bitflips / rows with
+bitflips.  Checks Takeaway 6 and Obsv. 19-21.
+"""
+
+from collections import Counter
+
+from repro.dram.geometry import RowAddress
+from repro.system.demo import AttackParameters, run_rowpress_attack
+from repro.system.machine import build_demo_system
+
+from conftest import emit, run_once
+
+READS = (1, 16, 32, 48, 64, 80)
+ACTS = (1, 2, 3, 4)
+VICTIM_COUNT = 150
+
+
+def _campaign():
+    system = build_demo_system(rows_per_bank=4096)
+    victims = [RowAddress(0, 1, 16 + 8 * i) for i in range(VICTIM_COUNT)]
+    results = {}
+    for acts in ACTS:
+        for reads in READS:
+            params = AttackParameters(
+                num_reads=reads, num_aggr_acts=acts, num_iterations=800_000
+            )
+            results[(acts, reads)] = run_rowpress_attack(
+                system, victims, params, max_windows=3
+            )
+    return results
+
+
+def test_fig23_real_system(benchmark):
+    results = run_once(benchmark, _campaign)
+    rows = []
+    for acts in ACTS:
+        for reads in READS:
+            result = results[(acts, reads)]
+            mechanisms = Counter(f.mechanism for f in result.bitflips)
+            rows.append(
+                [
+                    acts,
+                    reads,
+                    f"{result.schedule.t_on:.0f}ns",
+                    f"{result.schedule.crowding:.2f}",
+                    result.total_bitflips,
+                    result.rows_with_bitflips,
+                    mechanisms.get("press", 0),
+                    mechanisms.get("hammer", 0),
+                ]
+            )
+    emit(
+        f"Fig. 23: RowPress attack grid ({VICTIM_COUNT} victim rows, TRR on)",
+        ["ACTS", "READS", "tAggON", "crowding", "flips", "rows", "press", "hammer"],
+        rows,
+    )
+    # Obsv. 19: RowPress flips when conventional RowHammer (READS=1) cannot.
+    assert results[(2, 1)].total_bitflips == 0
+    assert results[(2, 64)].total_bitflips > 0
+    # Obsv. 20: many more flips than hammer at the same activation count.
+    assert results[(4, 32)].total_bitflips > 3 * max(results[(4, 1)].total_bitflips, 1)
+    # Obsv. 21: rise then fall with NUM_READS.
+    a4 = [results[(4, r)].total_bitflips for r in READS]
+    assert max(a4) > a4[0] and a4[-1] < max(a4)
+    # NUM_AGGR_ACTS = 1 never flips (paper; our model allows R<=80).
+    assert all(results[(1, r)].total_bitflips == 0 for r in READS)

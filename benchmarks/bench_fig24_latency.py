@@ -1,0 +1,42 @@
+"""E-F24 — Fig. 24: first vs. remaining cache-block access latencies.
+
+Verifies (like §6.3) that the memory controller keeps a row open across
+consecutive cache-block reads: the first access pays the activation, the
+remaining 127 are row hits ~30 TSC cycles faster.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import histogram_ascii
+from repro.system.demo import measure_access_latencies
+from repro.system.machine import build_demo_system
+
+from conftest import emit, run_once
+
+TRIALS = 400
+
+
+def _campaign():
+    system = build_demo_system(rows_per_bank=2048)
+    return measure_access_latencies(system, trials=TRIALS, row=80, conflict_row=700)
+
+
+def test_fig24_latency_histogram(benchmark):
+    first, rest = run_once(benchmark, _campaign)
+    print()
+    print(f"Fig. 24: access latency histogram ({TRIALS} trials)")
+    print(histogram_ascii(first, label="first block (ACT)"))
+    print(histogram_ascii(rest, label="remaining blocks"))
+    emit(
+        "medians (TSC cycles)",
+        ["series", "median", "mean", "p95"],
+        [
+            ["first", int(np.median(first)), f"{first.mean():.1f}",
+             int(np.percentile(first, 95))],
+            ["rest", int(np.median(rest)), f"{rest.mean():.1f}",
+             int(np.percentile(rest, 95))],
+        ],
+    )
+    gap = np.median(first) - np.median(rest)
+    print(f"median gap: {gap:.0f} cycles (paper: ~30)")
+    assert 10 <= gap <= 60

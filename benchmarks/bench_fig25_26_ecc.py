@@ -1,0 +1,80 @@
+"""E-F25/26 — Figs. 25-26: ECC-word bitflip-count distributions (§7.1).
+
+Counts erroneous 64-bit words with 1-2, 3-8, and >8 bitflips at the
+budget-maximal activation count for t_AggON = 7.8 us and 70.2 us at
+80 degC, and reports what SECDED / Chipkill would do with them.
+"""
+
+from repro import units
+from repro.analysis.ecc import EccScheme, uncorrectable_fraction, word_error_histogram
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.characterization.patterns import (
+    AccessPattern,
+    ExperimentConfig,
+    RowSite,
+    build_disturb_program,
+    max_activations,
+)
+from repro.dram.catalog import build_module
+from repro.dram.geometry import Geometry
+
+from conftest import emit, run_once
+
+MODULES = ["S3", "H0", "M4"]
+POINTS = (units.TREFI, 9 * units.TREFI)
+SITES = [RowSite(0, 1, 20 + 16 * i) for i in range(6)]
+
+
+def _campaign():
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=192, row_bits=65536
+    )
+    results = {}
+    for module_id in MODULES:
+        bench = TestingInfrastructure(build_module(module_id, geometry=geometry))
+        bench.module.device.set_temperature(80.0)
+        for access in (AccessPattern.SINGLE_SIDED, AccessPattern.DOUBLE_SIDED):
+            config = ExperimentConfig(access=access)
+            for t_aggon in POINTS:
+                flips = []
+                for site in SITES:
+                    bench.fresh_experiment()
+                    program, _ = build_disturb_program(
+                        site, t_aggon, max_activations(t_aggon, config), config
+                    )
+                    flips.extend(bench.run(program).bitflips)
+                results[(module_id, access.value, t_aggon)] = flips
+    return results
+
+
+def test_fig25_26_ecc_words(benchmark):
+    results = run_once(benchmark, _campaign)
+    rows = []
+    for (module_id, access, t_aggon), flips in sorted(results.items()):
+        histogram = word_error_histogram(flips)
+        rows.append(
+            [
+                module_id,
+                access,
+                units.format_time(t_aggon),
+                len(flips),
+                histogram["1-2"],
+                histogram["3-8"],
+                histogram[">8"],
+                f"{uncorrectable_fraction(flips, EccScheme.SECDED):.0%}",
+                f"{uncorrectable_fraction(flips, EccScheme.CHIPKILL):.0%}",
+            ]
+        )
+    emit(
+        "Figs. 25-26: erroneous 64-bit words by bitflip count (ACmax, 80C)",
+        ["module", "access", "tAggON", "flips", "1-2", "3-8", ">8",
+         "SECDED fail", "Chipkill fail"],
+        rows,
+    )
+    # The paper's key point: multi-bit words exist, so SECDED (and even
+    # Chipkill) cannot correct all RowPress bitflips.
+    multi = sum(
+        word_error_histogram(f)["3-8"] + word_error_histogram(f)[">8"]
+        for f in results.values()
+    )
+    assert multi > 0

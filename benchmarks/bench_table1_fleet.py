@@ -1,0 +1,46 @@
+"""E-T1 — Table 1: the tested DDR4 fleet.
+
+Builds every catalog module (verifying calibration wiring) and prints the
+fleet inventory grouped like the paper's Table 1.
+"""
+
+from repro.dram.catalog import MODULE_CATALOG, build_fleet, calibration_for
+from repro.dram.geometry import Geometry
+
+from conftest import emit, run_once
+
+
+def _build_fleet():
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=128, row_bits=8192
+    )
+    return build_fleet(geometry=geometry)
+
+
+def test_table1_fleet(benchmark):
+    fleet = run_once(benchmark, _build_fleet)
+    assert len(fleet) == 21
+    rows = []
+    for module in fleet:
+        info = module.info
+        calibration = calibration_for(info)
+        rows.append(
+            [
+                info.module_id,
+                info.manufacturer,
+                info.die_density,
+                info.die_rev,
+                info.organization,
+                info.date_code,
+                info.num_chips,
+                "yes" if calibration.has_press else "no",
+            ]
+        )
+    emit(
+        "Table 1: tested DDR4 modules (21 DIMMs / 164 chips)",
+        ["id", "mfr", "density", "rev", "org", "date", "chips", "rowpress?"],
+        rows,
+    )
+    total_chips = sum(module.info.num_chips for module in fleet)
+    print(f"total chips: {total_chips} (paper: 164)")
+    assert total_chips == 164

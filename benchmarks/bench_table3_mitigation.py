@@ -1,0 +1,94 @@
+"""E-T3 — Table 3: Graphene-RP and PARA-RP performance overheads.
+
+For each t_mro configuration, runs 4-core multiprogrammed mixes with the
+adapted mechanism and reports the weighted-speedup overhead relative to
+the unadapted baseline (Graphene / PARA with an open-row policy), like
+the paper's Table 3 (T_RH = 1000).
+"""
+
+import statistics
+
+from repro.mitigation.adapt import ADAPTATION_TABLE, adapt_graphene, adapt_para
+from repro.mitigation.graphene import Graphene
+from repro.mitigation.para import Para
+from repro.sim import OpenRowPolicy, Simulator, weighted_speedup
+from repro.sim.simulator import run_alone_baselines
+
+from conftest import emit, run_once
+
+T_MRO_VALUES = (36.0, 96.0, 336.0, 636.0)
+MIXES = [
+    ["429.mcf", "462.libquantum", "h264_encode", "505.mcf"],
+    ["510.parest", "433.milc", "tpch6", "471.omnetpp"],
+    ["450.soplex", "549.fotonik3d", "ycsb_a", "namd"],
+]
+REQUESTS = 6000
+
+
+def _weighted_speedups(policy, mitigation_factory, alone):
+    values = []
+    for mix in MIXES:
+        sim = Simulator(
+            mix, requests_per_core=REQUESTS, policy=policy,
+            mitigation=mitigation_factory(),
+        )
+        result = sim.run()
+        values.append(
+            weighted_speedup(result, {i: alone[name] for i, name in enumerate(mix)})
+        )
+    return values
+
+
+def _campaign():
+    names = sorted({name for mix in MIXES for name in mix})
+    alone = run_alone_baselines(names, requests_per_core=REQUESTS)
+    baseline = {
+        "graphene": _weighted_speedups(
+            OpenRowPolicy(), lambda: Graphene(threshold=333), alone
+        ),
+        "para": _weighted_speedups(OpenRowPolicy(), lambda: Para(0.034), alone),
+    }
+    adapted = {}
+    for t_mro in T_MRO_VALUES:
+        graphene_config = adapt_graphene(t_rh=1000, t_mro=t_mro)
+        para_config = adapt_para(t_rh=1000, t_mro=t_mro)
+        adapted[("graphene-rp", t_mro)] = _weighted_speedups(
+            graphene_config.policy, lambda c=graphene_config: c.mitigation, alone
+        )
+        adapted[("para-rp", t_mro)] = _weighted_speedups(
+            para_config.policy, lambda c=para_config: c.mitigation, alone
+        )
+    return baseline, adapted
+
+
+def test_table3_mitigation_overheads(benchmark):
+    baseline, adapted = run_once(benchmark, _campaign)
+    rows = []
+    overheads = {}
+    for (name, t_mro), values in sorted(adapted.items()):
+        base = baseline["graphene" if name.startswith("graphene") else "para"]
+        per_mix = [1.0 - v / b for v, b in zip(values, base)]
+        average = statistics.mean(per_mix)
+        worst = max(per_mix)
+        overheads[(name, t_mro)] = (average, worst)
+        rows.append(
+            [
+                name,
+                f"{t_mro:.0f}ns",
+                ADAPTATION_TABLE[t_mro],
+                f"{average:+.1%}",
+                f"{worst:+.1%}",
+            ]
+        )
+    emit(
+        "Table 3: additional slowdown of -RP configs over their baselines",
+        ["mechanism", "t_mro", "T'_RH", "avg overhead", "max overhead"],
+        rows,
+    )
+    # Paper's conclusion: the additional overhead is low (avg ~ a few %).
+    for (name, t_mro), (average, worst) in overheads.items():
+        assert average < 0.15, (name, t_mro, average)
+    # PARA-RP's overhead grows with t_mro (more preventive refreshes).
+    assert (
+        overheads[("para-rp", 636.0)][0] >= overheads[("para-rp", 96.0)][0] - 0.03
+    )

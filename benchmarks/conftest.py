@@ -1,0 +1,55 @@
+"""Shared helpers for the figure/table regeneration benches.
+
+Every bench prints the paper artifact's rows/series at reduced scale
+(sites per module, sweep points) and is also timed via pytest-benchmark.
+Scale knobs live here so a paper-scale run only needs editing one place.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.dram.catalog import REPRESENTATIVE_MODULES
+from repro.analysis.tables import format_table
+
+#: Modules used by reduced fleet benches: one per manufacturer's most
+#: RowPress-vulnerable die plus the B-die Samsung baseline.
+BENCH_MODULES = ["S0", "S3", "H0", "M4"]
+
+#: Sites per module in reduced campaigns (paper: 3072 rows).
+BENCH_SITES = 5
+
+#: Reduced t_AggON sweep (ns).
+BENCH_SWEEP = (
+    36.0,
+    186.0,
+    636.0,
+    1536.0,
+    units.TREFI,
+    30 * units.US,
+    9 * units.TREFI,
+    300 * units.US,
+    6 * units.MS,
+    30 * units.MS,
+)
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (experiments are deterministic)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit(title: str, headers, rows):
+    """Print one artifact table."""
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def fmt(value, precision=3):
+    """Format optional numerics for table cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)

@@ -1,0 +1,94 @@
+"""Characterize one DRAM module like the paper's §4-5.
+
+Runs a compact version of the characterization campaign on a chosen
+catalog module: the ACmin-vs-t_AggON sweep (with the log-log trend line),
+the t_AggONmin-vs-AC sweep, bitflip directionality, temperature
+sensitivity, and the RowPress-ONOFF grid — all printed as text tables
+and ASCII sparklines.
+
+Run:  python examples/characterize_module.py [module_id]
+"""
+
+import sys
+
+from repro import units
+from repro.analysis.figures import ascii_series
+from repro.analysis.tables import format_table
+from repro.bender import TestingInfrastructure
+from repro.characterization import AcminSearch, find_taggonmin, measure_ber
+from repro.characterization.ber import onoff_sweep
+from repro.characterization.patterns import AccessPattern, ExperimentConfig, RowSite
+from repro.characterization.results import loglog_slope
+from repro.dram import build_module
+from repro.dram.geometry import Geometry
+
+SWEEP = (36.0, 186.0, 636.0, units.TREFI, 30 * units.US, 9 * units.TREFI, 6 * units.MS)
+SITES = [RowSite(0, 1, 24 + 24 * i) for i in range(4)]
+
+
+def main(module_id: str = "S3") -> None:
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=192, row_bits=65536
+    )
+    bench = TestingInfrastructure(build_module(module_id, geometry=geometry))
+    print(f"=== characterizing {module_id} ({bench.module.info.die_key}) ===\n")
+
+    # --- ACmin vs t_AggON (Fig. 6) ---
+    searcher = AcminSearch(infra=bench, config=ExperimentConfig())
+    curve = []
+    for t_aggon in SWEEP:
+        values = [searcher.search(site, t_aggon) for site in SITES]
+        values = [v for v in values if v is not None]
+        curve.append((t_aggon, min(values) if values else None))
+    rows = [[units.format_time(t), f"{v:,}" if v else "-"] for t, v in curve]
+    print(format_table(["t_AggON", "ACmin (min over rows)"], rows, "ACmin sweep @50C"))
+    print(ascii_series(curve, label="ACmin (log scale)"))
+    tail = [(t, v) for t, v in curve if v and t >= units.TREFI]
+    if len(tail) >= 3:
+        print(f"log-log slope beyond 7.8us: {loglog_slope(tail):+.3f} (paper ~ -1.01)\n")
+
+    # --- t_AggONmin vs AC (Fig. 9) ---
+    rows = []
+    for count in (1, 10, 100, 1000):
+        value = find_taggonmin(bench, SITES[0], activation_count=count)
+        rows.append([count, units.format_time(value) if value else "-"])
+    print(format_table(["AC", "t_AggONmin"], rows, "t_AggONmin sweep @50C"))
+    print()
+
+    # --- directionality (Fig. 12) ---
+    hammer = measure_ber(bench, SITES[1], t_aggon=36.0)
+    press = measure_ber(bench, SITES[2], t_aggon=units.TREFI)
+    rows = [
+        ["RowHammer (36ns)", hammer.bitflips,
+         f"{hammer.one_to_zero / hammer.bitflips:.0%}" if hammer.bitflips else "-"],
+        ["RowPress (7.8us)", press.bitflips,
+         f"{press.one_to_zero / press.bitflips:.0%}" if press.bitflips else "-"],
+    ]
+    print(format_table(["mechanism", "bitflips @ACmax", "1->0 fraction"], rows,
+                       "Bitflip directionality (checkerboard)"))
+    print()
+
+    # --- temperature (Fig. 13) ---
+    bench.module.device.set_temperature(80.0)
+    hot = [searcher.search(site, units.TREFI) for site in SITES]
+    hot = [v for v in hot if v is not None]
+    bench.module.device.set_temperature(50.0)
+    cool = [v for _, v in curve if v is not None]
+    at_trefi = dict(curve).get(units.TREFI)
+    if hot and at_trefi:
+        print(f"ACmin @7.8us: 50C={at_trefi:,}  80C={min(hot):,} "
+              f"(ratio {min(hot) / at_trefi:.2f}; Obsv. 9)\n")
+
+    # --- ONOFF grid (Fig. 22) ---
+    grid = onoff_sweep(bench, SITES[3], [240.0, 6000.0], [0.0, 0.5, 1.0],
+                       access=AccessPattern.SINGLE_SIDED)
+    rows = [
+        [f"{delta:.0f}ns"] + [f"{grid[(delta, f)].bitflips}" for f in (0.0, 0.5, 1.0)]
+        for delta in (240.0, 6000.0)
+    ]
+    print(format_table(["dt_A2A", "0% on", "50% on", "100% on"], rows,
+                       "RowPress-ONOFF bitflips (single-sided, 50C)"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "S3")

@@ -1,0 +1,85 @@
+"""Survey the whole module fleet (a compact Table 5).
+
+Runs a small ACmin + t_AggONmin campaign over every die revision in the
+catalog (one representative module each), saves the raw records as a
+campaign JSON (like the paper's open data release), and prints a
+Table 5-style summary.
+
+Run:  python examples/fleet_survey.py [output.json]
+"""
+
+import sys
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.characterization import aggregate_by_die
+from repro.characterization.campaign import CampaignSpec, run_campaign, save_results
+from repro.characterization.runner import CharacterizationRunner
+from repro.characterization.taggonmin import find_taggonmin
+from repro.dram.catalog import REPRESENTATIVE_MODULES
+
+
+def main(output: str | None = None) -> None:
+    modules = tuple(sorted(REPRESENTATIVE_MODULES.values()))
+    spec = CampaignSpec(
+        name="fleet-survey",
+        module_ids=modules,
+        experiment="acmin",
+        t_aggon_values=(36.0, units.TREFI, 9 * units.TREFI),
+        sites_per_module=3,
+    )
+    print(f"surveying {len(modules)} representative modules ...")
+    records = run_campaign(spec)
+    if output:
+        save_results(output, spec, records)
+        print(f"raw records saved to {output}")
+
+    runner = CharacterizationRunner(module_ids=list(modules), sites_per_module=3)
+    taggonmin = {}
+    for module_id in modules:
+        bench = runner.bench(module_id)
+        values = [
+            find_taggonmin(bench, site, activation_count=1)
+            for site in runner.sites(bench.module)
+        ]
+        values = [v for v in values if v is not None]
+        taggonmin[bench.module.info.die_key] = (
+            min(values) / units.MS if values else None
+        )
+
+    rows = []
+    for t_aggon in spec.t_aggon_values:
+        by_die = aggregate_by_die(
+            [r for r in records if r.t_aggon == t_aggon], lambda r: r.acmin
+        )
+        for die, aggregate in by_die.items():
+            if t_aggon == 36.0:
+                press = taggonmin.get(die)
+                rows.append(
+                    [
+                        die,
+                        f"{aggregate.mean:,.0f}" if aggregate.mean else "-",
+                        "",
+                        "",
+                        f"{press:.1f}ms" if press else "No Bitflip",
+                    ]
+                )
+            else:
+                for row in rows:
+                    if row[0] == die:
+                        column = 2 if t_aggon == units.TREFI else 3
+                        row[column] = (
+                            f"{aggregate.mean:,.0f}" if aggregate.mean else "-"
+                        )
+    print()
+    print(
+        format_table(
+            ["die", "ACmin@36ns", "ACmin@7.8us", "ACmin@70.2us", "tAggONmin@AC=1"],
+            rows,
+            "Fleet survey (Table 5 style, 50C, reduced rows)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,50 @@
+"""Quickstart: measure how RowPress amplifies read disturbance.
+
+Builds one calibrated DDR4 module (Samsung 8Gb D-die), places it on the
+testing infrastructure, and measures ACmin — the minimum number of
+aggressor-row activations needed to flip a bit — as the row-open time
+(t_AggON) grows from the RowHammer minimum (36 ns) to 30 ms.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import units
+from repro.bender import TestingInfrastructure
+from repro.characterization import find_acmin
+from repro.characterization.patterns import RowSite
+from repro.dram import build_module
+from repro.dram.geometry import Geometry
+
+
+def main() -> None:
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=256, row_bits=65536
+    )
+    module = build_module("S3", geometry=geometry)
+    bench = TestingInfrastructure(module)
+    bench.set_temperature(80.0)
+    site = RowSite(rank=0, bank=1, row=100)
+
+    print(f"module: {module.info.module_id} ({module.info.die_key})")
+    print(f"temperature: {bench.temperature_c:.0f} degC")
+    print()
+    print(f"{'t_AggON':>10}  {'ACmin':>9}  note")
+    baseline = None
+    for t_aggon in (36.0, 636.0, units.TREFI, 9 * units.TREFI, 30 * units.MS):
+        acmin = find_acmin(bench, site, t_aggon)
+        if acmin is None:
+            print(f"{units.format_time(t_aggon):>10}  {'-':>9}  no bitflip in budget")
+            continue
+        if baseline is None:
+            baseline = acmin
+            note = "conventional RowHammer"
+        else:
+            note = f"{baseline / acmin:.0f}x fewer activations"
+        print(f"{units.format_time(t_aggon):>10}  {acmin:>9,}  {note}")
+    print()
+    print("RowPress: keeping the row open longer turns tens of thousands of")
+    print("activations into a handful (Obsv. 1-2 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""RowPress on a "real system": the paper's §6 demonstration.
+
+Assembles the demo platform (Comet Lake-like CPU, dual-rank DDR4 DIMM
+with in-DRAM TRR), verifies that the memory controller keeps rows open
+across cache-block reads (Fig. 24), then runs Algorithm 1: double-sided
+aggressor activations with NUM_READS cache-block reads per activation and
+dummy rows to slip past TRR.
+
+Run:  python examples/real_system_attack.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.analysis.figures import histogram_ascii
+from repro.analysis.tables import format_table
+from repro.dram.geometry import RowAddress
+from repro.system import AttackParameters, build_demo_system, run_rowpress_attack
+from repro.system.demo import measure_access_latencies, plan_iteration
+
+
+def main() -> None:
+    system = build_demo_system(rows_per_bank=4096)
+    print("demo platform: i5-10400-like CPU + "
+          f"{system.module.info.dimm_part} ({system.module.info.die_key}), TRR on\n")
+
+    # --- Fig. 24: verify the controller keeps rows open ---
+    print("verifying t_AggON increase (first vs remaining cache blocks)...")
+    first, rest = measure_access_latencies(system, trials=150, row=60, conflict_row=700)
+    print(histogram_ascii(first, label="  first block (ACT)"))
+    print(histogram_ascii(rest, label="  remaining blocks"))
+    print(f"  median gap: {np.median(first) - np.median(rest):.0f} TSC cycles\n")
+
+    # --- Algorithm 1 across the attack grid ---
+    victims = [RowAddress(0, 1, 16 + 8 * i) for i in range(120)]
+    rows = []
+    for acts in (1, 2, 3, 4):
+        for reads in (1, 32, 64):
+            params = AttackParameters(
+                num_reads=reads, num_aggr_acts=acts, num_iterations=400_000
+            )
+            schedule = plan_iteration(system, params)
+            result = run_rowpress_attack(system, victims, params, max_windows=2)
+            mechanisms = Counter(f.mechanism for f in result.bitflips)
+            rows.append(
+                [
+                    acts,
+                    reads,
+                    f"{schedule.t_on:.0f}ns",
+                    "yes" if schedule.fits_trefi else "NO",
+                    result.total_bitflips,
+                    result.rows_with_bitflips,
+                    mechanisms.get("press", 0),
+                ]
+            )
+    print(
+        format_table(
+            ["NUM_AGGR_ACTS", "NUM_READS", "t_AggON", "fits tREFI",
+             "bitflips", "rows", "press flips"],
+            rows,
+            f"Algorithm 1 against {len(victims)} victim rows",
+        )
+    )
+    print()
+    print("NUM_READS=1 is conventional (TRR-bypassing) RowHammer: nearly no")
+    print("bitflips.  Reading many cache blocks per activation keeps the")
+    print("row open longer -> RowPress flips bits despite TRR (Takeaway 6).")
+
+
+if __name__ == "__main__":
+    main()

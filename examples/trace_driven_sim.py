@@ -1,0 +1,68 @@
+"""Drive the performance simulator from Ramulator trace files.
+
+Shows the trace-file pipeline: export a synthetic workload as a classic
+Ramulator CPU trace, load it back, and simulate it under different row
+policies — the workflow a user with real SPEC traces would follow.
+
+Run:  python examples/trace_driven_sim.py [trace_file]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis.tables import format_table
+from repro.sim import (
+    ClosedRowPolicy,
+    OpenRowPolicy,
+    Simulator,
+    TimeCappedPolicy,
+    export_synthetic,
+    load_trace,
+)
+from repro.sim.core import CoreModel
+from repro.sim.trace import WORKLOADS
+
+
+def simulate_trace(stream, policy):
+    """Run one loaded trace stream under a row policy."""
+    sim = Simulator(["429.mcf"], requests_per_core=1)  # shell; core replaced
+    sim.cores = [CoreModel(core_id=0, stream=stream)]
+    sim.mc.policy = policy
+    return sim.run()
+
+
+def main(trace_path: str | None = None) -> None:
+    if trace_path is None:
+        temp = Path(tempfile.gettempdir()) / "rowpress_demo.trace"
+        print("no trace given - exporting a synthetic 510.parest trace ...")
+        export_synthetic(temp, WORKLOADS["510.parest"], count=6000)
+        trace_path = str(temp)
+    stream = load_trace(trace_path)
+    print(f"loaded {len(stream)} requests from {trace_path}\n")
+    rows = []
+    for policy, label in (
+        (OpenRowPolicy(), "open-row"),
+        (TimeCappedPolicy(t_mro=96.0), "t_mro = 96 ns"),
+        (ClosedRowPolicy(), "minimally-open"),
+    ):
+        result = simulate_trace(list(stream), policy)
+        rows.append(
+            [
+                label,
+                f"{result.ipc_of(0):.3f}",
+                f"{result.stats.row_hit_rate:.2f}",
+                result.stats.max_activations_any_row(),
+            ]
+        )
+    print(
+        format_table(
+            ["row policy", "IPC", "row-hit rate", "max per-row ACTs / tREFW"],
+            rows,
+            "Trace-driven row-policy comparison",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

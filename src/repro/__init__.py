@@ -1,0 +1,35 @@
+"""RowPress reproduction (ISCA 2023, Luo et al.).
+
+A behavioral reproduction of "RowPress: Amplifying Read Disturbance in
+Modern DRAM Chips": a calibrated DDR4 read-disturbance substrate, a
+DRAM-Bender-style testing infrastructure, the paper's characterization
+experiments, the real-system attack demonstration, and the mitigation
+study on a Ramulator-lite performance simulator.
+
+Quick start::
+
+    from repro import build_module, TestingInfrastructure, find_acmin
+    from repro.characterization import RowSite, ExperimentConfig
+
+    bench = TestingInfrastructure(build_module("S3"))
+    acmin = find_acmin(bench, RowSite(0, 1, 100), t_aggon=7_800.0)
+"""
+
+from repro.dram import build_module, build_fleet, DramModule, MODULE_CATALOG
+from repro.bender import TestingInfrastructure, Program
+from repro.characterization import find_acmin, find_taggonmin, measure_ber
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_module",
+    "build_fleet",
+    "DramModule",
+    "MODULE_CATALOG",
+    "TestingInfrastructure",
+    "Program",
+    "find_acmin",
+    "find_taggonmin",
+    "measure_ber",
+    "__version__",
+]

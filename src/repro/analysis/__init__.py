@@ -1,0 +1,14 @@
+"""Analysis utilities: statistics, ECC classification, text rendering."""
+
+from repro.analysis.ecc import EccScheme, classify_word_errors, word_error_histogram
+from repro.analysis.tables import format_table
+from repro.analysis.figures import ascii_series, histogram_ascii
+
+__all__ = [
+    "EccScheme",
+    "classify_word_errors",
+    "word_error_histogram",
+    "format_table",
+    "ascii_series",
+    "histogram_ascii",
+]

@@ -1,0 +1,99 @@
+"""ECC capability analysis (§7.1, Figs. 25-26).
+
+The paper groups erroneous 64-bit words by bitflip count: 1-2 (within
+SECDED's correct/detect reach), 3-8 (beyond SECDED, around Chipkill's
+symbol limits), and >8 (beyond everything practical).  We classify word
+error counts against SECDED(72,64) and an x8 Chipkill-style symbol code
+and summarize distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.dram.device import Bitflip
+
+
+class EccScheme(str, Enum):
+    """Modeled ECC schemes."""
+
+    NONE = "none"
+    SECDED = "secded-72-64"
+    CHIPKILL = "chipkill-x8"
+
+
+@dataclass(frozen=True)
+class WordOutcome:
+    """Result of pushing one erroneous word through a scheme."""
+
+    corrected: bool
+    detected: bool
+
+    @property
+    def silent_corruption(self) -> bool:
+        """Neither corrected nor even detected."""
+        return not self.corrected and not self.detected
+
+
+def classify_word_errors(bitflips_in_word: int, scheme: EccScheme,
+                         symbols_touched: int | None = None) -> WordOutcome:
+    """Outcome of ``bitflips_in_word`` errors under a scheme.
+
+    ``symbols_touched`` is the number of distinct 8-bit device symbols
+    containing flips (Chipkill granularity); defaults to a worst-ish case
+    of one symbol per two bitflips, rounded up, capped at 8.
+    """
+    if bitflips_in_word < 0:
+        raise ValueError("bitflip count must be non-negative")
+    if bitflips_in_word == 0:
+        return WordOutcome(corrected=True, detected=True)
+    if scheme is EccScheme.NONE:
+        return WordOutcome(corrected=False, detected=False)
+    if scheme is EccScheme.SECDED:
+        if bitflips_in_word == 1:
+            return WordOutcome(corrected=True, detected=True)
+        if bitflips_in_word == 2:
+            return WordOutcome(corrected=False, detected=True)
+        # 3+ errors alias unpredictably: possible silent corruption.
+        return WordOutcome(corrected=False, detected=False)
+    if scheme is EccScheme.CHIPKILL:
+        if symbols_touched is None:
+            symbols_touched = min((bitflips_in_word + 1) // 2, 8)
+        if symbols_touched <= 1:
+            return WordOutcome(corrected=True, detected=True)
+        if symbols_touched == 2:
+            return WordOutcome(corrected=False, detected=True)
+        return WordOutcome(corrected=False, detected=False)
+    raise ValueError(f"unknown scheme {scheme}")
+
+
+def word_error_histogram(bitflips: list[Bitflip]) -> dict[str, int]:
+    """Fig. 25/26 buckets: erroneous words with 1-2, 3-8, and >8 flips."""
+    per_word: dict[tuple, int] = {}
+    for flip in bitflips:
+        key = (flip.address.rank, flip.address.bank, flip.address.row, flip.column // 64)
+        per_word[key] = per_word.get(key, 0) + 1
+    buckets = {"1-2": 0, "3-8": 0, ">8": 0}
+    for count in per_word.values():
+        if count <= 2:
+            buckets["1-2"] += 1
+        elif count <= 8:
+            buckets["3-8"] += 1
+        else:
+            buckets[">8"] += 1
+    return buckets
+
+
+def uncorrectable_fraction(bitflips: list[Bitflip], scheme: EccScheme) -> float:
+    """Fraction of erroneous words the scheme fails to correct."""
+    per_word: dict[tuple, int] = {}
+    for flip in bitflips:
+        key = (flip.address.rank, flip.address.bank, flip.address.row, flip.column // 64)
+        per_word[key] = per_word.get(key, 0) + 1
+    if not per_word:
+        return 0.0
+    failed = sum(
+        1 for count in per_word.values() if not classify_word_errors(count, scheme).corrected
+    )
+    return failed / len(per_word)

@@ -1,0 +1,50 @@
+"""ASCII rendering of figure series (log-scale sparklines, histograms)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_BARS = " .:-=+*#%@"
+
+
+def ascii_series(
+    points: Sequence[tuple[float, float | None]],
+    label: str = "",
+    log_y: bool = True,
+    width: int = 40,
+) -> str:
+    """One figure curve as a labeled sparkline (None = no bitflip)."""
+    values = [y for _, y in points if y is not None and y > 0]
+    if not values:
+        return f"{label:24s} (no bitflips)"
+    low, high = min(values), max(values)
+    if log_y:
+        low, high = math.log10(low), math.log10(max(high, low * 1.0001))
+    span = max(high - low, 1e-12)
+    chars = []
+    for _, y in points:
+        if y is None or y <= 0:
+            chars.append("_")
+            continue
+        value = math.log10(y) if log_y else y
+        level = int((value - low) / span * (len(_BARS) - 1))
+        chars.append(_BARS[max(min(level, len(_BARS) - 1), 0)])
+    return f"{label:24s} [{''.join(chars)}]  min={min(values):.3g} max={max(values):.3g}"
+
+
+def histogram_ascii(
+    values: Sequence[float], bins: int = 20, label: str = "", width: int = 40
+) -> str:
+    """A one-line density sketch of a sample (Fig. 24 style)."""
+    if not len(values):
+        return f"{label:24s} (empty)"
+    low, high = float(min(values)), float(max(values))
+    span = max(high - low, 1e-12)
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - low) / span * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    chars = [_BARS[int(c / peak * (len(_BARS) - 1))] if peak else " " for c in counts]
+    return f"{label:24s} [{''.join(chars)}]  range=[{low:.3g}, {high:.3g}]"

@@ -1,0 +1,161 @@
+"""A working SECDED(72,64) Hamming codec (§7.1 substrate).
+
+The ECC discussion in §7.1 argues that SECDED corrects one and detects
+two bitflips per 64-bit word but *miscorrects or misses* larger error
+counts — this module implements an actual extended Hamming code so those
+claims can be exercised on real codewords instead of assumed.
+
+Layout: 64 data bits + 7 Hamming parity bits + 1 overall parity bit.
+Parity bit ``i`` (0..6) covers every codeword position whose (1-based)
+index has bit ``i`` set, with parity bits living at power-of-two
+positions, as in the classic construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+DATA_BITS = 64
+PARITY_BITS = 7  # positions 1, 2, 4, 8, 16, 32, 64 (1-based)
+CODEWORD_BITS = 72  # 71 Hamming positions + overall parity
+
+_PARITY_POSITIONS = [1 << i for i in range(PARITY_BITS)]
+_DATA_POSITIONS = [
+    position
+    for position in range(1, 72)
+    if position not in _PARITY_POSITIONS
+]
+assert len(_DATA_POSITIONS) == DATA_BITS
+
+
+class DecodeStatus(str, Enum):
+    """Outcome of decoding one word."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"  # single-bit error fixed
+    DETECTED = "detected"  # uncorrectable double-bit error flagged
+    MISCORRECTED = "miscorrected"  # >2 errors silently made worse
+
+
+@dataclass
+class DecodeResult:
+    """Decoded data plus the decoder's verdict."""
+
+    data: int
+    status: DecodeStatus
+
+    @property
+    def silent_corruption(self) -> bool:
+        """Decoder claims success but the data may be wrong."""
+        return self.status is DecodeStatus.MISCORRECTED
+
+
+def encode(data: int) -> int:
+    """Encode a 64-bit word into a 72-bit SECDED codeword.
+
+    Bit 0..70 of the result are Hamming positions 1..71; bit 71 is the
+    overall parity.
+    """
+    if not 0 <= data < 1 << DATA_BITS:
+        raise ValueError("data must be a 64-bit value")
+    codeword = 0
+    for index, position in enumerate(_DATA_POSITIONS):
+        if (data >> index) & 1:
+            codeword |= 1 << (position - 1)
+    for i, parity_position in enumerate(_PARITY_POSITIONS):
+        parity = 0
+        for position in range(1, 72):
+            if position & parity_position and (codeword >> (position - 1)) & 1:
+                parity ^= 1
+        if parity:
+            codeword |= 1 << (parity_position - 1)
+    overall = bin(codeword).count("1") & 1
+    if overall:
+        codeword |= 1 << 71
+    return codeword
+
+
+def _extract_data(codeword: int) -> int:
+    data = 0
+    for index, position in enumerate(_DATA_POSITIONS):
+        if (codeword >> (position - 1)) & 1:
+            data |= 1 << index
+    return data
+
+
+def decode(codeword: int) -> DecodeResult:
+    """Decode a 72-bit codeword; corrects 1 error, detects 2.
+
+    With three or more bitflips the syndrome aliases: the decoder either
+    "corrects" the wrong bit (odd total parity) or reports a clean/double
+    word — both are the silent-corruption outcomes §7.1 warns about.
+    The decoder itself cannot tell; callers compare against the original
+    data to classify (see :func:`classify_errors`).
+    """
+    if not 0 <= codeword < 1 << CODEWORD_BITS:
+        raise ValueError("codeword must be a 72-bit value")
+    syndrome = 0
+    for i, parity_position in enumerate(_PARITY_POSITIONS):
+        parity = 0
+        for position in range(1, 72):
+            if position & parity_position and (codeword >> (position - 1)) & 1:
+                parity ^= 1
+        if parity:
+            syndrome |= parity_position
+    overall_error = bin(codeword).count("1") & 1
+    if syndrome == 0 and not overall_error:
+        return DecodeResult(_extract_data(codeword), DecodeStatus.CLEAN)
+    if syndrome == 0 and overall_error:
+        # error in the overall parity bit itself
+        return DecodeResult(_extract_data(codeword), DecodeStatus.CORRECTED)
+    if overall_error:
+        # odd number of flips: treat as single-bit, flip the syndrome bit
+        if syndrome <= 71:
+            corrected = codeword ^ (1 << (syndrome - 1))
+            return DecodeResult(_extract_data(corrected), DecodeStatus.CORRECTED)
+        return DecodeResult(_extract_data(codeword), DecodeStatus.DETECTED)
+    # even number of flips with nonzero syndrome: uncorrectable double
+    return DecodeResult(_extract_data(codeword), DecodeStatus.DETECTED)
+
+
+def inject_errors(codeword: int, bit_positions: list[int]) -> int:
+    """Flip the given codeword bit positions (0-based, < 72)."""
+    for position in bit_positions:
+        if not 0 <= position < CODEWORD_BITS:
+            raise ValueError("bit position out of range")
+        codeword ^= 1 << position
+    return codeword
+
+
+def classify_errors(data: int, bit_positions: list[int]) -> DecodeStatus:
+    """End-to-end verdict for ``len(bit_positions)`` flips on ``data``.
+
+    Distinguishes true correction from silent miscorrection by comparing
+    the decoded data with the original.
+    """
+    codeword = inject_errors(encode(data), bit_positions)
+    result = decode(codeword)
+    if result.status is DecodeStatus.DETECTED:
+        return DecodeStatus.DETECTED
+    if result.data == data:
+        return result.status
+    return DecodeStatus.MISCORRECTED
+
+
+def word_outcome_rates(
+    data: int, error_counts: list[int], trials: int = 50, seed: int = 3
+) -> dict[int, dict[DecodeStatus, float]]:
+    """Monte-Carlo outcome rates per error count (the §7.1 argument)."""
+    rng = np.random.default_rng(seed)
+    rates: dict[int, dict[DecodeStatus, float]] = {}
+    for count in error_counts:
+        outcomes: dict[DecodeStatus, int] = {}
+        for _ in range(trials):
+            positions = rng.choice(CODEWORD_BITS, size=count, replace=False).tolist()
+            status = classify_errors(data, positions)
+            outcomes[status] = outcomes.get(status, 0) + 1
+        rates[count] = {status: n / trials for status, n in outcomes.items()}
+    return rates

@@ -1,0 +1,49 @@
+"""Programmable DRAM testing infrastructure (DRAM Bender / SoftMC analog).
+
+The paper drives real chips with an FPGA that executes arbitrary DRAM
+command sequences at 1.5 ns granularity with refresh disabled (§3.1).
+This package provides the same capability against the behavioral device:
+
+* :mod:`repro.bender.program` — command IR (ACT/PRE/WAIT/FILL/READ, loops),
+* :mod:`repro.bender.builder` — access-pattern builders (single-sided,
+  double-sided, RowPress-ONOFF),
+* :mod:`repro.bender.executor` — timing-checked execution with a fast bulk
+  path for high-iteration hammer loops,
+* :mod:`repro.bender.temperature` — heater-pad + PID controller model,
+* :mod:`repro.bender.infrastructure` — the full test bench.
+"""
+
+from repro.bender.program import Act, FillRow, Loop, Pre, Program, ReadRow, Wait
+from repro.bender.assembly import AssemblyError, format_program, parse_program
+from repro.bender.builder import (
+    double_sided_pattern,
+    onoff_pattern,
+    round_to_command_period,
+    single_sided_pattern,
+)
+from repro.bender.executor import ExecutionResult, ProgramExecutor, RowRead, TimingViolation
+from repro.bender.temperature import TemperatureController
+from repro.bender.infrastructure import TestingInfrastructure
+
+__all__ = [
+    "Act",
+    "Pre",
+    "Wait",
+    "FillRow",
+    "ReadRow",
+    "Loop",
+    "Program",
+    "single_sided_pattern",
+    "double_sided_pattern",
+    "onoff_pattern",
+    "round_to_command_period",
+    "ProgramExecutor",
+    "ExecutionResult",
+    "RowRead",
+    "TimingViolation",
+    "TemperatureController",
+    "TestingInfrastructure",
+    "parse_program",
+    "format_program",
+    "AssemblyError",
+]

@@ -1,0 +1,139 @@
+"""Textual assembly for DRAM test programs (DRAM Bender ISA style).
+
+DRAM Bender programs are written in a small instruction set and shipped
+to the FPGA; this module provides the equivalent human-readable format
+for :class:`repro.bender.program.Program`, so test programs can be stored
+in files, diffed, and replayed — like the paper artifact's program
+sources.
+
+Syntax (one instruction per line, ``#`` comments)::
+
+    fill   r=<rank> b=<bank> row=<row> data=0xAA
+    act    r=0 b=1 row=100
+    wait   7800
+    pre    r=0 b=1
+    read   r=0 b=1 row=101
+    loop   1000
+      act  r=0 b=1 row=100
+      wait 36
+      pre  r=0 b=1
+      wait 15
+    endloop
+"""
+
+from __future__ import annotations
+
+from repro.dram.geometry import RowAddress
+from repro.bender.program import Act, FillRow, Instruction, Loop, Pre, Program, ReadRow, Wait
+
+
+class AssemblyError(ValueError):
+    """Malformed program text."""
+
+
+def _parse_fields(tokens: list[str], line_number: int) -> dict[str, str]:
+    fields = {}
+    for token in tokens:
+        if "=" not in token:
+            raise AssemblyError(f"line {line_number}: expected key=value, got {token!r}")
+        key, value = token.split("=", 1)
+        fields[key] = value
+    return fields
+
+
+def _parse_int(value: str) -> int:
+    return int(value, 16) if value.lower().startswith("0x") else int(value)
+
+
+def parse_program(text: str) -> Program:
+    """Parse assembly text into a :class:`Program`."""
+    stack: list[tuple[int | None, list[Instruction]]] = [(None, [])]
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        op, *tokens = line.split()
+        op = op.lower()
+        if op == "loop":
+            if len(tokens) != 1:
+                raise AssemblyError(f"line {line_number}: loop takes one count")
+            stack.append((_parse_int(tokens[0]), []))
+            continue
+        if op == "endloop":
+            if len(stack) == 1:
+                raise AssemblyError(f"line {line_number}: endloop without loop")
+            count, body = stack.pop()
+            stack[-1][1].append(Loop(count, tuple(body)))
+            continue
+        if op == "wait":
+            if len(tokens) != 1:
+                raise AssemblyError(f"line {line_number}: wait takes a duration")
+            stack[-1][1].append(Wait(float(tokens[0])))
+            continue
+        fields = _parse_fields(tokens, line_number)
+        try:
+            if op == "act":
+                address = RowAddress(
+                    _parse_int(fields["r"]), _parse_int(fields["b"]),
+                    _parse_int(fields["row"]),
+                )
+                stack[-1][1].append(Act(address))
+            elif op == "pre":
+                stack[-1][1].append(Pre(_parse_int(fields["r"]), _parse_int(fields["b"])))
+            elif op == "fill":
+                address = RowAddress(
+                    _parse_int(fields["r"]), _parse_int(fields["b"]),
+                    _parse_int(fields["row"]),
+                )
+                stack[-1][1].append(FillRow(address, _parse_int(fields["data"])))
+            elif op == "read":
+                address = RowAddress(
+                    _parse_int(fields["r"]), _parse_int(fields["b"]),
+                    _parse_int(fields["row"]),
+                )
+                stack[-1][1].append(ReadRow(address))
+            else:
+                raise AssemblyError(f"line {line_number}: unknown op {op!r}")
+        except KeyError as error:
+            raise AssemblyError(
+                f"line {line_number}: missing field {error.args[0]!r} for {op}"
+            ) from error
+    if len(stack) != 1:
+        raise AssemblyError("unterminated loop")
+    return Program(stack[0][1])
+
+
+def _format_instruction(instruction: Instruction, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(instruction, Wait):
+        # float repr preserves full precision across the roundtrip
+        return [f"{pad}wait {instruction.duration!r}"]
+    if isinstance(instruction, Act):
+        address = instruction.address
+        return [f"{pad}act r={address.rank} b={address.bank} row={address.row}"]
+    if isinstance(instruction, Pre):
+        return [f"{pad}pre r={instruction.rank} b={instruction.bank}"]
+    if isinstance(instruction, FillRow):
+        address = instruction.address
+        return [
+            f"{pad}fill r={address.rank} b={address.bank} row={address.row} "
+            f"data=0x{instruction.byte_value:02X}"
+        ]
+    if isinstance(instruction, ReadRow):
+        address = instruction.address
+        return [f"{pad}read r={address.rank} b={address.bank} row={address.row}"]
+    if isinstance(instruction, Loop):
+        lines = [f"{pad}loop {instruction.count}"]
+        for inner in instruction.body:
+            lines.extend(_format_instruction(inner, indent + 1))
+        lines.append(f"{pad}endloop")
+        return lines
+    raise TypeError(f"unknown instruction {instruction!r}")
+
+
+def format_program(program: Program) -> str:
+    """Render a :class:`Program` as assembly text."""
+    lines: list[str] = []
+    for instruction in program:
+        lines.extend(_format_instruction(instruction, 0))
+    return "\n".join(lines) + "\n"

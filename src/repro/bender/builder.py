@@ -1,0 +1,98 @@
+"""Access-pattern builders (Figs. 5, 16, 21 of the paper).
+
+All builders round durations up to the command-bus period (1.5 ns in the
+paper's infrastructure) and respect the DRAM timing minima, mirroring how
+the paper's DRAM Bender programs are generated.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dram.geometry import RowAddress
+from repro.dram.timing import DDR4_3200W, TimingParameters
+from repro.bender.program import Act, Instruction, Loop, Pre, Program, Wait
+
+
+def round_to_command_period(
+    duration: float, timing: TimingParameters = DDR4_3200W
+) -> float:
+    """Round a duration up to the next command-bus slot (1.5 ns)."""
+    period = timing.command_period
+    return math.ceil(duration / period - 1e-9) * period
+
+
+def _episode(
+    address: RowAddress, t_on: float, t_off: float, timing: TimingParameters
+) -> list[Instruction]:
+    """One ACT -> wait(t_on) -> PRE -> wait(t_off) episode."""
+    if t_on < timing.tRAS:
+        raise ValueError(f"t_AggON {t_on} below tRAS {timing.tRAS}")
+    if t_off < timing.tRP:
+        raise ValueError(f"t_AggOFF {t_off} below tRP {timing.tRP}")
+    return [
+        Act(address),
+        Wait(round_to_command_period(t_on, timing)),
+        Pre(address.rank, address.bank),
+        Wait(round_to_command_period(t_off, timing)),
+    ]
+
+
+def single_sided_pattern(
+    aggressor: RowAddress,
+    t_aggon: float,
+    count: int,
+    timing: TimingParameters = DDR4_3200W,
+) -> Program:
+    """Single-sided RowPress pattern (Fig. 5).
+
+    ``t_aggon = tRAS`` makes this the conventional single-sided RowHammer
+    pattern (the row is closed as soon as the specification allows).
+    """
+    body = _episode(aggressor, t_aggon, timing.tRP, timing)
+    return Program([Loop(count, tuple(body))])
+
+
+def double_sided_pattern(
+    aggressor_low: RowAddress,
+    aggressor_high: RowAddress,
+    t_aggon: float,
+    total_count: int,
+    timing: TimingParameters = DDR4_3200W,
+) -> Program:
+    """Double-sided RowPress pattern (Fig. 16).
+
+    Every other activation of the single-sided pattern targets the second
+    aggressor; ``total_count`` counts *total* aggressor activations.
+    """
+    if aggressor_low.rank != aggressor_high.rank or aggressor_low.bank != aggressor_high.bank:
+        raise ValueError("double-sided aggressors must share a bank")
+    body = _episode(aggressor_low, t_aggon, timing.tRP, timing) + _episode(
+        aggressor_high, t_aggon, timing.tRP, timing
+    )
+    pairs, leftover = divmod(total_count, 2)
+    program = Program([Loop(pairs, tuple(body))])
+    if leftover:
+        program.extend(_episode(aggressor_low, t_aggon, timing.tRP, timing))
+    return program
+
+
+def onoff_pattern(
+    aggressors: list[RowAddress],
+    t_aggon: float,
+    t_aggoff: float,
+    count_per_aggressor: int,
+    timing: TimingParameters = DDR4_3200W,
+) -> Program:
+    """RowPress-ONOFF pattern (Fig. 21): explicit on- and off-times.
+
+    With one aggressor this matches the single-sided ONOFF experiment; with
+    two adjacent-to-one-victim aggressors, the double-sided one.  The
+    activation interval is ``t_A2A = t_aggon + t_aggoff`` per aggressor.
+    """
+    if not aggressors:
+        raise ValueError("need at least one aggressor")
+    body: list[Instruction] = []
+    for aggressor in aggressors:
+        body.extend(_episode(aggressor, t_aggon, t_aggoff, timing))
+    return Program([Loop(count_per_aggressor, tuple(body))])

@@ -1,0 +1,225 @@
+"""Timing-checked execution of DRAM test programs.
+
+The executor plays a :class:`repro.bender.program.Program` against a
+:class:`repro.dram.device.DramDevice`, enforcing the command timing minima
+(tRP/tRC/tRAS) that DRAM Bender programs must respect, with refresh
+disabled exactly like the paper's methodology (§3.1).
+
+Steady command-only loops take a **bulk path**: a couple of warm-up
+iterations run literally (so sandwich detection and episode bookkeeping
+reach steady state), then the remaining iterations are deposited
+analytically in one call per aggressor episode.  This is what makes
+ACmin bisection over hundreds of thousands of activations tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.device import Bitflip, DramDevice
+from repro.dram.geometry import RowAddress
+from repro.bender.program import Act, FillRow, Instruction, Loop, Pre, Program, ReadRow, Wait
+
+
+class TimingViolation(Exception):
+    """A command was issued before its minimum-interval constraint."""
+
+
+@dataclass
+class RowRead:
+    """Result of one ReadRow instruction."""
+
+    address: RowAddress
+    data: np.ndarray
+    bitflips: list[Bitflip]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program execution."""
+
+    reads: list[RowRead] = field(default_factory=list)
+    start_time: float = 0.0
+    end_time: float = 0.0
+    activations: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Program wall-clock duration in nanoseconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def bitflips(self) -> list[Bitflip]:
+        """All bitflips observed across the program's row reads."""
+        return [flip for read in self.reads for flip in read.bitflips]
+
+
+@dataclass
+class _BankTiming:
+    last_act: float = -1e18
+    last_pre: float = -1e18
+
+
+#: Fixed model cost of housekeeping instructions (ns).
+_FILL_COST = 100.0
+_READ_COST = 200.0
+
+#: Loop iterations executed literally before switching to the bulk path.
+_WARMUP_ITERATIONS = 2
+
+
+class ProgramExecutor:
+    """Executes test programs against one DRAM device."""
+
+    def __init__(self, device: DramDevice, check_timing: bool = True) -> None:
+        self.device = device
+        self.check_timing = check_timing
+        self._banks: dict[tuple[int, int], _BankTiming] = {}
+
+    def _bank(self, rank: int, bank: int) -> _BankTiming:
+        return self._banks.setdefault((rank, bank), _BankTiming())
+
+    def run(self, program: Program, start_time: float = 0.0) -> ExecutionResult:
+        """Execute ``program``; returns reads, bitflips, and timing.
+
+        Each run is a fresh command session: per-bank timing history from
+        earlier programs is discarded (the device's disturbance state is
+        managed separately via ``reset_disturbance``).
+        """
+        self._banks.clear()
+        result = ExecutionResult(start_time=start_time)
+        activations_before = self.device.activation_count
+        end_time = self._run_block(list(program), start_time, result)
+        result.end_time = end_time
+        result.activations = self.device.activation_count - activations_before
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _run_block(
+        self, instructions: list[Instruction], time_ns: float, result: ExecutionResult
+    ) -> float:
+        for instruction in instructions:
+            time_ns = self._run_one(instruction, time_ns, result)
+        return time_ns
+
+    def _run_one(
+        self, instruction: Instruction, time_ns: float, result: ExecutionResult
+    ) -> float:
+        device = self.device
+        timing = device.timing
+        if isinstance(instruction, Wait):
+            return time_ns + instruction.duration
+        if isinstance(instruction, Act):
+            address = instruction.address
+            bank = self._bank(address.rank, address.bank)
+            if self.check_timing:
+                if time_ns - bank.last_pre < timing.tRP - 1e-9:
+                    raise TimingViolation(f"ACT at {time_ns} violates tRP")
+                if time_ns - bank.last_act < timing.tRC - 1e-9:
+                    raise TimingViolation(f"ACT at {time_ns} violates tRC")
+            device.act(address, time_ns)
+            bank.last_act = time_ns
+            return time_ns
+        if isinstance(instruction, Pre):
+            bank = self._bank(instruction.rank, instruction.bank)
+            if self.check_timing and time_ns - bank.last_act < timing.tRAS - 1e-9:
+                raise TimingViolation(f"PRE at {time_ns} violates tRAS")
+            device.precharge(instruction.rank, instruction.bank, time_ns)
+            bank.last_pre = time_ns
+            return time_ns
+        if isinstance(instruction, FillRow):
+            data = np.full(
+                device.geometry.row_bits // 8, instruction.byte_value, dtype=np.uint8
+            )
+            device.write_row(instruction.address, data, time_ns)
+            return time_ns + _FILL_COST
+        if isinstance(instruction, ReadRow):
+            data, flips = device.read_row(instruction.address, time_ns)
+            result.reads.append(RowRead(instruction.address, data, flips))
+            return time_ns + _READ_COST
+        if isinstance(instruction, Loop):
+            return self._run_loop(instruction, time_ns, result)
+        raise TypeError(f"unknown instruction {instruction!r}")
+
+    # ------------------------------------------------------------------
+
+    def _run_loop(self, loop: Loop, time_ns: float, result: ExecutionResult) -> float:
+        body = list(loop.body)
+        if not loop.is_steady or loop.count <= _WARMUP_ITERATIONS + 2:
+            for _ in range(loop.count):
+                time_ns = self._run_block(body, time_ns, result)
+            return time_ns
+        for _ in range(_WARMUP_ITERATIONS):
+            time_ns = self._run_block(body, time_ns, result)
+        remaining = loop.count - _WARMUP_ITERATIONS
+        episodes, period = self._analyze_iteration(body)
+        if episodes is None:
+            # Unbalanced body (e.g. row left open): run literally.
+            for _ in range(remaining):
+                time_ns = self._run_block(body, time_ns, result)
+            return time_ns
+        base = time_ns + (remaining - 1) * period
+        for address, act_off, pre_off, t_off in episodes:
+            self.device.deposit_episodes(
+                address,
+                t_on=pre_off - act_off,
+                t_off=t_off,
+                end_time=base + pre_off,
+                count=remaining,
+            )
+        bank_keys = {(addr.rank, addr.bank) for addr, *_ in episodes}
+        for rank, bank in bank_keys:
+            state = self._bank(rank, bank)
+            state.last_act += remaining * period
+            state.last_pre += remaining * period
+        return time_ns + remaining * period
+
+    def _analyze_iteration(
+        self, body: list[Instruction]
+    ) -> tuple[list[tuple[RowAddress, float, float, float]] | None, float]:
+        """Extract (address, act_offset, pre_offset, t_off) per episode.
+
+        Returns ``(None, period)`` when the body cannot be bulk-deposited
+        (a row stays open across the iteration boundary).
+        """
+        offset = 0.0
+        open_rows: dict[tuple[int, int], tuple[RowAddress, float]] = {}
+        raw: list[tuple[RowAddress, float, float]] = []
+        for instruction in body:
+            if isinstance(instruction, Wait):
+                offset += instruction.duration
+            elif isinstance(instruction, Act):
+                key = (instruction.address.rank, instruction.address.bank)
+                if key in open_rows:
+                    return None, offset
+                open_rows[key] = (instruction.address, offset)
+            elif isinstance(instruction, Pre):
+                key = (instruction.rank, instruction.bank)
+                opened = open_rows.pop(key, None)
+                if opened is None:
+                    continue
+                address, act_off = opened
+                raw.append((address, act_off, offset))
+        if open_rows or not raw:
+            return None, offset
+        period = offset
+        # Off-time of each episode: gap until the next activation of the
+        # same row in the cyclic schedule.
+        episodes: list[tuple[RowAddress, float, float, float]] = []
+        for index, (address, act_off, pre_off) in enumerate(raw):
+            next_act = None
+            for other_address, other_act, _ in raw[index + 1 :]:
+                if other_address == address:
+                    next_act = other_act
+                    break
+            if next_act is None:
+                for other_address, other_act, _ in raw[: index + 1]:
+                    if other_address == address:
+                        next_act = other_act + period
+                        break
+            assert next_act is not None
+            episodes.append((address, act_off, pre_off, next_act - pre_off))
+        return episodes, period

@@ -1,0 +1,87 @@
+"""The full DRAM testing bench (Fig. 4 of the paper).
+
+Couples a module under test, a program executor, and the temperature
+controller into one object that characterization code drives:
+
+* refresh is never issued (disabled, like the paper's methodology),
+* programs longer than the refresh window are rejected so retention
+  failures cannot contaminate read-disturb results,
+* temperature changes settle through the PID model and are then applied
+  to the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.dram.module import DramModule
+from repro.bender.executor import ExecutionResult, ProgramExecutor
+from repro.bender.program import Program
+from repro.bender.temperature import TemperatureController
+
+
+@dataclass
+class BenchLog:
+    """Bookkeeping of one infrastructure session."""
+
+    programs_run: int = 0
+    total_activations: int = 0
+    settle_events: list[tuple[float, float]] = None  # (target, settle seconds)
+
+    def __post_init__(self) -> None:
+        if self.settle_events is None:
+            self.settle_events = []
+
+
+class TestingInfrastructure:
+    """Host machine + FPGA board + thermal rig, as one test bench."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        module: DramModule,
+        controller: TemperatureController | None = None,
+        enforce_refresh_window: bool = True,
+    ) -> None:
+        self.module = module
+        self.executor = ProgramExecutor(module.device)
+        self.controller = controller or TemperatureController()
+        self.enforce_refresh_window = enforce_refresh_window
+        self.log = BenchLog()
+        # Align the thermal model with the device's initial temperature.
+        self.controller.plant.temperature_c = module.device.temperature_c
+        self.controller.setpoint_c = module.device.temperature_c
+
+    @property
+    def temperature_c(self) -> float:
+        """Current chip temperature."""
+        return self.module.device.temperature_c
+
+    def set_temperature(self, target_c: float, tolerance_c: float = 0.5) -> float:
+        """Settle the rig at ``target_c``; returns settle time in seconds."""
+        settle_s = self.controller.settle(target_c, tolerance_c)
+        # Once settled, the device runs at the (controlled) set point.
+        self.module.device.set_temperature(target_c)
+        self.log.settle_events.append((target_c, settle_s))
+        return settle_s
+
+    def run(self, program: Program, start_time: float = 0.0) -> ExecutionResult:
+        """Execute a test program with refresh disabled."""
+        if self.enforce_refresh_window:
+            duration = program.duration()
+            if duration > units.EXPERIMENT_BUDGET:
+                raise ValueError(
+                    f"program duration {units.format_time(duration)} exceeds the "
+                    f"{units.format_time(units.EXPERIMENT_BUDGET)} experiment budget "
+                    "(would overlap retention failures)"
+                )
+        result = self.executor.run(program, start_time)
+        self.log.programs_run += 1
+        self.log.total_activations += result.activations
+        return result
+
+    def fresh_experiment(self) -> None:
+        """Clear accumulated disturbance between independent experiments."""
+        self.module.device.reset_disturbance()

@@ -1,0 +1,121 @@
+"""Command IR for DRAM test programs.
+
+A :class:`Program` is a sequence of instructions executed with explicit
+nanosecond timing.  ``Loop`` repeats a body; the executor recognizes
+steady-state loops (no fills/reads inside) and applies their disturbance
+in bulk, so characterization programs with hundreds of thousands of
+aggressor activations run in constant time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.dram.geometry import RowAddress
+
+
+@dataclass(frozen=True)
+class Act:
+    """Open a row (ACT)."""
+
+    address: RowAddress
+
+
+@dataclass(frozen=True)
+class Pre:
+    """Close the open row of a bank (PRE)."""
+
+    rank: int
+    bank: int
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Advance time by ``duration`` nanoseconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("wait duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class FillRow:
+    """Write a repeated byte value into a whole row (initialization)."""
+
+    address: RowAddress
+    byte_value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.byte_value <= 0xFF:
+            raise ValueError("byte value out of range")
+
+
+@dataclass(frozen=True)
+class ReadRow:
+    """Sense a full row and report its contents (and new bitflips)."""
+
+    address: RowAddress
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Repeat ``body`` ``count`` times."""
+
+    count: int
+    body: tuple["Instruction", ...]
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("loop count must be non-negative")
+
+    @property
+    def is_steady(self) -> bool:
+        """Whether the body qualifies for bulk execution (commands only)."""
+        return all(isinstance(instr, (Act, Pre, Wait)) for instr in self.body)
+
+
+Instruction = Union[Act, Pre, Wait, FillRow, ReadRow, Loop]
+
+
+@dataclass
+class Program:
+    """An executable DRAM test program."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> "Program":
+        """Add one instruction (chainable)."""
+        self.instructions.append(instruction)
+        return self
+
+    def extend(self, instructions: list[Instruction]) -> "Program":
+        """Add several instructions (chainable)."""
+        self.instructions.extend(instructions)
+        return self
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def duration(self) -> float:
+        """Wall-clock lower bound of the program in nanoseconds.
+
+        Counts ``Wait`` durations only (command slots themselves are folded
+        into the waits the builders emit), with loops multiplied out.
+        """
+        return _duration(self.instructions)
+
+
+def _duration(instructions: tuple[Instruction, ...] | list[Instruction]) -> float:
+    total = 0.0
+    for instruction in instructions:
+        if isinstance(instruction, Wait):
+            total += instruction.duration
+        elif isinstance(instruction, Loop):
+            total += instruction.count * _duration(instruction.body)
+    return total

@@ -1,0 +1,100 @@
+"""Heater-pad + PID temperature-controller model (MaxWell FT200 analog).
+
+The paper clamps chip temperature with heater pads driven by a PID
+controller (§3.1).  Only the settled temperature matters to the
+experiments, but the controller is modeled as a real discrete PID loop on
+a first-order thermal plant so the infrastructure can report settling
+behavior (and tests can exercise over/undershoot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ThermalPlant:
+    """First-order thermal model of the DRAM chip + heater pad stack."""
+
+    ambient_c: float = 25.0
+    temperature_c: float = 25.0
+    #: Temperature rise per unit heater power at equilibrium (degC).
+    heater_gain: float = 80.0
+    #: Thermal time constant (seconds).
+    time_constant_s: float = 12.0
+
+    def step(self, power: float, dt_s: float) -> float:
+        """Advance the plant ``dt_s`` seconds with heater ``power`` in [0,1]."""
+        power = min(max(power, 0.0), 1.0)
+        target = self.ambient_c + self.heater_gain * power
+        alpha = dt_s / self.time_constant_s
+        self.temperature_c += alpha * (target - self.temperature_c)
+        return self.temperature_c
+
+
+class TemperatureController:
+    """Discrete PID loop holding the chip at a set point."""
+
+    def __init__(
+        self,
+        plant: ThermalPlant | None = None,
+        kp: float = 0.08,
+        ki: float = 0.02,
+        kd: float = 0.05,
+        period_s: float = 0.5,
+    ) -> None:
+        self.plant = plant or ThermalPlant()
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.period_s = period_s
+        self.setpoint_c = self.plant.temperature_c
+        self._integral = 0.0
+        self._last_error = 0.0
+
+    @property
+    def temperature_c(self) -> float:
+        """Current chip temperature."""
+        return self.plant.temperature_c
+
+    def set_target(self, setpoint_c: float) -> None:
+        """Change the set point (does not advance time)."""
+        if not self.plant.ambient_c <= setpoint_c <= self.plant.ambient_c + self.plant.heater_gain:
+            raise ValueError(
+                f"set point {setpoint_c} outside achievable range "
+                f"[{self.plant.ambient_c}, {self.plant.ambient_c + self.plant.heater_gain}]"
+            )
+        self.setpoint_c = setpoint_c
+        self._integral = 0.0
+        self._last_error = self.setpoint_c - self.plant.temperature_c
+
+    def step(self) -> float:
+        """One control period; returns the new temperature."""
+        error = self.setpoint_c - self.plant.temperature_c
+        self._integral += error * self.period_s
+        self._integral = min(max(self._integral, -50.0), 50.0)  # anti-windup
+        derivative = (error - self._last_error) / self.period_s
+        self._last_error = error
+        power = self.kp * error + self.ki * self._integral + self.kd * derivative
+        return self.plant.step(power, self.period_s)
+
+    def settle(self, setpoint_c: float, tolerance_c: float = 0.5, max_s: float = 3600.0) -> float:
+        """Drive to ``setpoint_c``; returns the settling time in seconds.
+
+        Settled means staying within ``tolerance_c`` for 30 consecutive
+        control periods.  Raises :class:`RuntimeError` on timeout.
+        """
+        self.set_target(setpoint_c)
+        elapsed = 0.0
+        stable = 0
+        required = 30
+        while elapsed < max_s:
+            self.step()
+            elapsed += self.period_s
+            if abs(self.plant.temperature_c - setpoint_c) <= tolerance_c:
+                stable += 1
+                if stable >= required:
+                    return elapsed
+            else:
+                stable = 0
+        raise RuntimeError(f"temperature did not settle at {setpoint_c} degC")

@@ -1,0 +1,76 @@
+"""ACmin search: minimum total aggressor activations to cause a bitflip.
+
+Implements the paper's modified bisection algorithm (§4.1): probe at the
+largest activation count that fits the 60 ms budget; if any victim flips,
+bisect down to a 1 % relative accuracy (rounded up to the next integer).
+The paper repeats the search five times and keeps the minimum; the
+behavioral device is deterministic for a fixed seed, so ``repeats``
+defaults to 1 (the knob exists for noise-injection studies).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.characterization.patterns import (
+    ExperimentConfig,
+    RowSite,
+    build_disturb_program,
+    max_activations,
+)
+
+
+@dataclass
+class AcminSearch:
+    """Bisection searcher bound to one test bench."""
+
+    infra: TestingInfrastructure
+    config: ExperimentConfig
+    accuracy: float = 0.01  # 1 % relative accuracy (paper's setting)
+
+    def _flips_at(self, site: RowSite, t_aggon: float, count: int) -> int:
+        self.infra.fresh_experiment()
+        program, _ = build_disturb_program(site, t_aggon, count, self.config)
+        result = self.infra.run(program)
+        return len(result.bitflips)
+
+    def search(self, site: RowSite, t_aggon: float, repeats: int = 1) -> int | None:
+        """ACmin for one site and t_AggON; ``None`` when no bitflip occurs."""
+        best: int | None = None
+        for _ in range(max(repeats, 1)):
+            value = self._search_once(site, t_aggon)
+            if value is not None and (best is None or value < best):
+                best = value
+        return best
+
+    def _search_once(self, site: RowSite, t_aggon: float) -> int | None:
+        acmax = max_activations(t_aggon, self.config)
+        if self._flips_at(site, t_aggon, acmax) == 0:
+            return None
+        low, high = 0, acmax  # low: no flip; high: flips
+        if acmax > 1 and self._flips_at(site, t_aggon, 1) > 0:
+            return 1
+        low = 1 if acmax > 1 else 0
+        while high - low > max(math.ceil(self.accuracy * high), 1):
+            mid = (low + high) // 2
+            if mid in (low, high):
+                break
+            if self._flips_at(site, t_aggon, mid) > 0:
+                high = mid
+            else:
+                low = mid
+        return high
+
+
+def find_acmin(
+    infra: TestingInfrastructure,
+    site: RowSite,
+    t_aggon: float,
+    config: ExperimentConfig | None = None,
+    repeats: int = 1,
+) -> int | None:
+    """Convenience wrapper around :class:`AcminSearch`."""
+    searcher = AcminSearch(infra=infra, config=config or ExperimentConfig())
+    return searcher.search(site, t_aggon, repeats=repeats)

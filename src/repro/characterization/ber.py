@@ -1,0 +1,142 @@
+"""Bit-error-rate measurements, including the RowPress-ONOFF sweep (§5.4).
+
+BER is the fraction of a victim row's cells that flip; the paper activates
+aggressors as many times as the 60 ms budget allows and reports the
+highest BER over five repeats.  The ONOFF sweep fixes t_A2A = t_AggON +
+t_AggOFF and sweeps the fraction of the added interval Δt_A2A that
+contributes to the on-time (Fig. 21/22).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import RowAddress
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.characterization.patterns import (
+    AccessPattern,
+    ExperimentConfig,
+    RowSite,
+    build_disturb_program,
+    build_onoff_program,
+    max_activations,
+)
+
+
+@dataclass
+class BerMeasurement:
+    """One BER observation."""
+
+    site: RowSite
+    t_aggon: float
+    t_aggoff: float
+    activations: int
+    bitflips: int
+    victim_bits: int
+    flips_by_victim: dict[RowAddress, int]
+    flips_by_word: dict[tuple[RowAddress, int], int]
+    one_to_zero: int
+
+    @property
+    def ber(self) -> float:
+        """Bitflips per victim bit (over the focal victim rows)."""
+        return self.bitflips / self.victim_bits if self.victim_bits else 0.0
+
+
+def _collect(result_reads, row_bits: int) -> tuple[int, dict, dict, int]:
+    total = 0
+    by_victim: dict[RowAddress, int] = {}
+    by_word: dict[tuple[RowAddress, int], int] = {}
+    one_to_zero = 0
+    for read in result_reads:
+        by_victim[read.address] = len(read.bitflips)
+        total += len(read.bitflips)
+        for flip in read.bitflips:
+            word = flip.column // 64
+            by_word[(read.address, word)] = by_word.get((read.address, word), 0) + 1
+            if flip.bit_before == 1:
+                one_to_zero += 1
+    return total, by_victim, by_word, one_to_zero
+
+
+def measure_ber(
+    infra: TestingInfrastructure,
+    site: RowSite,
+    t_aggon: float,
+    config: ExperimentConfig | None = None,
+    activation_count: int | None = None,
+) -> BerMeasurement:
+    """BER at ``t_aggon`` with the budget-maximal activation count."""
+    config = config or ExperimentConfig()
+    count = activation_count or max_activations(t_aggon, config)
+    infra.fresh_experiment()
+    program, victims = build_disturb_program(site, t_aggon, count, config)
+    result = infra.run(program)
+    row_bits = infra.module.geometry.row_bits
+    total, by_victim, by_word, one_to_zero = _collect(result.reads, row_bits)
+    return BerMeasurement(
+        site=site,
+        t_aggon=t_aggon,
+        t_aggoff=infra.module.device.timing.tRP,
+        activations=result.activations,
+        bitflips=total,
+        victim_bits=len(victims) * row_bits,
+        flips_by_victim=by_victim,
+        flips_by_word=by_word,
+        one_to_zero=one_to_zero,
+    )
+
+
+def measure_onoff_ber(
+    infra: TestingInfrastructure,
+    site: RowSite,
+    t_aggon: float,
+    t_aggoff: float,
+    config: ExperimentConfig | None = None,
+) -> BerMeasurement:
+    """BER for one (t_AggON, t_AggOFF) point of the ONOFF pattern."""
+    config = config or ExperimentConfig()
+    infra.fresh_experiment()
+    program, victims = build_onoff_program(site, t_aggon, t_aggoff, config)
+    result = infra.run(program)
+    row_bits = infra.module.geometry.row_bits
+    total, by_victim, by_word, one_to_zero = _collect(result.reads, row_bits)
+    return BerMeasurement(
+        site=site,
+        t_aggon=t_aggon,
+        t_aggoff=t_aggoff,
+        activations=result.activations,
+        bitflips=total,
+        victim_bits=len(victims) * row_bits,
+        flips_by_victim=by_victim,
+        flips_by_word=by_word,
+        one_to_zero=one_to_zero,
+    )
+
+
+def onoff_sweep(
+    infra: TestingInfrastructure,
+    site: RowSite,
+    delta_t_a2a_values: list[float],
+    on_fractions: list[float],
+    access: AccessPattern = AccessPattern.SINGLE_SIDED,
+    config: ExperimentConfig | None = None,
+) -> dict[tuple[float, float], BerMeasurement]:
+    """The Fig. 22 grid: Δt_A2A x (fraction of Δt_A2A going to on-time).
+
+    ``on_fraction = f`` means t_AggON = tRAS + f*Δt_A2A and t_AggOFF =
+    tRP + (1-f)*Δt_A2A.
+    """
+    config = config or ExperimentConfig(access=access)
+    if config.access is not access:
+        config = ExperimentConfig(
+            access=access, data=config.data, timing=config.timing, budget_ns=config.budget_ns
+        )
+    timing = config.timing
+    results: dict[tuple[float, float], BerMeasurement] = {}
+    for delta in delta_t_a2a_values:
+        for fraction in on_fractions:
+            t_on = timing.tRAS + fraction * delta
+            t_off = timing.tRP + (1.0 - fraction) * delta
+            results[(delta, fraction)] = measure_onoff_ber(infra, site, t_on, t_off, config)
+    return results

@@ -1,0 +1,114 @@
+"""Declarative campaign configuration and result persistence.
+
+The paper's artifact automates multi-week characterization runs with a
+``run.py`` that tracks experiment state and dumps raw data for the
+plotting notebooks.  This module provides the equivalent for the
+behavioral fleet: a JSON-serializable :class:`CampaignSpec` describing
+what to measure, an executor that produces flat records, and round-trip
+(de)serialization so campaigns can be resumed and re-analyzed offline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro import units
+from repro.dram.datapattern import DataPattern
+from repro.characterization.patterns import AccessPattern
+from repro.characterization.results import AcminRecord, BerRecord, TaggonminRecord
+from repro.characterization.runner import CharacterizationRunner
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to (re)run one characterization campaign."""
+
+    name: str
+    module_ids: tuple[str, ...]
+    experiment: str = "acmin"  # "acmin" | "taggonmin" | "ber"
+    t_aggon_values: tuple[float, ...] = (36.0, units.TREFI, 9 * units.TREFI)
+    activation_counts: tuple[int, ...] = (1, 100, 10000)
+    access: str = AccessPattern.SINGLE_SIDED.value
+    data_pattern: str = DataPattern.CHECKERBOARD.value
+    temperature_c: float = 50.0
+    sites_per_module: int = 5
+    seed: int = 2023
+
+    def __post_init__(self) -> None:
+        if self.experiment not in ("acmin", "taggonmin", "ber"):
+            raise ValueError(f"unknown experiment {self.experiment!r}")
+        AccessPattern(self.access)
+        DataPattern(self.data_pattern)
+
+    def to_json(self) -> str:
+        """Serialize the spec."""
+        return json.dumps(dataclasses.asdict(self), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        """Deserialize a spec (tuples restored from JSON lists)."""
+        raw = json.loads(text)
+        for key in ("module_ids", "t_aggon_values", "activation_counts"):
+            if key in raw:
+                raw[key] = tuple(raw[key])
+        return cls(**raw)
+
+
+_RECORD_TYPES = {
+    "acmin": AcminRecord,
+    "taggonmin": TaggonminRecord,
+    "ber": BerRecord,
+}
+
+
+def run_campaign(spec: CampaignSpec) -> list:
+    """Execute a campaign spec; returns the flat records."""
+    runner = CharacterizationRunner(
+        module_ids=list(spec.module_ids),
+        sites_per_module=spec.sites_per_module,
+        seed=spec.seed,
+    )
+    access = AccessPattern(spec.access)
+    data = DataPattern(spec.data_pattern)
+    if spec.experiment == "acmin":
+        return runner.acmin_sweep(
+            t_aggon_values=spec.t_aggon_values,
+            access=access,
+            temperature_c=spec.temperature_c,
+            data=data,
+        )
+    if spec.experiment == "taggonmin":
+        return runner.taggonmin_sweep(
+            activation_counts=spec.activation_counts,
+            temperature_c=spec.temperature_c,
+            access=access,
+        )
+    return runner.ber_sweep(
+        t_aggon_values=spec.t_aggon_values,
+        access=access,
+        temperature_c=spec.temperature_c,
+        data=data,
+    )
+
+
+def save_results(path: str | Path, spec: CampaignSpec, records: Iterable) -> None:
+    """Write a campaign's spec + records to a JSON file."""
+    payload = {
+        "spec": dataclasses.asdict(spec),
+        "record_type": spec.experiment,
+        "records": [dataclasses.asdict(record) for record in records],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_results(path: str | Path) -> tuple[CampaignSpec, list]:
+    """Read back a campaign file; records are rebuilt as dataclasses."""
+    payload = json.loads(Path(path).read_text())
+    spec = CampaignSpec.from_json(json.dumps(payload["spec"]))
+    record_type = _RECORD_TYPES[payload["record_type"]]
+    records = [record_type(**record) for record in payload["records"]]
+    return spec, records

@@ -1,0 +1,137 @@
+"""In-DRAM row-layout reverse engineering (§3.2).
+
+DRAM vendors remap externally visible (logical) row addresses to internal
+physical positions, so an experimenter must recover physical adjacency
+before placing aggressors and victims.  The paper follows prior works'
+disturb-probing methodology; this module implements it against the
+behavioral device:
+
+1. hammer a logical row hard with refresh disabled,
+2. scan the surrounding logical rows for bitflips,
+3. the flipped logical rows are the physical neighbors.
+
+From per-row neighbor sets, :func:`infer_scramble` matches the module
+against the known scramble schemes.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.dram.datapattern import DataPattern, aggressor_bytes, victim_bytes
+from repro.dram.geometry import RowAddress
+from repro.dram.module import DramModule
+
+
+def probe_neighbors(
+    module: DramModule,
+    logical_row: int,
+    rank: int = 0,
+    bank: int = 0,
+    scan_radius: int = 4,
+    activations: int = 1_000_000,
+) -> list[int]:
+    """Logical rows that flip when ``logical_row`` is hammered.
+
+    Uses a press-boosted hammer (t_AggON = 7.8 us at 80 degC with the
+    budget-maximal count) so even hammer-resistant rows reveal adjacency.
+    """
+    device = module.device
+    previous_temperature = device.temperature_c
+    device.set_temperature(80.0)
+    try:
+        bits = module.geometry.row_bits
+        aggressor_physical = module.logical_to_physical(logical_row)
+        aggressor = RowAddress(rank, bank, aggressor_physical)
+        candidates = [
+            logical_row + offset
+            for offset in range(-scan_radius, scan_radius + 1)
+            if offset != 0
+            and 0 <= logical_row + offset < module.geometry.rows_per_bank
+        ]
+        device.reset_disturbance()
+        device.write_row(aggressor, aggressor_bytes(DataPattern.CHECKERBOARD, bits), 0.0)
+        for candidate in candidates:
+            physical = module.logical_to_physical(candidate)
+            device.write_row(
+                RowAddress(rank, bank, physical),
+                victim_bytes(DataPattern.CHECKERBOARD, bits),
+                0.0,
+            )
+        t_on = units.TREFI
+        count = min(int(units.EXPERIMENT_BUDGET // (t_on + 15.0)), activations)
+        device.deposit_episodes(aggressor, t_on, 15.0, units.EXPERIMENT_BUDGET, count)
+        flipped: list[int] = []
+        for candidate in candidates:
+            physical = module.logical_to_physical(candidate)
+            _, flips = device.read_row(
+                RowAddress(rank, bank, physical), units.EXPERIMENT_BUDGET + 1
+            )
+            if flips:
+                flipped.append(candidate)
+        device.reset_disturbance()
+        return sorted(flipped)
+    finally:
+        device.set_temperature(previous_temperature)
+
+
+def adjacency_map(
+    module: DramModule,
+    logical_rows: list[int],
+    rank: int = 0,
+    bank: int = 0,
+) -> dict[int, list[int]]:
+    """Probe several logical rows; maps each to its flipped neighbors."""
+    return {
+        row: probe_neighbors(module, row, rank=rank, bank=bank)
+        for row in logical_rows
+    }
+
+
+#: Candidate scramble schemes to test against (must mirror
+#: repro.dram.module._SCRAMBLE_FUNCTIONS).
+_CANDIDATE_SCHEMES = {
+    "none": lambda row: row,
+    "pair_block": lambda row: row ^ 1 if row & 2 else row,
+}
+
+
+def infer_scramble(
+    module: DramModule,
+    probe_rows: list[int] | None = None,
+    rank: int = 0,
+    bank: int = 0,
+) -> str | None:
+    """Identify the module's row scramble scheme from disturb probes.
+
+    For each candidate scheme, predicts which logical rows should flip
+    when a probe row is hammered (the logical rows whose physical
+    positions are +-1 of the probe's physical position) and picks the
+    scheme consistent with every probe.  Returns ``None`` when no
+    candidate matches (or nothing flips).
+    """
+    if probe_rows is None:
+        probe_rows = [16, 17, 18, 19, 34, 35]
+    observed = adjacency_map(module, probe_rows, rank=rank, bank=bank)
+    if not any(observed.values()):
+        return None
+    # Score each candidate: +1 per correctly predicted flipped neighbor,
+    # -10 per observed flip the scheme cannot explain (a strong neighbor
+    # that simply did not flip costs nothing).
+    scores: dict[str, int] = {}
+    for name, scheme in _CANDIDATE_SCHEMES.items():
+        score = 0
+        for probe, flipped in observed.items():
+            physical = scheme(probe)
+            predicted = {
+                probe + offset
+                for offset in range(-4, 5)
+                if offset != 0
+                and probe + offset >= 0
+                and abs(scheme(probe + offset) - physical) == 1
+            }
+            score += len(set(flipped) & predicted)
+            score -= 10 * len(set(flipped) - predicted)
+        scores[name] = score
+    best = max(scores.values())
+    winners = [name for name, score in scores.items() if score == best]
+    return winners[0] if len(winners) == 1 and best > 0 else None

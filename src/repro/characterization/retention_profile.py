@@ -1,0 +1,82 @@
+"""Per-row retention-time profiling (REAPER-style).
+
+The paper's retention test (§4.3) uses a single 4 s idle window; prior
+work (REAPER [111]) profiles each row's *minimum retention time* by
+sweeping the refresh-idle interval.  This module implements that search
+against the behavioral device, which the overlap analysis and any
+retention-aware mitigation study can build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.dram.datapattern import DataPattern, VICTIM_BYTE, fill_bytes
+from repro.dram.geometry import RowAddress
+from repro.dram.module import DramModule
+
+
+@dataclass(frozen=True)
+class RetentionProfile:
+    """Minimum retention time of one row at one temperature."""
+
+    address: RowAddress
+    temperature_c: float
+    #: Smallest idle time (ns) with at least one retention bitflip, or
+    #: None when the row survives the whole probed range.
+    min_retention_ns: float | None
+    weak_cells: int  # bitflips at the probed maximum idle time
+
+
+def _flips_after_idle(
+    module: DramModule, address: RowAddress, idle_ns: float, data
+) -> int:
+    device = module.device
+    device.write_row(address, data, 0.0)
+    _, flips = device.read_row(address, idle_ns)
+    return sum(1 for flip in flips if flip.mechanism == "retention")
+
+
+def profile_row(
+    module: DramModule,
+    address: RowAddress,
+    temperature_c: float = 80.0,
+    max_idle_ns: float = 16.0 * units.S,
+    accuracy: float = 0.05,
+    data_pattern: DataPattern = DataPattern.CHECKERBOARD,
+) -> RetentionProfile:
+    """Binary-search the row's minimum retention time."""
+    device = module.device
+    previous = device.temperature_c
+    device.set_temperature(temperature_c)
+    try:
+        data = fill_bytes(VICTIM_BYTE[data_pattern], module.geometry.row_bits)
+        weak = _flips_after_idle(module, address, max_idle_ns, data)
+        if weak == 0:
+            return RetentionProfile(address, temperature_c, None, 0)
+        low, high = 1.0 * units.MS, max_idle_ns  # low: survives, high: fails
+        if _flips_after_idle(module, address, low, data):
+            return RetentionProfile(address, temperature_c, low, weak)
+        while high / low > 1.0 + accuracy:
+            mid = (low * high) ** 0.5
+            if _flips_after_idle(module, address, mid, data):
+                high = mid
+            else:
+                low = mid
+        return RetentionProfile(address, temperature_c, high, weak)
+    finally:
+        device.set_temperature(previous)
+
+
+def profile_rows(
+    module: DramModule,
+    rows: list[RowAddress],
+    temperature_c: float = 80.0,
+    **kwargs,
+) -> list[RetentionProfile]:
+    """Profile several rows; convenience wrapper over :func:`profile_row`."""
+    return [
+        profile_row(module, address, temperature_c=temperature_c, **kwargs)
+        for address in rows
+    ]

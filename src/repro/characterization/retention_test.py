@@ -1,0 +1,39 @@
+"""Data-retention failure test (§4.3, footnote 12).
+
+Initializes rows with the checkerboard pattern, disables auto-refresh for
+four seconds at 80 degC, and reports the retention bitflips.  This runs
+against the device directly (the bench's refresh-window guard would
+correctly reject a 4 s program — here retention failures are the point).
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.dram.datapattern import VICTIM_BYTE, DataPattern, fill_bytes
+from repro.dram.device import Bitflip
+from repro.dram.geometry import RowAddress
+from repro.dram.module import DramModule
+
+
+def retention_failures(
+    module: DramModule,
+    rows: list[RowAddress],
+    idle_time_ns: float = 4.0 * units.S,
+    temperature_c: float = 80.0,
+    data: DataPattern = DataPattern.CHECKERBOARD,
+) -> dict[RowAddress, list[Bitflip]]:
+    """Retention bitflips per row after ``idle_time_ns`` without refresh."""
+    device = module.device
+    previous_temperature = device.temperature_c
+    device.set_temperature(temperature_c)
+    try:
+        content = fill_bytes(VICTIM_BYTE[data], module.geometry.row_bits)
+        for row in rows:
+            device.write_row(row, content, 0.0)
+        failures: dict[RowAddress, list[Bitflip]] = {}
+        for row in rows:
+            _, flips = device.read_row(row, idle_time_ns)
+            failures[row] = [flip for flip in flips if flip.mechanism == "retention"]
+        return failures
+    finally:
+        device.set_temperature(previous_temperature)

@@ -1,0 +1,178 @@
+"""Fleet-level characterization campaigns.
+
+Drives the searches of :mod:`repro.characterization` across a set of
+modules, row sites, t_AggON points, and temperatures, producing the flat
+records that the benchmark harness turns into the paper's figures.  All
+scale knobs (modules, sites per module, sweep points) are parameters so
+the same code runs both unit-test-sized and paper-sized campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.dram.catalog import build_module
+from repro.dram.datapattern import DataPattern
+from repro.dram.geometry import Geometry
+from repro.dram.module import DramModule
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.characterization.acmin import AcminSearch
+from repro.characterization.ber import measure_ber
+from repro.characterization.patterns import (
+    AccessPattern,
+    ExperimentConfig,
+    RowSite,
+    site_grid,
+)
+from repro.characterization.results import AcminRecord, BerRecord, TaggonminRecord
+from repro.characterization.taggonmin import find_taggonmin
+
+#: The paper's standard t_AggON sweep points (36 ns ... 30 ms), reduced.
+DEFAULT_TAGGON_SWEEP: tuple[float, ...] = (
+    36.0,
+    186.0,
+    636.0,
+    1536.0,
+    units.TREFI,  # 7.8 us
+    30.0 * units.US,
+    9.0 * units.TREFI,  # 70.2 us
+    300.0 * units.US,
+    6.0 * units.MS,
+    30.0 * units.MS,
+)
+
+
+@dataclass
+class CharacterizationRunner:
+    """Reusable campaign driver over a module fleet."""
+
+    module_ids: list[str]
+    sites_per_module: int = 8
+    geometry: Geometry | None = None
+    seed: int = 2023
+    bank: int = 1
+    _benches: dict[str, TestingInfrastructure] = field(default_factory=dict, repr=False)
+
+    def _geometry(self) -> Geometry:
+        if self.geometry is None:
+            # A compact default: enough rows for the site grid, full-width
+            # rows so BER numbers are on the paper's scale.
+            self.geometry = Geometry(
+                ranks=1,
+                bank_groups=1,
+                banks_per_group=2,
+                rows_per_bank=max(24 * self.sites_per_module + 64, 256),
+                row_bits=65536,
+            )
+        return self.geometry
+
+    def bench(self, module_id: str) -> TestingInfrastructure:
+        """The (cached) test bench of one module."""
+        if module_id not in self._benches:
+            module = build_module(module_id, geometry=self._geometry(), seed=self.seed)
+            self._benches[module_id] = TestingInfrastructure(module)
+        return self._benches[module_id]
+
+    def sites(self, module: DramModule) -> list[RowSite]:
+        """The tested row sites of a module."""
+        bank = min(self.bank, module.geometry.banks - 1)
+        return site_grid(
+            module.geometry.rows_per_bank, self.sites_per_module, bank=bank
+        )
+
+    # ------------------------------------------------------------------
+    # campaigns
+    # ------------------------------------------------------------------
+
+    def acmin_sweep(
+        self,
+        t_aggon_values: tuple[float, ...] = DEFAULT_TAGGON_SWEEP,
+        access: AccessPattern = AccessPattern.SINGLE_SIDED,
+        temperature_c: float = 50.0,
+        data: DataPattern = DataPattern.CHECKERBOARD,
+    ) -> list[AcminRecord]:
+        """ACmin for every (module, site, t_AggON) combination."""
+        records: list[AcminRecord] = []
+        config = ExperimentConfig(access=access, data=data)
+        for module_id in self.module_ids:
+            bench = self.bench(module_id)
+            bench.module.device.set_temperature(temperature_c)
+            searcher = AcminSearch(infra=bench, config=config)
+            info = bench.module.info
+            for site in self.sites(bench.module):
+                for t_aggon in t_aggon_values:
+                    acmin = searcher.search(site, t_aggon)
+                    records.append(
+                        AcminRecord(
+                            module_id=info.module_id,
+                            die_key=info.die_key,
+                            access=access.value,
+                            temperature_c=temperature_c,
+                            t_aggon=t_aggon,
+                            site_row=site.row,
+                            acmin=acmin,
+                        )
+                    )
+        return records
+
+    def taggonmin_sweep(
+        self,
+        activation_counts: tuple[int, ...] = (1, 10, 100, 1000, 10000),
+        temperature_c: float = 50.0,
+        access: AccessPattern = AccessPattern.SINGLE_SIDED,
+    ) -> list[TaggonminRecord]:
+        """t_AggONmin for every (module, site, AC) combination (Fig. 9)."""
+        records: list[TaggonminRecord] = []
+        config = ExperimentConfig(access=access)
+        for module_id in self.module_ids:
+            bench = self.bench(module_id)
+            bench.module.device.set_temperature(temperature_c)
+            info = bench.module.info
+            for site in self.sites(bench.module):
+                for count in activation_counts:
+                    value = find_taggonmin(bench, site, count, config)
+                    records.append(
+                        TaggonminRecord(
+                            module_id=info.module_id,
+                            die_key=info.die_key,
+                            temperature_c=temperature_c,
+                            activation_count=count,
+                            site_row=site.row,
+                            taggonmin=value,
+                        )
+                    )
+        return records
+
+    def ber_sweep(
+        self,
+        t_aggon_values: tuple[float, ...],
+        access: AccessPattern = AccessPattern.SINGLE_SIDED,
+        temperature_c: float = 50.0,
+        data: DataPattern = DataPattern.CHECKERBOARD,
+    ) -> list[BerRecord]:
+        """Budget-maximal-activation BER at each t_AggON (Table 6 cells)."""
+        records: list[BerRecord] = []
+        config = ExperimentConfig(access=access, data=data)
+        for module_id in self.module_ids:
+            bench = self.bench(module_id)
+            bench.module.device.set_temperature(temperature_c)
+            info = bench.module.info
+            for site in self.sites(bench.module):
+                for t_aggon in t_aggon_values:
+                    measurement = measure_ber(bench, site, t_aggon, config)
+                    records.append(
+                        BerRecord(
+                            module_id=info.module_id,
+                            die_key=info.die_key,
+                            access=access.value,
+                            temperature_c=temperature_c,
+                            t_aggon=t_aggon,
+                            t_aggoff=measurement.t_aggoff,
+                            site_row=site.row,
+                            ber=measurement.ber,
+                            bitflips=measurement.bitflips,
+                            one_to_zero=measurement.one_to_zero,
+                        )
+                    )
+        return records

@@ -1,0 +1,55 @@
+"""t_AggONmin search: minimum row-open time to flip at a fixed AC (§4.2).
+
+For a given aggressor activation count, bisects t_AggON (log-spaced)
+between tRAS and the largest value that keeps ``AC`` activations inside
+the 60 ms experiment budget.  Returns ``None`` when even the maximum
+on-time cannot induce a bitflip.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.characterization.patterns import ExperimentConfig, RowSite, build_disturb_program
+
+
+def _flips_at(
+    infra: TestingInfrastructure,
+    site: RowSite,
+    t_aggon: float,
+    count: int,
+    config: ExperimentConfig,
+) -> int:
+    infra.fresh_experiment()
+    program, _ = build_disturb_program(site, t_aggon, count, config)
+    result = infra.run(program)
+    return len(result.bitflips)
+
+
+def find_taggonmin(
+    infra: TestingInfrastructure,
+    site: RowSite,
+    activation_count: int,
+    config: ExperimentConfig | None = None,
+    accuracy: float = 0.02,
+) -> float | None:
+    """Minimum t_AggON (ns) inducing a bitflip at ``activation_count``."""
+    config = config or ExperimentConfig()
+    timing = config.timing
+    # Largest on-time that keeps the whole pattern inside the budget.
+    t_max = config.budget_ns / activation_count - timing.tRP
+    if t_max <= timing.tRAS:
+        return None
+    if _flips_at(infra, site, t_max, activation_count, config) == 0:
+        return None
+    low, high = timing.tRAS, t_max  # low: no flip; high: flips
+    if _flips_at(infra, site, low, activation_count, config) > 0:
+        return low
+    while high / low > 1.0 + accuracy:
+        mid = math.sqrt(low * high)
+        if _flips_at(infra, site, mid, activation_count, config) > 0:
+            high = mid
+        else:
+            low = mid
+    return high

@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``fleet`` — list the calibrated module catalog (Table 1),
+* ``acmin`` — ACmin of one module across a t_AggON sweep,
+* ``attack`` — run the §6 real-system RowPress attack grid,
+* ``campaign`` — run a JSON campaign spec and save the records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import units
+from repro.analysis.tables import format_table
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.dram.catalog import DIE_CALIBRATIONS, MODULE_CATALOG
+
+    rows = []
+    for info in sorted(MODULE_CATALOG.values(), key=lambda i: i.module_id):
+        calibration = DIE_CALIBRATIONS[info.die_key]
+        rows.append(
+            [
+                info.module_id,
+                info.manufacturer,
+                info.die_key,
+                info.organization,
+                info.num_chips,
+                f"{calibration.hammer_acmin_mean:,.0f}",
+                f"{calibration.press_taggonmin_mean_ms:.1f}ms"
+                if calibration.press_taggonmin_mean_ms
+                else "none@50C",
+            ]
+        )
+    print(
+        format_table(
+            ["id", "mfr", "die", "org", "chips", "hammer ACmin", "press tAggONmin"],
+            rows,
+            "Module catalog (Table 1 fleet)",
+        )
+    )
+    return 0
+
+
+def _cmd_acmin(args: argparse.Namespace) -> int:
+    from repro.bender import TestingInfrastructure
+    from repro.characterization import find_acmin
+    from repro.characterization.patterns import RowSite
+    from repro.dram import build_module
+    from repro.dram.geometry import Geometry
+
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=256, row_bits=65536
+    )
+    bench = TestingInfrastructure(build_module(args.module, geometry=geometry))
+    bench.module.device.set_temperature(args.temperature)
+    site = RowSite(0, 1, args.row)
+    rows = []
+    for t_aggon in (36.0, 636.0, units.TREFI, 9 * units.TREFI, 30 * units.MS):
+        acmin = find_acmin(bench, site, t_aggon)
+        rows.append([units.format_time(t_aggon), f"{acmin:,}" if acmin else "-"])
+    print(
+        format_table(
+            ["t_AggON", "ACmin"],
+            rows,
+            f"{args.module} row {args.row} @ {args.temperature:.0f}C",
+        )
+    )
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.dram.geometry import RowAddress
+    from repro.system import AttackParameters, build_demo_system, run_rowpress_attack
+
+    system = build_demo_system(rows_per_bank=4096)
+    victims = [RowAddress(0, 1, 16 + 8 * i) for i in range(args.victims)]
+    rows = []
+    for acts in (1, 2, 3, 4):
+        for reads in (1, 32, 64):
+            params = AttackParameters(
+                num_reads=reads, num_aggr_acts=acts, num_iterations=args.iterations
+            )
+            result = run_rowpress_attack(system, victims, params, max_windows=2)
+            rows.append([acts, reads, result.total_bitflips, result.rows_with_bitflips])
+    print(
+        format_table(
+            ["NUM_AGGR_ACTS", "NUM_READS", "bitflips", "rows"],
+            rows,
+            f"RowPress attack vs {args.victims} victims (TRR on)",
+        )
+    )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.characterization.campaign import (
+        CampaignSpec,
+        run_campaign,
+        save_results,
+    )
+
+    spec = CampaignSpec.from_json(Path(args.spec).read_text())
+    records = run_campaign(spec)
+    save_results(args.output, spec, records)
+    print(f"{len(records)} records written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RowPress reproduction toolkit"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("fleet", help="list the module catalog").set_defaults(
+        handler=_cmd_fleet
+    )
+
+    acmin = commands.add_parser("acmin", help="ACmin sweep for one module")
+    acmin.add_argument("module", help="catalog module id, e.g. S3")
+    acmin.add_argument("--row", type=int, default=100)
+    acmin.add_argument("--temperature", type=float, default=50.0)
+    acmin.set_defaults(handler=_cmd_acmin)
+
+    attack = commands.add_parser("attack", help="run the real-system demo")
+    attack.add_argument("--victims", type=int, default=100)
+    attack.add_argument("--iterations", type=int, default=200_000)
+    attack.set_defaults(handler=_cmd_attack)
+
+    campaign = commands.add_parser("campaign", help="run a campaign spec")
+    campaign.add_argument("spec", help="path to a CampaignSpec JSON file")
+    campaign.add_argument("--output", default="campaign_results.json")
+    campaign.set_defaults(handler=_cmd_campaign)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

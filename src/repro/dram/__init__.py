@@ -1,0 +1,46 @@
+"""Behavioral DDR4 DRAM substrate with a read-disturbance fault model.
+
+This package replaces the paper's real DDR4 chips.  The public surface:
+
+* :class:`repro.dram.timing.TimingParameters` — DDR4 timing constraints.
+* :class:`repro.dram.geometry.Geometry` — rank/bank/row/column organization.
+* :class:`repro.dram.device.DramDevice` — command-level device: ACT / PRE /
+  RD / WR / REF with disturbance bookkeeping and bitflip evaluation.
+* :class:`repro.dram.module.DramModule` — a DIMM (chips in lock step) plus
+  its metadata, built from the :mod:`repro.dram.catalog` fleet (Table 1).
+"""
+
+from repro.dram.timing import TimingParameters, DDR4_3200W
+from repro.dram.geometry import Geometry, RowAddress
+from repro.dram.cells import CellPopulation, WeakCells
+from repro.dram.disturb import DisturbanceModel, DoseParameters
+from repro.dram.device import DramDevice, DeviceConfig, Bitflip
+from repro.dram.module import DramModule, ModuleInfo
+from repro.dram.catalog import (
+    DieCalibration,
+    MODULE_CATALOG,
+    build_module,
+    build_fleet,
+    modules_by_die,
+)
+
+__all__ = [
+    "TimingParameters",
+    "DDR4_3200W",
+    "Geometry",
+    "RowAddress",
+    "CellPopulation",
+    "WeakCells",
+    "DisturbanceModel",
+    "DoseParameters",
+    "DramDevice",
+    "DeviceConfig",
+    "Bitflip",
+    "DramModule",
+    "ModuleInfo",
+    "DieCalibration",
+    "MODULE_CATALOG",
+    "build_module",
+    "build_fleet",
+    "modules_by_die",
+]

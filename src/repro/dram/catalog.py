@@ -1,0 +1,525 @@
+"""The tested-module fleet (Table 1) and per-die calibration (Tables 5/6).
+
+Each die revision carries a :class:`DieCalibration` whose fields are the
+*paper's measured targets*; :meth:`DieCalibration.dose_parameters` and the
+``*_spec`` methods translate them into the dose-model constants and
+weak-cell threshold tails of :mod:`repro.dram.disturb` and
+:mod:`repro.dram.cells`.  This keeps the catalog readable as "what the
+paper reports" while the model derivation stays in one place.
+
+Calibration conventions:
+
+* hammer thresholds are in reference activations (t_AggON = 36 ns,
+  t_AggOFF = tRP, 50 degC, single-sided, checkerboard);
+* press thresholds are in effective on-time nanoseconds under the same
+  reference conditions;
+* BER anchor counts fold in the ~0.5 direction-eligibility factor of the
+  checkerboard pattern and the paper's max-over-rows/repeats reporting
+  (``_BER_MAX_TO_MEAN``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+from repro.dram.cells import (
+    EMPTY_SPEC,
+    MIN_ANCHOR_COUNT,
+    REFERENCE_ROW_BITS,
+    CellPopulation,
+    PopulationSpec,
+    TailAnchor,
+)
+from repro.dram.device import DeviceConfig, DramDevice
+from repro.dram.disturb import DisturbanceModel, DoseParameters
+from repro.dram.geometry import Geometry
+from repro.dram.module import DramModule, ModuleInfo
+from repro.dram.timing import DDR4_3200W, TimingParameters
+from repro.rng import SeedTree
+
+#: The paper reports the *highest* BER across rows and five repeats; with
+#: the row-strength factor confined to the deep tail, worst-row bulk counts
+#: exceed the mean only through Poisson noise.
+_BER_MAX_TO_MEAN = 1.3
+#: Checkerboard leaves ~half of the weak cells in the flippable charge state.
+_ELIGIBILITY = 2.0
+#: z-score of the minimum over the paper's 3072-row sample.
+_Z_MIN_3072 = 3.4
+
+
+@dataclass(frozen=True)
+class DieCalibration:
+    """Paper-reported targets for one die revision (Tables 5 and 6)."""
+
+    die_key: str
+    pattern_class: str = "generic"
+    true_cell_fraction: float = 1.0
+    hammer_beta: float = 0.10
+
+    # RowHammer vulnerability (t_AggON = 36 ns), 50 degC.
+    hammer_acmin_mean: float = 100_000.0
+    hammer_acmin_min: float = 20_000.0
+    hammer_acmin_mean_80: float = 100_000.0
+    hammer_ber_single: float = 0.01  # max BER at ACmax, single-sided
+    hammer_ber_double: float = 0.05  # max BER at ACmax, double-sided
+
+    # RowPress vulnerability: minimum t_AggON for a bitflip at AC = 1.
+    press_taggonmin_mean_ms: float | None = 45.0  # None: no bitflips at 50C
+    press_taggonmin_min_ms: float | None = 12.0
+    press_taggonmin_mean_80_ms: float | None = 25.0  # None: no press at all
+    press_ber_50: float = 5e-4  # max BER at ACmax, t_AggON = 7.8 us, 50 degC
+    press_ber_80: float = 3e-3
+    #: Fraction of rows with at least one press bitflip at 80 degC (only
+    #: meaningfully below 1.0 for Mfr. H 4Gb A-die, Obsv. 10).
+    press_row_hit_fraction_80: float = 1.0
+
+    # ------------------------------------------------------------------
+    # model derivation
+    # ------------------------------------------------------------------
+
+    @property
+    def has_press(self) -> bool:
+        """Whether this die shows any RowPress bitflips at all."""
+        return self.press_taggonmin_mean_80_ms is not None
+
+    @property
+    def press_temp_ratio(self) -> float:
+        """t_AggONmin(50 degC) / t_AggONmin(80 degC), Table 5."""
+        if self.press_taggonmin_mean_ms is None or self.press_taggonmin_mean_80_ms is None:
+            return 2.0  # default when one endpoint is unobservable
+        return self.press_taggonmin_mean_ms / self.press_taggonmin_mean_80_ms
+
+    def dose_parameters(self) -> DoseParameters:
+        """Dose-model constants implied by the calibration targets."""
+        ratio = max(self.press_temp_ratio, 1.05)
+        halving = 30.0 * math.log(2.0) / math.log(ratio)
+        return DoseParameters(
+            hammer_beta=self.hammer_beta,
+            hammer_temp_ratio_80=self.hammer_acmin_mean_80 / self.hammer_acmin_mean,
+            press_temp_halving_degc=halving,
+            pattern_class=self.pattern_class,
+        )
+
+    def _reference_acmax(self, timing: TimingParameters) -> float:
+        """Aggressor activations achievable in the 60 ms budget at tRC."""
+        return units.EXPERIMENT_BUDGET / timing.tRC
+
+    @staticmethod
+    def _clean_anchors(raw: list[tuple[float, float]]) -> tuple[TailAnchor, ...]:
+        """Sort by threshold and force strictly increasing counts.
+
+        Anchors closer than 10 % in threshold are merged (keeping the
+        first), which avoids pathologically steep interpolation segments
+        when two calibration points nearly coincide.
+        """
+        raw = sorted(raw, key=lambda pair: pair[0])
+        anchors: list[TailAnchor] = []
+        last_threshold = 0.0
+        last_count = 0.0
+        for threshold, count in raw:
+            if threshold <= last_threshold * 1.10:
+                continue
+            count = max(count, last_count * 1.05)
+            anchors.append(TailAnchor(threshold, count))
+            last_threshold, last_count = threshold, count
+        return tuple(anchors)
+
+    def hammer_spec(self, timing: TimingParameters = DDR4_3200W) -> PopulationSpec:
+        """Weak-cell tail of the RowHammer population."""
+        params = self.dose_parameters()
+        acmax = self._reference_acmax(timing)
+        double_dose = acmax * params.hammer_sandwich_boost
+        raw = [
+            (self.hammer_acmin_mean, MIN_ANCHOR_COUNT),
+            (
+                acmax,
+                _ELIGIBILITY / _BER_MAX_TO_MEAN * self.hammer_ber_single * REFERENCE_ROW_BITS,
+            ),
+            (
+                double_dose,
+                _ELIGIBILITY / _BER_MAX_TO_MEAN * self.hammer_ber_double * REFERENCE_ROW_BITS,
+            ),
+        ]
+        sigma = math.log(self.hammer_acmin_mean / self.hammer_acmin_min) / _Z_MIN_3072
+        anchors = self._clean_anchors(raw)
+        return PopulationSpec(
+            anchors=anchors,
+            cap=double_dose * 1.3,
+            row_sigma=min(max(sigma, 0.1), 0.8),
+            cluster_size_mean=1.0,
+            row_sigma_boundary=anchors[1].threshold if len(anchors) > 1 else None,
+        )
+
+    def press_spec(self, timing: TimingParameters = DDR4_3200W) -> PopulationSpec:
+        """Weak-cell tail of the RowPress population."""
+        if not self.has_press:
+            return EMPTY_SPEC
+        params = self.dose_parameters()
+        temp80 = params.press_temp_factor(80.0)
+        # Maximum press dose achievable at t_AggON = 7.8 us within 60 ms.
+        t_on = units.TREFI
+        acts = units.EXPERIMENT_BUDGET / (t_on + timing.tRP)
+        dose_78_50 = params.press_effective_on_time(t_on) * acts
+        raw: list[tuple[float, float]] = []
+        if self.press_taggonmin_mean_ms is not None:
+            min_dose = params.press_effective_on_time(self.press_taggonmin_mean_ms * units.MS)
+            raw.append((min_dose, MIN_ANCHOR_COUNT))
+            min_ms = self.press_taggonmin_min_ms or self.press_taggonmin_mean_ms
+            sigma = math.log(self.press_taggonmin_mean_ms / min_ms) / _Z_MIN_3072
+        else:
+            # Only vulnerable at 80 degC (Mfr. H 4Gb A-die): place the
+            # row-minimum anchor from the 80 degC observation, scaled into
+            # reference (50 degC) units, with a count low enough that only
+            # press_row_hit_fraction_80 of rows have a reachable cell.
+            mean_80 = self.press_taggonmin_mean_80_ms or 50.0
+            min_dose = params.press_effective_on_time(mean_80 * units.MS) * temp80
+            count = -math.log(max(1.0 - self.press_row_hit_fraction_80, 1e-9))
+            raw.append((min_dose, max(count, 1e-3)))
+            sigma = 0.3
+        if self.press_ber_50 > 0:
+            raw.append(
+                (
+                    dose_78_50,
+                    _ELIGIBILITY / _BER_MAX_TO_MEAN * self.press_ber_50 * REFERENCE_ROW_BITS,
+                )
+            )
+        if self.press_ber_80 > 0:
+            raw.append(
+                (
+                    dose_78_50 * temp80,
+                    _ELIGIBILITY / _BER_MAX_TO_MEAN * self.press_ber_80 * REFERENCE_ROW_BITS,
+                )
+            )
+        anchors = self._clean_anchors(raw)
+        reachable = params.press_effective_on_time(units.EXPERIMENT_BUDGET) * temp80 * 1.5
+        cap = max(reachable, anchors[-1].threshold * 1.2)
+        return PopulationSpec(
+            anchors=anchors,
+            cap=cap,
+            row_sigma=min(max(sigma, 0.1), 0.8),
+            cluster_size_mean=2.5,
+            row_sigma_boundary=anchors[1].threshold if len(anchors) > 1 else None,
+        )
+
+    def retention_spec(self) -> PopulationSpec:
+        """Retention-failure tail: a handful of sub-4 s cells at 80 degC."""
+        return PopulationSpec(
+            anchors=(TailAnchor(4.0 * units.S, 2.0),),
+            cap=6.0 * units.S,
+            row_sigma=0.3,
+            cluster_size_mean=1.0,
+            default_slope=4.0,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Die calibrations (Appendix B, Tables 5 and 6; BERs are single-sided / the
+# double value in parentheses in Table 6).  Values aggregate the modules
+# sharing a die revision.
+# ---------------------------------------------------------------------------
+
+DIE_CALIBRATIONS: dict[str, DieCalibration] = {
+    "S-8Gb-B": DieCalibration(
+        die_key="S-8Gb-B",
+        pattern_class="rs_immune",
+        hammer_beta=0.17,
+        hammer_acmin_mean=270_000.0,
+        hammer_acmin_min=40_000.0,
+        hammer_acmin_mean_80=290_000.0,
+        hammer_ber_single=0.001,
+        hammer_ber_double=0.037,
+        press_taggonmin_mean_ms=48.3,
+        press_taggonmin_min_ms=12.4,
+        press_taggonmin_mean_80_ms=26.0,
+        press_ber_50=9e-5,
+        press_ber_80=9e-4,
+    ),
+    "S-8Gb-C": DieCalibration(
+        die_key="S-8Gb-C",
+        hammer_beta=0.17,
+        hammer_acmin_mean=110_000.0,
+        hammer_acmin_min=24_000.0,
+        hammer_acmin_mean_80=108_000.0,
+        hammer_ber_single=0.007,
+        hammer_ber_double=0.095,
+        press_taggonmin_mean_ms=49.1,
+        press_taggonmin_min_ms=13.0,
+        press_taggonmin_mean_80_ms=33.9,
+        press_ber_50=2e-4,
+        press_ber_80=1e-3,
+    ),
+    "S-8Gb-D": DieCalibration(
+        die_key="S-8Gb-D",
+        hammer_beta=0.17,
+        hammer_acmin_mean=41_000.0,
+        hammer_acmin_min=13_000.0,
+        hammer_acmin_mean_80=43_000.0,
+        hammer_ber_single=0.077,
+        hammer_ber_double=0.33,
+        press_taggonmin_mean_ms=39.4,
+        press_taggonmin_min_ms=10.1,
+        press_taggonmin_mean_80_ms=24.9,
+        press_ber_50=6e-4,
+        press_ber_80=4e-3,
+    ),
+    "S-4Gb-F": DieCalibration(
+        die_key="S-4Gb-F",
+        hammer_beta=0.17,
+        hammer_acmin_mean=122_000.0,
+        hammer_acmin_min=20_000.0,
+        hammer_acmin_mean_80=123_000.0,
+        hammer_ber_single=0.005,
+        hammer_ber_double=0.078,
+        press_taggonmin_mean_ms=45.2,
+        press_taggonmin_min_ms=13.5,
+        press_taggonmin_mean_80_ms=16.0,
+        press_ber_50=2.5e-4,
+        press_ber_80=8e-3,
+    ),
+    "H-16Gb-A": DieCalibration(
+        die_key="H-16Gb-A",
+        pattern_class="rs_immune",
+        hammer_beta=0.04,
+        hammer_acmin_mean=117_000.0,
+        hammer_acmin_min=21_000.0,
+        hammer_acmin_mean_80=110_000.0,
+        hammer_ber_single=0.010,
+        hammer_ber_double=0.095,
+        press_taggonmin_mean_ms=49.9,
+        press_taggonmin_min_ms=14.3,
+        press_taggonmin_mean_80_ms=13.0,
+        press_ber_50=2e-4,
+        press_ber_80=6.6e-2,
+    ),
+    "H-16Gb-C": DieCalibration(
+        die_key="H-16Gb-C",
+        hammer_beta=0.04,
+        hammer_acmin_mean=77_000.0,
+        hammer_acmin_min=14_000.0,
+        hammer_acmin_mean_80=75_000.0,
+        hammer_ber_single=0.021,
+        hammer_ber_double=0.135,
+        press_taggonmin_mean_ms=51.6,
+        press_taggonmin_min_ms=9.8,
+        press_taggonmin_mean_80_ms=22.3,
+        press_ber_50=2.5e-5,
+        press_ber_80=4.5e-3,
+    ),
+    "H-4Gb-A": DieCalibration(
+        die_key="H-4Gb-A",
+        hammer_beta=0.04,
+        hammer_acmin_mean=382_000.0,
+        hammer_acmin_min=83_000.0,
+        hammer_acmin_mean_80=373_000.0,
+        hammer_ber_single=0.002,
+        hammer_ber_double=0.011,
+        press_taggonmin_mean_ms=None,
+        press_taggonmin_min_ms=None,
+        press_taggonmin_mean_80_ms=50.8,
+        press_ber_50=0.0,
+        press_ber_80=3e-5,
+        press_row_hit_fraction_80=0.0086,
+    ),
+    "H-4Gb-X": DieCalibration(
+        die_key="H-4Gb-X",
+        hammer_beta=0.04,
+        hammer_acmin_mean=119_000.0,
+        hammer_acmin_min=20_000.0,
+        hammer_acmin_mean_80=116_000.0,
+        hammer_ber_single=0.009,
+        hammer_ber_double=0.090,
+        press_taggonmin_mean_ms=53.5,
+        press_taggonmin_min_ms=21.8,
+        press_taggonmin_mean_80_ms=13.9,
+        press_ber_50=5e-5,
+        press_ber_80=4e-2,
+    ),
+    "M-8Gb-B": DieCalibration(
+        die_key="M-8Gb-B",
+        hammer_beta=0.08,
+        true_cell_fraction=0.8,
+        hammer_acmin_mean=386_000.0,
+        hammer_acmin_min=87_000.0,
+        hammer_acmin_mean_80=367_000.0,
+        hammer_ber_single=0.003,
+        hammer_ber_double=0.026,
+        press_taggonmin_mean_ms=None,
+        press_taggonmin_min_ms=None,
+        press_taggonmin_mean_80_ms=None,  # no RowPress bitflips at all
+        press_ber_50=0.0,
+        press_ber_80=0.0,
+    ),
+    "M-16Gb-B": DieCalibration(
+        die_key="M-16Gb-B",
+        hammer_beta=0.08,
+        true_cell_fraction=0.75,
+        hammer_acmin_mean=116_000.0,
+        hammer_acmin_min=24_000.0,
+        hammer_acmin_mean_80=107_000.0,
+        hammer_ber_single=0.0125,
+        hammer_ber_double=0.12,
+        press_taggonmin_mean_ms=56.7,
+        press_taggonmin_min_ms=35.2,
+        press_taggonmin_mean_80_ms=49.8,
+        press_ber_50=3.5e-5,
+        press_ber_80=1.8e-4,
+    ),
+    "M-16Gb-E": DieCalibration(
+        die_key="M-16Gb-E",
+        pattern_class="m_e",
+        hammer_beta=0.08,
+        true_cell_fraction=0.15,
+        hammer_acmin_mean=39_000.0,
+        hammer_acmin_min=10_000.0,
+        hammer_acmin_mean_80=36_000.0,
+        hammer_ber_single=0.083,
+        hammer_ber_double=0.40,
+        press_taggonmin_mean_ms=46.7,
+        press_taggonmin_min_ms=9.0,
+        press_taggonmin_mean_80_ms=23.1,
+        press_ber_50=4e-5,
+        press_ber_80=1e-2,
+    ),
+    "M-16Gb-F": DieCalibration(
+        die_key="M-16Gb-F",
+        hammer_beta=0.08,
+        true_cell_fraction=0.75,
+        hammer_acmin_mean=31_000.0,
+        hammer_acmin_min=8_700.0,
+        hammer_acmin_mean_80=30_000.0,
+        hammer_ber_single=0.071,
+        hammer_ber_double=0.23,
+        press_taggonmin_mean_ms=50.9,
+        press_taggonmin_min_ms=17.9,
+        press_taggonmin_mean_80_ms=18.9,
+        press_ber_50=1e-4,
+        press_ber_80=1e-2,
+    ),
+}
+
+
+def _info(
+    module_id: str,
+    mfr: str,
+    dimm: str,
+    part: str,
+    density: str,
+    rev: str,
+    org: str,
+    date: str,
+    chips: int,
+    scramble: str,
+) -> ModuleInfo:
+    names = {"S": "Samsung", "H": "SK Hynix", "M": "Micron"}
+    return ModuleInfo(
+        module_id=module_id,
+        manufacturer=names[mfr],
+        mfr_code=mfr,
+        dimm_part=dimm,
+        dram_part=part,
+        die_density=density,
+        die_rev=rev,
+        organization=org,
+        date_code=date,
+        num_chips=chips,
+        scramble=scramble,
+    )
+
+
+#: The 21 modules / 164 chips of Table 1 (module ids from Table 5).
+MODULE_CATALOG: dict[str, ModuleInfo] = {
+    info.module_id: info
+    for info in [
+        _info("S0", "S", "M393A1K43BB1-CTD", "K4A8G085WB-BCTD", "8Gb", "B", "x8", "20-53", 8, "pair_block"),
+        _info("S1", "S", "M393A1K43BB1-CTD", "K4A8G085WB-BCTD", "8Gb", "B", "x8", "20-53", 8, "pair_block"),
+        _info("S2", "S", "M378A2K43CB1-CTD", "K4A8G085WC-BCTD", "8Gb", "C", "x8", "N/A", 8, "pair_block"),
+        _info("S3", "S", "M378A1K43DB2-CTD", "K4A8G085WD-BCTD", "8Gb", "D", "x8", "21-10", 8, "pair_block"),
+        _info("S4", "S", "M378A1K43DB2-CTD", "K4A8G085WD-BCTD", "8Gb", "D", "x8", "21-10", 8, "pair_block"),
+        _info("S5", "S", "M378A1K43DB2-CTD", "K4A8G085WD-BCTD", "8Gb", "D", "x8", "21-10", 8, "pair_block"),
+        _info("S6", "S", "F4-2400C17S-8GNT", "K4A4G085WF-BCTD", "4Gb", "F", "x8", "21-12", 8, "pair_block"),
+        _info("S7", "S", "F4-2400C17S-8GNT", "K4A4G085WF-BCTD", "4Gb", "F", "x8", "21-12", 8, "pair_block"),
+        _info("H0", "H", "HMAA4GU6AJR8N-XN", "H5ANAG8NAJR-XN", "16Gb", "A", "x8", "20-51", 8, "none"),
+        _info("H1", "H", "HMAA4GU6AJR8N-XN", "H5ANAG8NAJR-XN", "16Gb", "A", "x8", "20-51", 8, "none"),
+        _info("H2", "H", "HMAA4GU7CJR8N-XN", "H5ANAG8NCJR-XN", "16Gb", "C", "x8", "21-36", 8, "none"),
+        _info("H3", "H", "HMAA4GU7CJR8N-XN", "H5ANAG8NCJR-XN", "16Gb", "C", "x8", "21-36", 8, "none"),
+        _info("H4", "H", "KVR24R17S8/4", "H5AN4G8NAFR-UHC", "4Gb", "A", "x8", "19-46", 8, "none"),
+        _info("H5", "H", "CMV4GX4M1A2133C15", "N/A", "4Gb", "X", "x8", "N/A", 8, "none"),
+        _info("M0", "M", "MTA18ASF2G72PZ-2G3B1", "MT40A2G4WE-083E:B", "8Gb", "B", "x4", "N/A", 16, "pair_block"),
+        _info("M1", "M", "MTA4ATF1G64HZ-3G2B2", "MT40A1G16RC-062E:B", "16Gb", "B", "x16", "21-26", 4, "pair_block"),
+        _info("M2", "M", "MTA4ATF1G64HZ-3G2B2", "MT40A1G16RC-062E:B", "16Gb", "B", "x16", "21-26", 4, "pair_block"),
+        _info("M3", "M", "MTA36ASF8G72PZ-2G9E1", "MT40A4G4JC-062E:E", "16Gb", "E", "x4", "20-14", 16, "pair_block"),
+        _info("M4", "M", "MTA4ATF1G64HZ-3G2E1", "MT40A1G16KD-062E:E", "16Gb", "E", "x16", "20-46", 4, "pair_block"),
+        _info("M5", "M", "MTA4ATF1G64HZ-3G2E1", "MT40A1G16KD-062E:E", "16Gb", "E", "x16", "20-46", 4, "pair_block"),
+        _info("M6", "M", "MTA4ATF1G64HZ-3G2F1", "MT40A1G16TB-062E:F", "16Gb", "F", "x16", "21-50", 4, "pair_block"),
+    ]
+}
+
+
+def calibration_for(info: ModuleInfo) -> DieCalibration:
+    """The die calibration of a module."""
+    return DIE_CALIBRATIONS[info.die_key]
+
+
+def build_module(
+    module_id: str,
+    geometry: Geometry | None = None,
+    timing: TimingParameters = DDR4_3200W,
+    seed: int = 2023,
+    temperature_c: float = 50.0,
+    hammer_strength: float = 1.0,
+    press_strength: float = 1.0,
+) -> DramModule:
+    """Construct a calibrated :class:`DramModule` from the catalog.
+
+    ``hammer_strength`` / ``press_strength`` scale the specimen's weak-cell
+    thresholds relative to the die-revision calibration (specimen-to-
+    specimen variation; the real-system demo DIMM uses a hammer-hardened
+    specimen to match Fig. 23's conventional-RowHammer baseline).
+    """
+    info = MODULE_CATALOG[module_id]
+    calibration = calibration_for(info)
+    geometry = geometry or Geometry()
+    seed_tree = SeedTree(seed).child("module", module_id)
+    population = CellPopulation(
+        seed_tree=seed_tree,
+        row_bits=geometry.row_bits,
+        hammer=calibration.hammer_spec(timing).scaled(hammer_strength),
+        press=calibration.press_spec(timing).scaled(press_strength),
+        retention=calibration.retention_spec(),
+        true_cell_fraction=calibration.true_cell_fraction,
+    )
+    device = DramDevice(
+        geometry=geometry,
+        population=population,
+        disturb=DisturbanceModel(calibration.dose_parameters()),
+        timing=timing,
+        config=DeviceConfig(temperature_c=temperature_c),
+    )
+    return DramModule(info, device)
+
+
+def build_fleet(
+    module_ids: list[str] | None = None,
+    geometry: Geometry | None = None,
+    seed: int = 2023,
+) -> list[DramModule]:
+    """Build several catalog modules (default: the full 21-module fleet)."""
+    ids = module_ids or sorted(MODULE_CATALOG)
+    return [build_module(module_id, geometry=geometry, seed=seed) for module_id in ids]
+
+
+def modules_by_die(die_key: str) -> list[str]:
+    """Module ids in the catalog with a given die key."""
+    return sorted(
+        module_id
+        for module_id, info in MODULE_CATALOG.items()
+        if info.die_key == die_key
+    )
+
+
+#: One representative module id per die revision (used by reduced benches).
+REPRESENTATIVE_MODULES: dict[str, str] = {
+    die_key: modules_by_die(die_key)[0] for die_key in DIE_CALIBRATIONS
+}

@@ -1,0 +1,129 @@
+"""Data patterns (§5.3, Table 2) and row-content classification.
+
+The read-disturbance dose depends on the *aggressor* row's content (coupling
+through bitlines), while the *victim* row's content decides which weak cells
+are eligible to flip (a press cell only flips when it stores charge, a
+hammer cell only when it is discharged).  The device model therefore needs
+to classify an arbitrary row byte array into one of the paper's named
+patterns; anything else is ``CUSTOM`` (neutral factor 1.0).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+
+class DataPattern(str, Enum):
+    """Named fill patterns from Table 2 (suffix ``_I`` = bitwise inverse)."""
+
+    CHECKERBOARD = "CB"
+    CHECKERBOARD_I = "CBI"
+    ROWSTRIPE = "RS"
+    ROWSTRIPE_I = "RSI"
+    COLSTRIPE = "CS"
+    COLSTRIPE_I = "CSI"
+    CUSTOM = "CUSTOM"
+
+
+#: Byte value written to every byte of an *aggressor* row per pattern.
+AGGRESSOR_BYTE: dict[DataPattern, int] = {
+    DataPattern.CHECKERBOARD: 0xAA,
+    DataPattern.CHECKERBOARD_I: 0x55,
+    DataPattern.ROWSTRIPE: 0xFF,
+    DataPattern.ROWSTRIPE_I: 0x00,
+    DataPattern.COLSTRIPE: 0x55,
+    DataPattern.COLSTRIPE_I: 0xAA,
+}
+
+#: Byte value written to every byte of a *victim* row per pattern.
+VICTIM_BYTE: dict[DataPattern, int] = {
+    DataPattern.CHECKERBOARD: 0x55,
+    DataPattern.CHECKERBOARD_I: 0xAA,
+    DataPattern.ROWSTRIPE: 0x00,
+    DataPattern.ROWSTRIPE_I: 0xFF,
+    DataPattern.COLSTRIPE: 0x55,
+    DataPattern.COLSTRIPE_I: 0xAA,
+}
+
+_BYTE_TO_AGGRESSOR: dict[int, DataPattern] = {}
+for _pattern, _byte in AGGRESSOR_BYTE.items():
+    _BYTE_TO_AGGRESSOR.setdefault(_byte, _pattern)
+
+#: (aggressor fill byte, victim fill byte) -> experiment-level pattern.
+#: Unlike the aggressor byte alone, the pair is unambiguous (CB and CSI
+#: both fill aggressors with 0xAA, but their victims differ).
+_PAIR_TO_PATTERN: dict[tuple[int, int], DataPattern] = {
+    (AGGRESSOR_BYTE[p], VICTIM_BYTE[p]): p
+    for p in AGGRESSOR_BYTE
+}
+
+
+def fill_bytes(byte_value: int, row_bits: int) -> np.ndarray:
+    """A row's content as a uint8 array for a repeated byte value."""
+    if not 0 <= byte_value <= 0xFF:
+        raise ValueError("byte value out of range")
+    return np.full(row_bits // 8, byte_value, dtype=np.uint8)
+
+
+def aggressor_bytes(pattern: DataPattern, row_bits: int) -> np.ndarray:
+    """Aggressor-row content for a named pattern."""
+    return fill_bytes(AGGRESSOR_BYTE[pattern], row_bits)
+
+
+def victim_bytes(pattern: DataPattern, row_bits: int) -> np.ndarray:
+    """Victim-row content for a named pattern."""
+    return fill_bytes(VICTIM_BYTE[pattern], row_bits)
+
+
+def uniform_fill_byte(data: np.ndarray | None) -> int | None:
+    """The repeated fill byte of a row, or None for mixed content."""
+    if data is None or data.size == 0:
+        return None
+    first = int(data[0])
+    if not bool(np.all(data == first)):
+        return None
+    return first
+
+
+def classify_pair(
+    aggressor_data: np.ndarray | None, victim_data: np.ndarray | None
+) -> DataPattern:
+    """Classify the experiment-level pattern from both rows' contents.
+
+    Falls back to :func:`classify_aggressor` when the victim's content is
+    unknown or the pair does not match a named pattern.
+    """
+    aggressor_byte = uniform_fill_byte(aggressor_data)
+    victim_byte = uniform_fill_byte(victim_data)
+    if aggressor_byte is not None and victim_byte is not None:
+        pattern = _PAIR_TO_PATTERN.get((aggressor_byte, victim_byte))
+        if pattern is not None:
+            return pattern
+    return classify_aggressor(aggressor_data)
+
+
+def classify_aggressor(data: np.ndarray | None) -> DataPattern:
+    """Classify an aggressor row's content into a named pattern.
+
+    A row counts as a named pattern when every byte equals that pattern's
+    fill byte.  Uninitialized rows (``None``) classify as ``CUSTOM``.
+    Note 0xAA is ambiguous between CB-aggressor and CSI-aggressor (and 0x55
+    between CBI and CS); the dose factor tables keep those pairs consistent
+    so the ambiguity is harmless — the *victim* content disambiguates the
+    experiment-level pattern.
+    """
+    if data is None or data.size == 0:
+        return DataPattern.CUSTOM
+    first = int(data[0])
+    if not bool(np.all(data == first)):
+        return DataPattern.CUSTOM
+    return _BYTE_TO_AGGRESSOR.get(first, DataPattern.CUSTOM)
+
+
+def bits_from_bytes(data: np.ndarray, columns: np.ndarray) -> np.ndarray:
+    """Extract the bit value stored at each column index (LSB-first)."""
+    byte_index = columns >> 3
+    bit_index = columns & 7
+    return (data[byte_index] >> bit_index) & 1

@@ -1,0 +1,427 @@
+"""Command-level DRAM device with disturbance bookkeeping.
+
+:class:`DramDevice` models one rank-set of chips operating in lock step
+(i.e. a module as seen by the memory controller).  It accepts the DRAM
+command stream — ``act`` / ``precharge`` / ``read_row`` / ``write_row`` /
+``refresh`` — with explicit nanosecond timestamps, and keeps, per row:
+
+* the stored data (lazily allocated byte arrays),
+* accumulated hammer and press dose (cleared whenever the row's charge is
+  restored: on its own activation, a refresh, or a write),
+* the time of the last charge restoration (drives retention failures).
+
+Bitflips materialize when a row's charge is sensed (activation, refresh,
+or an explicit :meth:`read_row`), exactly like real DRAM: the flipped value
+is then restored and sticks until overwritten.
+
+The device does not enforce inter-command timing minima — like real
+silicon, it executes whatever it is told; legality checks belong to the
+issuer (:mod:`repro.bender.executor` and :mod:`repro.sim.dram_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro import units
+from repro.dram import retention as retention_model
+from repro.dram.cells import CellPopulation, charged_mask
+from repro.dram.datapattern import (
+    DataPattern,
+    bits_from_bytes,
+    classify_pair,
+)
+from repro.dram.disturb import (
+    DisturbanceModel,
+    HAMMER_DISTANCE_FACTOR,
+    PRESS_DISTANCE_FACTOR,
+)
+from repro.dram.geometry import Geometry, RowAddress
+from repro.dram.timing import DDR4_3200W, TimingParameters
+
+RowKey = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class Bitflip:
+    """One observed bitflip."""
+
+    address: RowAddress
+    column: int
+    bit_before: int
+    bit_after: int
+    mechanism: str  # "hammer" | "press" | "retention"
+
+    @property
+    def direction(self) -> str:
+        """``"1->0"`` or ``"0->1"``."""
+        return f"{self.bit_before}->{self.bit_after}"
+
+
+@dataclass
+class DeviceConfig:
+    """Operating configuration of a :class:`DramDevice`."""
+
+    temperature_c: float = 50.0
+    #: How many rows on each side of an aggressor receive dose.
+    neighbor_distance: int = 3
+    #: Floor of the sandwich-detection window (ns); see `_sandwich_window`.
+    sandwich_window_floor: float = 20.0 * units.US
+    #: Rows refreshed per REF command per bank (8192 REFs cover the bank).
+    refresh_rows_per_ref: int | None = None
+
+
+@dataclass
+class _BankState:
+    open_row: int | None = None
+    act_time: float = 0.0
+    refresh_pointer: int = 0
+
+
+@dataclass
+class _Episode:
+    act_time: float
+    pre_time: float
+
+
+class DramDevice:
+    """Behavioral DRAM module with a read-disturbance fault model."""
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        population: CellPopulation,
+        disturb: DisturbanceModel,
+        timing: TimingParameters = DDR4_3200W,
+        config: DeviceConfig | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.population = population
+        self.disturb = disturb
+        self.timing = timing
+        self.config = config or DeviceConfig()
+        self._banks: dict[tuple[int, int], _BankState] = {
+            (rank, bank): _BankState() for rank, bank in geometry.iter_banks()
+        }
+        self._data: dict[RowKey, np.ndarray] = {}
+        self._hammer_dose: dict[RowKey, float] = {}
+        self._press_dose: dict[RowKey, float] = {}
+        self._last_restore: dict[RowKey, float] = {}
+        self._pending: dict[RowKey, _Episode] = {}
+        self._last_episode_end: dict[RowKey, float] = {}
+        self._start_time = 0.0
+        self.activation_count = 0
+        #: Optional hook called on every activation: fn(address, time_ns).
+        #: Used by the in-DRAM TRR model (repro.system.trr).
+        self.on_activate: Callable[[RowAddress, float], None] | None = None
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key(address: RowAddress) -> RowKey:
+        return (address.rank, address.bank, address.row)
+
+    def set_temperature(self, temperature_c: float) -> None:
+        """Change the chip temperature (thermal chamber / heater pads)."""
+        self.config.temperature_c = float(temperature_c)
+
+    @property
+    def temperature_c(self) -> float:
+        """Current chip temperature."""
+        return self.config.temperature_c
+
+    def _check_address(self, address: RowAddress) -> None:
+        if not self.geometry.valid_row(address):
+            raise ValueError(f"row address out of range: {address}")
+
+    def _row_data(self, key: RowKey) -> np.ndarray:
+        data = self._data.get(key)
+        if data is None:
+            data = np.zeros(self.geometry.row_bits // 8, dtype=np.uint8)
+            self._data[key] = data
+        return data
+
+    def _sandwich_window(self, t_on: float) -> float:
+        return max(self.config.sandwich_window_floor, 64.0 * (t_on + self.timing.tRC))
+
+    # ------------------------------------------------------------------
+    # dose deposit
+    # ------------------------------------------------------------------
+
+    def _flush_pending(self, key: RowKey, now: float) -> None:
+        """Apply a row's not-yet-deposited episode using the elapsed off-time."""
+        episode = self._pending.pop(key, None)
+        if episode is None:
+            return
+        t_on = episode.pre_time - episode.act_time
+        t_off = max(now - episode.pre_time, 0.0)
+        self._deposit(key, t_on, t_off, episode.pre_time, count=1)
+
+    def _flush_neighborhood(self, key: RowKey, now: float) -> None:
+        """Flush pending episodes of every aggressor that can dose ``key``."""
+        rank, bank, row = key
+        for distance in range(1, self.config.neighbor_distance + 1):
+            for neighbor in (row - distance, row + distance):
+                nkey = (rank, bank, neighbor)
+                if nkey in self._pending:
+                    self._flush_pending(nkey, now)
+
+    def _deposit(
+        self, aggressor: RowKey, t_on: float, t_off: float, end_time: float, count: int
+    ) -> None:
+        """Deposit ``count`` identical episodes of ``aggressor`` onto victims."""
+        rank, bank, row = aggressor
+        aggressor_data = self._data.get(aggressor)
+        window = self._sandwich_window(t_on)
+        temperature = self.config.temperature_c
+        for distance in range(1, self.config.neighbor_distance + 1):
+            if (
+                HAMMER_DISTANCE_FACTOR.get(distance, 0.0) == 0.0
+                and PRESS_DISTANCE_FACTOR.get(distance, 0.0) == 0.0
+            ):
+                continue
+            for direction in (-1, 1):
+                victim = row + direction * distance
+                if not 0 <= victim < self.geometry.rows_per_bank:
+                    continue
+                vkey = (rank, bank, victim)
+                sandwiched = False
+                if distance == 1:
+                    other = (rank, bank, victim + direction)
+                    last_end = self._last_episode_end.get(other)
+                    sandwiched = last_end is not None and end_time - last_end <= window
+                pattern = classify_pair(aggressor_data, self._data.get(vkey))
+                hammer, press = self.disturb.episode_doses(
+                    t_on, t_off, temperature, pattern, distance, sandwiched
+                )
+                if hammer:
+                    self._hammer_dose[vkey] = self._hammer_dose.get(vkey, 0.0) + hammer * count
+                if press:
+                    self._press_dose[vkey] = self._press_dose.get(vkey, 0.0) + press * count
+        self._last_episode_end[aggressor] = end_time
+
+    def deposit_episodes(
+        self, address: RowAddress, t_on: float, t_off: float, end_time: float, count: int
+    ) -> None:
+        """Bulk-apply ``count`` steady-state ACT->PRE episodes of a row.
+
+        Used by the test-program executor to run characterization loops with
+        hundreds of thousands of iterations without iterating in Python.
+        Semantically equivalent to ``count`` act/precharge pairs whose
+        off-time is ``t_off``.
+        """
+        self._check_address(address)
+        if count <= 0:
+            return
+        key = self._key(address)
+        self._flush_pending(key, end_time)
+        self.activation_count += count
+        # The aggressor's own charge is restored by each activation.
+        self._hammer_dose.pop(key, None)
+        self._press_dose.pop(key, None)
+        self._last_restore[key] = end_time
+        self._deposit(key, t_on, t_off, end_time, count)
+
+    # ------------------------------------------------------------------
+    # command interface
+    # ------------------------------------------------------------------
+
+    def act(self, address: RowAddress, time_ns: float) -> list[Bitflip]:
+        """Open ``address``; senses (and therefore materializes) its flips."""
+        self._check_address(address)
+        key = self._key(address)
+        bank = self._banks[(address.rank, address.bank)]
+        if bank.open_row is not None:
+            raise RuntimeError(
+                f"ACT to bank {(address.rank, address.bank)} with row "
+                f"{bank.open_row} already open"
+            )
+        self._flush_pending(key, time_ns)
+        flips = self._sense(key, time_ns)
+        bank.open_row = address.row
+        bank.act_time = time_ns
+        self.activation_count += 1
+        if self.on_activate is not None:
+            self.on_activate(address, time_ns)
+        return flips
+
+    def precharge(self, rank: int, bank: int, time_ns: float) -> None:
+        """Close the open row of a bank, recording the episode."""
+        state = self._banks[(rank, bank)]
+        if state.open_row is None:
+            return  # precharging an idle bank is a no-op
+        key = (rank, bank, state.open_row)
+        self._pending[key] = _Episode(act_time=state.act_time, pre_time=time_ns)
+        state.open_row = None
+
+    def open_row(self, rank: int, bank: int) -> int | None:
+        """Row currently open in a bank (None when precharged)."""
+        return self._banks[(rank, bank)].open_row
+
+    def write_row(self, address: RowAddress, data: np.ndarray, time_ns: float) -> None:
+        """Store a full row image (restores charge, clears dose)."""
+        self._check_address(address)
+        expected = self.geometry.row_bits // 8
+        if data.size != expected:
+            raise ValueError(f"row data must be {expected} bytes, got {data.size}")
+        key = self._key(address)
+        self._data[key] = np.array(data, dtype=np.uint8, copy=True)
+        self._hammer_dose.pop(key, None)
+        self._press_dose.pop(key, None)
+        self._pending.pop(key, None)
+        self._last_restore[key] = time_ns
+
+    def read_row(self, address: RowAddress, time_ns: float) -> tuple[np.ndarray, list[Bitflip]]:
+        """Sense a row: returns (data after flips, the new flips).
+
+        Equivalent to ACT + reading every column + PRE on an idle bank,
+        including the charge restoration side effect.
+        """
+        self._check_address(address)
+        key = self._key(address)
+        self._flush_pending(key, time_ns)
+        flips = self._sense(key, time_ns)
+        return self._row_data(key).copy(), flips
+
+    def peek_row(self, address: RowAddress) -> np.ndarray:
+        """Stored data *without* sensing (testing/debug only)."""
+        self._check_address(address)
+        return self._row_data(self._key(address)).copy()
+
+    def refresh(self, rank: int, bank: int, time_ns: float) -> list[Bitflip]:
+        """One REF command's worth of row refreshes on a bank."""
+        state = self._banks[(rank, bank)]
+        if state.open_row is not None:
+            raise RuntimeError("REF issued with a row open; precharge first")
+        per_ref = self.config.refresh_rows_per_ref
+        if per_ref is None:
+            per_ref = max(self.geometry.rows_per_bank // 8192, 1)
+        flips: list[Bitflip] = []
+        for _ in range(per_ref):
+            row = state.refresh_pointer
+            state.refresh_pointer = (state.refresh_pointer + 1) % self.geometry.rows_per_bank
+            flips.extend(self.refresh_row(RowAddress(rank, bank, row), time_ns))
+        return flips
+
+    def refresh_row(self, address: RowAddress, time_ns: float) -> list[Bitflip]:
+        """Refresh a single row (also used for TRR preventive refreshes)."""
+        self._check_address(address)
+        key = self._key(address)
+        self._flush_pending(key, time_ns)
+        return self._sense(key, time_ns)
+
+    # ------------------------------------------------------------------
+    # bitflip evaluation
+    # ------------------------------------------------------------------
+
+    #: Below this unrefreshed time no retention cell can plausibly fail
+    #: (the tail count at 100 ms is ~1e-6 cells/row), so undisturbed rows
+    #: skip weak-cell materialization entirely on refresh sweeps.
+    _RETENTION_FLOOR_NS = 100.0 * units.MS
+
+    def _sense(self, key: RowKey, time_ns: float) -> list[Bitflip]:
+        """Evaluate accumulated disturbance, commit flips, restore charge."""
+        self._flush_neighborhood(key, time_ns)
+        if (
+            self._hammer_dose.get(key, 0.0) == 0.0
+            and self._press_dose.get(key, 0.0) == 0.0
+        ):
+            unrefreshed = time_ns - self._last_restore.get(key, self._start_time)
+            scale = retention_model.retention_scale(self.config.temperature_c)
+            if unrefreshed < self._RETENTION_FLOOR_NS * scale:
+                self._last_restore[key] = time_ns
+                return []
+        cells = self.population.row(*key)
+        flips: list[Bitflip] = []
+        data = None
+        address = RowAddress(*key)
+        hammer_dose = self._hammer_dose.get(key, 0.0)
+        press_dose = self._press_dose.get(key, 0.0)
+
+        if hammer_dose > 0.0 and cells.hammer.size:
+            failing = cells.hammer.thresholds <= hammer_dose
+            if failing.any():
+                data = self._row_data(key)
+                columns = cells.hammer.columns[failing]
+                anti = cells.hammer.anti[failing]
+                bits = bits_from_bytes(data, columns)
+                eligible = ~charged_mask(bits, anti)  # hammer charges cells
+                flips.extend(
+                    self._commit_flips(address, data, columns[eligible], bits[eligible], "hammer")
+                )
+
+        if press_dose > 0.0 and cells.press.size:
+            failing = cells.press.thresholds <= press_dose
+            if failing.any():
+                data = self._row_data(key)
+                columns = cells.press.columns[failing]
+                anti = cells.press.anti[failing]
+                bits = bits_from_bytes(data, columns)
+                eligible = charged_mask(bits, anti)  # press drains charge
+                flips.extend(
+                    self._commit_flips(address, data, columns[eligible], bits[eligible], "press")
+                )
+
+        if cells.retention.size:
+            unrefreshed = time_ns - self._last_restore.get(key, self._start_time)
+            scale = retention_model.retention_scale(self.config.temperature_c)
+            failing = cells.retention.thresholds * scale <= unrefreshed
+            if failing.any():
+                data = self._row_data(key)
+                columns = cells.retention.columns[failing]
+                anti = cells.retention.anti[failing]
+                bits = bits_from_bytes(data, columns)
+                eligible = charged_mask(bits, anti)  # leakage drains charge
+                flips.extend(
+                    self._commit_flips(
+                        address, data, columns[eligible], bits[eligible], "retention"
+                    )
+                )
+
+        self._hammer_dose.pop(key, None)
+        self._press_dose.pop(key, None)
+        self._last_restore[key] = time_ns
+        return flips
+
+    @staticmethod
+    def _commit_flips(
+        address: RowAddress,
+        data: np.ndarray,
+        columns: np.ndarray,
+        bits: np.ndarray,
+        mechanism: str,
+    ) -> list[Bitflip]:
+        flips = []
+        for column, bit in zip(columns.tolist(), bits.tolist()):
+            new_bit = 1 - bit
+            byte_index = column >> 3
+            mask = 1 << (column & 7)
+            if new_bit:
+                data[byte_index] |= mask
+            else:
+                data[byte_index] &= 0xFF ^ mask
+            flips.append(Bitflip(address, column, bit, new_bit, mechanism))
+        return flips
+
+    # ------------------------------------------------------------------
+    # inspection (used by tests and the security analysis)
+    # ------------------------------------------------------------------
+
+    def dose_of(self, address: RowAddress, now: float | None = None) -> tuple[float, float]:
+        """(hammer, press) dose currently accumulated on a row."""
+        key = self._key(address)
+        if now is not None:
+            self._flush_neighborhood(key, now)
+        return self._hammer_dose.get(key, 0.0), self._press_dose.get(key, 0.0)
+
+    def reset_disturbance(self) -> None:
+        """Clear all accumulated dose and episode history (new experiment)."""
+        self._hammer_dose.clear()
+        self._press_dose.clear()
+        self._pending.clear()
+        self._last_episode_end.clear()

@@ -1,0 +1,110 @@
+"""DRAM organization: ranks, bank groups, banks, rows, and columns.
+
+The paper characterizes one bank per module (bank 1) over 3072 rows; the
+geometry here models the full hierarchy so that the real-system demo and
+the mitigation simulator can address the same device type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True)
+class RowAddress:
+    """Fully qualified row address inside a module."""
+
+    rank: int
+    bank: int
+    row: int
+
+    def neighbor(self, offset: int) -> "RowAddress":
+        """The physically adjacent row ``offset`` rows away (same bank)."""
+        return RowAddress(self.rank, self.bank, self.row + offset)
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Size of each level of the DRAM hierarchy.
+
+    ``row_bits`` is the number of data bits a single row stores as seen by
+    the memory controller (chips in a rank operate in lock step, so a row
+    spans the whole 64-bit data bus: 8 KiB = 65536 bits for DDR4 with 1 KiB
+    pages per x8 chip).  Characterization tests may shrink it for speed.
+    """
+
+    ranks: int = 1
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    rows_per_bank: int = 65536
+    row_bits: int = 65536
+    cache_block_bits: int = 512  # 64-byte block
+
+    def __post_init__(self) -> None:
+        if min(self.ranks, self.bank_groups, self.banks_per_group) < 1:
+            raise ValueError("geometry levels must be >= 1")
+        if self.rows_per_bank < 8:
+            raise ValueError("need at least 8 rows per bank")
+        if self.row_bits % 64 != 0:
+            raise ValueError("row_bits must be a multiple of 64 (ECC words)")
+        if self.row_bits % self.cache_block_bits != 0:
+            raise ValueError("row_bits must be a multiple of the cache block")
+
+    @property
+    def banks(self) -> int:
+        """Total banks per rank."""
+        return self.bank_groups * self.banks_per_group
+
+    @property
+    def total_banks(self) -> int:
+        """Total banks in the module."""
+        return self.ranks * self.banks
+
+    @property
+    def cache_blocks_per_row(self) -> int:
+        """Cache blocks (64 B) per DRAM row; 128 for an 8 KiB row."""
+        return self.row_bits // self.cache_block_bits
+
+    @property
+    def words_per_row(self) -> int:
+        """64-bit ECC words per row."""
+        return self.row_bits // 64
+
+    def valid_row(self, address: RowAddress) -> bool:
+        """Whether ``address`` lies inside the module."""
+        return (
+            0 <= address.rank < self.ranks
+            and 0 <= address.bank < self.banks
+            and 0 <= address.row < self.rows_per_bank
+        )
+
+    def iter_banks(self) -> Iterator[tuple[int, int]]:
+        """Yield every (rank, bank) pair."""
+        for rank in range(self.ranks):
+            for bank in range(self.banks):
+                yield rank, bank
+
+    def characterization_rows(self, count: int = 3072) -> list[int]:
+        """The paper's row sample: first, middle, and last ``count/3`` rows."""
+        if count % 3 != 0:
+            raise ValueError("row sample count must be divisible by 3")
+        third = count // 3
+        if 3 * third > self.rows_per_bank:
+            return list(range(self.rows_per_bank))
+        middle_start = self.rows_per_bank // 2 - third // 2
+        rows: list[int] = []
+        rows.extend(range(third))
+        rows.extend(range(middle_start, middle_start + third))
+        rows.extend(range(self.rows_per_bank - third, self.rows_per_bank))
+        return rows
+
+
+#: Reduced geometry used by unit tests and quick examples.
+SMALL_GEOMETRY = Geometry(
+    ranks=1,
+    bank_groups=1,
+    banks_per_group=2,
+    rows_per_bank=512,
+    row_bits=8192,
+)

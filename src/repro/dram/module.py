@@ -1,0 +1,80 @@
+"""DRAM module (DIMM) wrapper: metadata, device, and row address scramble.
+
+Real DRAM chips remap logical (externally visible) row addresses to
+physical row positions; the paper reverse-engineers this layout before
+characterizing (§3.2).  :class:`DramModule` models a simple per-vendor
+scramble so that the characterization layer has something real to
+reverse-engineer (:mod:`repro.characterization.layout`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.device import DramDevice
+from repro.dram.geometry import Geometry, RowAddress
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """Identity of one tested DIMM (a row of the paper's Table 1/5)."""
+
+    module_id: str  # e.g. "S0"
+    manufacturer: str  # "Samsung" | "SK Hynix" | "Micron"
+    mfr_code: str  # "S" | "H" | "M"
+    dimm_part: str
+    dram_part: str
+    die_density: str  # e.g. "8Gb"
+    die_rev: str  # e.g. "B"
+    organization: str  # "x4" | "x8" | "x16"
+    date_code: str  # "WW-YY" or "N/A"
+    num_chips: int
+    scramble: str = "none"  # row-address scramble scheme
+
+    @property
+    def die_key(self) -> str:
+        """Die identity: manufacturer + density + revision (e.g. "S-8Gb-B")."""
+        return f"{self.mfr_code}-{self.die_density}-{self.die_rev}"
+
+
+def _scramble_pair_block(row: int) -> int:
+    """Swap rows within odd pairs of 4-row blocks (a common DDR4 layout)."""
+    return row ^ 1 if row & 2 else row
+
+
+_SCRAMBLE_FUNCTIONS = {
+    "none": lambda row: row,
+    # The pair-block swizzle is its own inverse.
+    "pair_block": _scramble_pair_block,
+}
+
+
+class DramModule:
+    """A DIMM: metadata + behavioral device + logical/physical row mapping."""
+
+    def __init__(self, info: ModuleInfo, device: DramDevice) -> None:
+        if info.scramble not in _SCRAMBLE_FUNCTIONS:
+            raise ValueError(f"unknown scramble scheme {info.scramble!r}")
+        self.info = info
+        self.device = device
+        self._scramble = _SCRAMBLE_FUNCTIONS[info.scramble]
+
+    @property
+    def geometry(self) -> Geometry:
+        """The module's organization."""
+        return self.device.geometry
+
+    def logical_to_physical(self, row: int) -> int:
+        """Map an externally visible row address to its physical position."""
+        return self._scramble(row)
+
+    def physical_to_logical(self, row: int) -> int:
+        """Inverse mapping (both supported scrambles are involutions)."""
+        return self._scramble(row)
+
+    def physical_address(self, rank: int, bank: int, logical_row: int) -> RowAddress:
+        """Physical :class:`RowAddress` for a logical row number."""
+        return RowAddress(rank, bank, self.logical_to_physical(logical_row))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DramModule({self.info.module_id}: {self.info.die_key})"

@@ -1,0 +1,59 @@
+"""DDR4 timing parameters (JESD79-4C subset used by the paper).
+
+Only the parameters the paper's experiments exercise are modeled; all are
+in nanoseconds.  ``DDR4_3200W`` matches the speed bin used by the paper's
+mitigation study (Table 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Minimum-interval constraints between DRAM commands (ns)."""
+
+    tRAS: float = 36.0  # ACT -> PRE (paper uses 36 ns to cover 32-35 ns bins)
+    tRP: float = 15.0  # PRE -> ACT
+    tRCD: float = 15.0  # ACT -> RD/WR
+    tCL: float = 15.0  # RD -> data
+    tBL: float = 2.5  # burst of 8 at 3200 MT/s
+    tCCD: float = 5.0  # RD -> RD (different bank group: tCCD_S)
+    tRRD: float = 5.0  # ACT -> ACT different bank
+    tFAW: float = 25.0  # four-activate window
+    tWR: float = 15.0  # write recovery
+    tRFC: float = 350.0  # REF -> next command (8 Gb die)
+    tREFI: float = units.TREFI  # REF cadence
+    tREFW: float = units.TREFW  # per-row refresh window
+    command_period: float = 1.5  # DRAM Bender command bus granularity
+
+    @property
+    def tRC(self) -> float:
+        """Minimum ACT-to-ACT interval on the same bank."""
+        return self.tRAS + self.tRP
+
+    @property
+    def max_postponed_refresh_window(self) -> float:
+        """Longest legal row-open time with 8 postponed REFs (70.2 us)."""
+        return 9.0 * self.tREFI
+
+    def with_overrides(self, **kwargs: float) -> "TimingParameters":
+        """Return a copy with selected parameters replaced."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on physically impossible settings."""
+        for name in ("tRAS", "tRP", "tRCD", "tCL", "tRFC", "tREFI", "tREFW"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"timing parameter {name} must be positive")
+        if self.tRCD > self.tRAS:
+            raise ValueError("tRCD cannot exceed tRAS")
+        if self.tREFI >= self.tREFW:
+            raise ValueError("tREFI must be well below the refresh window")
+
+
+#: JEDEC DDR4-3200W speed bin (as simulated by the paper's Table 7 system).
+DDR4_3200W = TimingParameters()

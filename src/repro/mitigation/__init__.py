@@ -1,0 +1,48 @@
+"""Read-disturb mitigation mechanisms and the RowPress adaptation (§7.4).
+
+* :mod:`repro.mitigation.base` — the mitigation interface + no-op,
+* :mod:`repro.mitigation.graphene` — Graphene (Misra-Gries counters),
+* :mod:`repro.mitigation.para` — PARA (probabilistic adjacent refresh),
+* :mod:`repro.mitigation.adapt` — the paper's adaptation methodology:
+  derive T'_RH from the characterization for a chosen t_mro and configure
+  Graphene-RP / PARA-RP,
+* :mod:`repro.mitigation.security` — the dose-bound security checker.
+"""
+
+from repro.mitigation.base import Mitigation, NoMitigation
+from repro.mitigation.graphene import Graphene
+from repro.mitigation.para import Para
+from repro.mitigation.adapt import (
+    ADAPTATION_TABLE,
+    AdaptedConfig,
+    acmin_reduction_factor,
+    adapt_graphene,
+    adapt_para,
+    adapted_threshold,
+)
+from repro.mitigation.derive import DerivedAdaptation, derive_adaptation
+from repro.mitigation.security import VictimExposureTracker
+from repro.mitigation.twice import Twice
+from repro.mitigation.blockhammer import BlockHammer
+from repro.mitigation.adapt_any import adapt_blockhammer, adapt_mitigation, adapt_twice
+
+__all__ = [
+    "DerivedAdaptation",
+    "derive_adaptation",
+    "Twice",
+    "BlockHammer",
+    "adapt_mitigation",
+    "adapt_twice",
+    "adapt_blockhammer",
+    "Mitigation",
+    "NoMitigation",
+    "Graphene",
+    "Para",
+    "ADAPTATION_TABLE",
+    "AdaptedConfig",
+    "acmin_reduction_factor",
+    "adapted_threshold",
+    "adapt_graphene",
+    "adapt_para",
+    "VictimExposureTracker",
+]

@@ -1,0 +1,62 @@
+"""Generic §7.4 adaptation for any RowHammer mitigation.
+
+The paper demonstrates its methodology on Graphene and PARA and argues it
+is "applicable to a wide range of RowHammer mitigations".  This module
+makes that concrete: given any mechanism constructed from a threshold, it
+pairs the t_mro row-policy cap with the reduced T'_RH and returns the
+same :class:`repro.mitigation.adapt.AdaptedConfig` the simulator
+consumes.  TWiCe-RP and BlockHammer-RP are provided as instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mitigation.adapt import AdaptedConfig, adapted_threshold
+from repro.mitigation.base import Mitigation
+from repro.mitigation.blockhammer import BlockHammer
+from repro.mitigation.twice import Twice
+from repro.sim.rowpolicy import TimeCappedPolicy
+
+
+def adapt_mitigation(
+    factory: Callable[[int], Mitigation],
+    t_rh: int = 1000,
+    t_mro: float = 96.0,
+    name_suffix: str = "-rp",
+) -> AdaptedConfig:
+    """Adapt a threshold-parameterized mitigation to also stop RowPress.
+
+    ``factory(t_prime)`` must build the mechanism configured for a
+    RowHammer threshold of ``t_prime``; the returned config pairs it with
+    the matching t_mro cap (§7.4's two-part methodology).
+    """
+    t_prime = adapted_threshold(t_rh, t_mro)
+    mitigation = factory(t_prime)
+    if t_mro > 36.0 and not mitigation.name.endswith(name_suffix):
+        mitigation.name = f"{mitigation.name}{name_suffix}"
+    return AdaptedConfig(
+        mitigation=mitigation,
+        policy=TimeCappedPolicy(t_mro=t_mro),
+        t_mro=t_mro,
+        adapted_t_rh=t_prime,
+    )
+
+
+def adapt_twice(t_rh: int = 1000, t_mro: float = 96.0) -> AdaptedConfig:
+    """TWiCe-RP: exact counters trip at T'_RH / 2 (preventive refresh
+    must land before the threshold is reached)."""
+    return adapt_mitigation(
+        lambda t_prime: Twice(threshold=max(t_prime // 2, 2)),
+        t_rh=t_rh,
+        t_mro=t_mro,
+    )
+
+
+def adapt_blockhammer(t_rh: int = 1000, t_mro: float = 96.0) -> AdaptedConfig:
+    """BlockHammer-RP: the per-window activation budget shrinks to T'_RH."""
+    return adapt_mitigation(
+        lambda t_prime: BlockHammer(threshold=t_prime),
+        t_rh=t_rh,
+        t_mro=t_mro,
+    )

@@ -1,0 +1,42 @@
+"""Mitigation mechanism interface.
+
+A mitigation observes every row activation the memory controller issues
+and may demand *preventive refreshes* of victim rows; the controller
+models each preventive refresh as a row cycle occupying the bank.
+"""
+
+from __future__ import annotations
+
+
+class Mitigation:
+    """Observer of the activation stream; emits preventive refreshes."""
+
+    #: Name used in reports.
+    name = "none"
+
+    def on_activation(
+        self, rank: int, bank: int, row: int, time_ns: float
+    ) -> list[int]:
+        """Called per ACT; returns victim rows to refresh now (same bank)."""
+        return []
+
+    def activation_delay(
+        self, rank: int, bank: int, row: int, time_ns: float
+    ) -> float:
+        """Extra delay (ns) before this ACT may issue (throttling
+        mechanisms like BlockHammer override this; default none)."""
+        return 0.0
+
+    def on_refresh_window(self, time_ns: float) -> None:
+        """Called once per tREFW (counter epochs reset here)."""
+
+    @property
+    def preventive_refreshes(self) -> int:
+        """Total preventive refreshes demanded so far."""
+        return 0
+
+
+class NoMitigation(Mitigation):
+    """Baseline: no read-disturb protection."""
+
+    name = "none"

@@ -1,0 +1,117 @@
+"""BlockHammer [Yağlıkçı+, HPCA 2021]: blacklist-and-throttle.
+
+Instead of refreshing victims, BlockHammer *rate-limits* aggressors: a
+counting Bloom filter estimates each row's activation count in the
+current window; once a row is blacklisted, its further activations are
+delayed so that it can never reach the RowHammer threshold within a
+refresh window.  Security comes from throttling, so the mitigation hook
+is :meth:`activation_delay` rather than preventive refreshes.
+
+Adapted to RowPress (BlockHammer-RP) with the §7.4 methodology: a t_mro
+row-policy cap plus a proportionally lower activation-rate budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.mitigation.base import Mitigation
+
+
+class _CountingBloom:
+    """Counting Bloom filter: conservative (over-)estimate of counts."""
+
+    def __init__(self, size: int, hashes: int, seed: int) -> None:
+        self.counters = np.zeros(size, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        self._salts = rng.integers(1, 2**31 - 1, size=hashes)
+
+    def _indices(self, key: int) -> np.ndarray:
+        return (key * self._salts + (key >> 7)) % self.counters.size
+
+    def add(self, key: int) -> int:
+        """Count one occurrence; returns the new estimate."""
+        indices = self._indices(key)
+        self.counters[indices] += 1
+        return int(self.counters[indices].min())
+
+    def estimate(self, key: int) -> int:
+        """Current (never-under) count estimate."""
+        return int(self.counters[self._indices(key)].min())
+
+    def clear(self) -> None:
+        """New epoch."""
+        self.counters[:] = 0
+
+
+class BlockHammer(Mitigation):
+    """BlockHammer / BlockHammer-RP (adapted activation budget)."""
+
+    name = "blockhammer"
+
+    def __init__(
+        self,
+        threshold: int,
+        blacklist_fraction: float = 0.5,
+        filter_size: int = 1024,
+        hashes: int = 3,
+        seed: int = 23,
+    ) -> None:
+        if threshold < 2:
+            raise ValueError("threshold must be >= 2")
+        self.threshold = threshold
+        self.blacklist_threshold = max(int(threshold * blacklist_fraction), 1)
+        self._filters: dict[tuple[int, int], _CountingBloom] = {}
+        self._filter_size = filter_size
+        self._hashes = hashes
+        self._seed = seed
+        self._window_start = 0.0
+        self.throttled_activations = 0
+        self.total_delay_ns = 0.0
+
+    def _filter(self, rank: int, bank: int) -> _CountingBloom:
+        key = (rank, bank)
+        if key not in self._filters:
+            self._filters[key] = _CountingBloom(
+                self._filter_size, self._hashes, self._seed + rank * 31 + bank
+            )
+        return self._filters[key]
+
+    def activation_delay(self, rank: int, bank: int, row: int, time_ns: float) -> float:
+        """Delay before this ACT may issue (0 for non-blacklisted rows).
+
+        A blacklisted row's n-th activation may not happen before
+        ``window_start + n * tREFW / threshold``: even a saturating
+        attacker stays below ``threshold`` activations per window.
+        """
+        bloom = self._filter(rank, bank)
+        estimate = bloom.estimate(row)
+        if estimate < self.blacklist_threshold:
+            return 0.0
+        # The (n+1)-th activation may not issue before (n+1)/(threshold-1)
+        # of the window: strictly fewer than `threshold` activations fit.
+        earliest = self._window_start + (estimate + 1) * (
+            units.TREFW / (self.threshold - 1)
+        )
+        delay = max(earliest - time_ns, 0.0)
+        if delay > 0:
+            self.throttled_activations += 1
+            self.total_delay_ns += delay
+        return delay
+
+    def on_activation(self, rank: int, bank: int, row: int, time_ns: float) -> list[int]:
+        """Count the activation; BlockHammer never refreshes victims."""
+        self._filter(rank, bank).add(row)
+        return []
+
+    def on_refresh_window(self, time_ns: float) -> None:
+        """tREFW epoch: reset the filters and the rate baseline."""
+        for bloom in self._filters.values():
+            bloom.clear()
+        self._window_start = time_ns
+
+    @property
+    def preventive_refreshes(self) -> int:
+        """BlockHammer issues none: it throttles instead."""
+        return 0

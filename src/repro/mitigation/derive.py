@@ -1,0 +1,99 @@
+"""Derive the §7.4 adaptation table from device characterization.
+
+The paper configures Graphene-RP / PARA-RP "based on device
+characterization": it measures the worst-case ACmin reduction that a
+maximum row-open time of t_mro allows and shrinks the RowHammer threshold
+accordingly.  This module runs that derivation end-to-end against any
+catalog module — the same way the paper derived its Table 3 from the
+Mfr. S 8Gb B-die — so the adaptation can be re-targeted to a different
+(e.g. more vulnerable) die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.dram.catalog import build_module
+from repro.dram.datapattern import DataPattern
+from repro.dram.geometry import Geometry
+from repro.characterization.acmin import AcminSearch
+from repro.characterization.patterns import AccessPattern, ExperimentConfig, RowSite
+
+
+@dataclass(frozen=True)
+class DerivedAdaptation:
+    """Result of one characterization-driven derivation."""
+
+    module_id: str
+    t_rh: int
+    #: t_mro -> T'_RH (the measured analog of the paper's Table 3 row).
+    thresholds: dict[float, int]
+    #: t_mro -> worst-case ACmin(t_mro) / ACmin(tRAS) ratio.
+    reduction_factors: dict[float, float]
+
+    def threshold_for(self, t_mro: float) -> int:
+        """T'_RH for a configured t_mro (must be a derived point)."""
+        return self.thresholds[t_mro]
+
+
+def derive_adaptation(
+    module_id: str = "S0",
+    t_rh: int = 1000,
+    t_mro_values: tuple[float, ...] = (36.0, 66.0, 96.0, 186.0, 336.0, 636.0),
+    temperatures: tuple[float, ...] = (50.0, 80.0),
+    data_patterns: tuple[DataPattern, ...] = (
+        DataPattern.CHECKERBOARD,
+        DataPattern.ROWSTRIPE,
+    ),
+    sites: int = 3,
+    seed: int = 2023,
+) -> DerivedAdaptation:
+    """Measure worst-case ACmin(t_mro)/ACmin(tRAS) and derive T'_RH.
+
+    Follows §7.4: for each t_mro, take the most pessimistic ACmin
+    reduction across temperatures, data patterns, and access patterns,
+    then set ``T'_RH = T_RH * ACmin(t_mro) / ACmin(tRAS)``.
+    """
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=192, row_bits=65536
+    )
+    bench = TestingInfrastructure(build_module(module_id, geometry=geometry, seed=seed))
+    row_sites = [RowSite(0, 1, 24 + 24 * i) for i in range(sites)]
+
+    def min_acmin(t_aggon: float, temperature: float, data: DataPattern,
+                  access: AccessPattern) -> float | None:
+        """Smallest ACmin over the probed sites for one condition."""
+        bench.module.device.set_temperature(temperature)
+        searcher = AcminSearch(
+            infra=bench, config=ExperimentConfig(access=access, data=data)
+        )
+        values = [searcher.search(site, t_aggon) for site in row_sites]
+        values = [v for v in values if v is not None]
+        return min(values) if values else None
+
+    conditions = [
+        (temperature, data, access)
+        for temperature in temperatures
+        for data in data_patterns
+        for access in (AccessPattern.SINGLE_SIDED, AccessPattern.DOUBLE_SIDED)
+    ]
+    factors: dict[float, float] = {}
+    for t_mro in t_mro_values:
+        worst = 1.0
+        for temperature, data, access in conditions:
+            base = min_acmin(36.0, temperature, data, access)
+            capped = min_acmin(t_mro, temperature, data, access)
+            if base and capped:
+                worst = min(worst, capped / base)
+        factors[t_mro] = worst
+    bench.module.device.set_temperature(50.0)
+    thresholds = {
+        t_mro: max(int(round(t_rh * factor)), 1) for t_mro, factor in factors.items()
+    }
+    return DerivedAdaptation(
+        module_id=module_id,
+        t_rh=t_rh,
+        thresholds=thresholds,
+        reduction_factors=factors,
+    )

@@ -1,0 +1,100 @@
+"""Graphene [Park+, MICRO 2020]: Misra-Gries aggressor tracking.
+
+Per bank, a Misra-Gries summary tracks activation counts.  Whenever a
+tracked row's estimated count reaches the internal threshold ``T``
+(= T_RH / 4 in the original paper; the RowPress adaptation shrinks it),
+the row's neighbors are preventively refreshed and the counter resets.
+Counter tables reset every refresh window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mitigation.base import Mitigation
+
+
+@dataclass
+class _MisraGries:
+    """Misra-Gries frequent-items summary with a spillover counter."""
+
+    entries: int
+    counts: dict[int, int] = field(default_factory=dict)
+    spillover: int = 0
+
+    def update(self, row: int) -> int:
+        """Count one activation; returns the row's estimated count."""
+        if row in self.counts:
+            self.counts[row] += 1
+            return self.counts[row] + self.spillover
+        if len(self.counts) < self.entries:
+            self.counts[row] = 1
+            return 1 + self.spillover
+        # Decrement-all step: implemented with a spillover floor.
+        victims = [key for key, value in self.counts.items() if value <= self.spillover + 1]
+        if victims:
+            evicted = victims[0]
+            del self.counts[evicted]
+            self.counts[row] = self.spillover + 1
+            return self.counts[row] + 0
+        self.spillover += 1
+        return self.spillover
+
+    def reset(self) -> None:
+        """New epoch."""
+        self.counts.clear()
+        self.spillover = 0
+
+
+class Graphene(Mitigation):
+    """Graphene / Graphene-RP (with an adapted threshold)."""
+
+    name = "graphene"
+
+    def __init__(
+        self,
+        threshold: int,
+        table_entries: int | None = None,
+        neighborhood: int = 2,
+        window_activations: int = 1_250_000,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        # Graphene sizes its table so no aggressor can evade: W / T entries.
+        self.table_entries = table_entries or max(
+            min(window_activations // threshold, 4096), 16
+        )
+        self.neighborhood = neighborhood
+        self._tables: dict[tuple[int, int], _MisraGries] = {}
+        self._refresh_count = 0
+
+    def _table(self, rank: int, bank: int) -> _MisraGries:
+        key = (rank, bank)
+        if key not in self._tables:
+            self._tables[key] = _MisraGries(entries=self.table_entries)
+        return self._tables[key]
+
+    def on_activation(self, rank: int, bank: int, row: int, time_ns: float) -> list[int]:
+        """Count one ACT; refresh neighbors when the estimate hits T."""
+        table = self._table(rank, bank)
+        estimate = table.update(row)
+        if estimate >= self.threshold:
+            table.counts[row] = 0
+            victims = []
+            for distance in range(1, self.neighborhood + 1):
+                victims.extend([row - distance, row + distance])
+            victims = [victim for victim in victims if victim >= 0]
+            self._refresh_count += len(victims)
+            return victims
+        return []
+
+    def on_refresh_window(self, time_ns: float) -> None:
+        """New tREFW epoch: reset every bank's counter table."""
+        for table in self._tables.values():
+            table.reset()
+
+    @property
+    def preventive_refreshes(self) -> int:
+        """Total preventive refreshes demanded so far."""
+        return self._refresh_count

@@ -1,0 +1,45 @@
+"""PARA [Kim+, ISCA 2014]: probabilistic adjacent-row activation.
+
+On every activation, with probability ``p``, one neighbor of the
+activated row is refreshed.  Stateless and tiny, but its overhead rises
+quickly as the protection level (p) grows — which is why the paper's
+PARA-RP overhead curve behaves differently from Graphene-RP's (§7.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mitigation.base import Mitigation
+
+
+class Para(Mitigation):
+    """PARA / PARA-RP (with an adapted refresh probability)."""
+
+    name = "para"
+
+    def __init__(self, probability: float, seed: int = 17, neighborhood: int = 2) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self.neighborhood = neighborhood
+        self._rng = np.random.default_rng(seed)
+        self._refresh_count = 0
+
+    def on_activation(self, rank: int, bank: int, row: int, time_ns: float) -> list[int]:
+        """With probability p, refresh one neighbor of the activated row."""
+        if self._rng.random() >= self.probability:
+            return []
+        # Refresh one neighbor; distance-1 victims are most exposed.
+        distance = 1 if self._rng.random() < 0.75 else min(2, self.neighborhood)
+        side = 1 if self._rng.random() < 0.5 else -1
+        victim = row + side * distance
+        if victim < 0:
+            victim = row + distance
+        self._refresh_count += 1
+        return [victim]
+
+    @property
+    def preventive_refreshes(self) -> int:
+        """Total preventive refreshes demanded so far."""
+        return self._refresh_count

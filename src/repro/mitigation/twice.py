@@ -1,0 +1,93 @@
+"""TWiCe [Lee+, ISCA 2019]: time-window counters with pruning.
+
+Per bank, TWiCe keeps an exact activation counter per candidate aggressor
+row, pruning entries whose count stays below a growth line at periodic
+checkpoints (so the table stays small).  When a row's count crosses the
+threshold, its neighbors are preventively refreshed.
+
+One of §8's RowHammer-only mechanisms; the §7.4 methodology adapts it to
+RowPress by shrinking the threshold and pairing it with a t_mro cap —
+see :func:`repro.mitigation.adapt_any.adapt_mitigation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mitigation.base import Mitigation
+
+
+@dataclass
+class _Entry:
+    count: int = 0
+    checkpoints_alive: int = 0
+
+
+class Twice(Mitigation):
+    """TWiCe / TWiCe-RP (with an adapted threshold)."""
+
+    name = "twice"
+
+    def __init__(
+        self,
+        threshold: int,
+        checkpoint_interval_ns: float = 7_800.0 * 64,  # prune every 64 tREFI
+        neighborhood: int = 2,
+    ) -> None:
+        if threshold < 2:
+            raise ValueError("threshold must be >= 2")
+        self.threshold = threshold
+        self.checkpoint_interval_ns = checkpoint_interval_ns
+        self.neighborhood = neighborhood
+        #: Prune entries growing slower than this per checkpoint.
+        self.pruning_rate = max(threshold // 32, 1)
+        self._tables: dict[tuple[int, int], dict[int, _Entry]] = {}
+        self._last_checkpoint = 0.0
+        self._refresh_count = 0
+
+    def _table(self, rank: int, bank: int) -> dict[int, _Entry]:
+        return self._tables.setdefault((rank, bank), {})
+
+    def _checkpoint(self, time_ns: float) -> None:
+        """Prune rows whose count lags the per-checkpoint growth line."""
+        for table in self._tables.values():
+            stale = []
+            for row, entry in table.items():
+                entry.checkpoints_alive += 1
+                if entry.count < self.pruning_rate * entry.checkpoints_alive:
+                    stale.append(row)
+            for row in stale:
+                del table[row]
+        self._last_checkpoint = time_ns
+
+    def on_activation(self, rank: int, bank: int, row: int, time_ns: float) -> list[int]:
+        """Exact-count one ACT; refresh neighbors at the threshold."""
+        if time_ns - self._last_checkpoint >= self.checkpoint_interval_ns:
+            self._checkpoint(time_ns)
+        table = self._table(rank, bank)
+        entry = table.setdefault(row, _Entry())
+        entry.count += 1
+        if entry.count >= self.threshold:
+            entry.count = 0
+            victims = [
+                row + side * distance
+                for distance in range(1, self.neighborhood + 1)
+                for side in (-1, 1)
+                if row + side * distance >= 0
+            ]
+            self._refresh_count += len(victims)
+            return victims
+        return []
+
+    def on_refresh_window(self, time_ns: float) -> None:
+        """tREFW epoch: all counters restart."""
+        self._tables.clear()
+
+    @property
+    def preventive_refreshes(self) -> int:
+        """Total preventive refreshes demanded so far."""
+        return self._refresh_count
+
+    def tracked_rows(self) -> int:
+        """Live table entries across banks (pruning effectiveness)."""
+        return sum(len(table) for table in self._tables.values())

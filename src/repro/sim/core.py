@@ -1,0 +1,102 @@
+"""Simplified out-of-order core model (Ramulator style; Table 7).
+
+A core consumes a pregenerated (gap, request) stream.  Non-memory
+instructions retire at ``width`` per cycle.  Memory reads occupy an MSHR
+and an instruction-window slot: a read can issue only while its distance
+from the oldest incomplete read stays inside the 128-entry window and an
+MSHR is free.  Writes retire immediately (drained through the write
+buffer without stalling the core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.request import Request, RequestType
+
+#: 4 GHz core clock period in nanoseconds.
+CYCLE_NS = 0.25
+
+
+@dataclass
+class CoreModel:
+    """One trace-driven core."""
+
+    core_id: int
+    stream: list[tuple[int, Request]]
+    width: int = 4
+    window_instructions: int = 128
+    mshrs: int = 8
+    _index: int = 0
+    _front_end_ready_ns: float = 0.0
+    _outstanding: dict[int, int] = field(default_factory=dict)  # id -> instr
+    finish_ns: float | None = None
+    total_instructions: int = 0
+
+    def __post_init__(self) -> None:
+        self.total_instructions = (
+            self.stream[-1][1].instruction_index if self.stream else 0
+        )
+
+    @property
+    def done(self) -> bool:
+        """Whether the stream is fully consumed and drained."""
+        return self._index >= len(self.stream) and not self._outstanding
+
+    @property
+    def outstanding_reads(self) -> int:
+        """In-flight reads."""
+        return len(self._outstanding)
+
+    def next_issue_constraint(self, now_ns: float) -> tuple[Request | None, float | None]:
+        """(request to issue now, or retry time; (None, None) = blocked).
+
+        Blocked means an in-flight read must complete first — the
+        simulator re-polls the core on its next completion event.
+        """
+        if self._index >= len(self.stream):
+            return None, None
+        gap, request = self.stream[self._index]
+        front_end = max(self._front_end_ready_ns, 0.0)
+        if now_ns + 1e-9 < front_end:
+            return None, front_end
+        if self._outstanding:
+            oldest = min(self._outstanding.values())
+            if request.instruction_index - oldest >= self.window_instructions:
+                return None, None  # window full: wait for a completion
+            if len(self._outstanding) >= self.mshrs:
+                return None, None  # MSHRs exhausted
+        return request, None
+
+    def issue(self, request: Request, now_ns: float) -> None:
+        """Commit to issuing ``request`` at ``now_ns``."""
+        gap, expected = self.stream[self._index]
+        assert expected is request
+        self._index += 1
+        if request.kind is RequestType.READ:
+            self._outstanding[id(request)] = request.instruction_index
+        # Front-end time to reach the *next* request's issue point.
+        if self._index < len(self.stream):
+            next_gap = self.stream[self._index][0]
+            self._front_end_ready_ns = now_ns + (next_gap / self.width) * CYCLE_NS
+        else:
+            tail_ns = (gap / self.width) * CYCLE_NS
+            self._maybe_finish(now_ns + tail_ns)
+
+    def complete(self, request: Request, time_ns: float) -> None:
+        """A read came back from memory."""
+        self._outstanding.pop(id(request), None)
+        if self._index >= len(self.stream):
+            self._maybe_finish(time_ns)
+
+    def _maybe_finish(self, time_ns: float) -> None:
+        if self._index >= len(self.stream) and not self._outstanding:
+            if self.finish_ns is None or time_ns > self.finish_ns:
+                self.finish_ns = time_ns
+
+    def ipc(self) -> float:
+        """Retired instructions per core cycle over the whole run."""
+        if self.finish_ns is None or self.finish_ns <= 0:
+            return 0.0
+        cycles = self.finish_ns / CYCLE_NS
+        return self.total_instructions / cycles if cycles > 0 else 0.0

@@ -1,0 +1,171 @@
+"""Memory controller: per-bank queues, FR-FCFS, policies, mitigations.
+
+FR-FCFS (Table 7): within a bank's queue, a ready row hit is served
+before older non-hits; otherwise the oldest request wins.  The row policy
+decides how long rows stay open; the mitigation observes activations and
+injects preventive refreshes (each modeled as one row cycle occupying the
+bank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import TimingParameters
+from repro.mitigation.base import Mitigation, NoMitigation
+from repro.sim.dram_model import DramState
+from repro.sim.request import Request, RequestType
+from repro.sim.rowpolicy import DecoupledBufferPolicy, OpenRowPolicy, RowPolicy
+from repro.sim.stats import SimStats
+
+
+@dataclass
+class ServiceOutcome:
+    """Result of scheduling one request on a bank."""
+
+    request: Request
+    data_ready_ns: float
+    kind: str  # "hit" | "miss" | "conflict"
+
+
+class MemoryController:
+    """One-channel controller over a :class:`DramState`."""
+
+    def __init__(
+        self,
+        dram: DramState,
+        policy: RowPolicy | None = None,
+        mitigation: Mitigation | None = None,
+        stats: SimStats | None = None,
+        queue_capacity: int = 64,
+    ) -> None:
+        self.dram = dram
+        self.policy = policy or OpenRowPolicy()
+        self.mitigation = mitigation or NoMitigation()
+        self.stats = stats or SimStats()
+        self.queue_capacity = queue_capacity
+        self.queues: dict[tuple[int, int], list[Request]] = {
+            key: [] for key in dram.banks
+        }
+        self._queued = 0
+        #: Optional security hook (repro.mitigation.security).
+        self.exposure_tracker = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def timing(self) -> TimingParameters:
+        """Channel timing parameters."""
+        return self.dram.timing
+
+    def enqueue(self, request: Request, now_ns: float) -> bool:
+        """Accept a request into its bank queue; False when full."""
+        if self._queued >= self.queue_capacity:
+            return False
+        request.arrival_ns = now_ns
+        self.queues[request.bank_key].append(request)
+        self._queued += 1
+        return True
+
+    def has_work(self, key: tuple[int, int]) -> bool:
+        """Whether a bank has queued requests."""
+        return bool(self.queues[key])
+
+    # ------------------------------------------------------------------
+
+    def _apply_forced_close(self, key: tuple[int, int], now_ns: float) -> None:
+        """Enact the row policy's t_mro cap if it expired."""
+        bank = self.dram.bank(*key)
+        if bank.open_row is None:
+            return
+        close_at = self.policy.forced_close_time(bank)
+        if close_at is not None and now_ns >= close_at:
+            bank.close(close_at, self.timing)
+
+    def _activate(self, key: tuple[int, int], row: int, act_time: float) -> float:
+        """Issue an ACT with mitigation + stats hooks; returns extra delay."""
+        rank, bank_index = key
+        bank = self.dram.bank(*key)
+        throttle = self.mitigation.activation_delay(rank, bank_index, row, act_time)
+        if throttle > 0:
+            act_time += throttle  # blacklisted row: the ACT waits
+        bank.open_row = row
+        bank.open_since = act_time
+        bank.last_act = act_time
+        self.stats.record_activation(rank, bank_index, row)
+        if self.exposure_tracker is not None:
+            self.exposure_tracker.on_activation(rank, bank_index, row)
+        victims = self.mitigation.on_activation(rank, bank_index, row, act_time)
+        extra = throttle
+        for victim in victims:
+            extra += self.timing.tRC  # each preventive refresh: one row cycle
+            self.stats.preventive_refreshes += 1
+            if self.exposure_tracker is not None:
+                self.exposure_tracker.on_refresh(rank, bank_index, victim)
+        return extra
+
+    def serve(self, key: tuple[int, int], now_ns: float) -> ServiceOutcome | float | None:
+        """Try to schedule one request on a bank.
+
+        Returns a :class:`ServiceOutcome`, a retry time (bank busy), or
+        ``None`` (queue empty).
+        """
+        queue = self.queues[key]
+        if not queue:
+            return None
+        bank = self.dram.bank(*key)
+        if bank.ready > now_ns + 1e-9:
+            return bank.ready
+        self._apply_forced_close(key, now_ns)
+        if bank.ready > now_ns + 1e-9:
+            return bank.ready
+        timing = self.timing
+        open_row = bank.open_row if self.policy.row_still_open(bank, now_ns) else None
+        # FR-FCFS: first ready row hit, else the oldest request.
+        request = next((r for r in queue if r.row == open_row), queue[0])
+        queue.remove(request)
+        self._queued -= 1
+
+        if open_row == request.row and open_row is not None:
+            data_ready = now_ns + timing.tCL + timing.tBL
+            bank.ready = now_ns + timing.tCCD
+            kind = "hit"
+            if (
+                request.kind is RequestType.WRITE
+                and isinstance(self.policy, DecoupledBufferPolicy)
+            ):
+                # Writes must re-assert the de-asserted wordline (§7.2).
+                penalty = self.policy.write_reconnect_penalty
+                data_ready += penalty
+                bank.ready += penalty
+        else:
+            if bank.open_row is not None:
+                act_time = bank.close(now_ns, timing)
+                kind = "conflict"
+            else:
+                act_time = max(now_ns, bank.last_act + timing.tRC)
+                kind = "miss"
+            act_time = self.dram.earliest_act(key[0], act_time)
+            self.dram.record_act(key[0], act_time)
+            extra = self._activate(key, request.row, act_time)
+            data_ready = act_time + timing.tRCD + timing.tCL + timing.tBL + extra
+            bank.ready = act_time + timing.tRCD + timing.tCCD + extra
+        if self.policy.close_after_access():
+            bank.close(data_ready, timing)
+        self.stats.record_access(request.core_id, kind)
+        request.complete_ns = data_ready
+        return ServiceOutcome(request=request, data_ready_ns=data_ready, kind=kind)
+
+    # ------------------------------------------------------------------
+
+    def refresh_rank(self, rank: int, now_ns: float) -> None:
+        """Periodic REF for a rank."""
+        self.dram.refresh_rank(rank, now_ns)
+        self.stats.refresh_commands += 1
+
+    def refresh_window_elapsed(self, now_ns: float) -> None:
+        """tREFW boundary: epoch resets."""
+        self.mitigation.on_refresh_window(now_ns)
+        self.stats.rotate_window()
+        if self.exposure_tracker is not None:
+            self.exposure_tracker.on_refresh_window()

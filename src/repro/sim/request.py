@@ -1,0 +1,41 @@
+"""Memory request type shared by the core, controller, and DRAM model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class RequestType(str, Enum):
+    """Kind of memory request."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class Request:
+    """One memory request traveling core -> MC -> DRAM -> core."""
+
+    core_id: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+    kind: RequestType = RequestType.READ
+    arrival_ns: float = 0.0
+    complete_ns: float | None = None
+    #: Instruction index in the core's stream (for window accounting).
+    instruction_index: int = 0
+
+    @property
+    def bank_key(self) -> tuple[int, int]:
+        """(rank, bank) routing key."""
+        return (self.rank, self.bank)
+
+    @property
+    def latency_ns(self) -> float:
+        """Service latency (requires completion)."""
+        if self.complete_ns is None:
+            raise ValueError("request not complete")
+        return self.complete_ns - self.arrival_ns

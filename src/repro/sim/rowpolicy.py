@@ -1,0 +1,98 @@
+"""Row-buffer management policies (§7.3, Appendix D.1).
+
+* :class:`OpenRowPolicy` — the FR-FCFS baseline: a row stays open until a
+  conflicting access or a refresh closes it.
+* :class:`ClosedRowPolicy` — the "minimally-open-row" policy: the row is
+  closed right after each access (t_mro = tRAS), trading row-buffer
+  locality for the smallest possible t_AggON.
+* :class:`TimeCappedPolicy` — the co-design knob of §7.4: a row may serve
+  hits only until it has been open for ``t_mro`` nanoseconds, then it is
+  force-closed even if more requests are ready.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.dram_model import BankState
+
+
+class RowPolicy:
+    """Decides whether an open row may serve another hit / stay open."""
+
+    #: Policy name used in reports.
+    name = "base"
+
+    def row_still_open(self, bank: BankState, time_ns: float) -> bool:
+        """Whether the row opened at ``bank.open_since`` is still open."""
+        return bank.open_row is not None
+
+    def forced_close_time(self, bank: BankState) -> float | None:
+        """Absolute time the row auto-closes, or None."""
+        return None
+
+    def close_after_access(self) -> bool:
+        """Whether the controller precharges right after each access."""
+        return False
+
+
+@dataclass
+class OpenRowPolicy(RowPolicy):
+    """Keep rows open for future hits (Table 7 baseline)."""
+
+    name = "open"
+
+
+@dataclass
+class TimeCappedPolicy(RowPolicy):
+    """Force-close any row that has been open for ``t_mro`` ns."""
+
+    t_mro: float = 636.0
+    name = "t_mro"
+
+    def row_still_open(self, bank: BankState, time_ns: float) -> bool:
+        """Open only while the row has been open for less than t_mro."""
+        if bank.open_row is None:
+            return False
+        return time_ns - bank.open_since < self.t_mro
+
+    def forced_close_time(self, bank: BankState) -> float | None:
+        """Absolute time the cap closes the currently open row."""
+        if bank.open_row is None:
+            return None
+        return bank.open_since + self.t_mro
+
+
+@dataclass
+class ClosedRowPolicy(TimeCappedPolicy):
+    """Minimally-open-row (§7.3): force-close after tRAS = 36 ns.
+
+    Queued hits arriving within the 36 ns open window are still served;
+    everything later pays a fresh activation.
+    """
+
+    t_mro: float = 36.0
+    name = "closed"
+
+
+@dataclass
+class DecoupledBufferPolicy(RowPolicy):
+    """Row-buffer decoupling (§7.2, after [133, 142]).
+
+    The wordline is de-asserted once charge restoration completes (tRAS),
+    but the sense amplifiers keep the data: reads still hit the buffer at
+    open-row speed.  Writes must re-assert the wordline, paying a
+    reconnect penalty.  The aggressor-row on-time is therefore capped at
+    tRAS regardless of how many reads the attacker issues — RowPress dose
+    collapses to the RowHammer baseline — at (nearly) open-row
+    performance.  The paper notes this needs non-trivial DRAM changes and
+    does not stop RowHammer itself.
+    """
+
+    name = "decoupled"
+    write_reconnect_penalty: float = 15.0  # re-assert wordline (~tRCD)
+
+    @property
+    def wordline_cap(self) -> float:
+        """Effective aggressor on-time per activation (ns)."""
+        return 36.0

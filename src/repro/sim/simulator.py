@@ -1,0 +1,219 @@
+"""Discrete-event multi-core simulation driver.
+
+Assembles cores (trace-driven), the memory controller, and refresh into
+one event loop, and reports per-core IPC plus the shared stats.  The
+weighted-speedup metric follows the paper's multi-core methodology
+(App. D.2): sum over cores of IPC_shared / IPC_alone.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.mitigation.base import Mitigation
+from repro.sim.core import CoreModel
+from repro.sim.dram_model import DramState
+from repro.sim.memctrl import MemoryController
+from repro.sim.request import RequestType
+from repro.sim.rowpolicy import RowPolicy
+from repro.sim.stats import SimStats
+from repro.sim.trace import WORKLOADS, SyntheticWorkload, WorkloadSpec
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    workloads: list[str]
+    ipc: dict[int, float]
+    stats: SimStats
+    duration_ns: float
+    preventive_refreshes: int
+
+    def ipc_of(self, core_id: int) -> float:
+        """IPC of one core."""
+        return self.ipc[core_id]
+
+
+def weighted_speedup(shared: SimulationResult, alone: dict[int, float]) -> float:
+    """Sum of IPC_shared / IPC_alone over cores (Snavely & Tullsen)."""
+    total = 0.0
+    for core_id, ipc in shared.ipc.items():
+        baseline = alone.get(core_id, 0.0)
+        if baseline > 0:
+            total += ipc / baseline
+    return total
+
+
+class Simulator:
+    """One simulated system: N cores sharing a DDR4 channel."""
+
+    def __init__(
+        self,
+        workloads: list[str | WorkloadSpec],
+        requests_per_core: int = 20_000,
+        policy: RowPolicy | None = None,
+        mitigation: Mitigation | None = None,
+        ranks: int = 2,
+        banks: int = 16,
+        seed: int = 1,
+        max_sim_ns: float = 2.0e9,
+    ) -> None:
+        self.specs = [
+            spec if isinstance(spec, WorkloadSpec) else WORKLOADS[spec]
+            for spec in workloads
+        ]
+        self.dram = DramState(ranks=ranks, banks_per_rank=banks)
+        self.stats = SimStats()
+        self.mc = MemoryController(
+            self.dram, policy=policy, mitigation=mitigation, stats=self.stats
+        )
+        self.cores: list[CoreModel] = []
+        for core_id, spec in enumerate(self.specs):
+            workload = SyntheticWorkload(
+                spec, core_id, ranks=ranks, banks=banks, seed=seed
+            )
+            stream = list(workload.requests(requests_per_core))
+            self.cores.append(CoreModel(core_id=core_id, stream=stream))
+        self.max_sim_ns = max_sim_ns
+        self._heap: list[tuple[float, int, str, object]] = []
+        self._sequence = itertools.count()
+        self._bank_pending: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+
+    def _push(self, time_ns: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._heap, (time_ns, next(self._sequence), kind, payload))
+
+    def _push_bank(self, time_ns: float, key: tuple[int, int]) -> None:
+        pending = self._bank_pending.get(key)
+        if pending is not None and pending <= time_ns + 1e-9:
+            return
+        self._bank_pending[key] = time_ns
+        self._push(time_ns, "bank", key)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run to completion; returns IPC and stats."""
+        timing = self.dram.timing
+        for core in self.cores:
+            self._push(0.0, "core", core.core_id)
+        for rank in range(self.dram.ranks):
+            self._push(timing.tREFI * (1 + 0.1 * rank), "refresh", rank)
+        self._push(timing.tREFW, "window", None)
+
+        now = 0.0
+        while self._heap:
+            now, _, kind, payload = heapq.heappop(self._heap)
+            if now > self.max_sim_ns:
+                break
+            if kind == "core":
+                self._handle_core(self.cores[payload], now)
+            elif kind == "bank":
+                self._handle_bank(payload, now)
+            elif kind == "refresh":
+                self.mc.refresh_rank(payload, now)
+                self._push(now + timing.tREFI, "refresh", payload)
+                for key in self.dram.banks:
+                    if key[0] == payload and self.mc.has_work(key):
+                        self._push_bank(self.dram.bank(*key).ready, key)
+                if all(core.done for core in self.cores):
+                    break
+            elif kind == "window":
+                self.mc.refresh_window_elapsed(now)
+                self._push(now + timing.tREFW, "window", None)
+                if all(core.done for core in self.cores):
+                    break
+            elif kind == "complete":
+                core_id, request = payload
+                self.cores[core_id].complete(request, now)
+                self._push(now, "core", core_id)
+            if all(core.done for core in self.cores):
+                break
+
+        now = self._drain_writes(now)
+        duration = max((core.finish_ns or now) for core in self.cores)
+        ipc = {core.core_id: core.ipc() for core in self.cores}
+        return SimulationResult(
+            workloads=[spec.name for spec in self.specs],
+            ipc=ipc,
+            stats=self.stats,
+            duration_ns=duration,
+            preventive_refreshes=self.mc.mitigation.preventive_refreshes,
+        )
+
+    def _drain_writes(self, now: float) -> float:
+        """Serve any writes still buffered after the cores retire.
+
+        Cores do not wait for writes, so the event loop can end with
+        write requests in bank queues; real controllers drain them in
+        the background.  Keeps the access accounting conservative.
+        """
+        for key in self.dram.banks:
+            guard = 0
+            while self.mc.has_work(key) and guard < 10_000:
+                guard += 1
+                outcome = self.mc.serve(key, now)
+                if outcome is None:
+                    break
+                if isinstance(outcome, float):
+                    now = outcome
+        return now
+
+    # ------------------------------------------------------------------
+
+    def _handle_core(self, core: CoreModel, now: float) -> None:
+        while True:
+            request, retry = core.next_issue_constraint(now)
+            if request is None:
+                if retry is not None:
+                    self._push(retry, "core", core.core_id)
+                return
+            if not self.mc.enqueue(request, now):
+                self._push(now + 10.0, "core", core.core_id)
+                return
+            core.issue(request, now)
+            bank = self.dram.bank(*request.bank_key)
+            self._push_bank(max(now, bank.ready), request.bank_key)
+            if request.kind is RequestType.WRITE:
+                continue  # writes do not block the core
+
+    def _handle_bank(self, key: tuple[int, int], now: float) -> None:
+        self._bank_pending.pop(key, None)
+        outcome = self.mc.serve(key, now)
+        if outcome is None:
+            return
+        if isinstance(outcome, float):
+            self._push_bank(outcome, key)
+            return
+        request = outcome.request
+        if request.kind is RequestType.READ:
+            self._push(outcome.data_ready_ns, "complete", (request.core_id, request))
+        if self.mc.has_work(key):
+            bank = self.dram.bank(*key)
+            self._push_bank(max(now, bank.ready), key)
+
+
+def run_alone_baselines(
+    workload_names: list[str],
+    requests_per_core: int = 20_000,
+    policy: RowPolicy | None = None,
+    mitigation_factory=None,
+    seed: int = 1,
+) -> dict[str, float]:
+    """Single-core IPC of each workload (the weighted-speedup divisor)."""
+    baselines: dict[str, float] = {}
+    for name in workload_names:
+        mitigation = mitigation_factory() if mitigation_factory else None
+        sim = Simulator(
+            [name],
+            requests_per_core=requests_per_core,
+            policy=policy,
+            mitigation=mitigation,
+            seed=seed,
+        )
+        baselines[name] = sim.run().ipc_of(0)
+    return baselines

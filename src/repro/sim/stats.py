@@ -1,0 +1,67 @@
+"""Simulation statistics: row-buffer behavior and per-row activations.
+
+Per-row activation counts are tracked inside rolling tREFW windows — the
+observable behind Fig. 38 (the minimally-open-row policy turning benign
+workloads into RowHammer-like activation patterns) and the §7.4 security
+argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated during one simulation."""
+
+    row_hits: int = 0
+    row_misses: int = 0  # accesses to a closed bank
+    row_conflicts: int = 0  # accesses that had to close another row
+    activations: int = 0
+    refresh_commands: int = 0
+    preventive_refreshes: int = 0
+    per_core_hits: dict[int, int] = field(default_factory=dict)
+    per_core_accesses: dict[int, int] = field(default_factory=dict)
+    #: Activations per row inside the current tREFW window.
+    window_row_acts: dict[tuple[int, int, int], int] = field(default_factory=dict)
+    #: Highest in-window activation count each row ever reached.
+    max_row_acts: dict[tuple[int, int, int], int] = field(default_factory=dict)
+
+    def record_access(self, core_id: int, kind: str) -> None:
+        """Account one serviced request (kind: hit/miss/conflict)."""
+        if kind == "hit":
+            self.row_hits += 1
+            self.per_core_hits[core_id] = self.per_core_hits.get(core_id, 0) + 1
+        elif kind == "miss":
+            self.row_misses += 1
+        else:
+            self.row_conflicts += 1
+        self.per_core_accesses[core_id] = self.per_core_accesses.get(core_id, 0) + 1
+
+    def record_activation(self, rank: int, bank: int, row: int) -> None:
+        """Account one ACT inside the current refresh window."""
+        self.activations += 1
+        key = (rank, bank, row)
+        count = self.window_row_acts.get(key, 0) + 1
+        self.window_row_acts[key] = count
+        if count > self.max_row_acts.get(key, 0):
+            self.max_row_acts[key] = count
+
+    def rotate_window(self) -> None:
+        """A tREFW elapsed: in-window counters restart."""
+        self.window_row_acts.clear()
+
+    @property
+    def accesses(self) -> int:
+        """Total serviced requests."""
+        return self.row_hits + self.row_misses + self.row_conflicts
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses served from an open row."""
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def max_activations_any_row(self) -> int:
+        """Highest per-row in-window activation count observed (Fig. 38)."""
+        return max(self.max_row_acts.values(), default=0)

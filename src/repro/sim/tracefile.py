@@ -1,0 +1,167 @@
+"""Ramulator-format trace files.
+
+The paper's mitigation study consumes Ramulator CPU traces; users with
+real traces can load them here instead of the synthetic generators.  The
+supported format is Ramulator's classic CPU trace: one request per line,
+
+    <num-cpu-instructions> <read-address> [<write-address>]
+
+where addresses are hex or decimal physical addresses.  Addresses are
+mapped to DRAM coordinates with a row-bank-column split compatible with
+:class:`repro.sim.dram_model.DramState`.  Writing synthetic workloads out
+in the same format makes the two pipelines interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from repro.sim.request import Request, RequestType
+from repro.sim.trace import SyntheticWorkload, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class TraceAddressMap:
+    """Simple row:rank:bank:column physical-address split."""
+
+    column_bits: int = 7
+    bank_bits: int = 4
+    rank_bits: int = 1
+    block_offset_bits: int = 6
+
+    def dram_address(self, physical: int) -> tuple[int, int, int, int]:
+        """(rank, bank, row, column) of a physical address."""
+        value = physical >> self.block_offset_bits
+        column = value & ((1 << self.column_bits) - 1)
+        value >>= self.column_bits
+        bank = value & ((1 << self.bank_bits) - 1)
+        value >>= self.bank_bits
+        rank = value & ((1 << self.rank_bits) - 1)
+        row = value >> self.rank_bits
+        return rank, bank, row, column
+
+    def physical_address(self, rank: int, bank: int, row: int, column: int) -> int:
+        """Inverse of :meth:`dram_address`."""
+        value = row
+        value = (value << self.rank_bits) | rank
+        value = (value << self.bank_bits) | bank
+        value = (value << self.column_bits) | column
+        return value << self.block_offset_bits
+
+
+def _parse_address(token: str) -> int:
+    return int(token, 16) if token.lower().startswith("0x") else int(token)
+
+
+def load_trace(
+    path: str | Path,
+    core_id: int = 0,
+    mapping: TraceAddressMap | None = None,
+    limit: int | None = None,
+) -> list[tuple[int, Request]]:
+    """Load a Ramulator CPU trace into a core request stream."""
+    mapping = mapping or TraceAddressMap()
+    stream: list[tuple[int, Request]] = []
+    instruction = 0
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise ValueError(f"{path}:{line_number}: malformed trace line")
+            gap = int(tokens[0])
+            instruction += gap + 1
+            rank, bank, row, column = mapping.dram_address(_parse_address(tokens[1]))
+            stream.append(
+                (
+                    gap,
+                    Request(
+                        core_id=core_id,
+                        rank=rank,
+                        bank=bank,
+                        row=row,
+                        column=column,
+                        kind=RequestType.READ,
+                        instruction_index=instruction,
+                    ),
+                )
+            )
+            if len(tokens) >= 3:
+                rank, bank, row, column = mapping.dram_address(
+                    _parse_address(tokens[2])
+                )
+                stream.append(
+                    (
+                        0,
+                        Request(
+                            core_id=core_id,
+                            rank=rank,
+                            bank=bank,
+                            row=row,
+                            column=column,
+                            kind=RequestType.WRITE,
+                            instruction_index=instruction,
+                        ),
+                    )
+                )
+            if limit is not None and len(stream) >= limit:
+                break
+    return stream
+
+
+def dump_trace(
+    path: str | Path,
+    stream: list[tuple[int, Request]],
+    mapping: TraceAddressMap | None = None,
+) -> None:
+    """Write a request stream as a Ramulator CPU trace.
+
+    Consecutive (read, zero-gap write) pairs collapse into one
+    three-token line.  The classic format cannot express a standalone
+    write, so each one is emitted as a same-address read+write line —
+    the write is preserved exactly and a companion read of the same
+    block is added (loading such a file yields one extra read per
+    standalone write).
+    """
+    mapping = mapping or TraceAddressMap()
+    lines: list[str] = []
+    index = 0
+    while index < len(stream):
+        gap, request = stream[index]
+        address = mapping.physical_address(
+            request.rank, request.bank, request.row, request.column
+        )
+        if request.kind is RequestType.WRITE:
+            # standalone write: emit as a zero-gap read-less line pair
+            lines.append(f"{gap} 0x{address:x} 0x{address:x}")
+            index += 1
+            continue
+        line = f"{gap} 0x{address:x}"
+        if (
+            index + 1 < len(stream)
+            and stream[index + 1][1].kind is RequestType.WRITE
+            and stream[index + 1][0] == 0
+        ):
+            write = stream[index + 1][1]
+            write_address = mapping.physical_address(
+                write.rank, write.bank, write.row, write.column
+            )
+            line += f" 0x{write_address:x}"
+            index += 1
+        lines.append(line)
+        index += 1
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def export_synthetic(
+    path: str | Path,
+    spec: WorkloadSpec,
+    count: int,
+    core_id: int = 0,
+    seed: int = 1,
+) -> None:
+    """Generate a synthetic workload and save it as a trace file."""
+    workload = SyntheticWorkload(spec, core_id, seed=seed)
+    dump_trace(path, list(workload.requests(count)))

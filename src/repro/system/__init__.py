@@ -1,0 +1,42 @@
+"""Real-system demonstration substrate (§6 of the paper).
+
+Models the paper's attack platform — an Intel Comet Lake system with a
+TRR-protected Samsung DDR4 DIMM — at the architectural level:
+
+* :mod:`repro.system.address` — physical-address -> DRAM mapping (DRAMA
+  style XOR bank functions) and 1 GB hugepage allocation,
+* :mod:`repro.system.cache` — cache hierarchy with clflushopt / mfence /
+  prefetcher semantics,
+* :mod:`repro.system.trr` — in-DRAM target-row-refresh sampler,
+* :mod:`repro.system.controller` — memory controller with an open-row
+  policy and auto-refresh,
+* :mod:`repro.system.machine` — the assembled system,
+* :mod:`repro.system.demo` — the paper's Algorithm 1 test program and the
+  Fig. 24 row-open-time verification program.
+"""
+
+from repro.system.address import AddressMapping, Hugepage
+from repro.system.cache import CacheModel
+from repro.system.trr import TrrSampler
+from repro.system.controller import RealSystemMemoryController
+from repro.system.machine import RealSystem, build_demo_system
+from repro.system.demo import (
+    AttackParameters,
+    AttackResult,
+    measure_access_latencies,
+    run_rowpress_attack,
+)
+
+__all__ = [
+    "AddressMapping",
+    "Hugepage",
+    "CacheModel",
+    "TrrSampler",
+    "RealSystemMemoryController",
+    "RealSystem",
+    "build_demo_system",
+    "AttackParameters",
+    "AttackResult",
+    "run_rowpress_attack",
+    "measure_access_latencies",
+]

@@ -1,0 +1,113 @@
+"""Physical-address to DRAM-address mapping (DRAMA style).
+
+Intel memory controllers compute the DRAM bank from XOR combinations of
+physical address bits; the row is taken from the high bits and the column
+from the low ones.  The paper reverse-engineers this mapping with DRAMA
+[112] and then allocates a 1 GB hugepage so the low 30 physical bits are
+attacker-controlled (§6.1).  :class:`AddressMapping` implements a
+representative dual-rank mapping and its inverse; :class:`Hugepage` models
+the 1 GB allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """XOR-function DRAM mapping for a one-channel system.
+
+    Layout (low to high): 6 bits cache-line offset, ``column_bits`` bits of
+    cache-block column, bank/rank XOR functions, then the row.  Defaults
+    model 128 cache blocks per 8 KiB row, 16 banks, 2 ranks — the paper's
+    demo DIMM.
+    """
+
+    column_bits: int = 7  # 128 cache blocks per row
+    bank_bits: int = 4
+    rank_bits: int = 1
+    row_bits: int = 17
+    #: XOR masks over the physical address, one per bank bit (DRAMA-style).
+    bank_masks: tuple[int, ...] = (
+        0x0_2040,
+        0x0_4080,
+        0x0_8100,
+        0x1_0200,
+    )
+    rank_mask: int = 0x2_0400
+
+    @property
+    def block_offset_bits(self) -> int:
+        """Bits addressing bytes inside one cache line."""
+        return 6
+
+    @property
+    def row_shift(self) -> int:
+        """Physical bit where the row field starts."""
+        return self.block_offset_bits + self.column_bits + self.bank_bits + self.rank_bits
+
+    def dram_address(self, physical: int) -> tuple[int, int, int, int]:
+        """(rank, bank, row, column-block) of a physical address."""
+        column = (physical >> self.block_offset_bits) & ((1 << self.column_bits) - 1)
+        bank = 0
+        for bit, mask in enumerate(self.bank_masks):
+            bank |= _parity(physical & mask) << bit
+        rank = _parity(physical & self.rank_mask)
+        row = (physical >> self.row_shift) & ((1 << self.row_bits) - 1)
+        return rank, bank, row, column
+
+    def physical_address(self, rank: int, bank: int, row: int, column: int) -> int:
+        """A physical address mapping to the given DRAM coordinates.
+
+        The XOR functions are chosen so that each bank mask has exactly one
+        bit inside the bank/rank field region; that bit is solved directly
+        and the remaining mask bits come from the row/column fields.
+        """
+        base_shift = self.block_offset_bits + self.column_bits
+        physical = (row << self.row_shift) | (column << self.block_offset_bits)
+        for bit, mask in enumerate(self.bank_masks):
+            local_bit = 1 << (base_shift + bit)
+            if mask & local_bit == 0:
+                raise ValueError("bank mask lacks a solvable local bit")
+            desired = (bank >> bit) & 1
+            if _parity(physical & (mask & ~local_bit)) != desired:
+                physical |= local_bit
+        rank_bit = 1 << (base_shift + self.bank_bits)
+        if self.rank_mask & rank_bit == 0:
+            raise ValueError("rank mask lacks a solvable local bit")
+        if _parity(physical & (self.rank_mask & ~rank_bit)) != (rank & 1):
+            physical |= rank_bit
+        return physical
+
+
+@dataclass
+class Hugepage:
+    """A 1 GB hugepage: attacker-visible contiguous physical memory."""
+
+    mapping: AddressMapping = field(default_factory=AddressMapping)
+    base_physical: int = 0x4000_0000  # 1 GB aligned
+    size: int = 1 << 30
+
+    def physical(self, offset: int) -> int:
+        """Physical address of a byte offset inside the hugepage."""
+        if not 0 <= offset < self.size:
+            raise ValueError("offset outside the hugepage")
+        return self.base_physical + offset
+
+    def pointer_to(self, rank: int, bank: int, row: int, column: int = 0) -> int:
+        """Hugepage offset of a DRAM location (aggressor-row pointers).
+
+        The hugepage base is 1 GB aligned and the XOR masks only cover
+        low physical bits, so the mapping of an in-page offset equals the
+        mapping of its physical address (modulo a constant row offset that
+        cancels for row-adjacency purposes).
+        """
+        offset = self.mapping.physical_address(rank, bank, row, column)
+        if not 0 <= offset < self.size:
+            raise ValueError("DRAM location not covered by the hugepage")
+        return offset

@@ -1,0 +1,73 @@
+"""Processor cache model with flush/fence/prefetch semantics.
+
+Only the behaviors the demonstration depends on are modeled (§6.2/§6.3):
+
+* a load hits if its cache block is resident; hits never reach DRAM,
+* ``clflushopt`` evicts a block so the next load goes to memory,
+* the next-line prefetcher pulls block+1 on a miss (it must be disabled
+  for the Fig. 24 latency measurement, like the paper's MSR pokes),
+* ``mfence`` orders flushes before subsequent loads (modeled as a
+  serialization point; the machine keeps a small store/flush queue).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheModel:
+    """Set of resident 64-byte blocks with LRU capacity management."""
+
+    capacity_blocks: int = 16384  # ~1 MiB of L2/LLC for the touched region
+    prefetcher_enabled: bool = True
+    _resident: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _pending_flushes: set = field(default_factory=set, repr=False)
+    hits: int = 0
+    misses: int = 0
+
+    @staticmethod
+    def block_of(physical: int) -> int:
+        """Block-aligned address of a physical byte address."""
+        return physical >> 6
+
+    def lookup(self, physical: int) -> bool:
+        """True on hit.  On miss the block (and possibly block+1) fills."""
+        block = self.block_of(physical)
+        if block in self._resident:
+            self._resident.move_to_end(block)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._fill(block)
+        if self.prefetcher_enabled:
+            self._fill(block + 1)
+        return False
+
+    def _fill(self, block: int) -> None:
+        self._resident[block] = True
+        if len(self._resident) > self.capacity_blocks:
+            self._resident.popitem(last=False)
+
+    def clflushopt(self, physical: int) -> None:
+        """Queue a block flush (weakly ordered, like the instruction)."""
+        self._pending_flushes.add(self.block_of(physical))
+
+    def mfence(self) -> None:
+        """Drain pending flushes: blocks actually leave the cache here."""
+        for block in self._pending_flushes:
+            self._resident.pop(block, None)
+        self._pending_flushes.clear()
+
+    def flush_region(self, physical: int, blocks: int) -> None:
+        """Flush + fence a contiguous block range (test convenience)."""
+        base = self.block_of(physical)
+        for index in range(blocks):
+            self._pending_flushes.add(base + index)
+        self.mfence()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters."""
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,255 @@
+"""The paper's user-level demonstration programs (§6).
+
+Two entry points:
+
+* :func:`run_rowpress_attack` — Algorithm 1: double-sided aggressor
+  activations with ``NUM_READS`` cache-block reads per activation (to keep
+  the row open longer), clflushopt + mfence, and 16 dummy rows activated
+  right before the refresh boundary to slip past TRR.  Executed in a
+  fast-forward mode: the steady per-iteration DRAM schedule is derived
+  once from the memory-controller model and deposited in bulk per
+  refresh window, which is exact for a synchronized pattern.
+* :func:`measure_access_latencies` — the §6.3 verification program: after
+  flushing a row's cache blocks, the first access (row activation) is
+  measurably slower than the remaining 127 (row hits), proving the
+  controller keeps the row open (Fig. 24).
+
+Synchronization quality: a pattern whose iteration approaches (or
+exceeds) the tREFI window loses refresh synchronization, letting TRR lock
+onto the true aggressors.  This reproduces Obsv. 21's rise-then-fall of
+bitflips with ``NUM_READS``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.datapattern import fill_bytes
+from repro.dram.device import Bitflip
+from repro.dram.geometry import RowAddress
+from repro.system.machine import RealSystem
+
+
+@dataclass(frozen=True)
+class AttackParameters:
+    """Algorithm 1's red-marked inputs plus platform constants."""
+
+    num_reads: int = 16
+    num_aggr_acts: int = 4
+    num_iterations: int = 800_000
+    dummy_rows: int = 16
+    dummy_acts_per_row: int = 4
+    #: DRAM-side spacing between row-hit reads of one aggressor (ns).
+    #: Chosen so that (like on the paper's platform) NUM_READS = 48 with
+    #: four activations per aggressor no longer fits one tREFI window.
+    read_spacing_ns: float = 12.5
+    #: clflushopt/mfence overhead per iteration (ns).
+    flush_overhead_ns: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.num_reads < 1 or self.num_aggr_acts < 1:
+            raise ValueError("num_reads and num_aggr_acts must be >= 1")
+
+
+@dataclass
+class IterationSchedule:
+    """Steady-state DRAM behavior of one attack iteration.
+
+    Each aggressor is activated ``num_aggr_acts`` times per iteration:
+    all but the last activation are followed by the short alternation gap
+    (the other aggressor's on-time), while the last one is followed by a
+    long gap (dummy phase + refresh-sync slack until the next iteration).
+    """
+
+    t_on: float  # aggressor row-open time per activation
+    short_gap: float  # off time between in-iteration activations
+    long_gap: float  # off time across the iteration boundary
+    iteration_ns: float  # raw iteration duration
+    synced_period_ns: float  # rounded up to a tREFI multiple
+    crowding: float  # iteration_ns / tREFI
+    iterations_per_window: int
+    acts_per_window: int  # per aggressor
+
+    @property
+    def fits_trefi(self) -> bool:
+        """Whether one iteration fits a single refresh interval."""
+        return self.crowding <= 1.0
+
+
+def plan_iteration(system: RealSystem, params: AttackParameters) -> IterationSchedule:
+    """Derive the per-iteration DRAM schedule from the MC model."""
+    timing = system.module.device.timing
+    t_on = max(timing.tRCD + params.num_reads * params.read_spacing_ns, timing.tRAS)
+    short_gap = timing.tRP + t_on  # alternation with the other aggressor
+    aggressor_phase = 2 * params.num_aggr_acts * (t_on + timing.tRP)
+    dummy_phase = params.dummy_rows * params.dummy_acts_per_row * timing.tRC
+    iteration = aggressor_phase + params.flush_overhead_ns + dummy_phase
+    crowding = iteration / timing.tREFI
+    synced = max(math.ceil(crowding), 1) * timing.tREFI
+    iterations_per_window = max(int(timing.tREFW // synced), 1)
+    long_gap = synced - aggressor_phase + timing.tRP
+    return IterationSchedule(
+        t_on=t_on,
+        short_gap=short_gap,
+        long_gap=max(long_gap, short_gap),
+        iteration_ns=iteration,
+        synced_period_ns=synced,
+        crowding=crowding,
+        iterations_per_window=iterations_per_window,
+        acts_per_window=iterations_per_window * params.num_aggr_acts,
+    )
+
+
+def sync_clean_probability(crowding: float) -> float:
+    """Probability a refresh window stays TRR-synchronized.
+
+    Crowded iterations (close to or above tREFI) lose synchronization with
+    the refresh commands; TRR then samples the true aggressors and keeps
+    the victims refreshed for that window (Obsv. 21's falloff).
+    """
+    return 1.0 / (1.0 + math.exp((crowding - 0.85) / 0.04))
+
+
+@dataclass
+class AttackResult:
+    """Fig. 23's observables."""
+
+    params: AttackParameters
+    schedule: IterationSchedule
+    bitflips: list[Bitflip] = field(default_factory=list)
+    flips_per_victim: dict[int, int] = field(default_factory=dict)
+    windows_simulated: int = 0
+    windows_clean: int = 0
+
+    @property
+    def total_bitflips(self) -> int:
+        """Total bitflips across all victims."""
+        return len(self.bitflips)
+
+    @property
+    def rows_with_bitflips(self) -> int:
+        """Number of victim rows with at least one bitflip."""
+        return sum(1 for count in self.flips_per_victim.values() if count > 0)
+
+
+def run_rowpress_attack(
+    system: RealSystem,
+    victims: list[RowAddress],
+    params: AttackParameters,
+    max_windows: int = 3,
+    seed: int = 5,
+) -> AttackResult:
+    """Execute Algorithm 1 against ``victims`` (fast-forward windows)."""
+    device = system.module.device
+    timing = device.timing
+    schedule = plan_iteration(system, params)
+    rng = np.random.default_rng(seed)
+    clean_p = sync_clean_probability(schedule.crowding)
+    total_windows = max(
+        math.ceil(params.num_iterations / schedule.iterations_per_window), 1
+    )
+    windows = min(total_windows, max_windows)
+    result = AttackResult(params=params, schedule=schedule)
+    row_bytes = system.module.geometry.row_bits // 8
+    victim_fill = fill_bytes(0x55, system.module.geometry.row_bits)
+    aggressor_fill = fill_bytes(0xAA, system.module.geometry.row_bits)
+
+    clock = system.now_ns
+    for victim in victims:
+        aggr_low = victim.neighbor(-1)
+        aggr_high = victim.neighbor(+1)
+        device.write_row(victim, victim_fill, clock)
+        device.write_row(aggr_low, aggressor_fill, clock)
+        device.write_row(aggr_high, aggressor_fill, clock)
+        victim_flips = 0
+        for _ in range(windows):
+            result.windows_simulated += 1
+            window_end = clock + timing.tREFW
+            if rng.random() < clean_p:
+                result.windows_clean += 1
+                iters = schedule.iterations_per_window
+                acts = params.num_aggr_acts
+                # One literal episode each to establish the sandwich, then
+                # the rest of the window in bulk: per iteration each
+                # aggressor has (acts - 1) short-gap episodes and one
+                # long-gap episode across the iteration boundary.
+                for aggressor in (aggr_low, aggr_high):
+                    device.deposit_episodes(
+                        aggressor, schedule.t_on, schedule.short_gap, clock + 1000.0, 1
+                    )
+                for aggressor in (aggr_low, aggr_high):
+                    short_count = iters * (acts - 1)
+                    if short_count:
+                        device.deposit_episodes(
+                            aggressor,
+                            schedule.t_on,
+                            schedule.short_gap,
+                            window_end - 2000.0,
+                            short_count,
+                        )
+                    device.deposit_episodes(
+                        aggressor,
+                        schedule.t_on,
+                        schedule.long_gap,
+                        window_end - 1000.0,
+                        max(iters - 1, 0),
+                    )
+                if system.trr is not None:
+                    # TRR samples only the dummy rows of a synced window.
+                    system.trr.sampled_activations += (
+                        schedule.iterations_per_window
+                        * params.dummy_rows
+                        * params.dummy_acts_per_row
+                    )
+                    refs = int(timing.tREFW // timing.tREFI)
+                    system.trr.preventive_refreshes += refs * 2 * 2
+            else:
+                # Synchronization lost: TRR locks onto the aggressors and
+                # keeps the victims refreshed; the window yields no dose.
+                device.reset_disturbance()
+            # The victim's own periodic refresh: sense + restore.
+            _, flips = device.read_row(victim, window_end)
+            press_hammer = [f for f in flips if f.mechanism in ("press", "hammer")]
+            victim_flips += len(press_hammer)
+            result.bitflips.extend(press_hammer)
+            clock = window_end
+        result.flips_per_victim[victim.row] = victim_flips
+        device.reset_disturbance()
+    system.now_ns = clock
+    system.controller.next_refresh_ns = clock + timing.tREFI
+    return result
+
+
+def measure_access_latencies(
+    system: RealSystem,
+    rank: int = 0,
+    bank: int = 0,
+    row: int = 100,
+    conflict_row: int = 900,
+    trials: int = 2000,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig. 24: latency of the first vs. remaining cache-block accesses.
+
+    Returns (first-access cycles, remaining-access cycles) arrays.
+    """
+    system.disable_prefetchers()
+    blocks = system.module.geometry.cache_blocks_per_row
+    mapped_blocks = min(blocks, 2 ** system.mapping.column_bits)
+    row_pointers = [system.row_pointer(rank, bank, row, b) for b in range(mapped_blocks)]
+    conflict_pointer = system.row_pointer(rank, bank, conflict_row, 0)
+    first: list[int] = []
+    rest: list[int] = []
+    for _ in range(trials):
+        for pointer in row_pointers:
+            system.clflushopt(pointer)
+        system.clflushopt(conflict_pointer)
+        system.mfence()
+        # Accessing another row in the same bank closes the tested row.
+        system.read(conflict_pointer)
+        latencies = [system.read(pointer) for pointer in row_pointers]
+        first.append(latencies[0])
+        rest.extend(latencies[1:])
+    return np.asarray(first), np.asarray(rest)

@@ -1,0 +1,114 @@
+"""DRAMA-style address-mapping reverse engineering (§6.1).
+
+The paper recovers the processor's physical-to-DRAM mapping with DRAMA
+[Pessl+, USENIX Sec'16]: pairs of addresses in the *same bank but
+different rows* show a measurably higher access latency (row conflict)
+than pairs in different banks.  From the set of same-bank address pairs,
+the XOR bank functions are solved by checking which bit-masks are
+constant-parity within each bank set.
+
+This module runs the same attack against :class:`repro.system.machine.
+RealSystem`'s timing side channel — no knowledge of the configured
+:class:`repro.system.address.AddressMapping` is used beyond its size
+constants (which an attacker also knows from the DIMM's datasheet).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.system.machine import RealSystem
+
+
+def measure_pair_latency(system: RealSystem, offset_a: int, offset_b: int,
+                         rounds: int = 6) -> float:
+    """Median alternating-access latency of two hugepage offsets (cycles).
+
+    Both blocks are flushed each round, so each access reaches DRAM; a
+    same-bank different-row pair forces a row conflict every time.
+    """
+    samples = []
+    for _ in range(rounds):
+        system.clflushopt(offset_a)
+        system.clflushopt(offset_b)
+        system.mfence()
+        samples.append(system.read(offset_a))
+        samples.append(system.read(offset_b))
+    return float(np.median(samples))
+
+
+def find_conflict_threshold(system: RealSystem, probe_offsets: list[int]) -> float:
+    """Latency threshold separating row conflicts from other accesses.
+
+    Measures every pair among the probes (some land in the same bank,
+    some do not) and splits the resulting bimodal latency distribution at
+    its largest gap.
+    """
+    latencies = sorted(
+        measure_pair_latency(system, a, b)
+        for a, b in itertools.combinations(probe_offsets, 2)
+    )
+    if len(latencies) < 2:
+        return float(latencies[0]) + 1.0 if latencies else 0.0
+    gaps = [(b - a, (a + b) / 2) for a, b in zip(latencies, latencies[1:])]
+    return max(gaps)[1]
+
+
+def same_bank_sets(
+    system: RealSystem,
+    sample_offsets: list[int],
+    threshold: float | None = None,
+) -> list[list[int]]:
+    """Group hugepage offsets into same-bank sets via the side channel."""
+    if threshold is None:
+        threshold = find_conflict_threshold(system, sample_offsets[:8])
+    sets: list[list[int]] = []
+    for offset in sample_offsets:
+        placed = False
+        for group in sets:
+            if measure_pair_latency(system, group[0], offset) >= threshold:
+                group.append(offset)
+                placed = True
+                break
+        if not placed:
+            sets.append([offset])
+    return sets
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+def recover_bank_masks(
+    sets: list[list[int]],
+    candidate_bits: range = range(6, 22),
+    max_mask_bits: int = 2,
+) -> list[int]:
+    """XOR masks whose parity is constant within every same-bank set.
+
+    Returns the irreducible (lowest-bit-count) masks, excluding masks
+    that are constant across *all* addresses (uninformative).
+    """
+    candidates = []
+    for size in range(1, max_mask_bits + 1):
+        for bits in itertools.combinations(candidate_bits, size):
+            candidates.append(sum(1 << b for b in bits))
+    valid = []
+    all_offsets = [offset for group in sets for offset in group]
+    for mask in candidates:
+        constant_within = all(
+            len({_parity(offset & mask) for offset in group}) == 1
+            for group in sets
+            if len(group) >= 2
+        )
+        varies_overall = len({_parity(offset & mask) for offset in all_offsets}) > 1
+        if constant_within and varies_overall:
+            valid.append(mask)
+    # Drop masks implied by XOR-combinations of smaller valid masks.
+    irreducible: list[int] = []
+    for mask in sorted(valid, key=lambda m: (bin(m).count("1"), m)):
+        if not any(mask == a ^ b for a in irreducible for b in irreducible):
+            irreducible.append(mask)
+    return irreducible

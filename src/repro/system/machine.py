@@ -1,0 +1,141 @@
+"""The assembled demonstration system.
+
+Couples the cache model, the address mapping / hugepage, the memory
+controller (with TRR), and a cycle clock into the machine the user-level
+attack program of §6 runs on.  The paper's platform — an Intel i5-10400
+with a 16 GB dual-rank Samsung DIMM using 8Gb C-dies — maps to the
+``S2`` catalog module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.catalog import build_module
+from repro.dram.geometry import Geometry
+from repro.dram.module import DramModule
+from repro.system.address import AddressMapping, Hugepage
+from repro.system.cache import CacheModel
+from repro.system.controller import RealSystemMemoryController
+from repro.system.trr import TrrSampler
+
+
+@dataclass
+class CpuModel:
+    """Minimal CPU-side constants."""
+
+    frequency_ghz: float = 4.0
+    #: Fixed core-side latency (cache lookup, LFB, ring) added per miss, ns.
+    core_overhead_ns: float = 12.0
+    #: Latency of a load that hits in the cache hierarchy, ns.
+    cache_hit_ns: float = 10.0
+
+    def cycles(self, latency_ns: float) -> int:
+        """Convert a latency to time-stamp-counter cycles."""
+        return int(round(latency_ns * self.frequency_ghz))
+
+
+class RealSystem:
+    """CPU + caches + memory controller + TRR-protected DIMM."""
+
+    def __init__(
+        self,
+        module: DramModule,
+        mapping: AddressMapping | None = None,
+        trr: TrrSampler | None | str = "auto",
+        cpu: CpuModel | None = None,
+        seed: int = 11,
+    ) -> None:
+        self.module = module
+        self.mapping = mapping or AddressMapping()
+        self.trr = TrrSampler() if trr == "auto" else trr
+        self.cpu = cpu or CpuModel()
+        self.cache = CacheModel()
+        self.hugepage = Hugepage(mapping=self.mapping)
+        self.controller = RealSystemMemoryController(
+            module,
+            mapping=self.mapping,
+            trr=self.trr,
+            rng=np.random.default_rng(seed),
+        )
+        self.now_ns = 0.0
+
+    # ------------------------------------------------------------------
+    # user-level instruction surface
+    # ------------------------------------------------------------------
+
+    def read(self, hugepage_offset: int) -> int:
+        """One dependent load; returns its latency in TSC cycles."""
+        physical = self.hugepage.physical(hugepage_offset)
+        if self.cache.lookup(physical):
+            latency = self.cpu.cache_hit_ns
+        else:
+            memory_latency, _kind = self.controller.access(
+                physical - self.hugepage.base_physical, self.now_ns
+            )
+            latency = self.cpu.core_overhead_ns + memory_latency
+        self.now_ns += latency
+        return self.cpu.cycles(latency)
+
+    def clflushopt(self, hugepage_offset: int) -> None:
+        """Flush one cache block (takes effect at the next mfence)."""
+        self.cache.clflushopt(self.hugepage.physical(hugepage_offset))
+        self.now_ns += 1.0
+
+    def mfence(self) -> None:
+        """Serialize: drain flushes before subsequent loads."""
+        self.cache.mfence()
+        self.now_ns += 8.0
+
+    def disable_prefetchers(self) -> None:
+        """The paper's MSR pokes before the Fig. 24 measurement."""
+        self.cache.prefetcher_enabled = False
+
+    # ------------------------------------------------------------------
+
+    def row_pointer(self, rank: int, bank: int, row: int, block: int = 0) -> int:
+        """Hugepage offset of cache block ``block`` of a DRAM row."""
+        return self.hugepage.pointer_to(rank, bank, row, block)
+
+    def advance(self, duration_ns: float) -> None:
+        """Idle the machine (refresh catches up on the next access)."""
+        self.now_ns += duration_ns
+
+
+def build_demo_system(
+    rows_per_bank: int = 4096,
+    seed: int = 2023,
+    with_trr: bool = True,
+    temperature_c: float = 72.0,
+    hammer_strength: float = 8.0,
+    press_strength: float = 0.5,
+) -> RealSystem:
+    """The paper's demo platform: S2 module (8Gb C-die) behind an i5-10400.
+
+    ``rows_per_bank`` is reduced from 2^17 by default; the hugepage covers
+    4096 rows per (rank, bank) either way.
+
+    The demo specimen is hammer-hardened (``hammer_strength``) relative to
+    the Table 5 fleet statistics so that the conventional-RowHammer
+    baseline reproduces Fig. 23's near-zero bitflip counts, and the DIMM
+    runs warm (``temperature_c``) as a stock system under sustained attack
+    load does — both documented substitutions (see DESIGN.md).
+    """
+    geometry = Geometry(
+        ranks=2,
+        bank_groups=4,
+        banks_per_group=4,
+        rows_per_bank=rows_per_bank,
+        row_bits=65536,
+    )
+    module = build_module(
+        "S2",
+        geometry=geometry,
+        seed=seed,
+        temperature_c=temperature_c,
+        hammer_strength=hammer_strength,
+        press_strength=press_strength,
+    )
+    return RealSystem(module, trr=TrrSampler() if with_trr else None)

@@ -1,0 +1,51 @@
+"""Time units and DDR4 constants used throughout the reproduction.
+
+All durations in this code base are plain floats measured in *nanoseconds*
+unless a name explicitly says otherwise (``_s``, ``_ms``, ``_us`` suffixes).
+The helpers below exist so that call sites read like the paper's text
+(``7.8 * US``, ``30 * MS``) instead of bare exponents.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base unit).
+NS: float = 1.0
+#: One microsecond in nanoseconds.
+US: float = 1_000.0
+#: One millisecond in nanoseconds.
+MS: float = 1_000_000.0
+#: One second in nanoseconds.
+S: float = 1_000_000_000.0
+
+#: Default refresh interval between two REF commands (DDR4, 0-85 degC).
+TREFI: float = 7_800.0  # 7.8 us
+#: Refresh window: every row must be refreshed within this period.
+TREFW: float = 64.0 * MS
+#: Maximum row-open time when up to eight REF commands are postponed.
+TAGGON_MAX: float = 9.0 * TREFI  # 70.2 us
+#: Minimum row-open time used by the paper (covers the tRAS range 32-35 ns).
+TRAS_MIN: float = 36.0
+#: Experiment wall-clock budget used by the paper's characterization
+#: (strictly smaller than the 64 ms refresh window).
+EXPERIMENT_BUDGET: float = 60.0 * MS
+
+
+def ns_to_ms(value_ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return value_ns / MS
+
+
+def ns_to_us(value_ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return value_ns / US
+
+
+def format_time(value_ns: float) -> str:
+    """Render a duration with the most readable unit (for tables/logs)."""
+    if value_ns >= S:
+        return f"{value_ns / S:.3g}s"
+    if value_ns >= MS:
+        return f"{value_ns / MS:.3g}ms"
+    if value_ns >= US:
+        return f"{value_ns / US:.3g}us"
+    return f"{value_ns:.3g}ns"

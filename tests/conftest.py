@@ -1,0 +1,55 @@
+"""Shared fixtures: small, fast module/bench builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.catalog import build_module
+from repro.dram.geometry import Geometry
+from repro.bender.infrastructure import TestingInfrastructure
+
+
+def small_geometry(rows: int = 256, row_bits: int = 8192) -> Geometry:
+    """Compact geometry for unit tests (weak-cell stats scale per bit)."""
+    return Geometry(
+        ranks=1,
+        bank_groups=1,
+        banks_per_group=2,
+        rows_per_bank=rows,
+        row_bits=row_bits,
+    )
+
+
+def full_width_geometry(rows: int = 128) -> Geometry:
+    """Paper-width rows (64 Kib) with few rows, for calibration checks."""
+    return Geometry(
+        ranks=1,
+        bank_groups=1,
+        banks_per_group=2,
+        rows_per_bank=rows,
+        row_bits=65536,
+    )
+
+
+@pytest.fixture
+def s3_module():
+    """Mfr. S 8Gb D-die (most RowPress-vulnerable Samsung die)."""
+    return build_module("S3", geometry=full_width_geometry())
+
+
+@pytest.fixture
+def s3_bench(s3_module):
+    """Test bench around the S3 module."""
+    return TestingInfrastructure(s3_module)
+
+
+@pytest.fixture
+def h4_module():
+    """Mfr. H 4Gb A-die: no RowPress bitflips at 50 degC (Table 5)."""
+    return build_module("H4", geometry=full_width_geometry())
+
+
+@pytest.fixture
+def m0_module():
+    """Mfr. M 8Gb B-die: no RowPress bitflips at all (Table 5)."""
+    return build_module("M0", geometry=full_width_geometry())

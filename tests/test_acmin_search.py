@@ -1,0 +1,104 @@
+"""ACmin and t_AggONmin searches (core paper metric, §4.1/§4.2)."""
+
+import pytest
+
+from repro import units
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.characterization.acmin import AcminSearch, find_acmin
+from repro.characterization.patterns import (
+    AccessPattern,
+    ExperimentConfig,
+    RowSite,
+    max_activations,
+)
+from repro.characterization.taggonmin import find_taggonmin
+
+
+SITE = RowSite(0, 0, 60)
+
+
+def test_acmin_found_and_verified(s3_bench):
+    searcher = AcminSearch(infra=s3_bench, config=ExperimentConfig())
+    acmin = searcher.search(SITE, t_aggon=units.TREFI)
+    assert acmin is not None
+    # At ACmin there are flips; noticeably below there are none.
+    assert searcher._flips_at(SITE, units.TREFI, acmin) > 0
+    below = int(acmin * 0.9)
+    if below >= 1:
+        assert searcher._flips_at(SITE, units.TREFI, below) == 0
+
+
+def test_acmin_accuracy_one_percent(s3_bench):
+    searcher = AcminSearch(infra=s3_bench, config=ExperimentConfig())
+    acmin = searcher.search(SITE, t_aggon=units.TREFI)
+    # The true boundary lies within 1% below the reported value.
+    probe = int(acmin * 0.98)
+    assert searcher._flips_at(SITE, units.TREFI, probe) == 0 or acmin - probe <= max(
+        acmin // 100, 1
+    )
+
+
+def test_acmin_decreases_with_taggon(s3_bench):
+    """Obsv. 1: larger t_AggON needs far fewer activations."""
+    searcher = AcminSearch(infra=s3_bench, config=ExperimentConfig())
+    hammer = searcher.search(SITE, t_aggon=36.0)
+    press = searcher.search(SITE, t_aggon=units.TREFI)
+    press9 = searcher.search(SITE, t_aggon=9 * units.TREFI)
+    assert hammer is not None and press is not None and press9 is not None
+    assert hammer > 5 * press > 5 * press9
+
+
+def test_acmin_none_when_invulnerable(m0_module):
+    """Mfr. M 8Gb B-die has no press bitflips; at 7.8 us the budget-capped
+    activation count is far below its hammer ACmin, so no bitflip."""
+    bench = TestingInfrastructure(m0_module)
+    assert find_acmin(bench, SITE, t_aggon=units.TREFI) is None
+
+
+def test_acmin_is_one_in_extreme_case(s3_bench):
+    """Obsv. 2: at t_AggON = 30 ms some rows flip with a single ACT."""
+    searcher = AcminSearch(infra=s3_bench, config=ExperimentConfig())
+    values = []
+    for row in (24, 48, 60, 72, 96):
+        value = searcher.search(RowSite(0, 0, row), t_aggon=30 * units.MS)
+        if value is not None:
+            values.append(value)
+    assert values, "expected at least one vulnerable row at 30 ms"
+    assert all(v <= max_activations(30 * units.MS) for v in values)
+
+
+def test_taggonmin_within_budget(s3_bench):
+    value = find_taggonmin(s3_bench, SITE, activation_count=100)
+    assert value is not None
+    assert 36.0 < value < units.EXPERIMENT_BUDGET / 100
+
+
+def test_taggonmin_decreases_with_activation_count(s3_bench):
+    """Obsv. 5: more activations need less on-time each."""
+    few = find_taggonmin(s3_bench, SITE, activation_count=10)
+    many = find_taggonmin(s3_bench, SITE, activation_count=1000)
+    assert few is not None and many is not None
+    assert many < few / 10  # slope ~ -1 in log-log
+
+
+def test_taggonmin_ac_product_roughly_constant(s3_bench):
+    """AC x t_AggONmin ~ const: the press dose is aggregate on-time."""
+    products = []
+    for count in (10, 100, 1000):
+        value = find_taggonmin(s3_bench, SITE, activation_count=count)
+        products.append(count * value)
+    assert max(products) / min(products) < 3.0
+
+
+def test_taggonmin_none_for_press_immune(m0_module):
+    bench = TestingInfrastructure(m0_module)
+    assert find_taggonmin(bench, SITE, activation_count=1) is None
+
+
+def test_double_sided_config(s3_bench):
+    config = ExperimentConfig(access=AccessPattern.DOUBLE_SIDED)
+    acmin = find_acmin(s3_bench, SITE, t_aggon=36.0, config=config)
+    single = find_acmin(s3_bench, SITE, t_aggon=36.0)
+    assert acmin is not None and single is not None
+    # Takeaway 4 / Fig 18: double-sided RowHammer needs fewer activations.
+    assert acmin < single

@@ -1,0 +1,83 @@
+"""End-to-end security of the adapted mitigations (§7.4).
+
+Drives adversarial activation patterns through the performance-simulator
+memory controller with the exposure tracker attached, and checks the
+paper's security argument: with Graphene-RP's t_mro cap + shrunk
+threshold, no victim's equivalent activation count reaches T_RH; without
+adaptation, a RowPress-style pattern breaks the bound.
+"""
+
+import pytest
+
+from repro.mitigation import VictimExposureTracker, adapt_graphene
+from repro.mitigation.adapt import ADAPTATION_TABLE
+from repro.mitigation.base import NoMitigation
+from repro.mitigation.graphene import Graphene
+from repro.sim.dram_model import DramState
+from repro.sim.memctrl import MemoryController
+from repro.sim.request import Request
+from repro.sim.rowpolicy import OpenRowPolicy
+
+
+def drive_hammer(mc, row, activations, spacing=200.0):
+    """Alternate two conflicting rows to force ACTs of ``row``."""
+    time = 0.0
+    served = 0
+    while served < activations:
+        for target in (row, row + 64):
+            mc.enqueue(Request(core_id=0, rank=0, bank=0, row=target, column=0), time)
+            outcome = mc.serve((0, 0), time)
+            while isinstance(outcome, float):
+                outcome = mc.serve((0, 0), outcome)
+            time += spacing
+        served += 1
+    return time
+
+
+def exposure_mc(t_mro, t_rh=1000, mitigation=None, policy=None):
+    config = adapt_graphene(t_rh=t_rh, t_mro=t_mro)
+    mc = MemoryController(
+        DramState(ranks=1, banks_per_rank=2),
+        policy=policy or config.policy,
+        mitigation=mitigation or config.mitigation,
+    )
+    # Equivalent dose per t_mro-capped activation, relative to tRAS.
+    ratio = 1000.0 / ADAPTATION_TABLE[t_mro]
+    mc.exposure_tracker = VictimExposureTracker(dose_ratio=ratio)
+    return mc
+
+
+@pytest.mark.parametrize("t_mro", [96.0, 636.0])
+def test_adapted_graphene_keeps_victims_safe(t_mro):
+    mc = exposure_mc(t_mro)
+    drive_hammer(mc, row=100, activations=3000)
+    assert mc.exposure_tracker.is_secure(t_rh=1000)
+    assert mc.stats.preventive_refreshes > 0
+
+
+def test_unmitigated_hammer_breaks_the_bound():
+    mc = exposure_mc(96.0, mitigation=NoMitigation())
+    drive_hammer(mc, row=100, activations=3000)
+    assert not mc.exposure_tracker.is_secure(t_rh=1000)
+
+
+def test_unadapted_graphene_is_insecure_against_rowpress():
+    """Graphene tuned for T_RH=1000 without a t_mro cap: with an open-row
+    policy the attacker keeps the aggressor open ~7.8 us per activation,
+    where the characterization puts the equivalent-dose ratio around 20x
+    (Obsv. 1) — each Graphene refresh interval then admits ~333 * 20
+    equivalent activations, far beyond the baseline threshold."""
+    mc = MemoryController(
+        DramState(ranks=1, banks_per_rank=2),
+        policy=OpenRowPolicy(),
+        mitigation=Graphene(threshold=333),  # original Graphene for T_RH=1000
+    )
+    mc.exposure_tracker = VictimExposureTracker(dose_ratio=20.0)
+    drive_hammer(mc, row=100, activations=3000)
+    assert not mc.exposure_tracker.is_secure(t_rh=1000)
+
+
+def test_adapted_threshold_compensates_the_same_pattern():
+    mc = exposure_mc(636.0)
+    drive_hammer(mc, row=100, activations=3000)
+    assert mc.exposure_tracker.is_secure(t_rh=1000)

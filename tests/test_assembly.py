@@ -1,0 +1,111 @@
+"""Program assembly format: parse/format roundtrip and error paths."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.geometry import RowAddress
+from repro.bender.assembly import AssemblyError, format_program, parse_program
+from repro.bender.builder import single_sided_pattern
+from repro.bender.program import Act, FillRow, Loop, Pre, Program, ReadRow, Wait
+
+EXAMPLE = """
+# single-sided hammer
+fill r=0 b=1 row=100 data=0xAA
+fill r=0 b=1 row=101 data=0x55
+loop 1000
+  act r=0 b=1 row=100
+  wait 36
+  pre r=0 b=1
+  wait 15
+endloop
+read r=0 b=1 row=101
+"""
+
+
+def test_parse_example():
+    program = parse_program(EXAMPLE)
+    assert len(program) == 4
+    loop = program.instructions[2]
+    assert isinstance(loop, Loop) and loop.count == 1000
+    assert isinstance(program.instructions[0], FillRow)
+    assert program.instructions[0].byte_value == 0xAA
+    assert isinstance(program.instructions[3], ReadRow)
+
+
+def test_roundtrip_example():
+    program = parse_program(EXAMPLE)
+    assert parse_program(format_program(program)) == program
+
+
+def test_roundtrip_builder_output():
+    program = single_sided_pattern(RowAddress(0, 1, 100), 7800.0, 5000)
+    assert parse_program(format_program(program)) == program
+
+
+def test_nested_loops_roundtrip():
+    inner = Loop(3, (Wait(5.0),))
+    program = Program([Loop(2, (inner, Wait(1.0)))])
+    assert parse_program(format_program(program)) == program
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "act r=0 b=0",  # missing row
+        "bogus r=0",  # unknown op
+        "loop 3\nwait 1",  # unterminated loop
+        "endloop",  # endloop without loop
+        "act r=0 b=0 row",  # not key=value
+        "wait",  # missing duration
+        "loop 1 2",  # too many operands
+    ],
+)
+def test_malformed_programs_rejected(text):
+    with pytest.raises(AssemblyError):
+        parse_program(text)
+
+
+def test_comments_and_blank_lines_ignored():
+    program = parse_program("# only a comment\n\nwait 10 # trailing\n")
+    assert program.instructions == [Wait(10.0)]
+
+
+def test_hex_fields():
+    program = parse_program("act r=0x0 b=0x1 row=0x64")
+    act = program.instructions[0]
+    assert act.address.bank == 1 and act.address.row == 100
+
+
+@given(
+    rows=st.lists(st.integers(0, 500), min_size=1, max_size=4),
+    count=st.integers(0, 10_000),
+    wait=st.floats(min_value=0.0, max_value=1e6),
+)
+@settings(max_examples=30)
+def test_roundtrip_property(rows, count, wait):
+    body = []
+    for row in rows:
+        body.extend([Act(RowAddress(0, 0, row)), Wait(wait), Pre(0, 0)])
+    program = Program([Loop(count, tuple(body)), Wait(wait)])
+    assert parse_program(format_program(program)) == program
+
+
+def test_example_program_file_executes():
+    """The shipped .prog example parses and induces press bitflips."""
+    from pathlib import Path
+
+    from repro.dram.catalog import build_module
+    from repro.dram.geometry import Geometry
+    from repro.bender.executor import ProgramExecutor
+
+    text = Path("examples/programs/single_sided_rowpress.prog").read_text()
+    program = parse_program(text)
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=256, row_bits=65536
+    )
+    device = build_module("S3", geometry=geometry).device
+    device.set_temperature(80.0)
+    result = ProgramExecutor(device).run(program)
+    assert result.activations == 7000
+    assert result.bitflips
+    assert all(f.mechanism == "press" for f in result.bitflips)

@@ -1,0 +1,70 @@
+"""Access-pattern builders."""
+
+import pytest
+
+from repro.dram.geometry import RowAddress
+from repro.dram.timing import DDR4_3200W
+from repro.bender.builder import (
+    double_sided_pattern,
+    onoff_pattern,
+    round_to_command_period,
+    single_sided_pattern,
+)
+from repro.bender.program import Act, Loop, Pre, Wait
+
+
+def test_rounding_to_command_bus_period():
+    assert round_to_command_period(36.0) == 36.0  # already a multiple of 1.5
+    assert round_to_command_period(37.0) == 37.5
+    assert round_to_command_period(0.1) == 1.5
+
+
+def test_single_sided_structure():
+    program = single_sided_pattern(RowAddress(0, 1, 10), 36.0, 1000)
+    (loop,) = program.instructions
+    assert isinstance(loop, Loop) and loop.count == 1000
+    act, wait_on, pre, wait_off = loop.body
+    assert isinstance(act, Act) and act.address.row == 10
+    assert isinstance(wait_on, Wait) and wait_on.duration == 36.0
+    assert isinstance(pre, Pre)
+    assert wait_off.duration == DDR4_3200W.tRP
+
+
+def test_single_sided_rejects_sub_tras_on_time():
+    with pytest.raises(ValueError):
+        single_sided_pattern(RowAddress(0, 0, 1), 10.0, 5)
+
+
+def test_double_sided_alternates_and_counts_total():
+    program = double_sided_pattern(RowAddress(0, 0, 10), RowAddress(0, 0, 12), 36.0, 10)
+    (loop,) = program.instructions
+    assert loop.count == 5  # pairs
+    rows = [i.address.row for i in loop.body if isinstance(i, Act)]
+    assert rows == [10, 12]
+
+
+def test_double_sided_odd_count_appends_leftover():
+    program = double_sided_pattern(RowAddress(0, 0, 10), RowAddress(0, 0, 12), 36.0, 11)
+    loop = program.instructions[0]
+    assert loop.count == 5
+    extra_acts = [i for i in program.instructions[1:] if isinstance(i, Act)]
+    assert len(extra_acts) == 1 and extra_acts[0].address.row == 10
+
+
+def test_double_sided_requires_same_bank():
+    with pytest.raises(ValueError):
+        double_sided_pattern(RowAddress(0, 0, 10), RowAddress(0, 1, 12), 36.0, 4)
+
+
+def test_onoff_pattern_timing():
+    program = onoff_pattern([RowAddress(0, 0, 5)], 636.0, 600.0, 7)
+    (loop,) = program.instructions
+    assert loop.count == 7
+    waits = [i.duration for i in loop.body if isinstance(i, Wait)]
+    assert waits[0] == round_to_command_period(636.0)
+    assert waits[1] == round_to_command_period(600.0)
+
+
+def test_onoff_rejects_empty_aggressors():
+    with pytest.raises(ValueError):
+        onoff_pattern([], 36.0, 15.0, 1)

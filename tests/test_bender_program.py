@@ -1,0 +1,45 @@
+"""Program IR."""
+
+import pytest
+
+from repro.dram.geometry import RowAddress
+from repro.bender.program import Act, FillRow, Loop, Pre, Program, ReadRow, Wait
+
+
+def test_duration_counts_waits_and_loops():
+    program = Program(
+        [
+            Wait(10.0),
+            Loop(5, (Act(RowAddress(0, 0, 1)), Wait(36.0), Pre(0, 0), Wait(15.0))),
+            Wait(4.0),
+        ]
+    )
+    assert program.duration() == pytest.approx(10.0 + 5 * 51.0 + 4.0)
+
+
+def test_nested_loop_duration():
+    inner = Loop(3, (Wait(2.0),))
+    outer = Loop(4, (inner, Wait(1.0)))
+    assert Program([outer]).duration() == pytest.approx(4 * (3 * 2 + 1))
+
+
+def test_loop_steadiness():
+    steady = Loop(2, (Act(RowAddress(0, 0, 1)), Wait(36.0), Pre(0, 0)))
+    assert steady.is_steady
+    with_read = Loop(2, (Act(RowAddress(0, 0, 1)), ReadRow(RowAddress(0, 0, 2))))
+    assert not with_read.is_steady
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Wait(-1.0)
+    with pytest.raises(ValueError):
+        Loop(-1, ())
+    with pytest.raises(ValueError):
+        FillRow(RowAddress(0, 0, 0), 300)
+
+
+def test_builder_chaining():
+    program = Program().append(Wait(1.0)).extend([Wait(2.0)])
+    assert len(program) == 2
+    assert list(program) == program.instructions

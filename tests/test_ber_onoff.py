@@ -1,0 +1,89 @@
+"""BER measurements and the RowPress-ONOFF sweep (§5.4)."""
+
+import pytest
+
+from repro import units
+from repro.characterization.ber import measure_ber, measure_onoff_ber, onoff_sweep
+from repro.characterization.patterns import AccessPattern, ExperimentConfig, RowSite
+
+SITE = RowSite(0, 0, 60)
+
+
+def test_measure_ber_reports_rates(s3_bench):
+    measurement = measure_ber(s3_bench, SITE, t_aggon=units.TREFI)
+    assert measurement.activations > 0
+    assert 0.0 <= measurement.ber < 0.05
+    assert measurement.bitflips == sum(measurement.flips_by_victim.values())
+
+
+def test_ber_words_accounting(s3_bench):
+    s3_bench.module.device.set_temperature(80.0)
+    measurement = measure_ber(s3_bench, SITE, t_aggon=units.TREFI)
+    s3_bench.module.device.set_temperature(50.0)
+    total_from_words = sum(measurement.flips_by_word.values())
+    assert total_from_words == measurement.bitflips
+
+
+def test_press_flips_are_one_to_zero(s3_bench):
+    measurement = measure_ber(s3_bench, SITE, t_aggon=units.TREFI)
+    if measurement.bitflips:
+        assert measurement.one_to_zero == measurement.bitflips  # Obsv. 8
+
+
+def test_onoff_single_sided_small_delta_decreases_with_on_time(s3_bench):
+    """Obsv. 16 (first half): small Delta t_A2A, more on-time -> fewer flips."""
+    results = onoff_sweep(
+        s3_bench,
+        SITE,
+        delta_t_a2a_values=[240.0],
+        on_fractions=[0.0, 1.0],
+        access=AccessPattern.SINGLE_SIDED,
+    )
+    low_on = results[(240.0, 0.0)].bitflips
+    high_on = results[(240.0, 1.0)].bitflips
+    assert high_on <= low_on
+
+
+def test_onoff_single_sided_large_delta_increases_with_on_time(s3_bench):
+    """Obsv. 16 (second half): large Delta t_A2A, more on-time -> more flips."""
+    results = onoff_sweep(
+        s3_bench,
+        SITE,
+        delta_t_a2a_values=[6000.0],
+        on_fractions=[0.0, 1.0],
+        access=AccessPattern.SINGLE_SIDED,
+    )
+    assert results[(6000.0, 1.0)].bitflips >= results[(6000.0, 0.0)].bitflips
+
+
+def test_onoff_double_sided_monotonic_in_on_time(s3_bench):
+    """Obsv. 18: double-sided BER grows with on-time for all deltas."""
+    for delta in (240.0, 6000.0):
+        results = onoff_sweep(
+            s3_bench,
+            SITE,
+            delta_t_a2a_values=[delta],
+            on_fractions=[0.0, 1.0],
+            access=AccessPattern.DOUBLE_SIDED,
+        )
+        assert results[(delta, 1.0)].bitflips >= results[(delta, 0.0)].bitflips
+
+
+def test_onoff_temperature_effect_large_delta(s3_bench):
+    """Obsv. 17: at large delta and on-time, heat increases BER."""
+    def flips_at(temp):
+        s3_bench.module.device.set_temperature(temp)
+        value = measure_onoff_ber(s3_bench, SITE, t_aggon=6036.0, t_aggoff=15.0).bitflips
+        s3_bench.module.device.set_temperature(50.0)
+        return value
+
+    assert flips_at(80.0) >= flips_at(50.0)
+
+
+def test_onoff_respects_explicit_activation_count(s3_bench):
+    config = ExperimentConfig()
+    from repro.characterization.patterns import build_onoff_program
+
+    program, _ = build_onoff_program(SITE, 636.0, 600.0, config, activation_count=77)
+    loop = next(i for i in program.instructions if hasattr(i, "count"))
+    assert loop.count == 77

@@ -1,0 +1,68 @@
+"""Campaign spec serialization and execution."""
+
+import pytest
+
+from repro import units
+from repro.characterization.campaign import (
+    CampaignSpec,
+    load_results,
+    run_campaign,
+    save_results,
+)
+from repro.characterization.results import AcminRecord
+
+
+def small_spec(**kwargs):
+    defaults = dict(
+        name="unit",
+        module_ids=("S3",),
+        experiment="acmin",
+        t_aggon_values=(36.0, units.TREFI),
+        sites_per_module=2,
+    )
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+def test_spec_json_roundtrip():
+    spec = small_spec()
+    assert CampaignSpec.from_json(spec.to_json()) == spec
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        small_spec(experiment="bogus")
+    with pytest.raises(ValueError):
+        small_spec(access="sideways")
+    with pytest.raises(ValueError):
+        small_spec(data_pattern="ZZ")
+
+
+def test_run_acmin_campaign():
+    records = run_campaign(small_spec())
+    assert len(records) == 4  # 2 sites x 2 points
+    assert all(isinstance(r, AcminRecord) for r in records)
+
+
+def test_run_taggonmin_campaign():
+    records = run_campaign(
+        small_spec(experiment="taggonmin", activation_counts=(100,))
+    )
+    assert len(records) == 2
+    assert all(r.activation_count == 100 for r in records)
+
+
+def test_results_roundtrip(tmp_path):
+    spec = small_spec()
+    records = run_campaign(spec)
+    path = tmp_path / "campaign.json"
+    save_results(path, spec, records)
+    loaded_spec, loaded_records = load_results(path)
+    assert loaded_spec == spec
+    assert loaded_records == records
+
+
+def test_determinism_across_runs():
+    a = run_campaign(small_spec())
+    b = run_campaign(small_spec())
+    assert a == b

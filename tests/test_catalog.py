@@ -1,0 +1,150 @@
+"""Module catalog and die calibrations (Tables 1, 5, 6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.dram.catalog import (
+    DIE_CALIBRATIONS,
+    MODULE_CATALOG,
+    REPRESENTATIVE_MODULES,
+    build_fleet,
+    build_module,
+    calibration_for,
+    modules_by_die,
+)
+from repro.dram.geometry import RowAddress
+
+from tests.conftest import full_width_geometry, small_geometry
+
+
+def test_fleet_matches_table1():
+    assert len(MODULE_CATALOG) == 21  # 21 DIMMs
+    total_chips = sum(info.num_chips for info in MODULE_CATALOG.values())
+    assert total_chips == 164  # 164 DRAM chips
+    manufacturers = {info.mfr_code for info in MODULE_CATALOG.values()}
+    assert manufacturers == {"S", "H", "M"}
+
+
+def test_every_module_has_a_calibration():
+    for info in MODULE_CATALOG.values():
+        assert info.die_key in DIE_CALIBRATIONS
+        assert calibration_for(info).die_key == info.die_key
+
+
+def test_twelve_die_revisions():
+    assert len(DIE_CALIBRATIONS) == 12
+    assert set(REPRESENTATIVE_MODULES) == set(DIE_CALIBRATIONS)
+
+
+def test_modules_by_die():
+    assert modules_by_die("S-8Gb-D") == ["S3", "S4", "S5"]
+    assert modules_by_die("M-8Gb-B") == ["M0"]
+
+
+def test_press_immune_dies():
+    assert not DIE_CALIBRATIONS["M-8Gb-B"].has_press
+    assert DIE_CALIBRATIONS["H-4Gb-A"].has_press  # only at 80 degC
+    assert DIE_CALIBRATIONS["H-4Gb-A"].press_taggonmin_mean_ms is None
+
+
+def test_press_spec_empty_for_immune_die():
+    assert DIE_CALIBRATIONS["M-8Gb-B"].press_spec().empty
+    assert not DIE_CALIBRATIONS["S-8Gb-D"].press_spec().empty
+
+
+def test_hammer_anchor_matches_table5():
+    for die_key, calibration in DIE_CALIBRATIONS.items():
+        spec = calibration.hammer_spec()
+        assert spec.expected_min() == pytest.approx(
+            calibration.hammer_acmin_mean, rel=0.01
+        ), die_key
+
+
+def test_press_anchor_matches_table5():
+    calibration = DIE_CALIBRATIONS["S-8Gb-D"]
+    spec = calibration.press_spec()
+    # min anchor is in effective-on-time units ~= t_AggONmin at AC=1
+    assert spec.expected_min() == pytest.approx(
+        calibration.press_taggonmin_mean_ms * units.MS, rel=0.05
+    )
+
+
+def test_temp_ratio_derivation():
+    calibration = DIE_CALIBRATIONS["S-8Gb-D"]
+    params = calibration.dose_parameters()
+    ratio = params.press_temp_factor(80.0)
+    assert ratio == pytest.approx(calibration.press_temp_ratio, rel=0.01)
+
+
+def test_measured_row_minimums_near_targets():
+    module = build_module("S3", geometry=full_width_geometry())
+    population = module.device.population
+    hammer_mins, press_mins = [], []
+    for row in range(80):
+        cells = population.row(0, 0, row)
+        hammer_mins.append(cells.min_hammer_threshold)
+        press_mins.append(cells.min_press_threshold)
+    calibration = DIE_CALIBRATIONS["S-8Gb-D"]
+    assert np.mean(hammer_mins) == pytest.approx(calibration.hammer_acmin_mean, rel=0.35)
+    assert np.mean(press_mins) == pytest.approx(
+        calibration.press_taggonmin_mean_ms * units.MS, rel=0.35
+    )
+
+
+def test_same_module_same_seed_reproducible():
+    a = build_module("S0", geometry=small_geometry())
+    b = build_module("S0", geometry=small_geometry())
+    cells_a = a.device.population.row(0, 0, 10)
+    cells_b = b.device.population.row(0, 0, 10)
+    assert np.array_equal(cells_a.hammer.thresholds, cells_b.hammer.thresholds)
+
+
+def test_sibling_modules_differ():
+    a = build_module("S3", geometry=small_geometry())
+    b = build_module("S4", geometry=small_geometry())
+    cells_a = a.device.population.row(0, 0, 10)
+    cells_b = b.device.population.row(0, 0, 10)
+    assert cells_a.hammer.size != cells_b.hammer.size or not np.array_equal(
+        cells_a.hammer.thresholds, cells_b.hammer.thresholds
+    )
+
+
+def test_hammer_strength_scales_thresholds():
+    weak = build_module("S2", geometry=small_geometry())
+    strong = build_module("S2", geometry=small_geometry(), hammer_strength=8.0)
+    weak_min = min(
+        weak.device.population.row(0, 0, r).min_hammer_threshold for r in range(20)
+    )
+    strong_min = min(
+        strong.device.population.row(0, 0, r).min_hammer_threshold for r in range(20)
+    )
+    assert strong_min > 4.0 * weak_min
+
+
+def test_build_fleet_default_is_full_catalog():
+    fleet = build_fleet(["S0", "H4", "M6"], geometry=small_geometry())
+    assert [module.info.module_id for module in fleet] == ["H4", "M6", "S0"] or len(fleet) == 3
+
+
+def test_scramble_is_involution():
+    module = build_module("S0", geometry=small_geometry())
+    for row in range(64):
+        physical = module.logical_to_physical(row)
+        assert module.physical_to_logical(physical) == row
+    # the pair_block scheme actually moves some rows
+    assert any(module.logical_to_physical(r) != r for r in range(8))
+
+
+def test_no_scramble_for_hynix():
+    module = build_module("H0", geometry=small_geometry())
+    assert all(module.logical_to_physical(r) == r for r in range(32))
+
+
+def test_physical_address_helper():
+    module = build_module("S0", geometry=small_geometry())
+    address = module.physical_address(0, 1, 2)
+    assert isinstance(address, RowAddress)
+    assert address.bank == 1

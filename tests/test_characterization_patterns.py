@@ -1,0 +1,94 @@
+"""Experiment composition: sites, programs, activation budgets."""
+
+import pytest
+
+from repro import units
+from repro.dram.datapattern import DataPattern
+from repro.bender.program import Act, FillRow, ReadRow
+from repro.characterization.patterns import (
+    AccessPattern,
+    ExperimentConfig,
+    RowSite,
+    build_disturb_program,
+    build_onoff_program,
+    max_activations,
+    site_grid,
+)
+
+
+def test_single_sided_site_layout():
+    site = RowSite(0, 1, 100)
+    aggressors = site.aggressors(AccessPattern.SINGLE_SIDED)
+    victims = site.victims(AccessPattern.SINGLE_SIDED)
+    assert [a.row for a in aggressors] == [100]
+    assert sorted(v.row for v in victims) == [97, 98, 99, 101, 102, 103]
+
+
+def test_double_sided_site_layout():
+    site = RowSite(0, 1, 100)
+    aggressors = site.aggressors(AccessPattern.DOUBLE_SIDED)
+    victims = site.victims(AccessPattern.DOUBLE_SIDED)
+    assert [a.row for a in aggressors] == [100, 102]
+    assert 101 in {v.row for v in victims}  # the sandwiched row
+    assert sorted(v.row for v in victims) == [97, 98, 99, 101, 103, 104, 105]
+
+
+def test_victims_clip_at_bank_start():
+    site = RowSite(0, 0, 1)
+    victims = site.victims(AccessPattern.SINGLE_SIDED)
+    assert all(v.row >= 0 for v in victims)
+
+
+def test_max_activations_budget():
+    assert max_activations(36.0) == int(units.EXPERIMENT_BUDGET // 51.0)
+    assert max_activations(30 * units.MS) == 1
+    # larger on-time, fewer activations
+    assert max_activations(7800.0) < max_activations(636.0)
+
+
+def test_disturb_program_composition():
+    site = RowSite(0, 0, 50)
+    program, victims = build_disturb_program(site, 36.0, 10)
+    fills = [i for i in program.instructions if isinstance(i, FillRow)]
+    reads = [i for i in program.instructions if isinstance(i, ReadRow)]
+    assert len(fills) == 7  # 6 victims + 1 aggressor
+    assert len(reads) == 6
+    aggressor_fill = [f for f in fills if f.address.row == 50]
+    assert aggressor_fill[0].byte_value == 0xAA  # checkerboard aggressor
+
+
+def test_disturb_program_respects_data_pattern():
+    config = ExperimentConfig(data=DataPattern.ROWSTRIPE)
+    program, _ = build_disturb_program(RowSite(0, 0, 50), 36.0, 10, config)
+    fills = {f.address.row: f.byte_value for f in program.instructions if isinstance(f, FillRow)}
+    assert fills[50] == 0xFF and fills[51] == 0x00
+
+
+def test_onoff_program_fills_budget():
+    site = RowSite(0, 0, 50)
+    program, _ = build_onoff_program(site, 636.0, 600.0)
+    loop = next(i for i in program.instructions if hasattr(i, "count"))
+    t_a2a = 636.0 + 600.0
+    assert loop.count == pytest.approx(units.EXPERIMENT_BUDGET / t_a2a, rel=0.01)
+
+
+def test_onoff_double_sided_splits_budget():
+    config = ExperimentConfig(access=AccessPattern.DOUBLE_SIDED)
+    program, _ = build_onoff_program(RowSite(0, 0, 50), 636.0, 600.0, config)
+    loop = next(i for i in program.instructions if hasattr(i, "count"))
+    acts_in_body = sum(1 for i in loop.body if isinstance(i, Act))
+    assert acts_in_body == 2
+    t_a2a = 636.0 + 600.0
+    assert loop.count == pytest.approx(units.EXPERIMENT_BUDGET / t_a2a / 2, rel=0.01)
+
+
+def test_site_grid_spacing_prevents_interference():
+    sites = site_grid(512, 8)
+    rows = [s.row for s in sites]
+    assert len(sites) == 8
+    assert all(b - a >= 12 for a, b in zip(rows, rows[1:]))
+
+
+def test_site_grid_rejects_zero():
+    with pytest.raises(ValueError):
+        site_grid(512, 0)

@@ -1,0 +1,51 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_fleet_command(capsys):
+    assert main(["fleet"]) == 0
+    out = capsys.readouterr().out
+    assert "S0" in out and "M6" in out and "Table 1" in out
+
+
+def test_acmin_command(capsys):
+    assert main(["acmin", "S3", "--row", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "7.8us" in out and "36ns" in out
+
+
+def test_attack_command(capsys):
+    assert main(["attack", "--victims", "20", "--iterations", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "NUM_READS" in out
+
+
+def test_campaign_command(tmp_path, capsys):
+    spec = {
+        "name": "cli-test",
+        "module_ids": ["S3"],
+        "experiment": "acmin",
+        "t_aggon_values": [36.0, 7800.0],
+        "sites_per_module": 2,
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    output = tmp_path / "out.json"
+    assert main(["campaign", str(spec_path), "--output", str(output)]) == 0
+    payload = json.loads(output.read_text())
+    assert len(payload["records"]) == 4
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_missing_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

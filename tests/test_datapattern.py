@@ -1,0 +1,70 @@
+"""Data patterns and row-content classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.datapattern import (
+    AGGRESSOR_BYTE,
+    VICTIM_BYTE,
+    DataPattern,
+    aggressor_bytes,
+    bits_from_bytes,
+    classify_aggressor,
+    fill_bytes,
+    victim_bytes,
+)
+
+
+def test_table2_values():
+    assert AGGRESSOR_BYTE[DataPattern.CHECKERBOARD] == 0xAA
+    assert VICTIM_BYTE[DataPattern.CHECKERBOARD] == 0x55
+    assert AGGRESSOR_BYTE[DataPattern.ROWSTRIPE] == 0xFF
+    assert VICTIM_BYTE[DataPattern.ROWSTRIPE] == 0x00
+
+
+def test_inverse_patterns_are_bitwise_inverses():
+    for base, inverse in [
+        (DataPattern.CHECKERBOARD, DataPattern.CHECKERBOARD_I),
+        (DataPattern.ROWSTRIPE, DataPattern.ROWSTRIPE_I),
+        (DataPattern.COLSTRIPE, DataPattern.COLSTRIPE_I),
+    ]:
+        assert AGGRESSOR_BYTE[base] ^ AGGRESSOR_BYTE[inverse] == 0xFF
+        assert VICTIM_BYTE[base] ^ VICTIM_BYTE[inverse] == 0xFF
+
+
+def test_fill_and_classify_roundtrip():
+    data = aggressor_bytes(DataPattern.ROWSTRIPE, 1024)
+    assert classify_aggressor(data) == DataPattern.ROWSTRIPE
+    data = victim_bytes(DataPattern.ROWSTRIPE, 1024)
+    # victim 0x00 equals the RSI aggressor byte
+    assert classify_aggressor(data) == DataPattern.ROWSTRIPE_I
+
+
+def test_classify_custom_content():
+    data = np.arange(128, dtype=np.uint8)
+    assert classify_aggressor(data) == DataPattern.CUSTOM
+    assert classify_aggressor(None) == DataPattern.CUSTOM
+    assert classify_aggressor(np.empty(0, dtype=np.uint8)) == DataPattern.CUSTOM
+
+
+def test_fill_bytes_validates():
+    with pytest.raises(ValueError):
+        fill_bytes(256, 1024)
+
+
+def test_bits_from_bytes_lsb_first():
+    data = np.array([0b0000_0001, 0b1000_0000], dtype=np.uint8)
+    columns = np.array([0, 7, 8, 15])
+    bits = bits_from_bytes(data, columns)
+    assert bits.tolist() == [1, 0, 0, 1]
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=64))
+def test_bits_consistent_with_fill(byte_value, words):
+    row_bits = words * 64
+    data = fill_bytes(byte_value, row_bits)
+    columns = np.arange(row_bits)
+    bits = bits_from_bytes(data, columns)
+    expected_ones = bin(byte_value).count("1") * (row_bits // 8)
+    assert int(bits.sum()) == expected_ones

@@ -1,0 +1,102 @@
+"""Real-system demonstration (§6): Algorithm 1 and Fig. 24."""
+
+import numpy as np
+import pytest
+
+from repro.dram.geometry import RowAddress
+from repro.system.demo import (
+    AttackParameters,
+    measure_access_latencies,
+    plan_iteration,
+    run_rowpress_attack,
+    sync_clean_probability,
+)
+from repro.system.machine import build_demo_system
+
+
+@pytest.fixture(scope="module")
+def demo_system():
+    return build_demo_system(rows_per_bank=2048)
+
+
+def victims(count=80):
+    return [RowAddress(0, 1, 16 + 8 * i) for i in range(count)]
+
+
+def test_plan_ton_grows_with_reads(demo_system):
+    small = plan_iteration(demo_system, AttackParameters(num_reads=1))
+    large = plan_iteration(demo_system, AttackParameters(num_reads=64))
+    assert small.t_on == demo_system.module.device.timing.tRAS
+    assert large.t_on > 10 * small.t_on
+
+
+def test_plan_crowding_breaks_sync(demo_system):
+    crowded = plan_iteration(
+        demo_system, AttackParameters(num_reads=48, num_aggr_acts=4)
+    )
+    assert not crowded.fits_trefi  # paper: A=4, R=48 does not fit tREFI
+    roomy = plan_iteration(demo_system, AttackParameters(num_reads=16, num_aggr_acts=4))
+    assert roomy.fits_trefi
+
+
+def test_sync_probability_monotone():
+    values = [sync_clean_probability(u) for u in (0.4, 0.7, 0.9, 1.2)]
+    assert values == sorted(values, reverse=True)
+    assert values[0] > 0.95 and values[-1] < 0.01
+
+
+def test_rowpress_flips_when_rowhammer_cannot(demo_system):
+    """Takeaway 6 at reduced scale."""
+    rows = victims(80)
+    hammer = run_rowpress_attack(
+        demo_system, rows, AttackParameters(num_reads=1, num_aggr_acts=2, num_iterations=50_000)
+    )
+    press = run_rowpress_attack(
+        demo_system, rows, AttackParameters(num_reads=64, num_aggr_acts=2, num_iterations=50_000)
+    )
+    assert hammer.total_bitflips == 0
+    assert press.total_bitflips > 0
+    assert any(f.mechanism == "press" for f in press.bitflips)
+
+
+def test_no_flips_with_single_activation_per_iteration(demo_system):
+    result = run_rowpress_attack(
+        demo_system,
+        victims(40),
+        AttackParameters(num_reads=32, num_aggr_acts=1, num_iterations=50_000),
+    )
+    assert result.total_bitflips == 0
+
+
+def test_rise_then_fall_with_num_reads(demo_system):
+    """Obsv. 21: bitflips rise with NUM_READS then collapse."""
+    rows = victims(80)
+    counts = {}
+    for reads in (1, 32, 80):
+        result = run_rowpress_attack(
+            demo_system,
+            rows,
+            AttackParameters(num_reads=reads, num_aggr_acts=4, num_iterations=50_000),
+        )
+        counts[reads] = result.total_bitflips
+    assert counts[32] > counts[1]
+    assert counts[80] < counts[32]
+
+
+def test_victim_flip_accounting(demo_system):
+    result = run_rowpress_attack(
+        demo_system,
+        victims(40),
+        AttackParameters(num_reads=64, num_aggr_acts=2, num_iterations=50_000),
+    )
+    assert sum(result.flips_per_victim.values()) == result.total_bitflips
+    assert result.rows_with_bitflips <= len(result.flips_per_victim)
+
+
+def test_latency_histogram_first_vs_rest(demo_system):
+    first, rest = measure_access_latencies(demo_system, trials=40, row=60, conflict_row=400)
+    assert len(first) == 40
+    assert len(rest) == 40 * (demo_system.module.geometry.cache_blocks_per_row - 1)
+    # Fig. 24: first access (activation) is measurably slower.
+    gap = np.median(first) - np.median(rest)
+    assert 10 <= gap <= 60  # ~30 TSC cycles in the paper

@@ -1,0 +1,222 @@
+"""DramDevice command semantics and disturbance bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.dram.catalog import build_module
+from repro.dram.datapattern import DataPattern, aggressor_bytes, victim_bytes
+from repro.dram.geometry import Geometry, RowAddress
+
+from tests.conftest import full_width_geometry, small_geometry
+
+
+def fresh_device(module_id="S3", geometry=None):
+    module = build_module(module_id, geometry=geometry or full_width_geometry())
+    return module.device
+
+
+def checkerboard_setup(device, aggressor_row=20, victims=(19, 21)):
+    bits = device.geometry.row_bits
+    aggressor = RowAddress(0, 0, aggressor_row)
+    device.write_row(aggressor, aggressor_bytes(DataPattern.CHECKERBOARD, bits), 0.0)
+    for row in victims:
+        device.write_row(
+            RowAddress(0, 0, row), victim_bytes(DataPattern.CHECKERBOARD, bits), 0.0
+        )
+    return aggressor, [RowAddress(0, 0, r) for r in victims]
+
+
+def test_act_requires_closed_bank():
+    device = fresh_device()
+    device.act(RowAddress(0, 0, 5), 100.0)
+    with pytest.raises(RuntimeError):
+        device.act(RowAddress(0, 0, 6), 200.0)
+    device.precharge(0, 0, 200.0)
+    device.act(RowAddress(0, 0, 6), 300.0)
+
+
+def test_open_row_tracking():
+    device = fresh_device()
+    assert device.open_row(0, 0) is None
+    device.act(RowAddress(0, 0, 7), 0.0)
+    assert device.open_row(0, 0) == 7
+    device.precharge(0, 0, 50.0)
+    assert device.open_row(0, 0) is None
+
+
+def test_precharge_idle_bank_is_noop():
+    device = fresh_device()
+    device.precharge(0, 0, 10.0)  # must not raise
+
+
+def test_write_then_peek_roundtrip():
+    device = fresh_device()
+    data = np.random.default_rng(0).integers(0, 256, size=8192, dtype=np.uint8)
+    address = RowAddress(0, 0, 3)
+    device.write_row(address, data, 0.0)
+    assert np.array_equal(device.peek_row(address), data)
+
+
+def test_write_row_validates_size():
+    device = fresh_device()
+    with pytest.raises(ValueError):
+        device.write_row(RowAddress(0, 0, 3), np.zeros(10, dtype=np.uint8), 0.0)
+
+
+def test_address_bounds_checked():
+    device = fresh_device()
+    with pytest.raises(ValueError):
+        device.act(RowAddress(0, 0, 10**9), 0.0)
+
+
+def test_hammer_dose_accumulates_and_flips():
+    device = fresh_device()
+    aggressor, victims = checkerboard_setup(device)
+    device.deposit_episodes(aggressor, 36.0, 15.0, 1e6, 600_000)
+    flips = []
+    for victim in victims:
+        _, new = device.read_row(victim, 2e6)
+        flips.extend(new)
+    assert flips
+    assert all(f.mechanism == "hammer" for f in flips)
+    assert all(f.direction == "0->1" for f in flips)  # injection on true cells
+
+
+def test_press_flips_direction_and_mechanism():
+    device = fresh_device()
+    aggressor, victims = checkerboard_setup(device)
+    count = int(units.EXPERIMENT_BUDGET // (units.TREFI + 15))
+    device.deposit_episodes(aggressor, units.TREFI, 15.0, 60e6, count)
+    flips = []
+    for victim in victims:
+        _, new = device.read_row(victim, 60e6 + 1)
+        flips.extend(new)
+    assert flips
+    assert all(f.mechanism == "press" for f in flips)
+    assert all(f.direction == "1->0" for f in flips)  # charge drained
+
+
+def test_sense_restores_and_does_not_reflip():
+    device = fresh_device()
+    aggressor, victims = checkerboard_setup(device)
+    device.deposit_episodes(aggressor, 36.0, 15.0, 1e6, 600_000)
+    _, first = device.read_row(victims[0], 2e6)
+    _, second = device.read_row(victims[0], 3e6)
+    assert first and not second  # dose cleared by the first sense
+
+
+def test_victim_activation_clears_dose():
+    device = fresh_device()
+    aggressor, victims = checkerboard_setup(device)
+    device.deposit_episodes(aggressor, 36.0, 15.0, 1e6, 300_000)
+    # Refreshing the victim mid-way restores its charge.
+    device.refresh_row(victims[0], 1.5e6)
+    device.deposit_episodes(aggressor, 36.0, 15.0, 3e6, 300_000)
+    _, flips_refreshed = device.read_row(victims[0], 4e6)
+    # The other victim accumulated all 600K activations.
+    _, flips_accumulated = device.read_row(victims[1], 4e6)
+    assert len(flips_accumulated) > len(flips_refreshed)
+
+
+def test_flips_persist_in_stored_data():
+    device = fresh_device()
+    aggressor, victims = checkerboard_setup(device)
+    device.deposit_episodes(aggressor, 36.0, 15.0, 1e6, 900_000)
+    data, flips = device.read_row(victims[0], 2e6)
+    assert flips
+    flip = flips[0]
+    bit = (data[flip.column >> 3] >> (flip.column & 7)) & 1
+    assert bit == flip.bit_after
+
+
+def test_bulk_deposit_equals_literal_episodes():
+    geometry = full_width_geometry()
+    literal = fresh_device(geometry=geometry)
+    bulk = fresh_device(geometry=geometry)
+    count = 40
+    for device in (literal, bulk):
+        checkerboard_setup(device)
+    aggressor = RowAddress(0, 0, 20)
+    time = 0.0
+    for _ in range(count):
+        literal.act(aggressor, time)
+        literal.precharge(0, 0, time + 7800.0)
+        time += 7800.0 + 15.0
+    bulk.deposit_episodes(aggressor, 7800.0, 15.0, time, count)
+    victim = RowAddress(0, 0, 21)
+    dose_literal = literal.dose_of(victim, now=time + 1)
+    dose_bulk = bulk.dose_of(victim, now=time + 1)
+    assert dose_literal[0] == pytest.approx(dose_bulk[0], rel=0.06)
+    assert dose_literal[1] == pytest.approx(dose_bulk[1], rel=0.06)
+
+
+def test_distance_two_victims_get_weaker_dose():
+    device = fresh_device()
+    aggressor, _ = checkerboard_setup(device, victims=(19, 21, 22))
+    device.deposit_episodes(aggressor, 36.0, 15.0, 1e6, 100_000)
+    near = device.dose_of(RowAddress(0, 0, 21), now=1.1e6)
+    far = device.dose_of(RowAddress(0, 0, 22), now=1.1e6)
+    assert near[0] > 10 * far[0]
+
+
+def test_sandwich_detection_double_sided():
+    device = fresh_device()
+    bits = device.geometry.row_bits
+    for row, byte in ((20, 0xAA), (22, 0xAA), (21, 0x55)):
+        device.write_row(RowAddress(0, 0, row), np.full(bits // 8, byte, np.uint8), 0.0)
+    # Alternate the two aggressors; the middle victim must get the boost.
+    time = 0.0
+    for _ in range(50):
+        for row in (20, 22):
+            device.act(RowAddress(0, 0, row), time)
+            device.precharge(0, 0, time + 36.0)
+            time += 51.0
+    sandwiched = device.dose_of(RowAddress(0, 0, 21), now=time)[0]
+    outer = device.dose_of(RowAddress(0, 0, 19), now=time)[0]
+    # Middle victim: 100 sandwiched episodes; outer: 50 plain episodes.
+    assert sandwiched > 3.0 * outer
+
+
+def test_retention_failures_only_after_long_idle(s3_module):
+    device = s3_module.device
+    device.set_temperature(80.0)
+    address = RowAddress(0, 0, 40)
+    device.write_row(address, victim_bytes(DataPattern.CHECKERBOARD, 65536), 0.0)
+    _, soon = device.read_row(address, 64 * units.MS)
+    assert not soon
+    device.write_row(address, victim_bytes(DataPattern.CHECKERBOARD, 65536), 0.0)
+    _, late = device.read_row(address, 4 * units.S)
+    assert all(f.mechanism == "retention" for f in late)
+
+
+def test_refresh_sweep_advances_pointer():
+    device = fresh_device(geometry=small_geometry(rows=64))
+    device.config.refresh_rows_per_ref = 8
+    device.refresh(0, 0, 1000.0)
+    assert device._banks[(0, 0)].refresh_pointer == 8
+
+
+def test_refresh_requires_precharged_bank():
+    device = fresh_device()
+    device.act(RowAddress(0, 0, 5), 0.0)
+    with pytest.raises(RuntimeError):
+        device.refresh(0, 0, 100.0)
+
+
+def test_on_activate_hook_fires():
+    device = fresh_device()
+    seen = []
+    device.on_activate = lambda addr, t: seen.append((addr.row, t))
+    device.act(RowAddress(0, 0, 9), 5.0)
+    assert seen == [(9, 5.0)]
+
+
+def test_reset_disturbance_clears_doses():
+    device = fresh_device()
+    aggressor, victims = checkerboard_setup(device)
+    device.deposit_episodes(aggressor, 36.0, 15.0, 1e6, 500_000)
+    device.reset_disturbance()
+    assert device.dose_of(victims[0]) == (0.0, 0.0)
+    _, flips = device.read_row(victims[0], 2e6)
+    assert not flips

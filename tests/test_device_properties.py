@@ -1,0 +1,106 @@
+"""Property-based tests on device-level invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.catalog import build_module
+from repro.dram.datapattern import DataPattern, aggressor_bytes, victim_bytes
+from repro.dram.geometry import Geometry, RowAddress
+
+GEOMETRY = Geometry(
+    ranks=1, bank_groups=1, banks_per_group=1, rows_per_bank=64, row_bits=8192
+)
+
+
+def fresh_device():
+    return build_module("S3", geometry=GEOMETRY).device
+
+
+def setup_rows(device, aggressor_row=30):
+    bits = GEOMETRY.row_bits
+    aggressor = RowAddress(0, 0, aggressor_row)
+    device.write_row(aggressor, aggressor_bytes(DataPattern.CHECKERBOARD, bits), 0.0)
+    victim = RowAddress(0, 0, aggressor_row + 1)
+    device.write_row(victim, victim_bytes(DataPattern.CHECKERBOARD, bits), 0.0)
+    return aggressor, victim
+
+
+@given(
+    count=st.integers(min_value=1, max_value=100_000),
+    t_on=st.floats(min_value=36.0, max_value=100_000.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_deposit_split_is_additive(count, t_on):
+    """deposit(n) == deposit(k) + deposit(n-k) for dose accumulation."""
+    split = max(count // 3, 1)
+    whole = fresh_device()
+    parts = fresh_device()
+    aggressor, victim = setup_rows(whole)
+    setup_rows(parts)
+    whole.deposit_episodes(aggressor, t_on, 15.0, 1e6, count)
+    parts.deposit_episodes(aggressor, t_on, 15.0, 5e5, split)
+    parts.deposit_episodes(aggressor, t_on, 15.0, 1e6, count - split)
+    dose_whole = whole.dose_of(victim, now=1.1e6)
+    dose_parts = parts.dose_of(victim, now=1.1e6)
+    assert dose_whole[0] == pytest.approx(dose_parts[0], rel=1e-9, abs=1e-12)
+    assert dose_whole[1] == pytest.approx(dose_parts[1], rel=1e-9, abs=1e-12)
+
+
+@given(
+    counts=st.tuples(
+        st.integers(min_value=100, max_value=50_000),
+        st.integers(min_value=100, max_value=50_000),
+    )
+)
+@settings(max_examples=15, deadline=None)
+def test_dose_monotone_in_count(counts):
+    low, high = min(counts), max(counts)
+    device_low = fresh_device()
+    device_high = fresh_device()
+    aggressor, victim = setup_rows(device_low)
+    setup_rows(device_high)
+    device_low.deposit_episodes(aggressor, 7800.0, 15.0, 1e6, low)
+    device_high.deposit_episodes(aggressor, 7800.0, 15.0, 1e6, high)
+    assert device_high.dose_of(victim, now=1.1e6)[1] >= (
+        device_low.dose_of(victim, now=1.1e6)[1]
+    )
+
+
+@given(t_on=st.floats(min_value=100.0, max_value=1e7))
+@settings(max_examples=15, deadline=None)
+def test_flip_count_monotone_in_dose(t_on):
+    """More on-time at fixed count never yields fewer press flips."""
+    device_short = fresh_device()
+    device_long = fresh_device()
+    aggressor, victim = setup_rows(device_short)
+    setup_rows(device_long)
+    count = 500
+    device_short.deposit_episodes(aggressor, t_on, 15.0, 1e9, count)
+    device_long.deposit_episodes(aggressor, t_on * 2, 15.0, 1e9, count)
+    short_flips = len(device_short.read_row(victim, 1.1e9)[1])
+    long_flips = len(device_long.read_row(victim, 1.1e9)[1])
+    assert long_flips >= short_flips
+
+
+@given(data=st.binary(min_size=GEOMETRY.row_bits // 8, max_size=GEOMETRY.row_bits // 8))
+@settings(max_examples=20, deadline=None)
+def test_write_read_without_disturbance_is_identity(data):
+    device = fresh_device()
+    address = RowAddress(0, 0, 10)
+    payload = np.frombuffer(data, dtype=np.uint8)
+    device.write_row(address, payload, 0.0)
+    read_back, flips = device.read_row(address, 1000.0)
+    assert not flips
+    assert np.array_equal(read_back, payload)
+
+
+@given(rows=st.lists(st.integers(min_value=1, max_value=62), min_size=1, max_size=6))
+@settings(max_examples=15, deadline=None)
+def test_refresh_resets_all_disturbance(rows):
+    device = fresh_device()
+    aggressor, victim = setup_rows(device)
+    device.deposit_episodes(aggressor, 7800.0, 15.0, 1e6, 5000)
+    for row in {victim.row, *rows}:
+        device.refresh_row(RowAddress(0, 0, row), 2e6)
+    assert device.dose_of(victim) == (0.0, 0.0)

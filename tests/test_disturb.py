@@ -1,0 +1,144 @@
+"""Dose model invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.datapattern import DataPattern
+from repro.dram.disturb import DisturbanceModel, DoseParameters
+
+CB = DataPattern.CHECKERBOARD
+PARAMS = DoseParameters()
+
+
+def test_reference_hammer_dose_is_unity():
+    dose = PARAMS.hammer_dose(36.0, 15.0, 50.0, CB, distance=1, sandwiched=False)
+    assert dose == pytest.approx(1.0)
+
+
+def test_hammer_dose_grows_with_off_time_then_saturates():
+    short = PARAMS.hammer_dose(36.0, 15.0, 50.0, CB)
+    medium = PARAMS.hammer_dose(36.0, 150.0, 50.0, CB)
+    long = PARAMS.hammer_dose(36.0, 5000.0, 50.0, CB)
+    longer = PARAMS.hammer_dose(36.0, 50000.0, 50.0, CB)
+    assert short < medium < long
+    assert long == pytest.approx(longer, rel=0.01)  # saturated
+
+
+def test_hammer_on_time_boost_is_mild_and_saturating():
+    base = PARAMS.hammer_dose(36.0, 15.0, 50.0, CB)
+    boosted = PARAMS.hammer_dose(186.0, 15.0, 50.0, CB)
+    saturated = PARAMS.hammer_dose(10_000.0, 15.0, 50.0, CB)
+    assert base < boosted < saturated
+    assert saturated / base < 1.0 + PARAMS.hammer_beta + 1e-9
+
+
+def test_sandwich_boost():
+    single = PARAMS.hammer_dose(36.0, 15.0, 50.0, CB, sandwiched=False)
+    double = PARAMS.hammer_dose(36.0, 15.0, 50.0, CB, sandwiched=True)
+    assert double == pytest.approx(single * PARAMS.hammer_sandwich_boost)
+
+
+def test_press_dose_zero_at_tras():
+    assert PARAMS.press_dose(36.0, 50.0, CB, t_off=15.0) == 0.0
+
+
+def test_press_dose_asymptotically_linear():
+    # Beyond the soft onset, eff(t_on) approaches t_on - tRAS.
+    eff = PARAMS.press_effective_on_time(30e6)
+    assert eff == pytest.approx(30e6 - 36.0, rel=0.001)
+
+
+def test_press_soft_onset_penalizes_short_openings():
+    eff = PARAMS.press_effective_on_time(236.0)  # 200 ns excess
+    assert eff < 0.2 * 200.0
+
+
+def test_press_single_vs_double_crossover():
+    """Obsv. 13: double-sided press wins at small t_on, single at large."""
+    small = 500.0
+    large = 50_000.0
+    assert PARAMS.press_effective_on_time(small, sandwiched=True) > (
+        PARAMS.press_effective_on_time(small, sandwiched=False)
+    )
+    assert PARAMS.press_effective_on_time(large, sandwiched=True) < (
+        PARAMS.press_effective_on_time(large, sandwiched=False)
+    )
+
+
+def test_press_temperature_factor():
+    params = DoseParameters(press_temp_halving_degc=30.0)
+    assert params.press_temp_factor(50.0) == pytest.approx(1.0)
+    assert params.press_temp_factor(80.0) == pytest.approx(2.0)
+
+
+def test_press_off_recovery():
+    assert PARAMS.press_off_recovery(0.0) == 1.0
+    assert PARAMS.press_off_recovery(PARAMS.press_off_recovery_tau) == pytest.approx(0.5)
+    long_off = PARAMS.press_dose(7800.0, 50.0, CB, t_off=1e6)
+    short_off = PARAMS.press_dose(7800.0, 50.0, CB, t_off=15.0)
+    assert long_off < 0.05 * short_off
+
+
+def test_distance_decay():
+    d1 = PARAMS.hammer_dose(36.0, 15.0, 50.0, CB, distance=1)
+    d2 = PARAMS.hammer_dose(36.0, 15.0, 50.0, CB, distance=2)
+    d3 = PARAMS.hammer_dose(36.0, 15.0, 50.0, CB, distance=3)
+    assert d1 > 10 * d2 > 10 * d3
+    assert PARAMS.press_dose(7800.0, 50.0, CB, distance=3) == 0.0
+    assert PARAMS.hammer_dose(36.0, 15.0, 50.0, CB, distance=7) == 0.0
+
+
+def test_rowstripe_immune_class_blocks_press():
+    params = DoseParameters(pattern_class="rs_immune")
+    assert params.press_dose(7800.0, 50.0, DataPattern.ROWSTRIPE) == 0.0
+    assert params.hammer_dose(36.0, 15.0, 50.0, DataPattern.ROWSTRIPE) > 1.0
+
+
+def test_colstripe_inverse_flips_with_temperature():
+    """Obsv. 14: CSI best press pattern at 50 degC, worst at 80 degC."""
+    params = DoseParameters(pattern_class="rs_immune")
+    at50 = params.press_pattern_factor(DataPattern.COLSTRIPE_I, 50.0)
+    at80 = params.press_pattern_factor(DataPattern.COLSTRIPE_I, 80.0)
+    cb50 = params.press_pattern_factor(CB, 50.0)
+    cb80 = params.press_pattern_factor(CB, 80.0)
+    assert at50 > cb50
+    assert at80 < cb80
+
+
+def test_double_sided_colstripe_shift():
+    """Fig. 20: CS patterns gain effectiveness double-sided."""
+    single = PARAMS.press_pattern_factor(DataPattern.COLSTRIPE, 50.0, sandwiched=False)
+    double = PARAMS.press_pattern_factor(DataPattern.COLSTRIPE, 50.0, sandwiched=True)
+    assert double > single
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        DoseParameters(pattern_class="bogus")
+    with pytest.raises(ValueError):
+        DoseParameters(hammer_off_floor=2.0)
+    with pytest.raises(ValueError):
+        DoseParameters(press_temp_halving_degc=0.0)
+
+
+@given(
+    t_on=st.floats(min_value=36.0, max_value=30e6),
+    t_off=st.floats(min_value=15.0, max_value=1e6),
+    temperature=st.floats(min_value=40.0, max_value=90.0),
+)
+@settings(max_examples=60)
+def test_doses_are_nonnegative_and_finite(t_on, t_off, temperature):
+    model = DisturbanceModel(PARAMS)
+    for distance in (1, 2, 3):
+        for sandwiched in (False, True):
+            hammer, press = model.episode_doses(
+                t_on, t_off, temperature, CB, distance, sandwiched
+            )
+            assert hammer >= 0.0 and press >= 0.0
+            assert hammer < 1e12 and press < 1e12
+
+
+@given(t1=st.floats(min_value=36.0, max_value=1e6), scale=st.floats(min_value=1.1, max_value=50.0))
+@settings(max_examples=60)
+def test_press_effective_time_monotonic(t1, scale):
+    assert PARAMS.press_effective_on_time(t1 * scale) >= PARAMS.press_effective_on_time(t1)

@@ -1,0 +1,68 @@
+"""DRAM geometry and addressing."""
+
+import pytest
+
+from repro.dram.geometry import Geometry, RowAddress, SMALL_GEOMETRY
+
+
+def test_default_geometry_counts():
+    geometry = Geometry()
+    assert geometry.banks == 16
+    assert geometry.cache_blocks_per_row == 128
+    assert geometry.words_per_row == 1024
+
+
+def test_row_neighbor():
+    address = RowAddress(0, 1, 100)
+    assert address.neighbor(2) == RowAddress(0, 1, 102)
+    assert address.neighbor(-1).row == 99
+
+
+def test_valid_row_bounds():
+    geometry = SMALL_GEOMETRY
+    assert geometry.valid_row(RowAddress(0, 0, 0))
+    assert geometry.valid_row(RowAddress(0, 1, geometry.rows_per_bank - 1))
+    assert not geometry.valid_row(RowAddress(0, 0, geometry.rows_per_bank))
+    assert not geometry.valid_row(RowAddress(1, 0, 0))
+    assert not geometry.valid_row(RowAddress(0, 2, 0))
+
+
+def test_iter_banks_covers_all():
+    geometry = Geometry(ranks=2)
+    banks = list(geometry.iter_banks())
+    assert len(banks) == geometry.total_banks == 32
+    assert len(set(banks)) == 32
+
+
+def test_characterization_rows_paper_sampling():
+    geometry = Geometry()
+    rows = geometry.characterization_rows(3072)
+    assert len(rows) == 3072
+    assert rows[0] == 0 and rows[1023] == 1023  # first 1024
+    assert rows[-1] == geometry.rows_per_bank - 1  # last 1024
+    middle = rows[1024:2048]
+    assert all(1024 < r < geometry.rows_per_bank - 1024 for r in middle)
+
+
+def test_characterization_rows_small_bank_returns_all():
+    rows = SMALL_GEOMETRY.characterization_rows(3072)
+    assert rows == list(range(SMALL_GEOMETRY.rows_per_bank))
+
+
+def test_characterization_rows_rejects_non_multiple_of_three():
+    with pytest.raises(ValueError):
+        Geometry().characterization_rows(100)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"rows_per_bank": 4},
+        {"row_bits": 100},  # not a multiple of 64
+        {"row_bits": 8192, "cache_block_bits": 5000},
+        {"ranks": 0},
+    ],
+)
+def test_invalid_geometry_rejected(kwargs):
+    with pytest.raises(ValueError):
+        Geometry(**kwargs)

@@ -1,0 +1,162 @@
+"""Graphene, PARA, the RowPress adaptation, and the security tracker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mitigation import (
+    ADAPTATION_TABLE,
+    Graphene,
+    NoMitigation,
+    Para,
+    VictimExposureTracker,
+    acmin_reduction_factor,
+    adapt_graphene,
+    adapt_para,
+    adapted_threshold,
+)
+
+
+# ------------------------------------------------------------------ Graphene
+
+
+def test_graphene_detects_heavy_hitter():
+    graphene = Graphene(threshold=50, table_entries=8)
+    refreshes = []
+    for _ in range(120):
+        refreshes.extend(graphene.on_activation(0, 0, row=10, time_ns=0.0))
+    assert refreshes, "a row activated 120 times must trip threshold 50"
+    assert {9, 11}.issubset(set(refreshes))
+
+
+def test_graphene_guarantee_under_eviction_pressure():
+    """No row reaches 2*threshold activations without a refresh."""
+    graphene = Graphene(threshold=40, table_entries=4)
+    unrefreshed_acts = 0
+    for step in range(4000):
+        row = 10 if step % 3 == 0 else 100 + (step % 37)  # noise rows
+        victims = graphene.on_activation(0, 0, row, 0.0)
+        if row == 10:
+            unrefreshed_acts += 1
+            if 9 in victims or 11 in victims:
+                unrefreshed_acts = 0
+        assert unrefreshed_acts < 2 * 40
+
+
+def test_graphene_epoch_reset():
+    graphene = Graphene(threshold=10, table_entries=4)
+    for _ in range(9):
+        graphene.on_activation(0, 0, 5, 0.0)
+    graphene.on_refresh_window(0.0)
+    assert graphene.on_activation(0, 0, 5, 0.0) == []  # counter restarted
+
+
+def test_graphene_counts_refreshes():
+    graphene = Graphene(threshold=5, table_entries=4)
+    for _ in range(10):
+        graphene.on_activation(0, 0, 7, 0.0)
+    assert graphene.preventive_refreshes >= 4
+
+
+def test_graphene_validates_threshold():
+    with pytest.raises(ValueError):
+        Graphene(threshold=0)
+
+
+# ---------------------------------------------------------------------- PARA
+
+
+def test_para_refresh_rate_matches_probability():
+    para = Para(probability=0.1, seed=1)
+    refreshes = sum(len(para.on_activation(0, 0, 50, 0.0)) for _ in range(20_000))
+    assert refreshes == pytest.approx(2000, rel=0.1)
+
+
+def test_para_refreshes_neighbors():
+    para = Para(probability=1.0, seed=2)
+    victims = set()
+    for _ in range(200):
+        victims.update(para.on_activation(0, 0, 50, 0.0))
+    assert victims <= {48, 49, 51, 52}
+    assert {49, 51} <= victims
+
+
+def test_para_zero_probability_never_refreshes():
+    para = Para(probability=0.0)
+    assert all(not para.on_activation(0, 0, 5, 0.0) for _ in range(100))
+
+
+def test_para_validates_probability():
+    with pytest.raises(ValueError):
+        Para(probability=1.5)
+
+
+# ----------------------------------------------------------------- adaptation
+
+
+def test_adaptation_table_monotone():
+    values = [ADAPTATION_TABLE[t] for t in sorted(ADAPTATION_TABLE)]
+    assert values == sorted(values, reverse=True)
+    assert ADAPTATION_TABLE[36.0] == 1000
+
+
+def test_adapted_threshold_scales_with_trh():
+    assert adapted_threshold(2000, 96.0) == 1448
+    assert adapted_threshold(1000, 36.0) == 1000
+
+
+def test_model_derived_factor_behaviour():
+    base = acmin_reduction_factor(36.0)
+    assert base == pytest.approx(1.0, abs=0.01)
+    f96 = acmin_reduction_factor(96.0)
+    f636 = acmin_reduction_factor(636.0)
+    assert 0.0 < f636 < f96 < 1.0 + 1e-9
+
+
+def test_adapt_graphene_config():
+    config = adapt_graphene(t_rh=1000, t_mro=636.0)
+    assert config.adapted_t_rh == 419
+    assert config.policy.t_mro == 636.0
+    assert config.mitigation.threshold == 139  # paper Table 3
+
+
+def test_adapt_para_config():
+    config = adapt_para(t_rh=1000, t_mro=96.0)
+    assert config.mitigation.probability == pytest.approx(0.047)
+    assert config.adapted_t_rh == 724
+
+
+def test_no_mitigation_is_inert():
+    mitigation = NoMitigation()
+    assert mitigation.on_activation(0, 0, 1, 0.0) == []
+    assert mitigation.preventive_refreshes == 0
+
+
+# -------------------------------------------------------------------- security
+
+
+def test_exposure_tracker_accumulates_and_clears():
+    tracker = VictimExposureTracker(dose_ratio=2.0)
+    for _ in range(5):
+        tracker.on_activation(0, 0, 100)
+    assert tracker.exposure[(0, 0, 101)] == pytest.approx(10.0)
+    tracker.on_refresh(0, 0, 101)
+    assert (0, 0, 101) not in tracker.exposure
+    assert tracker.max_exposure_seen == pytest.approx(10.0)
+
+
+def test_exposure_tracker_window_reset():
+    tracker = VictimExposureTracker()
+    tracker.on_activation(0, 0, 100)
+    tracker.on_refresh_window()
+    assert not tracker.exposure
+
+
+@given(acts=st.integers(min_value=1, max_value=500), ratio=st.floats(min_value=1.0, max_value=5.0))
+@settings(max_examples=40)
+def test_exposure_bound_matches_count(acts, ratio):
+    tracker = VictimExposureTracker(dose_ratio=ratio)
+    for _ in range(acts):
+        tracker.on_activation(0, 0, 10)
+    assert tracker.max_exposure_seen == pytest.approx(acts * ratio)
+    assert tracker.is_secure(t_rh=int(acts * ratio) + 1)
+    assert not tracker.is_secure(t_rh=max(int(acts * ratio) - 1, 0))

@@ -1,0 +1,79 @@
+"""JEDEC refresh postponement (§2.3: the 70.2 us row-open bound)."""
+
+import pytest
+
+from repro import units
+from repro.dram.catalog import build_module
+from repro.dram.geometry import Geometry
+from repro.system.controller import RealSystemMemoryController
+
+
+def make_controller(max_postponed=0):
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=256, row_bits=8192
+    )
+    module = build_module("S2", geometry=geometry)
+    return RealSystemMemoryController(
+        module, trr=None, max_postponed_refreshes=max_postponed
+    )
+
+
+def hammer_until(mc, row, end_ns, step_ns=400.0):
+    """Keep one row busy with reads until ``end_ns``."""
+    time = 0.0
+    closures = 0
+    last_open = None
+    while time < end_ns:
+        mc.access_row(0, 0, row, time)
+        if mc.open_row_of(0, 0) != last_open:
+            closures += 1
+            last_open = mc.open_row_of(0, 0)
+        time += step_ns
+    return closures
+
+
+def test_without_postponement_row_closes_every_trefi():
+    mc = make_controller(max_postponed=0)
+    # ~5 tREFI of continuous same-row reads
+    hammer_until(mc, row=50, end_ns=5 * units.TREFI)
+    assert mc.stats["refreshes"] >= 4  # REF fired ~every tREFI
+
+
+def test_postponement_defers_refreshes_while_row_busy():
+    mc = make_controller(max_postponed=8)
+    hammer_until(mc, row=50, end_ns=5 * units.TREFI)
+    # the row stayed busy: REFs were postponed, none (or one) executed
+    assert mc.stats["refreshes"] <= 1
+
+
+def test_postponed_refreshes_catch_up_when_idle():
+    mc = make_controller(max_postponed=8)
+    hammer_until(mc, row=50, end_ns=5 * units.TREFI)
+    postponed = mc._postponed
+    assert postponed >= 4
+    # go idle for 2 tREFI: the deferred REFs execute in a burst
+    mc.access_row(0, 0, 120, 7 * units.TREFI + 2 * units.TREFI)
+    assert mc._postponed == 0
+    assert mc.stats["refreshes"] >= postponed
+
+
+def test_postponement_extends_achievable_row_open_time():
+    """With 8 postponed REFs, a row can stay open up to ~9 x tREFI."""
+    spans = {}
+    for max_postponed in (0, 8):
+        mc = make_controller(max_postponed=max_postponed)
+        time = 0.0
+        longest = 0.0
+        streak_start = None
+        while time < 10 * units.TREFI:
+            _, kind = mc.access_row(0, 0, 50, time)
+            if kind == "hit":
+                if streak_start is None:
+                    streak_start = time
+                longest = max(longest, time - streak_start)
+            else:
+                streak_start = None  # the row had been closed (REF)
+            time += 400.0
+        spans[max_postponed] = longest
+    assert spans[0] < 1.2 * units.TREFI
+    assert spans[8] > 4 * units.TREFI

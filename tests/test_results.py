@@ -1,0 +1,97 @@
+"""Result aggregation: box stats, per-die grouping, slope fits."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.characterization.results import (
+    AcminRecord,
+    aggregate_by_die,
+    box_stats,
+    loglog_slope,
+)
+
+
+def test_box_stats_paper_definition():
+    # footnote 2: Q1/Q3 are medians of the ordered halves
+    stats = box_stats([1, 2, 3, 4, 5, 6, 7, 8])
+    assert stats.first_quartile == 2.5
+    assert stats.median == 4.5
+    assert stats.third_quartile == 6.5
+    assert stats.iqr == 4.0
+    assert stats.minimum == 1 and stats.maximum == 8
+
+
+def test_box_stats_odd_count_excludes_median():
+    stats = box_stats([1, 2, 3, 4, 5])
+    assert stats.first_quartile == 1.5
+    assert stats.third_quartile == 4.5
+
+
+def test_box_stats_empty_raises():
+    with pytest.raises(ValueError):
+        box_stats([])
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+def test_box_stats_ordering_invariant(values):
+    stats = box_stats(values)
+    assert stats.minimum <= stats.first_quartile <= stats.median
+    assert stats.median <= stats.third_quartile <= stats.maximum
+    # mean may exceed the extremes by float-summation rounding only
+    slack = 1e-9 * (abs(stats.minimum) + abs(stats.maximum) + 1.0)
+    assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+
+
+def _record(die, acmin, t=36.0):
+    return AcminRecord(
+        module_id="X0",
+        die_key=die,
+        access="single",
+        temperature_c=50.0,
+        t_aggon=t,
+        site_row=0,
+        acmin=acmin,
+    )
+
+
+def test_aggregate_by_die_counts_and_stats():
+    records = [_record("A", 10), _record("A", 30), _record("A", None), _record("B", 5)]
+    aggregates = aggregate_by_die(records, lambda r: r.acmin)
+    assert aggregates["A"].count == 3
+    assert aggregates["A"].observed == 2
+    assert aggregates["A"].mean == 20
+    assert aggregates["A"].minimum == 10
+    assert aggregates["A"].hit_fraction == pytest.approx(2 / 3)
+    assert aggregates["B"].maximum == 5
+
+
+def test_aggregate_handles_all_missing():
+    aggregates = aggregate_by_die([_record("A", None)], lambda r: r.acmin)
+    assert aggregates["A"].mean is None
+    assert aggregates["A"].hit_fraction == 0.0
+
+
+def test_loglog_slope_exact_power_law():
+    points = [(x, 100.0 * x**-1.0) for x in (1.0, 10.0, 100.0)]
+    assert loglog_slope(points) == pytest.approx(-1.0)
+
+
+def test_loglog_slope_filters_nonpositive():
+    points = [(1.0, 10.0), (10.0, 1.0), (100.0, 0.0)]
+    assert loglog_slope(points) == pytest.approx(-1.0)
+
+
+def test_loglog_slope_needs_two_points():
+    with pytest.raises(ValueError):
+        loglog_slope([(1.0, 1.0)])
+
+
+@given(
+    exponent=st.floats(min_value=-3.0, max_value=3.0),
+    scale=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_loglog_slope_recovers_exponent(exponent, scale):
+    points = [(x, scale * x**exponent) for x in (2.0, 7.0, 31.0, 100.0)]
+    assert loglog_slope(points) == pytest.approx(exponent, abs=1e-6)

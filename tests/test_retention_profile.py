@@ -1,0 +1,64 @@
+"""REAPER-style retention profiling."""
+
+import pytest
+
+from repro import units
+from repro.characterization.retention_profile import profile_row, profile_rows
+from repro.dram.geometry import RowAddress
+
+
+def test_profile_finds_retention_boundary(s3_module):
+    profile = profile_row(s3_module, RowAddress(0, 0, 30))
+    if profile.min_retention_ns is None:
+        pytest.skip("row happens to have no sub-16s retention cell")
+    # the boundary is real: just below survives, at/above fails
+    assert profile.weak_cells >= 1
+    assert 1.0 * units.MS <= profile.min_retention_ns <= 16.0 * units.S
+
+
+def test_profile_boundary_is_consistent(s3_module):
+    from repro.characterization.retention_profile import _flips_after_idle
+    from repro.dram.datapattern import DataPattern, VICTIM_BYTE, fill_bytes
+
+    address = RowAddress(0, 0, 44)
+    profile = profile_row(s3_module, address)
+    if profile.min_retention_ns is None:
+        pytest.skip("no weak cell in this row")
+    data = fill_bytes(VICTIM_BYTE[DataPattern.CHECKERBOARD], 65536)
+    device = s3_module.device
+    device.set_temperature(80.0)
+    try:
+        assert _flips_after_idle(s3_module, address, profile.min_retention_ns, data) > 0
+        assert (
+            _flips_after_idle(s3_module, address, profile.min_retention_ns * 0.9, data)
+            == 0
+        )
+    finally:
+        device.set_temperature(50.0)
+
+
+def test_cooler_rows_retain_longer(s3_module):
+    address = RowAddress(0, 0, 52)
+    hot = profile_row(s3_module, address, temperature_c=80.0)
+    cool = profile_row(s3_module, address, temperature_c=60.0, max_idle_ns=80 * units.S)
+    if hot.min_retention_ns is None or cool.min_retention_ns is None:
+        pytest.skip("row has no weak cell in range")
+    # retention time roughly doubles per -10 degC (x4 for -20)
+    ratio = cool.min_retention_ns / hot.min_retention_ns
+    assert 2.0 < ratio < 8.0
+
+
+def test_profile_rows_batch(s3_module):
+    rows = [RowAddress(0, 0, r) for r in (20, 28, 36)]
+    profiles = profile_rows(s3_module, rows)
+    assert len(profiles) == 3
+    assert {p.address.row for p in profiles} == {20, 28, 36}
+
+
+def test_strong_row_reports_none(m0_module):
+    # profile with a tiny idle range: virtually no cell fails by 200 ms
+    profile = profile_row(
+        m0_module, RowAddress(0, 0, 30), max_idle_ns=200 * units.MS
+    )
+    assert profile.min_retention_ns is None
+    assert profile.weak_cells == 0

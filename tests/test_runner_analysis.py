@@ -1,0 +1,112 @@
+"""Campaign runner, ECC analysis, and text rendering."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.analysis.ecc import (
+    EccScheme,
+    classify_word_errors,
+    uncorrectable_fraction,
+    word_error_histogram,
+)
+from repro.analysis.figures import ascii_series, histogram_ascii
+from repro.analysis.tables import format_table
+from repro.characterization import CharacterizationRunner, aggregate_by_die
+from repro.dram.device import Bitflip
+from repro.dram.geometry import RowAddress
+
+
+def test_runner_mini_campaign():
+    runner = CharacterizationRunner(module_ids=["S3"], sites_per_module=2)
+    records = runner.acmin_sweep(t_aggon_values=(36.0, units.TREFI))
+    assert len(records) == 4
+    aggregates = aggregate_by_die(records, lambda r: r.acmin)
+    assert "S-8Gb-D" in aggregates
+    hammer = [r for r in records if r.t_aggon == 36.0]
+    press = [r for r in records if r.t_aggon == units.TREFI]
+    assert all(r.acmin for r in hammer)
+    assert np.mean([r.acmin for r in hammer]) > np.mean([r.acmin for r in press])
+
+
+def test_runner_reuses_benches():
+    runner = CharacterizationRunner(module_ids=["S3"], sites_per_module=2)
+    assert runner.bench("S3") is runner.bench("S3")
+
+
+def test_runner_ber_sweep_records():
+    runner = CharacterizationRunner(module_ids=["S3"], sites_per_module=2)
+    records = runner.ber_sweep(t_aggon_values=(units.TREFI,))
+    assert len(records) == 2
+    assert all(0.0 <= r.ber < 0.05 for r in records)
+
+
+def test_runner_taggonmin_records():
+    runner = CharacterizationRunner(module_ids=["S3"], sites_per_module=2)
+    records = runner.taggonmin_sweep(activation_counts=(10, 1000))
+    values = {r.activation_count: r.taggonmin for r in records if r.taggonmin}
+    assert values[1000] < values[10]
+
+
+# ------------------------------------------------------------------------ ECC
+
+
+def test_secded_limits():
+    assert classify_word_errors(1, EccScheme.SECDED).corrected
+    two = classify_word_errors(2, EccScheme.SECDED)
+    assert not two.corrected and two.detected
+    many = classify_word_errors(5, EccScheme.SECDED)
+    assert many.silent_corruption
+
+
+def test_chipkill_limits():
+    assert classify_word_errors(2, EccScheme.CHIPKILL, symbols_touched=1).corrected
+    assert classify_word_errors(8, EccScheme.CHIPKILL, symbols_touched=2).detected
+    assert classify_word_errors(25, EccScheme.CHIPKILL).silent_corruption
+
+
+def test_classify_rejects_negative():
+    with pytest.raises(ValueError):
+        classify_word_errors(-1, EccScheme.SECDED)
+
+
+def _flips(word_counts):
+    flips = []
+    for word, count in enumerate(word_counts):
+        for bit in range(count):
+            flips.append(Bitflip(RowAddress(0, 0, 1), word * 64 + bit, 1, 0, "press"))
+    return flips
+
+
+def test_word_error_histogram_buckets():
+    histogram = word_error_histogram(_flips([1, 2, 3, 8, 9, 25]))
+    assert histogram == {"1-2": 2, "3-8": 2, ">8": 2}
+
+
+def test_uncorrectable_fraction():
+    flips = _flips([1, 1, 5])
+    assert uncorrectable_fraction(flips, EccScheme.SECDED) == pytest.approx(1 / 3)
+    assert uncorrectable_fraction([], EccScheme.SECDED) == 0.0
+
+
+# ------------------------------------------------------------------ rendering
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbb"], [[1, 2], [333, 4]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bbb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_ascii_series_handles_missing():
+    text = ascii_series([(1.0, 10.0), (2.0, None), (3.0, 1000.0)], label="x")
+    assert "_" in text and "max=1e+03" in text
+    assert "(no bitflips)" in ascii_series([(1.0, None)], label="y")
+
+
+def test_histogram_ascii():
+    text = histogram_ascii(np.array([1.0, 1.0, 2.0, 10.0]), label="lat")
+    assert "range=" in text
+    assert "(empty)" in histogram_ascii(np.array([]), label="e")

@@ -1,0 +1,110 @@
+"""SECDED codec (§7.1) and row-buffer decoupling (§7.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.secded import (
+    DecodeStatus,
+    classify_errors,
+    decode,
+    encode,
+    inject_errors,
+    word_outcome_rates,
+)
+from repro.sim import OpenRowPolicy, Simulator
+from repro.sim.rowpolicy import DecoupledBufferPolicy
+
+
+# ------------------------------------------------------------------ SECDED
+
+
+def test_encode_decode_clean():
+    for data in (0, 1, 0xDEADBEEFCAFEBABE, (1 << 64) - 1):
+        result = decode(encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert result.data == data
+
+
+def test_single_error_corrected_everywhere():
+    data = 0x0123456789ABCDEF
+    codeword = encode(data)
+    for position in range(72):
+        result = decode(inject_errors(codeword, [position]))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data, f"bit {position}"
+
+
+def test_double_error_detected():
+    data = 0xA5A5A5A5A5A5A5A5
+    codeword = encode(data)
+    for pair in ([0, 1], [3, 40], [70, 71], [10, 65]):
+        result = decode(inject_errors(codeword, pair))
+        assert result.status is DecodeStatus.DETECTED
+
+
+def test_triple_errors_can_silently_corrupt():
+    rates = word_outcome_rates(0x0123456789ABCDEF, [3, 5, 25], trials=60)
+    for count in (3, 5, 25):
+        assert rates[count].get(DecodeStatus.MISCORRECTED, 0.0) > 0.3
+
+
+def test_classify_matches_decode_for_small_counts():
+    data = 0xFEDCBA9876543210
+    assert classify_errors(data, []) is DecodeStatus.CLEAN
+    assert classify_errors(data, [5]) is DecodeStatus.CORRECTED
+    assert classify_errors(data, [5, 9]) is DecodeStatus.DETECTED
+
+
+def test_encode_validates_range():
+    with pytest.raises(ValueError):
+        encode(1 << 64)
+    with pytest.raises(ValueError):
+        decode(1 << 72)
+    with pytest.raises(ValueError):
+        inject_errors(0, [72])
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+@settings(max_examples=30)
+def test_roundtrip_property(data):
+    assert decode(encode(data)).data == data
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.integers(min_value=0, max_value=71),
+)
+@settings(max_examples=40)
+def test_single_error_property(data, position):
+    status = classify_errors(data, [position])
+    assert status is DecodeStatus.CORRECTED
+
+
+# ------------------------------------------------------- row-buffer decoupling
+
+
+def test_decoupled_performance_near_open_row():
+    open_ipc = Simulator(
+        ["462.libquantum"], requests_per_core=4000, policy=OpenRowPolicy()
+    ).run().ipc_of(0)
+    decoupled_ipc = Simulator(
+        ["462.libquantum"], requests_per_core=4000, policy=DecoupledBufferPolicy()
+    ).run().ipc_of(0)
+    # reads still hit the buffer; only the write reconnects cost anything
+    assert decoupled_ipc > 0.8 * open_ipc
+
+
+def test_decoupled_caps_wordline_time():
+    policy = DecoupledBufferPolicy()
+    assert policy.wordline_cap == 36.0
+    assert not policy.close_after_access()
+
+
+def test_decoupled_write_penalty_applied():
+    heavy_writes = Simulator(
+        ["ycsb_a"], requests_per_core=4000, policy=DecoupledBufferPolicy()
+    ).run()
+    baseline = Simulator(
+        ["ycsb_a"], requests_per_core=4000, policy=OpenRowPolicy()
+    ).run()
+    assert heavy_writes.ipc_of(0) <= baseline.ipc_of(0) + 1e-9

@@ -1,0 +1,125 @@
+"""Memory controller: FR-FCFS, row policies, refresh, mitigation hooks."""
+
+import pytest
+
+from repro.mitigation.graphene import Graphene
+from repro.sim.dram_model import DramState
+from repro.sim.memctrl import MemoryController, ServiceOutcome
+from repro.sim.request import Request
+from repro.sim.rowpolicy import ClosedRowPolicy, OpenRowPolicy, TimeCappedPolicy
+
+
+def make_request(row, column=0, core=0):
+    return Request(core_id=core, rank=0, bank=0, row=row, column=column)
+
+
+def make_mc(policy=None, mitigation=None):
+    return MemoryController(DramState(ranks=1, banks_per_rank=2), policy=policy,
+                            mitigation=mitigation)
+
+
+def serve_all(mc, now=0.0):
+    outcomes = []
+    time = now
+    while mc.has_work((0, 0)):
+        outcome = mc.serve((0, 0), time)
+        if isinstance(outcome, float):
+            time = outcome
+            continue
+        outcomes.append(outcome)
+    return outcomes
+
+
+def test_first_access_is_a_miss_then_hits():
+    mc = make_mc()
+    for column in range(3):
+        assert mc.enqueue(make_request(10, column), 0.0)
+    outcomes = serve_all(mc)
+    assert [o.kind for o in outcomes] == ["miss", "hit", "hit"]
+
+
+def test_fr_fcfs_prioritizes_row_hits():
+    mc = make_mc()
+    mc.enqueue(make_request(10), 0.0)
+    mc.enqueue(make_request(20), 1.0)  # older non-hit
+    mc.enqueue(make_request(10, 1), 2.0)  # younger hit
+    outcomes = serve_all(mc)
+    rows = [o.request.row for o in outcomes]
+    assert rows == [10, 10, 20]  # the hit jumps the queue
+
+
+def test_conflict_pays_precharge():
+    mc = make_mc()
+    mc.enqueue(make_request(10), 0.0)
+    mc.enqueue(make_request(20), 0.0)
+    outcomes = serve_all(mc)
+    assert outcomes[1].kind == "conflict"
+    assert outcomes[1].data_ready_ns > outcomes[0].data_ready_ns
+
+
+def test_closed_policy_forces_activations():
+    mc = make_mc(policy=ClosedRowPolicy())
+    for column in range(2):
+        mc.enqueue(make_request(10, column), 0.0)
+    outcomes = serve_all(mc)
+    # second access arrives after the 36 ns cap -> fresh activation
+    assert outcomes[0].kind == "miss"
+    assert mc.stats.activations >= 1
+
+
+def test_time_capped_policy_closes_after_tmro():
+    mc = make_mc(policy=TimeCappedPolicy(t_mro=96.0))
+    mc.enqueue(make_request(10), 0.0)
+    serve_all(mc)
+    # Within the cap: still a hit.
+    mc.enqueue(make_request(10, 1), 50.0)
+    outcome = mc.serve((0, 0), 50.0)
+    assert isinstance(outcome, ServiceOutcome) and outcome.kind == "hit"
+    # Beyond the cap: the row was force-closed.
+    mc.enqueue(make_request(10, 2), 500.0)
+    outcome = mc.serve((0, 0), 500.0)
+    while isinstance(outcome, float):
+        outcome = mc.serve((0, 0), outcome)
+    assert outcome.kind == "miss"
+
+
+def test_queue_capacity():
+    mc = make_mc()
+    mc.queue_capacity = 2
+    assert mc.enqueue(make_request(1), 0.0)
+    assert mc.enqueue(make_request(2), 0.0)
+    assert not mc.enqueue(make_request(3), 0.0)
+
+
+def test_refresh_blocks_bank_and_closes_row():
+    mc = make_mc()
+    mc.enqueue(make_request(10), 0.0)
+    serve_all(mc)
+    mc.refresh_rank(0, 1000.0)
+    bank = mc.dram.bank(0, 0)
+    assert bank.open_row is None
+    assert bank.ready >= 1000.0 + mc.timing.tRFC
+
+
+def test_mitigation_hook_counts_preventive_refreshes():
+    mitigation = Graphene(threshold=2, table_entries=8)
+    mc = make_mc(mitigation=mitigation)
+    time = 0.0
+    for index in range(6):
+        mc.enqueue(make_request(10 if index % 2 == 0 else 20), time)
+        outcomes = serve_all(mc, time)
+        time += 200.0
+    assert mc.stats.preventive_refreshes > 0
+
+
+def test_per_row_activation_stats():
+    mc = make_mc(policy=ClosedRowPolicy())
+    time = 0.0
+    for _ in range(5):
+        mc.enqueue(make_request(10), time)
+        serve_all(mc, time)
+        time += 200.0
+    assert mc.stats.max_row_acts[(0, 0, 10)] == 5
+    mc.refresh_window_elapsed(time)
+    assert mc.stats.window_row_acts == {}
+    assert mc.stats.max_row_acts[(0, 0, 10)] == 5  # historical max kept

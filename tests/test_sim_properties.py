@@ -1,0 +1,54 @@
+"""Property tests on the performance simulator's conservation laws."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+from repro.sim.request import RequestType
+from repro.sim.trace import WORKLOADS
+
+NAMES = sorted(WORKLOADS)
+
+
+@given(
+    name=st.sampled_from(["429.mcf", "h264_encode", "462.libquantum", "ycsb_a"]),
+    requests=st.integers(min_value=50, max_value=800),
+    seed=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=12, deadline=None)
+def test_all_requests_are_served(name, requests, seed):
+    sim = Simulator([name], requests_per_core=requests, seed=seed)
+    reads = sum(
+        1 for _, r in sim.cores[0].stream if r.kind is RequestType.READ
+    )
+    result = sim.run()
+    assert sim.cores[0].done
+    assert result.stats.accesses == len(sim.cores[0].stream)
+    # every read completed (the core cannot finish otherwise)
+    assert sim.cores[0].outstanding_reads == 0
+    assert reads <= result.stats.accesses
+
+
+@given(
+    name=st.sampled_from(["429.mcf", "h264_encode", "tpch6"]),
+    requests=st.integers(min_value=100, max_value=600),
+)
+@settings(max_examples=10, deadline=None)
+def test_ipc_bounded_by_issue_width(name, requests):
+    result = Simulator([name], requests_per_core=requests).run()
+    assert 0.0 < result.ipc_of(0) <= 4.0  # 4-wide core
+
+
+@given(cores=st.integers(min_value=1, max_value=4))
+@settings(max_examples=6, deadline=None)
+def test_accesses_scale_with_core_count(cores):
+    result = Simulator(["505.mcf"] * cores, requests_per_core=300).run()
+    assert result.stats.accesses == 300 * cores
+    assert len(result.ipc) == cores
+
+
+@given(seed=st.integers(min_value=1, max_value=100))
+@settings(max_examples=8, deadline=None)
+def test_hit_rates_are_probabilities(seed):
+    result = Simulator(["433.milc"], requests_per_core=400, seed=seed).run()
+    assert 0.0 <= result.stats.row_hit_rate <= 1.0
+    assert result.stats.activations >= result.stats.row_misses

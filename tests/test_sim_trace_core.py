@@ -1,0 +1,143 @@
+"""Synthetic traces and the core model."""
+
+import pytest
+
+from repro.sim.core import CYCLE_NS, CoreModel
+from repro.sim.request import Request, RequestType
+from repro.sim.trace import WORKLOADS, SyntheticWorkload, workload_categories
+
+
+def test_workload_catalog_has_paper_names():
+    for name in ("429.mcf", "462.libquantum", "510.parest", "h264_encode", "483.xalancbmk"):
+        assert name in WORKLOADS
+
+
+def test_category_definition():
+    groups = workload_categories()
+    assert "429.mcf" in groups["H"]
+    assert "462.libquantum" in groups["L"]  # RBMPKI 0.9 < 1 (App. D.1)
+    assert "povray" in groups["L"]
+    assert set(groups["H"]) | set(groups["L"]) == set(WORKLOADS)
+
+
+def test_rbmpki_derivation():
+    libquantum = WORKLOADS["462.libquantum"]
+    assert libquantum.rbmpki == pytest.approx(0.9, abs=0.05)  # paper: 0.91
+
+
+def test_trace_determinism():
+    a = list(SyntheticWorkload(WORKLOADS["429.mcf"], 0, seed=3).requests(100))
+    b = list(SyntheticWorkload(WORKLOADS["429.mcf"], 0, seed=3).requests(100))
+    assert [(g, r.row, r.column) for g, r in a] == [(g, r.row, r.column) for g, r in b]
+
+
+def test_trace_locality_statistic():
+    stream_high = list(SyntheticWorkload(WORKLOADS["462.libquantum"], 0).requests(2000))
+    stream_low = list(SyntheticWorkload(WORKLOADS["429.mcf"], 0).requests(2000))
+
+    def same_row_fraction(stream):
+        same = 0
+        for (_, a), (_, b) in zip(stream, stream[1:]):
+            if (a.rank, a.bank, a.row) == (b.rank, b.bank, b.row):
+                same += 1
+        return same / (len(stream) - 1)
+
+    assert same_row_fraction(stream_high) > 0.9
+    assert same_row_fraction(stream_low) < 0.2
+
+
+def test_trace_gap_matches_mpki():
+    spec = WORKLOADS["429.mcf"]
+    stream = list(SyntheticWorkload(spec, 0).requests(4000))
+    mean_gap = sum(g for g, _ in stream) / len(stream)
+    assert mean_gap == pytest.approx(spec.mean_gap_instructions, rel=0.15)
+
+
+def make_core(gaps):
+    stream = []
+    instruction = 0
+    for index, gap in enumerate(gaps):
+        instruction += gap + 1
+        stream.append(
+            (gap, Request(core_id=0, rank=0, bank=0, row=1, column=index,
+                          instruction_index=instruction))
+        )
+    return CoreModel(core_id=0, stream=stream, mshrs=2, window_instructions=64)
+
+
+def test_core_issues_in_order_with_mshr_limit():
+    core = make_core([0, 0, 0])
+    first, _ = core.next_issue_constraint(0.0)
+    core.issue(first, 0.0)
+    second, _ = core.next_issue_constraint(0.0)
+    core.issue(second, 0.0)
+    third, retry = core.next_issue_constraint(0.0)
+    assert third is None and retry is None  # MSHRs full -> blocked
+    core.complete(first, 10.0)
+    third, _ = core.next_issue_constraint(10.0)
+    assert third is not None
+
+
+def test_core_window_limit():
+    core = make_core([0, 200])  # second request 200 instructions later
+    first, _ = core.next_issue_constraint(0.0)
+    core.issue(first, 0.0)
+    # window is 64 instructions: request 2 is >64 beyond outstanding req 1
+    blocked, retry = core.next_issue_constraint(1000.0)
+    assert blocked is None and retry is None
+    core.complete(first, 1000.0)
+    ready, retry = core.next_issue_constraint(1000.0)
+    assert ready is not None or retry is not None
+
+
+def test_core_front_end_pacing():
+    core = make_core([0, 400, 0])
+    first, _ = core.next_issue_constraint(0.0)
+    core.issue(first, 0.0)
+    core.complete(first, 1.0)
+    # 400 instructions at width 4 = 100 cycles = 25 ns
+    request, retry = core.next_issue_constraint(1.0)
+    assert request is None and retry == pytest.approx(400 / 4 * CYCLE_NS)
+
+
+def test_core_ipc_accounting():
+    core = make_core([0, 0])
+    while not core.done:
+        request, retry = core.next_issue_constraint(0.0)
+        if request is None:
+            break
+        core.issue(request, 0.0)
+        core.complete(request, 10.0)
+    assert core.done
+    assert core.finish_ns is not None
+    assert core.ipc() > 0
+
+
+def test_writes_do_not_occupy_mshrs():
+    stream = [
+        (0, Request(core_id=0, rank=0, bank=0, row=1, column=0,
+                    kind=RequestType.WRITE, instruction_index=1))
+    ]
+    core = CoreModel(core_id=0, stream=stream)
+    request, _ = core.next_issue_constraint(0.0)
+    core.issue(request, 0.0)
+    assert core.outstanding_reads == 0
+    assert core.done
+
+
+def test_every_workload_generates_and_has_sane_stats():
+    for name, spec in WORKLOADS.items():
+        assert spec.mpki > 0 and 0.0 <= spec.row_locality < 1.0, name
+        assert spec.category in ("H", "L"), name
+        stream = list(SyntheticWorkload(spec, 0).requests(50))
+        assert len(stream) == 50, name
+        for gap, request in stream:
+            assert gap >= 0
+            assert 0 <= request.bank < 16
+            assert 0 <= request.rank < 2
+
+
+def test_different_cores_get_different_streams():
+    a = list(SyntheticWorkload(WORKLOADS["429.mcf"], 0).requests(50))
+    b = list(SyntheticWorkload(WORKLOADS["429.mcf"], 1).requests(50))
+    assert [(r.row, r.bank) for _, r in a] != [(r.row, r.bank) for _, r in b]

@@ -1,0 +1,66 @@
+"""Physical-to-DRAM address mapping and hugepage pointers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.system.address import AddressMapping, Hugepage
+
+MAPPING = AddressMapping()
+
+
+def test_mapping_roundtrip():
+    for rank in (0, 1):
+        for bank in (0, 5, 15):
+            for row in (0, 123, 4000):
+                physical = MAPPING.physical_address(rank, bank, row, column=3)
+                got = MAPPING.dram_address(physical)
+                assert got == (rank, bank, row, 3)
+
+
+@given(
+    rank=st.integers(0, 1),
+    bank=st.integers(0, 15),
+    row=st.integers(0, 4095),
+    column=st.integers(0, 127),
+)
+@settings(max_examples=100)
+def test_mapping_roundtrip_property(rank, bank, row, column):
+    physical = MAPPING.physical_address(rank, bank, row, column)
+    assert MAPPING.dram_address(physical) == (rank, bank, row, column)
+
+
+def test_same_row_different_blocks_share_row():
+    a = MAPPING.dram_address(MAPPING.physical_address(0, 3, 77, 0))
+    b = MAPPING.dram_address(MAPPING.physical_address(0, 3, 77, 127))
+    assert a[:3] == b[:3]
+
+
+def test_bank_bits_spread_addresses():
+    banks = {
+        MAPPING.dram_address(MAPPING.physical_address(0, bank, 10, 0))[1]
+        for bank in range(16)
+    }
+    assert len(banks) == 16
+
+
+def test_hugepage_pointer_in_range():
+    page = Hugepage()
+    offset = page.pointer_to(0, 1, 100, 5)
+    assert 0 <= offset < page.size
+    assert page.physical(offset) == page.base_physical + offset
+
+
+def test_hugepage_rejects_out_of_page():
+    page = Hugepage()
+    with pytest.raises(ValueError):
+        page.physical(page.size)
+    with pytest.raises(ValueError):
+        page.physical(-1)
+
+
+def test_adjacent_rows_have_adjacent_pointers():
+    page = Hugepage()
+    a = page.pointer_to(0, 1, 100, 0)
+    b = page.pointer_to(0, 1, 101, 0)
+    assert abs(b - a) >= 1 << MAPPING.row_shift - 1  # different row field
+    assert MAPPING.dram_address(a)[2] + 1 == MAPPING.dram_address(b)[2]

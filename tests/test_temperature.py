@@ -1,0 +1,49 @@
+"""PID temperature controller."""
+
+import pytest
+
+from repro.bender.temperature import TemperatureController, ThermalPlant
+
+
+def test_settles_at_setpoint():
+    controller = TemperatureController()
+    elapsed = controller.settle(80.0, tolerance_c=0.5)
+    assert elapsed > 0
+    assert abs(controller.temperature_c - 80.0) <= 0.5
+
+
+def test_settles_back_down():
+    controller = TemperatureController()
+    controller.settle(80.0)
+    controller.settle(50.0)
+    assert abs(controller.temperature_c - 50.0) <= 0.5
+
+
+def test_rejects_unachievable_setpoint():
+    controller = TemperatureController()
+    with pytest.raises(ValueError):
+        controller.set_target(200.0)
+    with pytest.raises(ValueError):
+        controller.set_target(0.0)
+
+
+def test_plant_approaches_equilibrium():
+    plant = ThermalPlant()
+    for _ in range(1000):
+        plant.step(power=1.0, dt_s=1.0)
+    assert plant.temperature_c == pytest.approx(
+        plant.ambient_c + plant.heater_gain, abs=0.5
+    )
+
+
+def test_plant_clamps_power():
+    plant = ThermalPlant()
+    plant.step(power=5.0, dt_s=1.0)
+    assert plant.temperature_c <= plant.ambient_c + plant.heater_gain
+
+
+def test_unreachable_raises_timeout():
+    # A broken (zero-gain) controller never settles.
+    controller = TemperatureController(kp=0.0, ki=0.0, kd=0.0)
+    with pytest.raises(RuntimeError):
+        controller.settle(80.0, max_s=120.0)

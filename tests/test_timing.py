@@ -1,0 +1,41 @@
+"""DDR4 timing parameters."""
+
+import pytest
+
+from repro.dram.timing import DDR4_3200W, TimingParameters
+
+
+def test_default_bin_is_valid():
+    DDR4_3200W.validate()
+
+
+def test_trc_is_ras_plus_rp():
+    assert DDR4_3200W.tRC == DDR4_3200W.tRAS + DDR4_3200W.tRP
+
+
+def test_postponed_refresh_window():
+    assert DDR4_3200W.max_postponed_refresh_window == pytest.approx(70_200.0)
+
+
+def test_overrides():
+    custom = DDR4_3200W.with_overrides(tRAS=40.0)
+    assert custom.tRAS == 40.0
+    assert custom.tRP == DDR4_3200W.tRP
+    # the original is untouched (frozen)
+    assert DDR4_3200W.tRAS == 36.0
+
+
+@pytest.mark.parametrize("field", ["tRAS", "tRP", "tRCD", "tRFC", "tREFI"])
+def test_validate_rejects_nonpositive(field):
+    with pytest.raises(ValueError):
+        DDR4_3200W.with_overrides(**{field: 0.0}).validate()
+
+
+def test_validate_rejects_rcd_above_ras():
+    with pytest.raises(ValueError):
+        DDR4_3200W.with_overrides(tRCD=50.0).validate()
+
+
+def test_validate_rejects_refi_above_refw():
+    with pytest.raises(ValueError):
+        TimingParameters(tREFI=1e9, tREFW=1e8).validate()

@@ -1,0 +1,28 @@
+"""Units and constants."""
+
+from repro import units
+
+
+def test_unit_ratios():
+    assert units.US == 1000 * units.NS
+    assert units.MS == 1000 * units.US
+    assert units.S == 1000 * units.MS
+
+
+def test_jedec_constants():
+    assert units.TREFI == 7800.0
+    assert units.TAGGON_MAX == 9 * units.TREFI
+    assert units.TREFW == 64 * units.MS
+    assert units.EXPERIMENT_BUDGET < units.TREFW
+
+
+def test_conversions():
+    assert units.ns_to_us(1500.0) == 1.5
+    assert units.ns_to_ms(2_000_000.0) == 2.0
+
+
+def test_format_time_picks_unit():
+    assert units.format_time(36.0) == "36ns"
+    assert units.format_time(7800.0) == "7.8us"
+    assert units.format_time(30 * units.MS) == "30ms"
+    assert units.format_time(4 * units.S) == "4s"
