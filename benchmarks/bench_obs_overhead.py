@@ -1,0 +1,64 @@
+"""Observability overhead guard.
+
+Runs the same hammer-style program through the executor twice — once
+with the default null observer and once fully instrumented (metrics +
+tracing) — and asserts the instrumented run stays within a few percent.
+The null path must be cheap enough to leave enabled everywhere, which
+is the contract `bench_fig06_acmin_sweep` (and every other bench)
+relies on after the instrumentation PR.
+
+Timing is noisy on shared runners, so the guard takes the best of
+several repetitions per configuration before comparing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.characterization.patterns import (
+    ExperimentConfig,
+    RowSite,
+    build_disturb_program,
+)
+from repro.dram.catalog import build_module
+from repro.dram.geometry import Geometry
+from repro.obs import Observer
+
+#: Allowed instrumented/null slowdown.  The ISSUE budget is ~5%; the
+#: guard uses a small cushion on top because single-process timers on
+#: shared CI machines jitter by a few percent on their own.
+MAX_OVERHEAD = 1.15
+
+_REPS = 5
+_SITE = RowSite(0, 1, 100)
+
+
+def _bench(observer: Observer | None) -> float:
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=256, row_bits=8192
+    )
+    module = build_module("S3", geometry=geometry)
+    bench = TestingInfrastructure(module, observer=observer)
+    config = ExperimentConfig()
+    program, _ = build_disturb_program(_SITE, 36.0, 20_000, config)
+    best = float("inf")
+    for _ in range(_REPS):
+        bench.fresh_experiment()
+        start = time.perf_counter()
+        bench.run(program)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_null_observer_overhead(benchmark):
+    null_best = benchmark.pedantic(lambda: _bench(None), rounds=1, iterations=1)
+    instrumented_best = _bench(Observer.create(progress_sink=lambda event: None))
+    ratio = instrumented_best / null_best if null_best > 0 else 1.0
+    print(
+        f"\nexecutor best-of-{_REPS}: null={null_best * 1e3:.2f}ms "
+        f"instrumented={instrumented_best * 1e3:.2f}ms ratio={ratio:.3f}"
+    )
+    assert ratio < MAX_OVERHEAD, (
+        f"instrumentation overhead {ratio:.2f}x exceeds {MAX_OVERHEAD:.2f}x budget"
+    )

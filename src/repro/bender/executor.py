@@ -14,6 +14,7 @@ ACmin bisection over hundreds of thousands of activations tractable.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,6 +22,7 @@ import numpy as np
 from repro.dram.device import Bitflip, DramDevice
 from repro.dram.geometry import RowAddress
 from repro.bender.program import Act, FillRow, Instruction, Loop, Pre, Program, ReadRow, Wait
+from repro.obs import NULL_OBSERVER, Observer
 
 
 class TimingViolation(Exception):
@@ -44,11 +46,45 @@ class ExecutionResult:
     start_time: float = 0.0
     end_time: float = 0.0
     activations: int = 0
+    #: Commands issued, by opcode.  Bulk-deposited loop iterations count
+    #: as if run literally, so these match the command stream a real
+    #: DRAM Bender board would see.
+    act_commands: int = 0
+    pre_commands: int = 0
+    wait_commands: int = 0
+    fill_commands: int = 0
+    read_commands: int = 0
+    #: Loop iterations executed (literal + bulk), over all loops.
+    loop_iterations: int = 0
+    #: Host wall-clock seconds spent executing the program.
+    wall_seconds: float = 0.0
 
     @property
     def duration(self) -> float:
         """Program wall-clock duration in nanoseconds."""
         return self.end_time - self.start_time
+
+    @property
+    def commands_by_opcode(self) -> dict[str, int]:
+        """Issued command counts keyed by opcode."""
+        return {
+            "act": self.act_commands,
+            "pre": self.pre_commands,
+            "wait": self.wait_commands,
+            "fill": self.fill_commands,
+            "read": self.read_commands,
+        }
+
+    @property
+    def total_commands(self) -> int:
+        """Total commands issued across all opcodes."""
+        return (
+            self.act_commands
+            + self.pre_commands
+            + self.wait_commands
+            + self.fill_commands
+            + self.read_commands
+        )
 
     @property
     def bitflips(self) -> list[Bitflip]:
@@ -73,10 +109,20 @@ _WARMUP_ITERATIONS = 2
 class ProgramExecutor:
     """Executes test programs against one DRAM device."""
 
-    def __init__(self, device: DramDevice, check_timing: bool = True) -> None:
+    def __init__(
+        self,
+        device: DramDevice,
+        check_timing: bool = True,
+        observer: Observer | None = None,
+    ) -> None:
         self.device = device
         self.check_timing = check_timing
+        self.observer = observer or NULL_OBSERVER
         self._banks: dict[tuple[int, int], _BankTiming] = {}
+        # Bound once: hot paths touch inert singletons under NULL_OBSERVER.
+        self._violation_counter = self.observer.metrics.counter(
+            "executor.timing_violations"
+        )
 
     def _bank(self, rank: int, bank: int) -> _BankTiming:
         return self._banks.setdefault((rank, bank), _BankTiming())
@@ -91,10 +137,29 @@ class ProgramExecutor:
         self._banks.clear()
         result = ExecutionResult(start_time=start_time)
         activations_before = self.device.activation_count
+        wall_start = time.perf_counter()
         end_time = self._run_block(list(program), start_time, result)
+        result.wall_seconds = time.perf_counter() - wall_start
         result.end_time = end_time
         result.activations = self.device.activation_count - activations_before
+        self._flush_metrics(result)
         return result
+
+    def _flush_metrics(self, result: ExecutionResult) -> None:
+        """Push one run's bookkeeping into the observer (no-op if null)."""
+        metrics = self.observer.metrics
+        metrics.counter("executor.programs").inc()
+        for opcode, count in result.commands_by_opcode.items():
+            if count:
+                metrics.counter("executor.commands", opcode=opcode).inc(count)
+        if result.loop_iterations:
+            metrics.counter("executor.loop_iterations").inc(result.loop_iterations)
+        if result.wall_seconds > 0:
+            # Simulated nanoseconds per wall second: the executor's speed.
+            metrics.histogram("executor.ns_per_wall_s").record(
+                result.duration / result.wall_seconds
+            )
+            metrics.histogram("executor.wall_s").record(result.wall_seconds)
 
     # ------------------------------------------------------------------
 
@@ -111,34 +176,42 @@ class ProgramExecutor:
         device = self.device
         timing = device.timing
         if isinstance(instruction, Wait):
+            result.wait_commands += 1
             return time_ns + instruction.duration
         if isinstance(instruction, Act):
             address = instruction.address
             bank = self._bank(address.rank, address.bank)
             if self.check_timing:
                 if time_ns - bank.last_pre < timing.tRP - 1e-9:
+                    self._violation_counter.inc()
                     raise TimingViolation(f"ACT at {time_ns} violates tRP")
                 if time_ns - bank.last_act < timing.tRC - 1e-9:
+                    self._violation_counter.inc()
                     raise TimingViolation(f"ACT at {time_ns} violates tRC")
             device.act(address, time_ns)
             bank.last_act = time_ns
+            result.act_commands += 1
             return time_ns
         if isinstance(instruction, Pre):
             bank = self._bank(instruction.rank, instruction.bank)
             if self.check_timing and time_ns - bank.last_act < timing.tRAS - 1e-9:
+                self._violation_counter.inc()
                 raise TimingViolation(f"PRE at {time_ns} violates tRAS")
             device.precharge(instruction.rank, instruction.bank, time_ns)
             bank.last_pre = time_ns
+            result.pre_commands += 1
             return time_ns
         if isinstance(instruction, FillRow):
             data = np.full(
                 device.geometry.row_bits // 8, instruction.byte_value, dtype=np.uint8
             )
             device.write_row(instruction.address, data, time_ns)
+            result.fill_commands += 1
             return time_ns + _FILL_COST
         if isinstance(instruction, ReadRow):
             data, flips = device.read_row(instruction.address, time_ns)
             result.reads.append(RowRead(instruction.address, data, flips))
+            result.read_commands += 1
             return time_ns + _READ_COST
         if isinstance(instruction, Loop):
             return self._run_loop(instruction, time_ns, result)
@@ -149,9 +222,11 @@ class ProgramExecutor:
     def _run_loop(self, loop: Loop, time_ns: float, result: ExecutionResult) -> float:
         body = list(loop.body)
         if not loop.is_steady or loop.count <= _WARMUP_ITERATIONS + 2:
+            result.loop_iterations += loop.count
             for _ in range(loop.count):
                 time_ns = self._run_block(body, time_ns, result)
             return time_ns
+        result.loop_iterations += loop.count
         for _ in range(_WARMUP_ITERATIONS):
             time_ns = self._run_block(body, time_ns, result)
         remaining = loop.count - _WARMUP_ITERATIONS
@@ -161,6 +236,14 @@ class ProgramExecutor:
             for _ in range(remaining):
                 time_ns = self._run_block(body, time_ns, result)
             return time_ns
+        # Bulk-deposited iterations still count as issued commands.
+        for instruction in body:
+            if isinstance(instruction, Act):
+                result.act_commands += remaining
+            elif isinstance(instruction, Pre):
+                result.pre_commands += remaining
+            elif isinstance(instruction, Wait):
+                result.wait_commands += remaining
         base = time_ns + (remaining - 1) * period
         for address, act_off, pre_off, t_off in episodes:
             self.device.deposit_episodes(

@@ -19,6 +19,7 @@ from repro.dram.module import DramModule
 from repro.bender.executor import ExecutionResult, ProgramExecutor
 from repro.bender.program import Program
 from repro.bender.temperature import TemperatureController
+from repro.obs import NULL_OBSERVER, Observer
 
 
 @dataclass
@@ -44,9 +45,11 @@ class TestingInfrastructure:
         module: DramModule,
         controller: TemperatureController | None = None,
         enforce_refresh_window: bool = True,
+        observer: Observer | None = None,
     ) -> None:
         self.module = module
-        self.executor = ProgramExecutor(module.device)
+        self.observer = observer or NULL_OBSERVER
+        self.executor = ProgramExecutor(module.device, observer=self.observer)
         self.controller = controller or TemperatureController()
         self.enforce_refresh_window = enforce_refresh_window
         self.log = BenchLog()
@@ -65,6 +68,8 @@ class TestingInfrastructure:
         # Once settled, the device runs at the (controlled) set point.
         self.module.device.set_temperature(target_c)
         self.log.settle_events.append((target_c, settle_s))
+        self.observer.metrics.counter("bench.settle_events").inc()
+        self.observer.metrics.gauge("bench.temperature_c").set(target_c)
         return settle_s
 
     def run(self, program: Program, start_time: float = 0.0) -> ExecutionResult:

@@ -11,7 +11,7 @@ defaults to 1 (the knob exists for noise-injection studies).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.bender.infrastructure import TestingInfrastructure
 from repro.characterization.patterns import (
@@ -20,6 +20,7 @@ from repro.characterization.patterns import (
     build_disturb_program,
     max_activations,
 )
+from repro.obs import NULL_OBSERVER, Observer
 
 
 @dataclass
@@ -29,20 +30,34 @@ class AcminSearch:
     infra: TestingInfrastructure
     config: ExperimentConfig
     accuracy: float = 0.01  # 1 % relative accuracy (paper's setting)
+    observer: Observer = field(default_factory=Observer.null)
+    _probes: int = field(default=0, repr=False)
 
     def _flips_at(self, site: RowSite, t_aggon: float, count: int) -> int:
         self.infra.fresh_experiment()
         program, _ = build_disturb_program(site, t_aggon, count, self.config)
         result = self.infra.run(program)
+        self._probes += 1
         return len(result.bitflips)
 
     def search(self, site: RowSite, t_aggon: float, repeats: int = 1) -> int | None:
         """ACmin for one site and t_AggON; ``None`` when no bitflip occurs."""
+        obs = self.observer or NULL_OBSERVER
         best: int | None = None
-        for _ in range(max(repeats, 1)):
-            value = self._search_once(site, t_aggon)
-            if value is not None and (best is None or value < best):
-                best = value
+        probes_before = self._probes
+        with obs.span(
+            "acmin.search", bank=site.bank, row=site.row, t_aggon=t_aggon
+        ) as span:
+            for _ in range(max(repeats, 1)):
+                value = self._search_once(site, t_aggon)
+                if value is not None and (best is None or value < best):
+                    best = value
+            probes = self._probes - probes_before
+            span.set(acmin=best, probes=probes)
+        obs.metrics.counter("acmin.searches").inc()
+        obs.metrics.counter("acmin.probes").inc(probes)
+        if best is not None:
+            obs.metrics.counter("acmin.sites_with_flips").inc()
         return best
 
     def _search_once(self, site: RowSite, t_aggon: float) -> int | None:
@@ -70,7 +85,12 @@ def find_acmin(
     t_aggon: float,
     config: ExperimentConfig | None = None,
     repeats: int = 1,
+    observer: Observer | None = None,
 ) -> int | None:
     """Convenience wrapper around :class:`AcminSearch`."""
-    searcher = AcminSearch(infra=infra, config=config or ExperimentConfig())
+    searcher = AcminSearch(
+        infra=infra,
+        config=config or ExperimentConfig(),
+        observer=observer or infra.observer,
+    )
     return searcher.search(site, t_aggon, repeats=repeats)

@@ -21,6 +21,7 @@ from repro.characterization.patterns import (
     build_onoff_program,
     max_activations,
 )
+from repro.obs import Observer
 
 
 @dataclass
@@ -65,15 +66,23 @@ def measure_ber(
     t_aggon: float,
     config: ExperimentConfig | None = None,
     activation_count: int | None = None,
+    observer: Observer | None = None,
 ) -> BerMeasurement:
     """BER at ``t_aggon`` with the budget-maximal activation count."""
     config = config or ExperimentConfig()
+    obs = observer or infra.observer
     count = activation_count or max_activations(t_aggon, config)
-    infra.fresh_experiment()
-    program, victims = build_disturb_program(site, t_aggon, count, config)
-    result = infra.run(program)
-    row_bits = infra.module.geometry.row_bits
-    total, by_victim, by_word, one_to_zero = _collect(result.reads, row_bits)
+    with obs.span(
+        "ber.measure", bank=site.bank, row=site.row, t_aggon=t_aggon, activations=count
+    ) as span:
+        infra.fresh_experiment()
+        program, victims = build_disturb_program(site, t_aggon, count, config)
+        result = infra.run(program)
+        row_bits = infra.module.geometry.row_bits
+        total, by_victim, by_word, one_to_zero = _collect(result.reads, row_bits)
+        span.set(bitflips=total)
+    obs.metrics.counter("ber.measurements").inc()
+    obs.metrics.counter("ber.bitflips").inc(total)
     return BerMeasurement(
         site=site,
         t_aggon=t_aggon,
@@ -93,14 +102,22 @@ def measure_onoff_ber(
     t_aggon: float,
     t_aggoff: float,
     config: ExperimentConfig | None = None,
+    observer: Observer | None = None,
 ) -> BerMeasurement:
     """BER for one (t_AggON, t_AggOFF) point of the ONOFF pattern."""
     config = config or ExperimentConfig()
-    infra.fresh_experiment()
-    program, victims = build_onoff_program(site, t_aggon, t_aggoff, config)
-    result = infra.run(program)
-    row_bits = infra.module.geometry.row_bits
-    total, by_victim, by_word, one_to_zero = _collect(result.reads, row_bits)
+    obs = observer or infra.observer
+    with obs.span(
+        "ber.onoff", bank=site.bank, row=site.row, t_aggon=t_aggon, t_aggoff=t_aggoff
+    ) as span:
+        infra.fresh_experiment()
+        program, victims = build_onoff_program(site, t_aggon, t_aggoff, config)
+        result = infra.run(program)
+        row_bits = infra.module.geometry.row_bits
+        total, by_victim, by_word, one_to_zero = _collect(result.reads, row_bits)
+        span.set(bitflips=total)
+    obs.metrics.counter("ber.measurements").inc()
+    obs.metrics.counter("ber.bitflips").inc(total)
     return BerMeasurement(
         site=site,
         t_aggon=t_aggon,

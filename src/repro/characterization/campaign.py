@@ -21,6 +21,7 @@ from repro.dram.datapattern import DataPattern
 from repro.characterization.patterns import AccessPattern
 from repro.characterization.results import AcminRecord, BerRecord, TaggonminRecord
 from repro.characterization.runner import CharacterizationRunner
+from repro.obs import NULL_OBSERVER, Observer, atomic_write_text
 
 
 @dataclass(frozen=True)
@@ -65,44 +66,61 @@ _RECORD_TYPES = {
 }
 
 
-def run_campaign(spec: CampaignSpec) -> list:
-    """Execute a campaign spec; returns the flat records."""
+def run_campaign(spec: CampaignSpec, observer: Observer | None = None) -> list:
+    """Execute a campaign spec; returns the flat records.
+
+    ``observer`` (see :mod:`repro.obs`) receives per-experiment spans,
+    metrics from every instrumented layer underneath, and progress
+    events; the default null observer records nothing.
+    """
+    obs = observer or NULL_OBSERVER
     runner = CharacterizationRunner(
         module_ids=list(spec.module_ids),
         sites_per_module=spec.sites_per_module,
         seed=spec.seed,
+        observer=obs,
     )
     access = AccessPattern(spec.access)
     data = DataPattern(spec.data_pattern)
-    if spec.experiment == "acmin":
-        return runner.acmin_sweep(
-            t_aggon_values=spec.t_aggon_values,
-            access=access,
-            temperature_c=spec.temperature_c,
-            data=data,
-        )
-    if spec.experiment == "taggonmin":
-        return runner.taggonmin_sweep(
-            activation_counts=spec.activation_counts,
-            temperature_c=spec.temperature_c,
-            access=access,
-        )
-    return runner.ber_sweep(
-        t_aggon_values=spec.t_aggon_values,
-        access=access,
-        temperature_c=spec.temperature_c,
-        data=data,
-    )
+    with obs.span(
+        "campaign.run", campaign=spec.name, experiment=spec.experiment
+    ) as span:
+        if spec.experiment == "acmin":
+            records = runner.acmin_sweep(
+                t_aggon_values=spec.t_aggon_values,
+                access=access,
+                temperature_c=spec.temperature_c,
+                data=data,
+            )
+        elif spec.experiment == "taggonmin":
+            records = runner.taggonmin_sweep(
+                activation_counts=spec.activation_counts,
+                temperature_c=spec.temperature_c,
+                access=access,
+            )
+        else:
+            records = runner.ber_sweep(
+                t_aggon_values=spec.t_aggon_values,
+                access=access,
+                temperature_c=spec.temperature_c,
+                data=data,
+            )
+        span.set(records=len(records))
+    return records
 
 
 def save_results(path: str | Path, spec: CampaignSpec, records: Iterable) -> None:
-    """Write a campaign's spec + records to a JSON file."""
+    """Write a campaign's spec + records to a JSON file.
+
+    The write is atomic (temp file + rename), so an interrupted campaign
+    never leaves a truncated results file behind.
+    """
     payload = {
         "spec": dataclasses.asdict(spec),
         "record_type": spec.experiment,
         "records": [dataclasses.asdict(record) for record in records],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write_text(Path(path), json.dumps(payload, indent=1))
 
 
 def load_results(path: str | Path) -> tuple[CampaignSpec, list]:

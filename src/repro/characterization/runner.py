@@ -27,6 +27,7 @@ from repro.characterization.patterns import (
 )
 from repro.characterization.results import AcminRecord, BerRecord, TaggonminRecord
 from repro.characterization.taggonmin import find_taggonmin
+from repro.obs import Observer
 
 #: The paper's standard t_AggON sweep points (36 ns ... 30 ms), reduced.
 DEFAULT_TAGGON_SWEEP: tuple[float, ...] = (
@@ -52,6 +53,7 @@ class CharacterizationRunner:
     geometry: Geometry | None = None
     seed: int = 2023
     bank: int = 1
+    observer: Observer = field(default_factory=Observer.null)
     _benches: dict[str, TestingInfrastructure] = field(default_factory=dict, repr=False)
 
     def _geometry(self) -> Geometry:
@@ -71,7 +73,9 @@ class CharacterizationRunner:
         """The (cached) test bench of one module."""
         if module_id not in self._benches:
             module = build_module(module_id, geometry=self._geometry(), seed=self.seed)
-            self._benches[module_id] = TestingInfrastructure(module)
+            self._benches[module_id] = TestingInfrastructure(
+                module, observer=self.observer
+            )
         return self._benches[module_id]
 
     def sites(self, module: DramModule) -> list[RowSite]:
@@ -95,25 +99,48 @@ class CharacterizationRunner:
         """ACmin for every (module, site, t_AggON) combination."""
         records: list[AcminRecord] = []
         config = ExperimentConfig(access=access, data=data)
-        for module_id in self.module_ids:
-            bench = self.bench(module_id)
-            bench.module.device.set_temperature(temperature_c)
-            searcher = AcminSearch(infra=bench, config=config)
-            info = bench.module.info
-            for site in self.sites(bench.module):
-                for t_aggon in t_aggon_values:
-                    acmin = searcher.search(site, t_aggon)
-                    records.append(
-                        AcminRecord(
-                            module_id=info.module_id,
-                            die_key=info.die_key,
-                            access=access.value,
-                            temperature_c=temperature_c,
-                            t_aggon=t_aggon,
-                            site_row=site.row,
-                            acmin=acmin,
-                        )
-                    )
+        obs = self.observer
+        obs.progress.start(
+            total=len(self.module_ids) * self.sites_per_module * len(t_aggon_values),
+            label="acmin_sweep",
+        )
+        with obs.span(
+            "campaign.acmin_sweep",
+            modules=len(self.module_ids),
+            temperature_c=temperature_c,
+        ):
+            for module_id in self.module_ids:
+                bench = self.bench(module_id)
+                bench.module.device.set_temperature(temperature_c)
+                searcher = AcminSearch(infra=bench, config=config, observer=obs)
+                info = bench.module.info
+                with obs.span("campaign.module", module=module_id):
+                    for site in self.sites(bench.module):
+                        for t_aggon in t_aggon_values:
+                            with obs.span(
+                                "experiment",
+                                kind="acmin",
+                                module=module_id,
+                                row=site.row,
+                                t_aggon=t_aggon,
+                            ) as span:
+                                acmin = searcher.search(site, t_aggon)
+                                span.set(acmin=acmin)
+                            obs.metrics.counter("campaign.experiments").inc()
+                            obs.progress.advance(
+                                1, flips=1 if acmin is not None else 0
+                            )
+                            records.append(
+                                AcminRecord(
+                                    module_id=info.module_id,
+                                    die_key=info.die_key,
+                                    access=access.value,
+                                    temperature_c=temperature_c,
+                                    t_aggon=t_aggon,
+                                    site_row=site.row,
+                                    acmin=acmin,
+                                )
+                            )
         return records
 
     def taggonmin_sweep(
@@ -125,23 +152,48 @@ class CharacterizationRunner:
         """t_AggONmin for every (module, site, AC) combination (Fig. 9)."""
         records: list[TaggonminRecord] = []
         config = ExperimentConfig(access=access)
-        for module_id in self.module_ids:
-            bench = self.bench(module_id)
-            bench.module.device.set_temperature(temperature_c)
-            info = bench.module.info
-            for site in self.sites(bench.module):
-                for count in activation_counts:
-                    value = find_taggonmin(bench, site, count, config)
-                    records.append(
-                        TaggonminRecord(
-                            module_id=info.module_id,
-                            die_key=info.die_key,
-                            temperature_c=temperature_c,
-                            activation_count=count,
-                            site_row=site.row,
-                            taggonmin=value,
-                        )
-                    )
+        obs = self.observer
+        obs.progress.start(
+            total=len(self.module_ids) * self.sites_per_module * len(activation_counts),
+            label="taggonmin_sweep",
+        )
+        with obs.span(
+            "campaign.taggonmin_sweep",
+            modules=len(self.module_ids),
+            temperature_c=temperature_c,
+        ):
+            for module_id in self.module_ids:
+                bench = self.bench(module_id)
+                bench.module.device.set_temperature(temperature_c)
+                info = bench.module.info
+                with obs.span("campaign.module", module=module_id):
+                    for site in self.sites(bench.module):
+                        for count in activation_counts:
+                            with obs.span(
+                                "experiment",
+                                kind="taggonmin",
+                                module=module_id,
+                                row=site.row,
+                                activations=count,
+                            ) as span:
+                                value = find_taggonmin(
+                                    bench, site, count, config, observer=obs
+                                )
+                                span.set(taggonmin=value)
+                            obs.metrics.counter("campaign.experiments").inc()
+                            obs.progress.advance(
+                                1, flips=1 if value is not None else 0
+                            )
+                            records.append(
+                                TaggonminRecord(
+                                    module_id=info.module_id,
+                                    die_key=info.die_key,
+                                    temperature_c=temperature_c,
+                                    activation_count=count,
+                                    site_row=site.row,
+                                    taggonmin=value,
+                                )
+                            )
         return records
 
     def ber_sweep(
@@ -154,25 +206,51 @@ class CharacterizationRunner:
         """Budget-maximal-activation BER at each t_AggON (Table 6 cells)."""
         records: list[BerRecord] = []
         config = ExperimentConfig(access=access, data=data)
-        for module_id in self.module_ids:
-            bench = self.bench(module_id)
-            bench.module.device.set_temperature(temperature_c)
-            info = bench.module.info
-            for site in self.sites(bench.module):
-                for t_aggon in t_aggon_values:
-                    measurement = measure_ber(bench, site, t_aggon, config)
-                    records.append(
-                        BerRecord(
-                            module_id=info.module_id,
-                            die_key=info.die_key,
-                            access=access.value,
-                            temperature_c=temperature_c,
-                            t_aggon=t_aggon,
-                            t_aggoff=measurement.t_aggoff,
-                            site_row=site.row,
-                            ber=measurement.ber,
-                            bitflips=measurement.bitflips,
-                            one_to_zero=measurement.one_to_zero,
-                        )
-                    )
+        obs = self.observer
+        obs.progress.start(
+            total=len(self.module_ids) * self.sites_per_module * len(t_aggon_values),
+            label="ber_sweep",
+        )
+        with obs.span(
+            "campaign.ber_sweep",
+            modules=len(self.module_ids),
+            temperature_c=temperature_c,
+        ):
+            for module_id in self.module_ids:
+                bench = self.bench(module_id)
+                bench.module.device.set_temperature(temperature_c)
+                info = bench.module.info
+                with obs.span("campaign.module", module=module_id):
+                    for site in self.sites(bench.module):
+                        for t_aggon in t_aggon_values:
+                            with obs.span(
+                                "experiment",
+                                kind="ber",
+                                module=module_id,
+                                row=site.row,
+                                t_aggon=t_aggon,
+                            ) as span:
+                                measurement = measure_ber(
+                                    bench, site, t_aggon, config, observer=obs
+                                )
+                                span.set(bitflips=measurement.bitflips)
+                            obs.metrics.counter("campaign.experiments").inc()
+                            obs.metrics.counter("campaign.bitflips").inc(
+                                measurement.bitflips
+                            )
+                            obs.progress.advance(1, flips=measurement.bitflips)
+                            records.append(
+                                BerRecord(
+                                    module_id=info.module_id,
+                                    die_key=info.die_key,
+                                    access=access.value,
+                                    temperature_c=temperature_c,
+                                    t_aggon=t_aggon,
+                                    t_aggoff=measurement.t_aggoff,
+                                    site_row=site.row,
+                                    ber=measurement.ber,
+                                    bitflips=measurement.bitflips,
+                                    one_to_zero=measurement.one_to_zero,
+                                )
+                            )
         return records

@@ -12,6 +12,7 @@ import math
 
 from repro.bender.infrastructure import TestingInfrastructure
 from repro.characterization.patterns import ExperimentConfig, RowSite, build_disturb_program
+from repro.obs import Observer
 
 
 def _flips_at(
@@ -33,23 +34,38 @@ def find_taggonmin(
     activation_count: int,
     config: ExperimentConfig | None = None,
     accuracy: float = 0.02,
+    observer: Observer | None = None,
 ) -> float | None:
     """Minimum t_AggON (ns) inducing a bitflip at ``activation_count``."""
     config = config or ExperimentConfig()
-    timing = config.timing
-    # Largest on-time that keeps the whole pattern inside the budget.
-    t_max = config.budget_ns / activation_count - timing.tRP
-    if t_max <= timing.tRAS:
-        return None
-    if _flips_at(infra, site, t_max, activation_count, config) == 0:
-        return None
-    low, high = timing.tRAS, t_max  # low: no flip; high: flips
-    if _flips_at(infra, site, low, activation_count, config) > 0:
-        return low
-    while high / low > 1.0 + accuracy:
-        mid = math.sqrt(low * high)
-        if _flips_at(infra, site, mid, activation_count, config) > 0:
-            high = mid
-        else:
-            low = mid
-    return high
+    obs = observer or infra.observer
+    with obs.span(
+        "taggonmin.search", bank=site.bank, row=site.row, activations=activation_count
+    ) as span:
+        probes = 0
+        value = None
+        timing = config.timing
+        # Largest on-time that keeps the whole pattern inside the budget.
+        t_max = config.budget_ns / activation_count - timing.tRP
+        if t_max > timing.tRAS:
+            probes += 1
+            if _flips_at(infra, site, t_max, activation_count, config) > 0:
+                low, high = timing.tRAS, t_max  # low: no flip; high: flips
+                probes += 1
+                if _flips_at(infra, site, low, activation_count, config) > 0:
+                    value = low
+                else:
+                    while high / low > 1.0 + accuracy:
+                        mid = math.sqrt(low * high)
+                        probes += 1
+                        if _flips_at(infra, site, mid, activation_count, config) > 0:
+                            high = mid
+                        else:
+                            low = mid
+                    value = high
+        span.set(taggonmin=value, probes=probes)
+    obs.metrics.counter("taggonmin.searches").inc()
+    obs.metrics.counter("taggonmin.probes").inc(probes)
+    if value is not None:
+        obs.metrics.counter("taggonmin.sites_with_flips").inc()
+    return value

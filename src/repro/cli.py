@@ -5,17 +5,52 @@ Commands:
 * ``fleet`` — list the calibrated module catalog (Table 1),
 * ``acmin`` — ACmin of one module across a t_AggON sweep,
 * ``attack`` — run the §6 real-system RowPress attack grid,
-* ``campaign`` — run a JSON campaign spec and save the records.
+* ``campaign`` — run a JSON campaign spec and save the records,
+* ``obs-report`` — summarize a metrics or trace file from a prior run.
+
+``acmin``, ``attack``, and ``campaign`` accept ``--trace-out FILE``
+(Chrome trace-event JSON, loadable in ``chrome://tracing``) and
+``--metrics-out FILE`` (counter/gauge/histogram snapshot); ``-v``
+raises log verbosity (``-vv`` for debug) and surfaces campaign
+progress lines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro import units
 from repro.analysis.tables import format_table
+from repro.obs import Observer, configure_logging, declare_standard_metrics, get_logger
+
+logger = get_logger("cli")
+
+
+def _build_observer(args: argparse.Namespace) -> Observer | None:
+    """An active observer when any observability output was requested."""
+    wants_obs = getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)
+    if not wants_obs and not args.verbose:
+        return None
+    observer = Observer.create(label=args.command or "run")
+    declare_standard_metrics(observer.metrics)
+    return observer
+
+
+def _export_observability(args: argparse.Namespace, observer: Observer | None) -> None:
+    """Write the trace/metrics files the flags asked for."""
+    if observer is None:
+        return
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        observer.tracer.write_chrome_trace(trace_out)
+        logger.info("trace written to %s", trace_out)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        observer.metrics.write_json(metrics_out)
+        logger.info("metrics written to %s", metrics_out)
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -54,15 +89,21 @@ def _cmd_acmin(args: argparse.Namespace) -> int:
     from repro.dram import build_module
     from repro.dram.geometry import Geometry
 
+    observer = _build_observer(args)
     geometry = Geometry(
         ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=256, row_bits=65536
     )
-    bench = TestingInfrastructure(build_module(args.module, geometry=geometry))
+    try:
+        module = build_module(args.module, geometry=geometry)
+    except KeyError:
+        logger.error("unknown module id %r (see `repro fleet`)", args.module)
+        return 2
+    bench = TestingInfrastructure(module, observer=observer)
     bench.module.device.set_temperature(args.temperature)
     site = RowSite(0, 1, args.row)
     rows = []
     for t_aggon in (36.0, 636.0, units.TREFI, 9 * units.TREFI, 30 * units.MS):
-        acmin = find_acmin(bench, site, t_aggon)
+        acmin = find_acmin(bench, site, t_aggon, observer=observer)
         rows.append([units.format_time(t_aggon), f"{acmin:,}" if acmin else "-"])
     print(
         format_table(
@@ -71,6 +112,7 @@ def _cmd_acmin(args: argparse.Namespace) -> int:
             f"{args.module} row {args.row} @ {args.temperature:.0f}C",
         )
     )
+    _export_observability(args, observer)
     return 0
 
 
@@ -78,6 +120,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     from repro.dram.geometry import RowAddress
     from repro.system import AttackParameters, build_demo_system, run_rowpress_attack
 
+    observer = _build_observer(args)
     system = build_demo_system(rows_per_bank=4096)
     victims = [RowAddress(0, 1, 16 + 8 * i) for i in range(args.victims)]
     rows = []
@@ -86,7 +129,9 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             params = AttackParameters(
                 num_reads=reads, num_aggr_acts=acts, num_iterations=args.iterations
             )
-            result = run_rowpress_attack(system, victims, params, max_windows=2)
+            result = run_rowpress_attack(
+                system, victims, params, max_windows=2, observer=observer
+            )
             rows.append([acts, reads, result.total_bitflips, result.rows_with_bitflips])
     print(
         format_table(
@@ -95,6 +140,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             f"RowPress attack vs {args.victims} victims (TRR on)",
         )
     )
+    _export_observability(args, observer)
     return 0
 
 
@@ -105,17 +151,151 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         save_results,
     )
 
-    spec = CampaignSpec.from_json(Path(args.spec).read_text())
-    records = run_campaign(spec)
+    try:
+        spec_text = Path(args.spec).read_text()
+    except OSError as error:
+        logger.error("cannot read campaign spec %s: %s", args.spec, error)
+        return 2
+    try:
+        spec = CampaignSpec.from_json(spec_text)
+    except (ValueError, TypeError, KeyError) as error:
+        logger.error("invalid campaign spec %s: %s", args.spec, error)
+        return 2
+    observer = _build_observer(args)
+    records = run_campaign(spec, observer=observer)
     save_results(args.output, spec, records)
+    _export_observability(args, observer)
     print(f"{len(records)} records written to {args.output}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# obs-report
+# ----------------------------------------------------------------------
+
+
+def _report_metrics(payload: dict) -> str:
+    """Summary tables for a metrics snapshot (see MetricsRegistry)."""
+    sections = []
+    counters = payload.get("counters", [])
+    if counters:
+        rows = [
+            [
+                entry["name"],
+                " ".join(f"{k}={v}" for k, v in sorted(entry["labels"].items())) or "-",
+                f"{entry['value']:,}",
+            ]
+            for entry in counters
+        ]
+        sections.append(format_table(["counter", "labels", "value"], rows, "Counters"))
+    gauges = payload.get("gauges", [])
+    if gauges:
+        rows = [
+            [
+                entry["name"],
+                " ".join(f"{k}={v}" for k, v in sorted(entry["labels"].items())) or "-",
+                f"{entry['value']:.4g}",
+            ]
+            for entry in gauges
+        ]
+        sections.append(format_table(["gauge", "labels", "value"], rows, "Gauges"))
+    histograms = payload.get("histograms", [])
+    if histograms:
+        rows = [
+            [
+                entry["name"],
+                entry["count"],
+                f"{entry['mean']:.4g}",
+                f"{entry['p50']:.4g}",
+                f"{entry['p99']:.4g}",
+                f"{entry['max']:.4g}",
+            ]
+            for entry in histograms
+        ]
+        sections.append(
+            format_table(
+                ["histogram", "count", "mean", "p50", "p99", "max"], rows, "Histograms"
+            )
+        )
+    return "\n\n".join(sections) if sections else "(empty metrics file)"
+
+
+def _report_trace(payload: dict) -> str:
+    """Per-span-name aggregation of a Chrome trace file."""
+    totals: dict[str, list[float]] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        totals.setdefault(event["name"], []).append(event.get("dur", 0.0))
+    rows = []
+    for name in sorted(totals, key=lambda n: -sum(totals[n])):
+        durs = totals[name]
+        rows.append(
+            [
+                name,
+                len(durs),
+                f"{sum(durs) / 1e3:.2f}",
+                f"{sum(durs) / len(durs) / 1e3:.3f}",
+                f"{max(durs) / 1e3:.3f}",
+            ]
+        )
+    if not rows:
+        return "(no complete spans in trace file)"
+    return format_table(
+        ["span", "count", "total ms", "mean ms", "max ms"], rows, "Spans by total time"
+    )
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    try:
+        payload = json.loads(Path(args.file).read_text())
+    except OSError as error:
+        logger.error("cannot read %s: %s", args.file, error)
+        return 2
+    except json.JSONDecodeError as error:
+        logger.error("%s is not valid JSON: %s", args.file, error)
+        return 2
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        print(_report_trace(payload))
+    elif isinstance(payload, dict) and (
+        "counters" in payload or "histograms" in payload or "gauges" in payload
+    ):
+        print(_report_metrics(payload))
+    else:
+        logger.error(
+            "%s is neither a metrics snapshot nor a Chrome trace file", args.file
+        )
+        return 2
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON (chrome://tracing)",
+    )
+    subparser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write a metrics snapshot JSON (see `repro obs-report`)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro", description="RowPress reproduction toolkit"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise log verbosity (-v info, -vv debug)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -127,23 +307,33 @@ def build_parser() -> argparse.ArgumentParser:
     acmin.add_argument("module", help="catalog module id, e.g. S3")
     acmin.add_argument("--row", type=int, default=100)
     acmin.add_argument("--temperature", type=float, default=50.0)
+    _add_obs_flags(acmin)
     acmin.set_defaults(handler=_cmd_acmin)
 
     attack = commands.add_parser("attack", help="run the real-system demo")
     attack.add_argument("--victims", type=int, default=100)
     attack.add_argument("--iterations", type=int, default=200_000)
+    _add_obs_flags(attack)
     attack.set_defaults(handler=_cmd_attack)
 
     campaign = commands.add_parser("campaign", help="run a campaign spec")
     campaign.add_argument("spec", help="path to a CampaignSpec JSON file")
     campaign.add_argument("--output", default="campaign_results.json")
+    _add_obs_flags(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
+
+    report = commands.add_parser(
+        "obs-report", help="summarize a metrics or trace file"
+    )
+    report.add_argument("file", help="metrics JSON or Chrome trace JSON")
+    report.set_defaults(handler=_cmd_obs_report)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
     return args.handler(args)
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.mitigation.base import Mitigation
+from repro.obs import NULL_OBSERVER, Observer
 
 
 @dataclass
@@ -21,9 +22,12 @@ class _MisraGries:
     entries: int
     counts: dict[int, int] = field(default_factory=dict)
     spillover: int = 0
+    evictions: int = 0
+    last_evicted: bool = False
 
     def update(self, row: int) -> int:
         """Count one activation; returns the row's estimated count."""
+        self.last_evicted = False
         if row in self.counts:
             self.counts[row] += 1
             return self.counts[row] + self.spillover
@@ -36,6 +40,8 @@ class _MisraGries:
             evicted = victims[0]
             del self.counts[evicted]
             self.counts[row] = self.spillover + 1
+            self.evictions += 1
+            self.last_evicted = True
             return self.counts[row] + 0
         self.spillover += 1
         return self.spillover
@@ -57,6 +63,7 @@ class Graphene(Mitigation):
         table_entries: int | None = None,
         neighborhood: int = 2,
         window_activations: int = 1_250_000,
+        observer: Observer | None = None,
     ) -> None:
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
@@ -68,6 +75,13 @@ class Graphene(Mitigation):
         self.neighborhood = neighborhood
         self._tables: dict[tuple[int, int], _MisraGries] = {}
         self._refresh_count = 0
+        obs = observer or NULL_OBSERVER
+        self._refresh_metric = obs.metrics.counter(
+            "mitigation.refreshes", mechanism=self.name
+        )
+        self._eviction_metric = obs.metrics.counter(
+            "mitigation.table_evictions", mechanism=self.name
+        )
 
     def _table(self, rank: int, bank: int) -> _MisraGries:
         key = (rank, bank)
@@ -79,6 +93,8 @@ class Graphene(Mitigation):
         """Count one ACT; refresh neighbors when the estimate hits T."""
         table = self._table(rank, bank)
         estimate = table.update(row)
+        if table.last_evicted:
+            self._eviction_metric.inc()
         if estimate >= self.threshold:
             table.counts[row] = 0
             victims = []
@@ -86,6 +102,7 @@ class Graphene(Mitigation):
                 victims.extend([row - distance, row + distance])
             victims = [victim for victim in victims if victim >= 0]
             self._refresh_count += len(victims)
+            self._refresh_metric.inc(len(victims))
             return victims
         return []
 
@@ -98,3 +115,8 @@ class Graphene(Mitigation):
     def preventive_refreshes(self) -> int:
         """Total preventive refreshes demanded so far."""
         return self._refresh_count
+
+    @property
+    def table_evictions(self) -> int:
+        """Total Misra-Gries entry evictions across all bank tables."""
+        return sum(table.evictions for table in self._tables.values())

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mitigation.base import Mitigation
+from repro.obs import NULL_OBSERVER, Observer
 
 
 class Para(Mitigation):
@@ -18,13 +19,23 @@ class Para(Mitigation):
 
     name = "para"
 
-    def __init__(self, probability: float, seed: int = 17, neighborhood: int = 2) -> None:
+    def __init__(
+        self,
+        probability: float,
+        seed: int = 17,
+        neighborhood: int = 2,
+        observer: Observer | None = None,
+    ) -> None:
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
         self.probability = probability
         self.neighborhood = neighborhood
         self._rng = np.random.default_rng(seed)
         self._refresh_count = 0
+        obs = observer or NULL_OBSERVER
+        self._refresh_metric = obs.metrics.counter(
+            "mitigation.refreshes", mechanism=self.name
+        )
 
     def on_activation(self, rank: int, bank: int, row: int, time_ns: float) -> list[int]:
         """With probability p, refresh one neighbor of the activated row."""
@@ -37,6 +48,7 @@ class Para(Mitigation):
         if victim < 0:
             victim = row + distance
         self._refresh_count += 1
+        self._refresh_metric.inc()
         return [victim]
 
     @property

@@ -1,0 +1,326 @@
+"""Dependency-free metrics: counters, gauges, histograms, timers.
+
+A :class:`MetricsRegistry` hands out named instruments keyed by
+``(name, labels)``; the same call always returns the same instrument, so
+hot paths can bind one once and increment it cheaply.  The
+:class:`NullRegistry` returns shared no-op instruments, which is what
+makes it safe to leave instrumentation calls in hot paths permanently:
+the uninstrumented configuration pays only an attribute lookup and an
+empty method call per event, and nothing at all where call sites flush
+plain-integer bookkeeping once per run.
+
+Percentiles use the nearest-rank method over the raw recorded samples —
+experiment counts here are thousands, not billions, so no sketching is
+needed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "atomic_write_text",
+]
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    An interrupted writer can never leave a truncated file at ``path``:
+    the content lands in a sibling temp file first and is moved into
+    place with :func:`os.replace`, which is atomic on POSIX.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> _LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count of events."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (temperature, queue depth, rate)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Distribution of observed values with percentile summaries."""
+
+    __slots__ = ("name", "labels", "_values", "_total")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self._values: list[float] = []
+        self._total = 0.0
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self._values.append(value)
+        self._total += value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self._total / len(self._values) if self._values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile ``p`` in [0, 100] (0.0 when empty)."""
+        if not self._values:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        ordered = sorted(self._values)
+        rank = max(math.ceil(p / 100.0 * len(ordered)), 1)
+        return ordered[rank - 1]
+
+    def summary(self) -> dict[str, float]:
+        """Count/sum/min/max/mean plus p50/p90/p99."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class Timer:
+    """Context manager recording elapsed wall seconds into a histogram."""
+
+    __slots__ = ("histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self.histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.histogram.record(time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Factory and store for named instruments.
+
+    Instruments are memoized by ``(name, labels)``: asking twice for
+    ``counter("executor.commands", opcode="act")`` returns the same
+    :class:`Counter`, so values accumulate across call sites.
+    """
+
+    #: Whether this registry actually records (the null registry doesn't).
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, _LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter named ``name`` with ``labels`` (created at 0)."""
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = Counter(name, {k: str(v) for k, v in labels.items()})
+            self._counters[key] = instrument
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge named ``name`` with ``labels``."""
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = Gauge(name, {k: str(v) for k, v in labels.items()})
+            self._gauges[key] = instrument
+        return instrument
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The histogram named ``name`` with ``labels``."""
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = Histogram(name, {k: str(v) for k, v in labels.items()})
+            self._histograms[key] = instrument
+        return instrument
+
+    def timer(self, name: str, **labels: object) -> Timer:
+        """A fresh :class:`Timer` feeding ``histogram(name, **labels)``."""
+        return Timer(self.histogram(name, **labels))
+
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Iterator[Counter]:
+        """All counters, in creation order."""
+        return iter(self._counters.values())
+
+    def value(self, name: str, **labels: object) -> int | float | None:
+        """Current value of a counter or gauge; ``None`` if never created."""
+        key = (name, _label_key(labels))
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every instrument."""
+        return {
+            "counters": [
+                {"name": c.name, "labels": c.labels, "value": c.value}
+                for c in self._counters.values()
+            ],
+            "gauges": [
+                {"name": g.name, "labels": g.labels, "value": g.value}
+                for g in self._gauges.values()
+            ],
+            "histograms": [
+                {"name": h.name, "labels": h.labels, **h.summary()}
+                for h in self._histograms.values()
+            ],
+        }
+
+    def write_json(self, path: str | Path) -> None:
+        """Dump the snapshot to ``path`` atomically."""
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=1))
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def record(self, value: float) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def __enter__(self) -> "Timer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry: every request returns a shared inert instrument.
+
+    Instrument methods are empty, so instrumentation left enabled in hot
+    paths costs one method dispatch per event and records nothing.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null", {})
+        self._null_gauge = _NullGauge("null", {})
+        self._null_histogram = _NullHistogram("null", {})
+        self._null_timer = _NullTimer(self._null_histogram)
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The shared inert counter."""
+        return self._null_counter
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The shared inert gauge."""
+        return self._null_gauge
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The shared inert histogram."""
+        return self._null_histogram
+
+    def timer(self, name: str, **labels: object) -> Timer:
+        """The shared inert timer."""
+        return self._null_timer
+
+    def to_dict(self) -> dict:
+        """Always the empty snapshot."""
+        return {"counters": [], "gauges": [], "histograms": []}
+
+
+#: Shared no-op registry (safe: all its instruments are inert).
+NULL_REGISTRY = NullRegistry()

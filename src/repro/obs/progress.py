@@ -1,0 +1,126 @@
+"""Campaign progress reporting through a pluggable sink.
+
+A :class:`ProgressReporter` tracks experiments done/total, bitflips
+found, elapsed wall time, and an ETA, and pushes a
+:class:`ProgressEvent` to its sink on every advance.  The default sink
+logs at INFO on the ``repro.obs.progress`` logger (visible with the CLI
+``-v`` flag); campaigns running under a supervisor can substitute any
+callable.  :class:`NullProgress` is the inert stand-in.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ProgressEvent", "ProgressReporter", "NullProgress", "log_sink"]
+
+_logger = logging.getLogger("repro.obs.progress")
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One snapshot of campaign progress."""
+
+    label: str
+    done: int
+    total: int | None
+    flips: int
+    elapsed_s: float
+    eta_s: float | None
+
+    def render(self) -> str:
+        """Human-readable one-liner."""
+        total = "?" if self.total is None else str(self.total)
+        eta = "" if self.eta_s is None else f", eta {self.eta_s:.1f}s"
+        return (
+            f"{self.label}: {self.done}/{total} experiments, "
+            f"{self.flips} bitflips, {self.elapsed_s:.1f}s elapsed{eta}"
+        )
+
+
+def log_sink(event: ProgressEvent) -> None:
+    """Default sink: log the event at INFO."""
+    _logger.info("%s", event.render())
+
+
+class ProgressReporter:
+    """Tracks done/total/flips and emits events to a sink."""
+
+    def __init__(
+        self,
+        label: str = "campaign",
+        total: int | None = None,
+        sink: Callable[[ProgressEvent], None] | None = None,
+    ) -> None:
+        self.label = label
+        self.total = total
+        self.sink = sink if sink is not None else log_sink
+        self.done = 0
+        self.flips = 0
+        self._start = time.perf_counter()
+
+    def start(self, total: int | None = None, label: str | None = None) -> None:
+        """(Re)start the clock; optionally set the expected total."""
+        if total is not None:
+            self.total = total
+        if label is not None:
+            self.label = label
+        self.done = 0
+        self.flips = 0
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall seconds since :meth:`start` (or construction)."""
+        return time.perf_counter() - self._start
+
+    @property
+    def eta_s(self) -> float | None:
+        """Projected remaining seconds (None before any progress)."""
+        if not self.total or self.done == 0:
+            return None
+        remaining = max(self.total - self.done, 0)
+        return remaining * self.elapsed_s / self.done
+
+    def snapshot(self) -> ProgressEvent:
+        """The current state as an event (without emitting it)."""
+        return ProgressEvent(
+            label=self.label,
+            done=self.done,
+            total=self.total,
+            flips=self.flips,
+            elapsed_s=self.elapsed_s,
+            eta_s=self.eta_s,
+        )
+
+    def advance(self, n: int = 1, flips: int = 0) -> None:
+        """Account ``n`` finished experiments (+ bitflips) and emit."""
+        self.done += n
+        self.flips += flips
+        self.sink(self.snapshot())
+
+    def finish(self) -> ProgressEvent:
+        """Emit and return the final snapshot."""
+        event = self.snapshot()
+        self.sink(event)
+        return event
+
+
+class NullProgress(ProgressReporter):
+    """Inert progress reporter (never emits)."""
+
+    def __init__(self) -> None:
+        super().__init__(sink=lambda event: None)
+
+    def start(self, total: int | None = None, label: str | None = None) -> None:
+        """No-op."""
+
+    def advance(self, n: int = 1, flips: int = 0) -> None:
+        """No-op."""
+
+    def finish(self) -> ProgressEvent:
+        """Returns an all-zero snapshot without emitting."""
+        return self.snapshot()

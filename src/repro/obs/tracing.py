@@ -1,0 +1,203 @@
+"""Hierarchical spans with JSONL and Chrome trace-event export.
+
+A :class:`Tracer` maintains a stack of open :class:`Span` objects; each
+``with tracer.span("acmin.search", t_aggon=...)`` block records wall
+time, nesting (parent id and depth), and any attributes attached via
+``span.set(...)`` while the block runs.  Finished spans export to two
+formats:
+
+* **JSONL** — one span object per line, convenient for grep/pandas;
+* **Chrome trace-event JSON** — loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev as complete (``"ph": "X"``) events, one track
+  per nesting depth.
+
+The :class:`NullTracer` satisfies the same interface with a single
+reusable inert span, so tracing can stay in hot paths unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs.metrics import atomic_write_text
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_SPAN"]
+
+
+class Span:
+    """One timed, attributed region of work.
+
+    Usable as a context manager (the owning tracer hands it out already
+    started); ``set(**attrs)`` attaches result attributes mid-flight.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start_s",
+        "duration_s",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict[str, object],
+        span_id: int,
+        parent_id: int | None,
+        depth: int,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start_s = 0.0
+        self.duration_s = 0.0
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes (e.g. results, counts) to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._tracer._finish(self)
+        return False
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (times in seconds)."""
+        return {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects hierarchical spans for one run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.finished: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """Open a span nested under the innermost open span."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            tracer=self,
+            name=name,
+            attrs=dict(attrs),
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._stack),
+        )
+        self._next_id += 1
+        span.start_s = time.perf_counter() - self._epoch
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.duration_s = (time.perf_counter() - self._epoch) - span.start_s
+        # Close any abandoned children first (exceptions unwinding).
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self.finished.append(span)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per finished span, in completion order."""
+        return "\n".join(json.dumps(span.to_dict()) for span in self.finished)
+
+    def write_jsonl(self, path: str | Path) -> None:
+        """Write the JSONL export atomically."""
+        text = self.to_jsonl()
+        atomic_write_text(path, text + "\n" if text else "")
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace-event format: complete events, ts/dur in us."""
+        events = []
+        for span in sorted(self.finished, key=lambda s: s.start_s):
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": span.start_s * 1e6,
+                    "dur": span.duration_s * 1e6,
+                    "pid": 1,
+                    "tid": span.depth + 1,
+                    "args": {str(k): v for k, v in span.attrs.items()},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str | Path) -> None:
+        """Write the Chrome trace export atomically."""
+        atomic_write_text(path, json.dumps(self.to_chrome_trace(), indent=1))
+
+
+class _NullSpan:
+    """Inert span: context manager and ``set()`` both do nothing."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+#: Shared inert span handed out by :class:`NullTracer`.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer: ``span()`` returns the shared inert span."""
+
+    enabled = False
+    finished: list = []
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        """The shared inert span."""
+        return NULL_SPAN
+
+    def to_jsonl(self) -> str:
+        """Always empty."""
+        return ""
+
+    def write_jsonl(self, path: str | Path) -> None:
+        """No-op (writes nothing)."""
+
+    def to_chrome_trace(self) -> dict:
+        """An empty trace document."""
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str | Path) -> None:
+        """No-op (writes nothing)."""

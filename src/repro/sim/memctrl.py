@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.dram.timing import TimingParameters
 from repro.mitigation.base import Mitigation, NoMitigation
+from repro.obs import NULL_OBSERVER, Observer
 from repro.sim.dram_model import DramState
 from repro.sim.request import Request, RequestType
 from repro.sim.rowpolicy import DecoupledBufferPolicy, OpenRowPolicy, RowPolicy
@@ -38,16 +39,20 @@ class MemoryController:
         mitigation: Mitigation | None = None,
         stats: SimStats | None = None,
         queue_capacity: int = 64,
+        observer: Observer | None = None,
     ) -> None:
         self.dram = dram
         self.policy = policy or OpenRowPolicy()
         self.mitigation = mitigation or NoMitigation()
         self.stats = stats or SimStats()
         self.queue_capacity = queue_capacity
+        self.observer = observer or NULL_OBSERVER
         self.queues: dict[tuple[int, int], list[Request]] = {
             key: [] for key in dram.banks
         }
         self._queued = 0
+        #: Snapshot of counters already pushed by :meth:`flush_metrics`.
+        self._flushed: dict[str, int] = {}
         #: Optional security hook (repro.mitigation.security).
         self.exposure_tracker = None
 
@@ -169,3 +174,30 @@ class MemoryController:
         self.stats.rotate_window()
         if self.exposure_tracker is not None:
             self.exposure_tracker.on_refresh_window()
+
+    # ------------------------------------------------------------------
+
+    def flush_metrics(self) -> None:
+        """Push accumulated stats into the observer's metrics registry.
+
+        Counters record the delta since the previous flush, so calling
+        this repeatedly (e.g. once per simulation phase) never
+        double-counts.  No-op under the null observer.
+        """
+        metrics = self.observer.metrics
+        stats = self.stats
+        totals = {
+            "memctrl.requests_served": stats.accesses,
+            "memctrl.row_hits": stats.row_hits,
+            "memctrl.row_misses": stats.row_misses,
+            "memctrl.row_conflicts": stats.row_conflicts,
+            "memctrl.activations": stats.activations,
+            "memctrl.refresh_commands": stats.refresh_commands,
+            "memctrl.preventive_refreshes": stats.preventive_refreshes,
+        }
+        for name, total in totals.items():
+            delta = total - self._flushed.get(name, 0)
+            if delta:
+                metrics.counter(name).inc(delta)
+            self._flushed[name] = total
+        metrics.gauge("memctrl.row_hit_rate").set(stats.row_hit_rate)

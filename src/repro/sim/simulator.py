@@ -10,9 +10,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass
 
 from repro.mitigation.base import Mitigation
+from repro.obs import NULL_OBSERVER, Observer
 from repro.sim.core import CoreModel
 from repro.sim.dram_model import DramState
 from repro.sim.memctrl import MemoryController
@@ -60,15 +62,21 @@ class Simulator:
         banks: int = 16,
         seed: int = 1,
         max_sim_ns: float = 2.0e9,
+        observer: Observer | None = None,
     ) -> None:
         self.specs = [
             spec if isinstance(spec, WorkloadSpec) else WORKLOADS[spec]
             for spec in workloads
         ]
+        self.observer = observer or NULL_OBSERVER
         self.dram = DramState(ranks=ranks, banks_per_rank=banks)
         self.stats = SimStats()
         self.mc = MemoryController(
-            self.dram, policy=policy, mitigation=mitigation, stats=self.stats
+            self.dram,
+            policy=policy,
+            mitigation=mitigation,
+            stats=self.stats,
+            observer=self.observer,
         )
         self.cores: list[CoreModel] = []
         for core_id, spec in enumerate(self.specs):
@@ -97,7 +105,37 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        """Run to completion; returns IPC and stats."""
+        """Run to completion; returns IPC and stats.
+
+        When the simulator has an active observer, the whole run is one
+        ``sim.run`` span and the controller's row-buffer statistics are
+        flushed into the metrics registry at the end.
+        """
+        obs = self.observer
+        wall_start = time.perf_counter()
+        with obs.span(
+            "sim.run",
+            workloads=",".join(spec.name for spec in self.specs),
+            mitigation=self.mc.mitigation.name,
+        ) as span:
+            result, events = self._run_events()
+            span.set(
+                duration_ns=result.duration_ns,
+                events=events,
+                requests=self.stats.accesses,
+            )
+        wall = time.perf_counter() - wall_start
+        obs.metrics.counter("sim.runs").inc()
+        obs.metrics.counter("sim.events").inc(events)
+        if wall > 0:
+            obs.metrics.histogram("sim.ns_per_wall_s").record(
+                result.duration_ns / wall
+            )
+        self.mc.flush_metrics()
+        return result
+
+    def _run_events(self) -> tuple[SimulationResult, int]:
+        """The event loop proper; returns (result, events handled)."""
         timing = self.dram.timing
         for core in self.cores:
             self._push(0.0, "core", core.core_id)
@@ -106,8 +144,10 @@ class Simulator:
         self._push(timing.tREFW, "window", None)
 
         now = 0.0
+        events = 0
         while self._heap:
             now, _, kind, payload = heapq.heappop(self._heap)
+            events += 1
             if now > self.max_sim_ns:
                 break
             if kind == "core":
@@ -137,13 +177,14 @@ class Simulator:
         now = self._drain_writes(now)
         duration = max((core.finish_ns or now) for core in self.cores)
         ipc = {core.core_id: core.ipc() for core in self.cores}
-        return SimulationResult(
+        result = SimulationResult(
             workloads=[spec.name for spec in self.specs],
             ipc=ipc,
             stats=self.stats,
             duration_ns=duration,
             preventive_refreshes=self.mc.mitigation.preventive_refreshes,
         )
+        return result, events
 
     def _drain_writes(self, now: float) -> float:
         """Serve any writes still buffered after the cores retire.

@@ -30,6 +30,7 @@ import numpy as np
 from repro.dram.datapattern import fill_bytes
 from repro.dram.device import Bitflip
 from repro.dram.geometry import RowAddress
+from repro.obs import NULL_OBSERVER, Observer
 from repro.system.machine import RealSystem
 
 
@@ -141,8 +142,36 @@ def run_rowpress_attack(
     params: AttackParameters,
     max_windows: int = 3,
     seed: int = 5,
+    observer: Observer | None = None,
 ) -> AttackResult:
     """Execute Algorithm 1 against ``victims`` (fast-forward windows)."""
+    obs = observer or NULL_OBSERVER
+    with obs.span(
+        "attack.run",
+        num_reads=params.num_reads,
+        num_aggr_acts=params.num_aggr_acts,
+        victims=len(victims),
+    ) as attack_span:
+        result = _run_rowpress_attack(system, victims, params, max_windows, seed)
+        attack_span.set(
+            bitflips=result.total_bitflips,
+            rows_with_bitflips=result.rows_with_bitflips,
+            windows=result.windows_simulated,
+        )
+    obs.metrics.counter("attack.runs").inc()
+    obs.metrics.counter("attack.windows").inc(result.windows_simulated)
+    obs.metrics.counter("attack.windows_clean").inc(result.windows_clean)
+    obs.metrics.counter("attack.bitflips").inc(result.total_bitflips)
+    return result
+
+
+def _run_rowpress_attack(
+    system: RealSystem,
+    victims: list[RowAddress],
+    params: AttackParameters,
+    max_windows: int = 3,
+    seed: int = 5,
+) -> AttackResult:
     device = system.module.device
     timing = device.timing
     schedule = plan_iteration(system, params)

@@ -1,0 +1,33 @@
+"""Lint: diagnostics must go through logging, not bare print().
+
+The only modules allowed to print are the CLI (its tables are the
+product) and the analysis package (figure/table rendering).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Files whose printed output *is* their purpose.
+ALLOWED = {"cli.py"}
+ALLOWED_PACKAGES = {"analysis"}
+
+_PRINT = re.compile(r"(?<![\w.])print\(")
+
+
+def test_no_bare_print_outside_cli_and_analysis():
+    offenders: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        relative = path.relative_to(SRC)
+        if relative.name in ALLOWED or relative.parts[0] in ALLOWED_PACKAGES:
+            continue
+        for number, line in enumerate(path.read_text().splitlines(), start=1):
+            code = line.split("#", 1)[0]
+            if _PRINT.search(code):
+                offenders.append(f"{relative}:{number}: {line.strip()}")
+    assert not offenders, "bare print() in library code (use repro.obs logging):\n" + (
+        "\n".join(offenders)
+    )

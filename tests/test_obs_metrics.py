@@ -1,0 +1,126 @@
+"""Unit tests for repro.obs.metrics: instruments, registry, null path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    atomic_write_text,
+)
+
+
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    counter = reg.counter("x.events")
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+    assert reg.value("x.events") == 6
+
+
+def test_counter_memoized_by_name_and_labels():
+    reg = MetricsRegistry()
+    a = reg.counter("cmds", opcode="act")
+    b = reg.counter("cmds", opcode="act")
+    c = reg.counter("cmds", opcode="pre")
+    assert a is b
+    assert a is not c
+    a.inc(3)
+    assert reg.value("cmds", opcode="act") == 3
+    assert reg.value("cmds", opcode="pre") == 0
+    assert reg.value("cmds", opcode="ref") is None
+
+
+def test_gauge_set():
+    reg = MetricsRegistry()
+    gauge = reg.gauge("temp_c")
+    gauge.set(49.5)
+    gauge.set(85.0)
+    assert reg.value("temp_c") == 85.0
+
+
+def test_histogram_summary_math():
+    reg = MetricsRegistry()
+    hist = reg.histogram("lat")
+    for value in range(1, 101):  # 1..100
+        hist.record(float(value))
+    assert hist.count == 100
+    assert hist.total == pytest.approx(5050.0)
+    assert hist.mean == pytest.approx(50.5)
+    assert hist.minimum == 1.0
+    assert hist.maximum == 100.0
+    # Nearest-rank percentiles over 1..100 are exact.
+    assert hist.percentile(50) == 50.0
+    assert hist.percentile(90) == 90.0
+    assert hist.percentile(99) == 99.0
+    assert hist.percentile(100) == 100.0
+    summary = hist.summary()
+    assert summary["p50"] == 50.0 and summary["count"] == 100
+
+
+def test_histogram_empty_and_bad_percentile():
+    hist = MetricsRegistry().histogram("empty")
+    assert hist.percentile(50) == 0.0
+    assert hist.summary()["count"] == 0
+    hist.record(1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_timer_records_into_histogram():
+    reg = MetricsRegistry()
+    with reg.timer("step_s"):
+        pass
+    hist = reg.histogram("step_s")
+    assert hist.count == 1
+    assert hist.minimum >= 0.0
+
+
+def test_to_dict_shape_and_json_roundtrip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("c", k="v").inc(2)
+    reg.gauge("g").set(1.5)
+    reg.histogram("h").record(3.0)
+    snapshot = reg.to_dict()
+    assert snapshot["counters"] == [{"name": "c", "labels": {"k": "v"}, "value": 2}]
+    assert snapshot["gauges"][0]["value"] == 1.5
+    assert snapshot["histograms"][0]["count"] == 1
+    path = tmp_path / "m.json"
+    reg.write_json(path)
+    assert json.loads(path.read_text()) == snapshot
+    assert not (tmp_path / "m.json.tmp").exists()  # temp file renamed away
+
+
+def test_null_registry_is_inert():
+    reg = NullRegistry()
+    counter = reg.counter("anything", a=1)
+    counter.inc(10**6)
+    assert counter.value == 0
+    gauge = reg.gauge("g")
+    gauge.set(5.0)
+    assert gauge.value == 0.0
+    hist = reg.histogram("h")
+    hist.record(1.0)
+    assert hist.count == 0
+    with reg.timer("t"):
+        pass
+    assert reg.histogram("t").count == 0
+    assert reg.to_dict() == {"counters": [], "gauges": [], "histograms": []}
+    assert not reg.enabled
+
+
+def test_null_registry_returns_shared_instruments():
+    assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b", x=1)
+    assert NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    path = tmp_path / "f.json"
+    path.write_text("old")
+    atomic_write_text(path, "new")
+    assert path.read_text() == "new"

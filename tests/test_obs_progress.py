@@ -1,0 +1,105 @@
+"""Unit tests for repro.obs.progress and Observer/logging helpers."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.obs import (
+    NULL_OBSERVER,
+    Observer,
+    configure_logging,
+    declare_standard_metrics,
+    get_logger,
+)
+from repro.obs.progress import NullProgress, ProgressReporter
+
+
+def test_progress_events_and_eta():
+    events = []
+    reporter = ProgressReporter(label="sweep", total=10, sink=events.append)
+    reporter.advance(1, flips=3)
+    reporter.advance(4, flips=2)
+    assert [event.done for event in events] == [1, 5]
+    last = events[-1]
+    assert last.total == 10
+    assert last.flips == 5
+    assert last.label == "sweep"
+    assert last.eta_s is not None and last.eta_s >= 0.0
+    # ETA projects remaining work from observed rate.
+    assert last.eta_s <= last.elapsed_s * 9 / 5 + 1e-6
+    assert "5/10" in last.render()
+
+
+def test_progress_without_total_has_no_eta():
+    events = []
+    reporter = ProgressReporter(sink=events.append)
+    reporter.advance()
+    assert events[0].eta_s is None
+    assert "1/?" in events[0].render()
+
+
+def test_progress_start_resets():
+    events = []
+    reporter = ProgressReporter(sink=events.append)
+    reporter.advance(5, flips=5)
+    reporter.start(total=3, label="second")
+    assert reporter.done == 0 and reporter.flips == 0 and reporter.total == 3
+    event = reporter.finish()
+    assert event.label == "second" and event.done == 0
+
+
+def test_null_progress_never_emits():
+    reporter = NullProgress()
+    reporter.start(total=100)
+    reporter.advance(5, flips=5)
+    assert reporter.done == 0  # inert
+    assert reporter.finish().done == 0
+
+
+def test_null_observer_is_shared_and_inert():
+    assert Observer.null() is NULL_OBSERVER
+    assert not NULL_OBSERVER.enabled
+    with NULL_OBSERVER.span("x", a=1) as span:
+        span.set(b=2)
+    NULL_OBSERVER.metrics.counter("c").inc()
+    assert NULL_OBSERVER.metrics.to_dict()["counters"] == []
+
+
+def test_observer_create_is_active():
+    observer = Observer.create(label="t", progress_sink=lambda event: None)
+    assert observer.enabled
+    with observer.span("top") as span:
+        span.set(ok=True)
+    observer.metrics.counter("c").inc()
+    assert observer.metrics.value("c") == 1
+    assert observer.tracer.finished[0].name == "top"
+
+
+def test_declare_standard_metrics_zero_shape():
+    observer = Observer.create()
+    declare_standard_metrics(observer.metrics)
+    names = {entry["name"] for entry in observer.metrics.to_dict()["counters"]}
+    assert "executor.commands" in names
+    assert "memctrl.row_hits" in names
+    assert observer.metrics.value("memctrl.row_hits") == 0
+
+
+def test_configure_logging_levels_and_idempotence():
+    stream = io.StringIO()
+    root = configure_logging(0, stream=stream)
+    assert root.level == logging.WARNING
+    handlers_before = list(root.handlers)
+    root = configure_logging(2, stream=stream)
+    assert root.level == logging.DEBUG
+    assert list(root.handlers) == handlers_before  # no handler stacking
+    logger = get_logger("unit")
+    assert logger.name == "repro.unit"
+    logger.debug("visible at -vv")
+    assert "visible at -vv" in stream.getvalue()
+    configure_logging(0)  # restore default for other tests
+
+
+def test_get_logger_accepts_qualified_names():
+    assert get_logger("repro.sim").name == "repro.sim"
+    assert get_logger("repro").name == "repro"

@@ -1,0 +1,101 @@
+"""Unit tests for repro.obs.tracing: span nesting and exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracing import NULL_SPAN, NullTracer, Tracer
+
+
+def test_span_nesting_parent_and_depth():
+    tracer = Tracer()
+    with tracer.span("outer", kind="campaign") as outer:
+        with tracer.span("middle") as middle:
+            with tracer.span("inner") as inner:
+                pass
+    assert outer.parent_id is None and outer.depth == 0
+    assert middle.parent_id == outer.span_id and middle.depth == 1
+    assert inner.parent_id == middle.span_id and inner.depth == 2
+    # Finished in completion order: innermost first.
+    assert [span.name for span in tracer.finished] == ["inner", "middle", "outer"]
+    assert outer.duration_s >= middle.duration_s >= inner.duration_s >= 0.0
+
+
+def test_span_set_attaches_attributes():
+    tracer = Tracer()
+    with tracer.span("search", t_aggon=36.0) as span:
+        span.set(acmin=1234, probes=7)
+    record = tracer.finished[0].to_dict()
+    assert record["attrs"] == {"t_aggon": 36.0, "acmin": 1234, "probes": 7}
+
+
+def test_sibling_spans_share_parent():
+    tracer = Tracer()
+    with tracer.span("sweep") as sweep:
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+    a, b = tracer.finished[0], tracer.finished[1]
+    assert a.parent_id == sweep.span_id and b.parent_id == sweep.span_id
+    assert a.depth == b.depth == 1
+
+
+def test_exception_unwinding_still_closes_span():
+    tracer = Tracer()
+    try:
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert {span.name for span in tracer.finished} == {"inner", "outer"}
+    assert tracer._stack == []
+
+
+def test_chrome_trace_shape():
+    tracer = Tracer()
+    with tracer.span("outer", module="S3"):
+        with tracer.span("inner"):
+            pass
+    payload = tracer.to_chrome_trace()
+    assert set(payload) == {"traceEvents", "displayTimeUnit"}
+    events = payload["traceEvents"]
+    assert len(events) == 2
+    # Sorted by start time: outer opened first.
+    assert [event["name"] for event in events] == ["outer", "inner"]
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["cat"] == "repro"
+        assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+    assert events[0]["args"] == {"module": "S3"}
+    # The whole payload must be JSON-serializable (chrome://tracing load).
+    json.loads(json.dumps(payload))
+
+
+def test_write_exports(tmp_path):
+    tracer = Tracer()
+    with tracer.span("one", x=1):
+        pass
+    chrome = tmp_path / "trace.json"
+    tracer.write_chrome_trace(chrome)
+    assert json.loads(chrome.read_text())["traceEvents"][0]["name"] == "one"
+    jsonl = tmp_path / "spans.jsonl"
+    tracer.write_jsonl(jsonl)
+    lines = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert lines[0]["name"] == "one"
+    assert lines[0]["attrs"] == {"x": 1}
+    assert lines[0]["parent"] is None
+
+
+def test_null_tracer_is_inert(tmp_path):
+    tracer = NullTracer()
+    with tracer.span("anything", a=1) as span:
+        span.set(b=2)
+    assert span is NULL_SPAN
+    assert tracer.finished == []
+    assert tracer.to_chrome_trace() == {"traceEvents": [], "displayTimeUnit": "ms"}
+    tracer.write_chrome_trace(tmp_path / "never.json")
+    assert not (tmp_path / "never.json").exists()
+    assert not tracer.enabled
