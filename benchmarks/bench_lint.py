@@ -1,0 +1,73 @@
+"""Lint-pass cost guard.
+
+The source linter runs inside tier-1 (``tests/test_lint_self.py``), so
+a full pass over ``src/repro`` has to stay cheap — one ``ast.parse``
+plus a single dispatched walk per file.  This bench times the whole
+tree and asserts the pass stays comfortably sub-second, and that the
+static program verifier analyzes a billion-iteration loop without
+unrolling it.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro import units
+from repro.bender.builder import single_sided_pattern
+from repro.dram.geometry import RowAddress
+from repro.dram.timing import DDR4_3200W
+from repro.lint.engine import SourceLinter
+from repro.lint.progcheck import check_program
+
+from conftest import emit, run_once
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Full-tree lint budget (seconds).  Measured ~0.5 s on a shared
+#: runner; the ceiling leaves headroom for CI jitter while still
+#: catching an accidentally quadratic rule.
+MAX_LINT_SECONDS = 5.0
+
+
+def test_full_source_lint_pass(benchmark):
+    """Time one default-rules pass over every file in src/repro."""
+    linter = SourceLinter()
+    report = run_once(benchmark, lambda: linter.lint_paths([SRC]))
+    assert report.ok
+    assert report.files_checked > 50
+
+    start = time.perf_counter()
+    linter.lint_paths([SRC])
+    elapsed = time.perf_counter() - start
+    emit(
+        "lint: full-source pass",
+        ["files", "rules", "seconds"],
+        [[report.files_checked, len(linter.rules), f"{elapsed:.3f}"]],
+    )
+    assert elapsed < MAX_LINT_SECONDS
+
+
+def test_progcheck_analyzes_huge_loop_without_unrolling(benchmark):
+    """A 10^9-iteration hammer loop must verify in well under a second."""
+    program = single_sided_pattern(
+        RowAddress(0, 0, 100), DDR4_3200W.tRAS, 10**9, DDR4_3200W
+    )
+    report = run_once(
+        benchmark,
+        lambda: check_program(
+            program, DDR4_3200W, budget=None, refresh_disabled=True
+        ),
+    )
+    assert report.ok
+    assert report.duration_ns > units.S  # really a billion iterations
+
+    start = time.perf_counter()
+    check_program(program, DDR4_3200W, budget=None, refresh_disabled=True)
+    elapsed = time.perf_counter() - start
+    emit(
+        "progcheck: 10^9-iteration loop",
+        ["commands", "duration_ns", "seconds"],
+        [[report.commands, f"{report.duration_ns:.3g}", f"{elapsed:.4f}"]],
+    )
+    assert elapsed < 1.0

@@ -18,6 +18,8 @@ from enum import Enum
 
 import numpy as np
 
+from repro.rng import stream
+
 DATA_BITS = 64
 PARITY_BITS = 7  # positions 1, 2, 4, 8, 16, 32, 64 (1-based)
 CODEWORD_BITS = 72  # 71 Hamming positions + overall parity
@@ -149,7 +151,7 @@ def word_outcome_rates(
     data: int, error_counts: list[int], trials: int = 50, seed: int = 3
 ) -> dict[int, dict[DecodeStatus, float]]:
     """Monte-Carlo outcome rates per error count (the §7.1 argument)."""
-    rng = np.random.default_rng(seed)
+    rng = stream(seed, "analysis", "secded")
     rates: dict[int, dict[DecodeStatus, float]] = {}
     for count in error_counts:
         outcomes: dict[DecodeStatus, int] = {}

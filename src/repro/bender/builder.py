@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 
+from repro import units
 from repro.dram.geometry import RowAddress
 from repro.dram.timing import DDR4_3200W, TimingParameters
 from repro.bender.program import Act, Instruction, Loop, Pre, Program, Wait
@@ -27,9 +28,15 @@ def _episode(
 ) -> list[Instruction]:
     """One ACT -> wait(t_on) -> PRE -> wait(t_off) episode."""
     if t_on < timing.tRAS:
-        raise ValueError(f"t_AggON {t_on} below tRAS {timing.tRAS}")
+        raise ValueError(
+            f"t_AggON {units.format_time(t_on)} below tRAS "
+            f"{units.format_time(timing.tRAS)}"
+        )
     if t_off < timing.tRP:
-        raise ValueError(f"t_AggOFF {t_off} below tRP {timing.tRP}")
+        raise ValueError(
+            f"t_AggOFF {units.format_time(t_off)} below tRP "
+            f"{units.format_time(timing.tRP)}"
+        )
     return [
         Act(address),
         Wait(round_to_command_period(t_on, timing)),

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import units
 from repro.dram.device import Bitflip, DramDevice
 from repro.dram.geometry import RowAddress
 from repro.bender.program import Act, FillRow, Instruction, Loop, Pre, Program, ReadRow, Wait
@@ -98,9 +99,13 @@ class _BankTiming:
     last_pre: float = -1e18
 
 
-#: Fixed model cost of housekeeping instructions (ns).
-_FILL_COST = 100.0
-_READ_COST = 200.0
+#: Fixed model cost of housekeeping instructions (ns).  Public because the
+#: static verifier (repro.lint.progcheck) mirrors them when it computes a
+#: program's duration without executing it.
+FILL_COST = 100.0
+READ_COST = 200.0
+_FILL_COST = FILL_COST
+_READ_COST = READ_COST
 
 #: Loop iterations executed literally before switching to the bulk path.
 _WARMUP_ITERATIONS = 2
@@ -127,19 +132,36 @@ class ProgramExecutor:
     def _bank(self, rank: int, bank: int) -> _BankTiming:
         return self._banks.setdefault((rank, bank), _BankTiming())
 
-    def run(self, program: Program, start_time: float = 0.0) -> ExecutionResult:
+    def run(
+        self, program: Program, start_time: float = 0.0, verify: bool = False
+    ) -> ExecutionResult:
         """Execute ``program``; returns reads, bitflips, and timing.
 
         Each run is a fresh command session: per-bank timing history from
         earlier programs is discarded (the device's disturbance state is
         managed separately via ``reset_disturbance``).
+
+        With ``verify=True`` the program is first checked by the static
+        verifier (:mod:`repro.lint.progcheck`, refresh-disabled mode to
+        match this executor's §3.1 methodology) and a
+        :class:`repro.lint.progcheck.ProgramVerificationError` is raised
+        before any instruction runs if it is malformed.
         """
+        if verify:
+            # Imported lazily: repro.lint.progcheck imports this module.
+            from repro.lint.progcheck import verify_program
+
+            verify_program(
+                program, self.device.timing, budget=None, refresh_disabled=True
+            )
         self._banks.clear()
         result = ExecutionResult(start_time=start_time)
         activations_before = self.device.activation_count
+        # Host-time profiling is intentional (observability, not simulated
+        # time).  # reprolint: disable-next=no-wall-clock
         wall_start = time.perf_counter()
         end_time = self._run_block(list(program), start_time, result)
-        result.wall_seconds = time.perf_counter() - wall_start
+        result.wall_seconds = time.perf_counter() - wall_start  # reprolint: disable=no-wall-clock
         result.end_time = end_time
         result.activations = self.device.activation_count - activations_before
         self._flush_metrics(result)
@@ -184,10 +206,18 @@ class ProgramExecutor:
             if self.check_timing:
                 if time_ns - bank.last_pre < timing.tRP - 1e-9:
                     self._violation_counter.inc()
-                    raise TimingViolation(f"ACT at {time_ns} violates tRP")
+                    raise TimingViolation(
+                        f"ACT at {units.format_time(time_ns)} violates tRP: "
+                        f"{units.format_time(time_ns - bank.last_pre)} since PRE "
+                        f"< {units.format_time(timing.tRP)}"
+                    )
                 if time_ns - bank.last_act < timing.tRC - 1e-9:
                     self._violation_counter.inc()
-                    raise TimingViolation(f"ACT at {time_ns} violates tRC")
+                    raise TimingViolation(
+                        f"ACT at {units.format_time(time_ns)} violates tRC: "
+                        f"{units.format_time(time_ns - bank.last_act)} since ACT "
+                        f"< {units.format_time(timing.tRC)}"
+                    )
             device.act(address, time_ns)
             bank.last_act = time_ns
             result.act_commands += 1
@@ -196,7 +226,11 @@ class ProgramExecutor:
             bank = self._bank(instruction.rank, instruction.bank)
             if self.check_timing and time_ns - bank.last_act < timing.tRAS - 1e-9:
                 self._violation_counter.inc()
-                raise TimingViolation(f"PRE at {time_ns} violates tRAS")
+                raise TimingViolation(
+                    f"PRE at {units.format_time(time_ns)} violates tRAS: "
+                    f"{units.format_time(time_ns - bank.last_act)} since ACT "
+                    f"< {units.format_time(timing.tRAS)}"
+                )
             device.precharge(instruction.rank, instruction.bank, time_ns)
             bank.last_pre = time_ns
             result.pre_commands += 1

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Union
 
+from repro import units
 from repro.dram.geometry import RowAddress
 
 
@@ -38,7 +39,10 @@ class Wait:
 
     def __post_init__(self) -> None:
         if self.duration < 0:
-            raise ValueError("wait duration must be non-negative")
+            raise ValueError(
+                "wait duration must be non-negative, got "
+                f"{self.duration!r} ({units.format_time(self.duration)})"
+            )
 
 
 @dataclass(frozen=True)
@@ -69,7 +73,10 @@ class Loop:
 
     def __post_init__(self) -> None:
         if self.count < 0:
-            raise ValueError("loop count must be non-negative")
+            raise ValueError(
+                f"loop count must be non-negative, got {self.count!r} "
+                f"(body duration {units.format_time(_duration(self.body))})"
+            )
 
     @property
     def is_steady(self) -> bool:

@@ -6,7 +6,9 @@ Commands:
 * ``acmin`` — ACmin of one module across a t_AggON sweep,
 * ``attack`` — run the §6 real-system RowPress attack grid,
 * ``campaign`` — run a JSON campaign spec and save the records,
-* ``obs-report`` — summarize a metrics or trace file from a prior run.
+* ``obs-report`` — summarize a metrics or trace file from a prior run,
+* ``lint`` — static analysis: source rules and the program verifier
+  (also installed standalone as ``reprolint``).
 
 ``acmin``, ``attack``, and ``campaign`` accept ``--trace-out FILE``
 (Chrome trace-event JSON, loadable in ``chrome://tracing``) and
@@ -24,6 +26,8 @@ from pathlib import Path
 
 from repro import units
 from repro.analysis.tables import format_table
+from repro.lint.cli import configure_parser as configure_lint_parser
+from repro.lint.cli import run_lint
 from repro.obs import Observer, configure_logging, declare_standard_metrics, get_logger
 
 logger = get_logger("cli")
@@ -167,6 +171,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     _export_observability(args, observer)
     print(f"{len(records)} records written to {args.output}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return run_lint(args)
 
 
 # ----------------------------------------------------------------------
@@ -327,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("file", help="metrics JSON or Chrome trace JSON")
     report.set_defaults(handler=_cmd_obs_report)
+
+    lint = commands.add_parser(
+        "lint", help="static analysis: lint source / verify command programs"
+    )
+    configure_lint_parser(lint)
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,41 @@
+"""Static analysis for the reproduction (source linter + program verifier).
+
+Two dependency-free engines guard the properties the reproduction's
+results rest on:
+
+* :mod:`repro.lint.rules` / :mod:`repro.lint.engine` — an AST rule
+  framework with codebase-specific rules (seed-tree-only randomness, no
+  wall-clock reads in simulated-time code, ``repro.units`` constants for
+  known time magnitudes, unit-suffix consistency, no bare ``print()``,
+  no mutable defaults, the ``from __future__ import annotations``
+  convention) and ``# reprolint: disable=...`` suppressions;
+* :mod:`repro.lint.progcheck` — a static verifier that walks DRAM
+  command programs (loops included, without unrolling) and rejects
+  protocol violations before execution.
+
+Run via ``python -m repro lint`` or the ``reprolint`` console script.
+"""
+
+from repro.lint.diagnostics import LintDiagnostic, LintReport, ProgramDiagnostic
+from repro.lint.engine import SourceLinter
+from repro.lint.progcheck import (
+    ProgcheckReport,
+    ProgramVerificationError,
+    check_program,
+    verify_program,
+)
+from repro.lint.rules import Rule, default_rules, rules_by_code
+
+__all__ = [
+    "LintDiagnostic",
+    "LintReport",
+    "ProgramDiagnostic",
+    "SourceLinter",
+    "Rule",
+    "default_rules",
+    "rules_by_code",
+    "ProgcheckReport",
+    "ProgramVerificationError",
+    "check_program",
+    "verify_program",
+]

@@ -1,0 +1,158 @@
+"""``repro lint`` / ``reprolint``: the static-analysis command line.
+
+Two modes share one flag surface:
+
+* **source mode** (default): lint the given paths (files or directory
+  trees) with the rule set from :mod:`repro.lint.rules`;
+* **program mode** (``--programs``): build the canonical access patterns
+  from :mod:`repro.bender.builder` across boundary on/off times and run
+  the static program verifier over each.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import units
+from repro.lint.diagnostics import LintReport
+from repro.lint.engine import SourceLinter
+from repro.lint.rules import rules_by_code
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to ``parser`` (shared by both entry points)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--programs",
+        action="store_true",
+        help="verify the builder access patterns instead of linting source",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _select_rules(spec: str | None) -> list | None:
+    if spec is None:
+        return None
+    catalog = rules_by_code()
+    selected = []
+    for code in (part.strip() for part in spec.split(",")):
+        if not code:
+            continue
+        if code not in catalog:
+            known = ", ".join(sorted(catalog))
+            raise SystemExit(f"reprolint: unknown rule {code!r} (known: {known})")
+        selected.append(catalog[code])
+    return selected
+
+
+def _list_rules() -> int:
+    for code, rule in sorted(rules_by_code().items()):
+        print(f"{code:26} {rule.description}")
+    return 0
+
+
+def _check_builder_programs(report: LintReport) -> None:
+    """Verify every canonical pattern at boundary on/off times."""
+    from repro.dram.geometry import RowAddress
+    from repro.dram.timing import DDR4_3200W
+    from repro.bender.builder import (
+        double_sided_pattern,
+        onoff_pattern,
+        single_sided_pattern,
+    )
+    from repro.lint.progcheck import check_program
+
+    timing = DDR4_3200W
+    low, high = RowAddress(0, 0, 100), RowAddress(0, 0, 102)
+
+    def fitting_count(t_on: float, t_off: float) -> int:
+        episode = t_on + t_off
+        return max(1, int(units.EXPERIMENT_BUDGET * 0.9 // episode))
+
+    for t_aggon in (timing.tRAS, units.TREFI, units.TAGGON_MAX):
+        count = fitting_count(t_aggon, timing.tRP)
+        cases = [
+            (
+                f"single_sided(t_aggon={units.format_time(t_aggon)}, n={count})",
+                single_sided_pattern(low, t_aggon, count, timing),
+            ),
+            (
+                f"double_sided(t_aggon={units.format_time(t_aggon)}, n={count})",
+                double_sided_pattern(low, high, t_aggon, count, timing),
+            ),
+        ]
+        for t_aggoff in (timing.tRP, units.TREFI):
+            # count_per_aggressor: two aggressors double the duration.
+            count_onoff = max(1, fitting_count(t_aggon, t_aggoff) // 2)
+            cases.append(
+                (
+                    f"onoff(t_aggon={units.format_time(t_aggon)}, "
+                    f"t_aggoff={units.format_time(t_aggoff)}, n={count_onoff})",
+                    onoff_pattern([low, high], t_aggon, t_aggoff, count_onoff, timing),
+                )
+            )
+        for label, program in cases:
+            result = check_program(program, timing)
+            report.programs_checked += 1
+            for diagnostic in result.diagnostics:
+                # Anchor the finding to the pattern it came from.
+                report.diagnostics.append(
+                    type(diagnostic)(
+                        code=diagnostic.code,
+                        message=diagnostic.message,
+                        location=f"{label}:{diagnostic.location}",
+                        time_ns=diagnostic.time_ns,
+                        severity=diagnostic.severity,
+                    )
+                )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute one lint invocation; returns the process exit code."""
+    if args.list_rules:
+        return _list_rules()
+    if args.programs:
+        report = LintReport()
+        _check_builder_programs(report)
+    else:
+        linter = SourceLinter(rules=_select_rules(args.rules))
+        report = linter.lint_paths(args.paths)
+    print(report.render_json() if args.format == "json" else report.render_text())
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``reprolint`` console-script entry point."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="static analysis for the RowPress reproduction",
+    )
+    configure_parser(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

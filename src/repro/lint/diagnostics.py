@@ -1,0 +1,99 @@
+"""Diagnostic records shared by the source linter and program verifier.
+
+Both engines report problems as small frozen dataclasses with a stable
+``code`` (kebab-case rule / check name), a human message, and a location
+— a ``path:line:col`` triple for source diagnostics, an instruction path
+like ``instructions[0].body[2]`` for program diagnostics.  The reporters
+below render either kind as text (one line per finding, grep-friendly)
+or as JSON (one object per finding, machine-consumable).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class LintDiagnostic:
+    """One source-level finding from a lint rule."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+    severity: str = "error"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return asdict(self)
+
+    def render(self) -> str:
+        """``path:line:col: rule: message`` (editor/grep friendly)."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ProgramDiagnostic:
+    """One protocol finding from the static program verifier."""
+
+    code: str
+    message: str
+    location: str
+    time_ns: float | None = None
+    severity: str = "error"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return asdict(self)
+
+    def render(self) -> str:
+        """``location: code: message`` (mirrors LintDiagnostic.render)."""
+        return f"{self.location}: {self.code}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Aggregated findings of one lint run (any number of files/programs)."""
+
+    diagnostics: list = field(default_factory=list)
+    files_checked: int = 0
+    programs_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was recorded."""
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    def extend(self, diagnostics: list) -> None:
+        """Fold more findings into the report."""
+        self.diagnostics.extend(diagnostics)
+
+    def render_text(self) -> str:
+        """One line per finding plus a summary tail line."""
+        lines = [diagnostic.render() for diagnostic in self.diagnostics]
+        checked = []
+        if self.files_checked:
+            checked.append(f"{self.files_checked} files")
+        if self.programs_checked:
+            checked.append(f"{self.programs_checked} programs")
+        scope = ", ".join(checked) or "nothing"
+        lines.append(
+            f"{len(self.diagnostics)} finding(s) in {scope}"
+            if self.diagnostics
+            else f"clean: {scope} checked"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """The whole report as a JSON document."""
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "files_checked": self.files_checked,
+                "programs_checked": self.programs_checked,
+                "diagnostics": [d.to_dict() for d in self.diagnostics],
+            },
+            indent=2,
+        )

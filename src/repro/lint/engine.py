@@ -1,0 +1,237 @@
+"""Lint engine: per-file AST dispatch, suppressions, import resolution.
+
+The engine parses each file once, builds a :class:`FileContext` (source
+lines, an import alias table, suppression directives), then walks the
+AST a single time, dispatching every node to the rules that declared
+interest in its type.  Rules never re-walk the tree themselves.
+
+Suppression directives are ordinary comments:
+
+* ``# reprolint: disable=rule-a,rule-b`` — suppress on that line,
+* ``# reprolint: disable`` — suppress every rule on that line,
+* ``# reprolint: disable-next=rule-a`` — suppress on the following line,
+* ``# reprolint: disable-file=rule-a`` — suppress in the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.diagnostics import LintDiagnostic, LintReport
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-next|-file)?)\s*(?:=\s*(?P<rules>[\w\-, ]+))?"
+)
+
+#: Sentinel rule-set meaning "every rule".
+_ALL = frozenset({"*"})
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# reprolint:`` directives of one file."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    whole_file: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is silenced at ``line``."""
+        if rule in self.whole_file or "*" in self.whole_file:
+            return True
+        rules = self.by_line.get(line, frozenset())
+        return rule in rules or "*" in rules
+
+    def add(self, kind: str, rules: frozenset[str], line: int) -> None:
+        """Record one directive found at ``line``."""
+        if kind == "disable-file":
+            self.whole_file.update(rules)
+        else:
+            target = line + 1 if kind == "disable-next" else line
+            self.by_line[target] = self.by_line.get(target, frozenset()) | rules
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract directives from comment tokens (strings never match)."""
+    suppressions = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if not match:
+                continue
+            listed = match.group("rules")
+            rules = (
+                frozenset(part.strip() for part in listed.split(",") if part.strip())
+                if listed
+                else _ALL
+            )
+            suppressions.add(match.group("kind"), rules, token.start[0])
+    except tokenize.TokenizeError:
+        pass  # the AST parse will report the syntax problem
+    return suppressions
+
+
+def _collect_imports(tree: ast.Module, module: str) -> dict[str, str]:
+    """Map local alias -> fully qualified imported name.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``; ``from repro import
+    units`` yields ``{"units": "repro.units"}``; relative imports resolve
+    against the linted module's own package.
+    """
+    table: dict[str, str] = {}
+    package_parts = module.split(".")[:-1] if module else []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".", 1)[0]
+                    table[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package_parts[: len(package_parts) - node.level + 1]
+                base = ".".join(base_parts + ([node.module] if node.module else []))
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                full = f"{base}.{alias.name}" if base else alias.name
+                table[alias.asname or alias.name] = full
+    return table
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about the file under analysis."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source: str
+    imports: dict[str, str]
+    suppressions: Suppressions
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """``a.b.c`` for a Name/Attribute chain, else None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully qualified dotted name of an expression, via the imports."""
+        dotted = self.dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved = self.imports.get(head, head)
+        return f"{resolved}.{rest}" if rest else resolved
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of a file, anchored at the ``repro`` package."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class SourceLinter:
+    """Runs a set of rules over files or in-memory source."""
+
+    def __init__(self, rules: Sequence | None = None) -> None:
+        if rules is None:
+            from repro.lint.rules import default_rules
+
+            rules = default_rules()
+        self.rules = list(rules)
+
+    # ------------------------------------------------------------------
+
+    def lint_source(self, source: str, path: str = "<string>") -> list[LintDiagnostic]:
+        """Lint one in-memory module; ``path`` drives per-package scoping."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            return [
+                LintDiagnostic(
+                    rule="syntax-error",
+                    message=str(error.msg),
+                    path=path,
+                    line=error.lineno or 1,
+                    column=error.offset or 0,
+                )
+            ]
+        module = module_name_for(Path(path))
+        context = FileContext(
+            path=path,
+            module=module,
+            tree=tree,
+            source=source,
+            imports=_collect_imports(tree, module),
+            suppressions=parse_suppressions(source),
+        )
+        return self._run(context)
+
+    def lint_file(self, path: Path) -> list[LintDiagnostic]:
+        """Lint one file on disk."""
+        return self.lint_source(path.read_text(), str(path))
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> LintReport:
+        """Lint files and/or directory trees into one report."""
+        report = LintReport()
+        for path in _iter_python_files(paths):
+            report.extend(self.lint_file(path))
+            report.files_checked += 1
+        report.diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.rule))
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _run(self, context: FileContext) -> list[LintDiagnostic]:
+        active = [rule for rule in self.rules if rule.applies_to(context)]
+        if not active:
+            return []
+        diagnostics: list[LintDiagnostic] = []
+        for rule in active:
+            diagnostics.extend(rule.check_module(context))
+        dispatch: dict[type, list] = {}
+        for rule in active:
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+        if dispatch:
+            for node in ast.walk(context.tree):
+                for rule in dispatch.get(type(node), ()):
+                    diagnostics.extend(rule.check(node, context))
+        return [
+            diagnostic
+            for diagnostic in diagnostics
+            if not context.suppressions.is_suppressed(diagnostic.rule, diagnostic.line)
+        ]
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterable[Path]:
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path

@@ -1,0 +1,301 @@
+"""Static verifier for DRAM command programs.
+
+``check_program`` symbolically walks a :class:`repro.bender.program.Program`
+— including ``Loop`` bodies, **without unrolling** — and reports protocol
+violations as structured :class:`ProgramDiagnostic` records before any
+cycle is spent executing.  The walk tracks per-(rank, bank) open-row state
+and a running time offset; loop bodies are analyzed at most twice (one
+entry pass plus one steady-state pass, which is what exposes
+cross-iteration hazards such as an ACT landing on a row the previous
+iteration left open), then the loop's contribution to the total duration
+is multiplied out analytically.
+
+Diagnostic codes:
+
+``double-act``
+    ACT on a bank whose row is already open.
+``pre-closed-bank``
+    PRE on a bank with no open row.
+``act-too-soon``
+    ACT issued before ``tRP`` elapsed since the bank's last PRE.
+``row-open-too-short``
+    ACT->PRE interval below ``tRAS`` (the paper's 36 ns floor).
+``row-open-too-long``
+    ACT->PRE interval beyond the 9 x tREFI postponed-refresh ceiling
+    (suppressed when ``refresh_disabled=True``, the §3.1 bench mode).
+``access-while-open``
+    FillRow/ReadRow on a bank that still has an open row (these model
+    self-contained housekeeping operations against a precharged bank).
+``row-left-open``
+    The program ends (or a finite loop ends) with a row still open.
+``over-budget``
+    Total duration exceeds the experiment budget (default 60 ms).
+``exceeds-refresh-window``
+    Total duration exceeds ``tREFW`` while refresh is modeled as active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.dram.timing import DDR4_3200W, TimingParameters
+from repro.lint.diagnostics import ProgramDiagnostic
+from repro.bender.executor import FILL_COST, READ_COST
+from repro.bender.program import (
+    Act,
+    FillRow,
+    Instruction,
+    Loop,
+    Pre,
+    Program,
+    ReadRow,
+    Wait,
+)
+
+_EPSILON = 1e-9
+
+
+class ProgramVerificationError(Exception):
+    """Raised when a program is executed with verification on and fails."""
+
+    def __init__(self, report: "ProgcheckReport") -> None:
+        self.report = report
+        summary = "; ".join(d.render() for d in report.diagnostics[:5])
+        extra = len(report.diagnostics) - 5
+        if extra > 0:
+            summary += f"; and {extra} more"
+        super().__init__(f"program failed static verification: {summary}")
+
+
+@dataclass
+class ProgcheckReport:
+    """Verdict of one static program verification."""
+
+    diagnostics: list[ProgramDiagnostic] = field(default_factory=list)
+    duration_ns: float = 0.0
+    commands: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was found."""
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    def codes(self) -> set[str]:
+        """The distinct diagnostic codes present."""
+        return {diagnostic.code for diagnostic in self.diagnostics}
+
+
+@dataclass
+class _BankState:
+    open_row: int | None = None
+    act_time: float = 0.0
+    pre_time: float = -1e18
+
+
+class _Walker:
+    def __init__(self, timing: TimingParameters, max_row_open: float | None) -> None:
+        self.timing = timing
+        self.max_row_open = max_row_open
+        self.banks: dict[tuple[int, int], _BankState] = {}
+        self.diagnostics: list[ProgramDiagnostic] = []
+        self.commands = 0
+
+    def _bank(self, rank: int, bank: int) -> _BankState:
+        return self.banks.setdefault((rank, bank), _BankState())
+
+    def report(
+        self, code: str, message: str, location: str, time_ns: float
+    ) -> None:
+        self.diagnostics.append(
+            ProgramDiagnostic(
+                code=code, message=message, location=location, time_ns=time_ns
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def walk(self, instructions: tuple | list, location: str, time_ns: float) -> float:
+        for index, instruction in enumerate(instructions):
+            time_ns = self.step(instruction, f"{location}[{index}]", time_ns)
+        return time_ns
+
+    def step(self, instruction: Instruction, location: str, time_ns: float) -> float:
+        self.commands += 1
+        if isinstance(instruction, Wait):
+            return time_ns + instruction.duration
+        if isinstance(instruction, Act):
+            return self._step_act(instruction, location, time_ns)
+        if isinstance(instruction, Pre):
+            return self._step_pre(instruction, location, time_ns)
+        if isinstance(instruction, (FillRow, ReadRow)):
+            return self._step_access(instruction, location, time_ns)
+        if isinstance(instruction, Loop):
+            self.commands -= 1  # loops are structure, not commands
+            return self._step_loop(instruction, location, time_ns)
+        raise TypeError(f"unknown instruction {instruction!r}")
+
+    # ------------------------------------------------------------------
+
+    def _step_act(self, instruction: Act, location: str, time_ns: float) -> float:
+        address = instruction.address
+        state = self._bank(address.rank, address.bank)
+        if state.open_row is not None:
+            self.report(
+                "double-act",
+                f"ACT row {address.row} while row {state.open_row} is open on "
+                f"bank ({address.rank}, {address.bank}) — missing PRE",
+                location,
+                time_ns,
+            )
+        elif time_ns - state.pre_time < self.timing.tRP - _EPSILON:
+            gap = time_ns - state.pre_time
+            self.report(
+                "act-too-soon",
+                f"ACT only {units.format_time(gap)} after PRE; tRP is "
+                f"{units.format_time(self.timing.tRP)}",
+                location,
+                time_ns,
+            )
+        state.open_row = address.row
+        state.act_time = time_ns
+        return time_ns
+
+    def _step_pre(self, instruction: Pre, location: str, time_ns: float) -> float:
+        state = self._bank(instruction.rank, instruction.bank)
+        if state.open_row is None:
+            self.report(
+                "pre-closed-bank",
+                f"PRE on bank ({instruction.rank}, {instruction.bank}) with no "
+                "open row",
+                location,
+                time_ns,
+            )
+            return time_ns
+        open_time = time_ns - state.act_time
+        if open_time < self.timing.tRAS - _EPSILON:
+            self.report(
+                "row-open-too-short",
+                f"row {state.open_row} open for {units.format_time(open_time)}; "
+                f"tRAS is {units.format_time(self.timing.tRAS)}",
+                location,
+                time_ns,
+            )
+        if (
+            self.max_row_open is not None
+            and open_time > self.max_row_open + _EPSILON
+        ):
+            self.report(
+                "row-open-too-long",
+                f"row {state.open_row} open for {units.format_time(open_time)}; "
+                "the postponed-refresh ceiling is "
+                f"{units.format_time(self.max_row_open)}",
+                location,
+                time_ns,
+            )
+        state.open_row = None
+        state.pre_time = time_ns
+        return time_ns
+
+    def _step_access(
+        self, instruction: FillRow | ReadRow, location: str, time_ns: float
+    ) -> float:
+        address = instruction.address
+        state = self._bank(address.rank, address.bank)
+        kind = "FillRow" if isinstance(instruction, FillRow) else "ReadRow"
+        if state.open_row is not None:
+            self.report(
+                "access-while-open",
+                f"{kind} on row {address.row} while row {state.open_row} is "
+                f"open on bank ({address.rank}, {address.bank}); precharge "
+                "first",
+                location,
+                time_ns,
+            )
+        return time_ns + (FILL_COST if isinstance(instruction, FillRow) else READ_COST)
+
+    def _step_loop(self, loop: Loop, location: str, time_ns: float) -> float:
+        if loop.count == 0:
+            return time_ns
+        body_location = f"{location}.body"
+        after_first = self.walk(loop.body, body_location, time_ns)
+        if loop.count == 1:
+            return after_first
+        seen_in_first = {(d.code, d.location) for d in self.diagnostics}
+        # Steady-state pass: re-walk the body once from the state the first
+        # iteration left behind; this exposes cross-iteration hazards
+        # (double-ACT on a row left open, too-short PRE->ACT gaps across
+        # the loop boundary) without unrolling.  Findings that merely
+        # repeat a first-pass diagnostic at the same spot are dropped.
+        checkpoint = len(self.diagnostics)
+        after_second = self.walk(loop.body, body_location, after_first)
+        self.diagnostics[checkpoint:] = [
+            diagnostic
+            for diagnostic in self.diagnostics[checkpoint:]
+            if (diagnostic.code, diagnostic.location) not in seen_in_first
+        ]
+        steady_ns = after_second - after_first
+        return after_second + (loop.count - 2) * steady_ns
+
+
+def check_program(
+    program: Program,
+    timing: TimingParameters = DDR4_3200W,
+    *,
+    budget: float | None = units.EXPERIMENT_BUDGET,
+    refresh_disabled: bool = False,
+    max_row_open: float | None = None,
+) -> ProgcheckReport:
+    """Statically verify ``program`` against the DRAM command protocol.
+
+    ``budget`` bounds the total program duration (None disables the
+    check); ``refresh_disabled=True`` models the paper's §3.1 bench mode,
+    lifting the per-row refresh-window and 9 x tREFI open-time ceilings;
+    ``max_row_open`` overrides the open-time ceiling explicitly.
+    """
+    if max_row_open is None and not refresh_disabled:
+        max_row_open = timing.max_postponed_refresh_window
+    walker = _Walker(timing, max_row_open)
+    end_time = walker.walk(list(program), "instructions", 0.0)
+    for (rank, bank), state in sorted(walker.banks.items()):
+        if state.open_row is not None:
+            walker.report(
+                "row-left-open",
+                f"program ends with row {state.open_row} open on bank "
+                f"({rank}, {bank})",
+                "instructions",
+                end_time,
+            )
+    if budget is not None and end_time > budget + _EPSILON:
+        walker.report(
+            "over-budget",
+            f"program runs {units.format_time(end_time)}; the experiment "
+            f"budget is {units.format_time(budget)}",
+            "instructions",
+            end_time,
+        )
+    if not refresh_disabled and end_time > timing.tREFW + _EPSILON:
+        walker.report(
+            "exceeds-refresh-window",
+            f"program runs {units.format_time(end_time)}; every row must be "
+            f"refreshed within {units.format_time(timing.tREFW)}",
+            "instructions",
+            end_time,
+        )
+    return ProgcheckReport(
+        diagnostics=walker.diagnostics,
+        duration_ns=end_time,
+        commands=walker.commands,
+    )
+
+
+def verify_program(
+    program: Program,
+    timing: TimingParameters = DDR4_3200W,
+    **kwargs,
+) -> ProgcheckReport:
+    """Like :func:`check_program` but raises on any error diagnostic."""
+    report = check_program(program, timing, **kwargs)
+    if not report.ok:
+        raise ProgramVerificationError(report)
+    return report

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro import units
 from repro.mitigation.base import Mitigation
+from repro.rng import stream
 
 
 class _CountingBloom:
@@ -24,7 +25,7 @@ class _CountingBloom:
 
     def __init__(self, size: int, hashes: int, seed: int) -> None:
         self.counters = np.zeros(size, dtype=np.int64)
-        rng = np.random.default_rng(seed)
+        rng = stream(seed, "mitigation", "blockhammer", "bloom")
         self._salts = rng.integers(1, 2**31 - 1, size=hashes)
 
     def _indices(self, key: int) -> np.ndarray:

@@ -8,10 +8,9 @@ PARA-RP overhead curve behaves differently from Graphene-RP's (§7.4).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.mitigation.base import Mitigation
 from repro.obs import NULL_OBSERVER, Observer
+from repro.rng import stream
 
 
 class Para(Mitigation):
@@ -30,7 +29,7 @@ class Para(Mitigation):
             raise ValueError("probability must be in [0, 1]")
         self.probability = probability
         self.neighborhood = neighborhood
-        self._rng = np.random.default_rng(seed)
+        self._rng = stream(seed, "mitigation", "para")
         self._refresh_count = 0
         obs = observer or NULL_OBSERVER
         self._refresh_metric = obs.metrics.counter(

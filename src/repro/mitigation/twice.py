@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import units
 from repro.mitigation.base import Mitigation
 
 
@@ -31,7 +32,7 @@ class Twice(Mitigation):
     def __init__(
         self,
         threshold: int,
-        checkpoint_interval_ns: float = 7_800.0 * 64,  # prune every 64 tREFI
+        checkpoint_interval_ns: float = units.TREFI * 64,  # prune every 64 tREFI
         neighborhood: int = 2,
     ) -> None:
         if threshold < 2:

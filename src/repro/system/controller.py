@@ -24,6 +24,7 @@ import numpy as np
 from repro.dram.device import Bitflip
 from repro.dram.geometry import RowAddress
 from repro.dram.module import DramModule
+from repro.rng import stream
 from repro.system.address import AddressMapping
 from repro.system.trr import TrrSampler
 
@@ -66,7 +67,7 @@ class RealSystemMemoryController:
         self.mapping = mapping or AddressMapping()
         self.trr = trr
         self.latency = latency or LatencyModel()
-        self.rng = rng or np.random.default_rng(7)
+        self.rng = rng or stream(7, "system", "controller")
         self.refresh_enabled = refresh_enabled
         self.max_postponed_refreshes = max_postponed_refreshes
         self._postponed = 0

@@ -31,6 +31,7 @@ from repro.dram.datapattern import fill_bytes
 from repro.dram.device import Bitflip
 from repro.dram.geometry import RowAddress
 from repro.obs import NULL_OBSERVER, Observer
+from repro.rng import stream
 from repro.system.machine import RealSystem
 
 
@@ -175,7 +176,7 @@ def _run_rowpress_attack(
     device = system.module.device
     timing = device.timing
     schedule = plan_iteration(system, params)
-    rng = np.random.default_rng(seed)
+    rng = stream(seed, "system", "attack")
     clean_p = sync_clean_probability(schedule.crowding)
     total_windows = max(
         math.ceil(params.num_iterations / schedule.iterations_per_window), 1

@@ -11,13 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.dram.catalog import build_module
 from repro.dram.geometry import Geometry
 from repro.dram.module import DramModule
 from repro.system.address import AddressMapping, Hugepage
 from repro.system.cache import CacheModel
+from repro.rng import stream
 from repro.system.controller import RealSystemMemoryController
 from repro.system.trr import TrrSampler
 
@@ -58,7 +57,7 @@ class RealSystem:
             module,
             mapping=self.mapping,
             trr=self.trr,
-            rng=np.random.default_rng(seed),
+            rng=stream(seed, "system", "machine"),
         )
         self.now_ns = 0.0
 

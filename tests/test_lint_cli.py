@@ -1,0 +1,83 @@
+"""The ``repro lint`` subcommand and ``reprolint`` console entry point."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as reprolint_main
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_lint_src_exits_zero_on_shipped_tree(capsys):
+    assert repro_main(["lint", str(SRC)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_flags_seeded_violation_with_structured_diagnostic(tmp_path, capsys):
+    bad = tmp_path / "repro" / "sim" / "leaky.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "from __future__ import annotations\n"
+        "import time\n"
+        "def now():\n"
+        "    return time.time()\n"
+    )
+    assert repro_main(["lint", str(tmp_path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    (diagnostic,) = payload["diagnostics"]
+    assert diagnostic["rule"] == "no-wall-clock"
+    assert diagnostic["line"] == 4
+    assert diagnostic["path"].endswith("leaky.py")
+
+
+def test_lint_text_format_is_grep_friendly(tmp_path, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text("def f():\n    print('x')\n")
+    assert reprolint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert f"{bad}:2:" in out and "no-bare-print" in out
+
+
+def test_lint_rule_selection(tmp_path, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text("def f():\n    print('x')\n")  # also lacks future import
+    assert reprolint_main([str(bad), "--rules", "require-future-annotations"]) == 1
+    out = capsys.readouterr().out
+    assert "require-future-annotations" in out and "no-bare-print" not in out
+
+
+def test_lint_unknown_rule_is_usage_error(tmp_path):
+    with pytest.raises(SystemExit, match="unknown rule"):
+        reprolint_main([str(tmp_path), "--rules", "no-such-rule"])
+
+
+def test_lint_programs_mode_verifies_builder_patterns(capsys):
+    assert repro_main(["lint", "--programs"]) == 0
+    assert "12 programs" in capsys.readouterr().out
+
+
+def test_lint_programs_mode_json(capsys):
+    assert reprolint_main(["--programs", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True and payload["programs_checked"] == 12
+
+
+def test_list_rules(capsys):
+    assert reprolint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("no-bare-print", "no-adhoc-rng", "no-wall-clock"):
+        assert code in out
+
+
+def test_console_script_registered():
+    import tomllib
+
+    pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+    scripts = tomllib.loads(pyproject.read_text())["project"]["scripts"]
+    assert scripts["reprolint"] == "repro.lint.cli:main"

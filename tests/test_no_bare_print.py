@@ -1,33 +1,25 @@
 """Lint: diagnostics must go through logging, not bare print().
 
-The only modules allowed to print are the CLI (its tables are the
-product) and the analysis package (figure/table rendering).
+Thin wrapper over the ``no-bare-print`` rule in :mod:`repro.lint.rules`
+so there is exactly one implementation of the check; the rule itself
+exempts CLI modules and the analysis package (their printed output is
+the product) and, being AST-based, never trips on docstrings.
 """
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
+
+from repro.lint.engine import SourceLinter
+from repro.lint.rules import NoBarePrintRule
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: Files whose printed output *is* their purpose.
-ALLOWED = {"cli.py"}
-ALLOWED_PACKAGES = {"analysis"}
-
-_PRINT = re.compile(r"(?<![\w.])print\(")
-
 
 def test_no_bare_print_outside_cli_and_analysis():
-    offenders: list[str] = []
-    for path in sorted(SRC.rglob("*.py")):
-        relative = path.relative_to(SRC)
-        if relative.name in ALLOWED or relative.parts[0] in ALLOWED_PACKAGES:
-            continue
-        for number, line in enumerate(path.read_text().splitlines(), start=1):
-            code = line.split("#", 1)[0]
-            if _PRINT.search(code):
-                offenders.append(f"{relative}:{number}: {line.strip()}")
+    report = SourceLinter(rules=[NoBarePrintRule()]).lint_paths([SRC])
+    offenders = [diagnostic.render() for diagnostic in report.diagnostics]
+    assert report.files_checked > 50  # the walk really covered the tree
     assert not offenders, "bare print() in library code (use repro.obs logging):\n" + (
         "\n".join(offenders)
     )
