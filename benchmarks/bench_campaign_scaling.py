@@ -1,0 +1,79 @@
+"""Campaign engine scaling: records/s at 1, 2, and 4 workers.
+
+Runs the same ACmin campaign spec through :func:`run_engine` at several
+worker counts and reports throughput.  On multi-core machines the
+4-worker run must beat the 1-worker run (the ISSUE acceptance bar); on
+single-core containers the speedup assertion is skipped and the table
+is report-only, since a process pool cannot beat one core with one core.
+
+Every configuration also re-checks record equivalence against the
+sequential path, so the scaling numbers can never come from dropping or
+reordering work.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import emit
+
+from repro.characterization.campaign import CampaignSpec, run_campaign
+from repro.characterization.engine import run_engine
+
+#: Reduced but non-trivial: 2 modules x 4 sites x 3 points = 24 units.
+_SPEC = CampaignSpec(
+    name="scaling",
+    module_ids=("S3", "H0"),
+    experiment="acmin",
+    t_aggon_values=(36.0, 7800.0, 70_200.0),
+    sites_per_module=4,
+    seed=2023,
+)
+
+_WORKER_COUNTS = (1, 2, 4)
+
+#: Minimum 4-vs-1 worker speedup demanded when real cores are available.
+_MIN_SPEEDUP = 1.2
+
+
+def test_campaign_scaling(benchmark):
+    sequential = run_campaign(_SPEC)
+    throughput: dict[int, float] = {}
+    rows = []
+    for workers in _WORKER_COUNTS:
+
+        def run(workers=workers):
+            return run_engine(_SPEC, workers=workers, shard_size=2)
+
+        if workers == 1:
+            start = time.perf_counter()
+            result = benchmark.pedantic(run, rounds=1, iterations=1)
+            elapsed = time.perf_counter() - start
+        else:
+            start = time.perf_counter()
+            result = run()
+            elapsed = time.perf_counter() - start
+        assert result.ok
+        assert result.records == sequential
+        throughput[workers] = len(result.records) / elapsed
+        rows.append(
+            [
+                workers,
+                len(result.records),
+                f"{elapsed:.2f}",
+                f"{throughput[workers]:.1f}",
+                f"{throughput[workers] / throughput[1]:.2f}x",
+            ]
+        )
+    emit(
+        f"Campaign engine scaling ({os.cpu_count()} cores)",
+        ["workers", "records", "seconds", "records/s", "speedup"],
+        rows,
+    )
+    if (os.cpu_count() or 1) >= 2:
+        speedup = throughput[4] / throughput[1]
+        assert speedup >= _MIN_SPEEDUP, (
+            f"4-worker speedup {speedup:.2f}x below {_MIN_SPEEDUP}x "
+            f"on a {os.cpu_count()}-core machine"
+        )

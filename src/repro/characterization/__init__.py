@@ -23,11 +23,20 @@ from repro.characterization.retention_profile import (
     profile_rows,
 )
 from repro.characterization.layout import infer_scramble, probe_neighbors
+from repro.characterization import registry
 from repro.characterization.campaign import (
     CampaignSpec,
     load_results,
     run_campaign,
     save_results,
+)
+from repro.characterization.engine import (
+    CampaignCheckpoint,
+    EngineResult,
+    ShardFailure,
+    ShardSpec,
+    plan_shards,
+    run_engine,
 )
 from repro.characterization.overlap import overlap_ratio
 from repro.characterization.results import (
@@ -60,6 +69,13 @@ __all__ = [
     "run_campaign",
     "save_results",
     "load_results",
+    "registry",
+    "CampaignCheckpoint",
+    "EngineResult",
+    "ShardFailure",
+    "ShardSpec",
+    "plan_shards",
+    "run_engine",
     "overlap_ratio",
     "AcminRecord",
     "BerRecord",

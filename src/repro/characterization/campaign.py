@@ -6,6 +6,10 @@ plotting notebooks.  This module provides the equivalent for the
 behavioral fleet: a JSON-serializable :class:`CampaignSpec` describing
 what to measure, an executor that produces flat records, and round-trip
 (de)serialization so campaigns can be resumed and re-analyzed offline.
+
+Experiment kinds are resolved through
+:mod:`repro.characterization.registry`; parallel/resumable execution of
+a spec lives in :mod:`repro.characterization.engine`.
 """
 
 from __future__ import annotations
@@ -18,10 +22,15 @@ from typing import Iterable
 
 from repro import units
 from repro.dram.datapattern import DataPattern
+from repro.characterization import registry
 from repro.characterization.patterns import AccessPattern
-from repro.characterization.results import AcminRecord, BerRecord, TaggonminRecord
 from repro.characterization.runner import CharacterizationRunner
 from repro.obs import NULL_OBSERVER, Observer, atomic_write_text
+
+#: Results-file schema written by :func:`save_results`.  v1 files (no
+#: ``schema_version`` key, a single top-level ``record_type``) are still
+#: readable; v2 tags every record with its experiment name.
+RESULTS_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -30,7 +39,7 @@ class CampaignSpec:
 
     name: str
     module_ids: tuple[str, ...]
-    experiment: str = "acmin"  # "acmin" | "taggonmin" | "ber"
+    experiment: str = "acmin"  # any name in repro.characterization.registry
     t_aggon_values: tuple[float, ...] = (36.0, units.TREFI, 9 * units.TREFI)
     activation_counts: tuple[int, ...] = (1, 100, 10000)
     access: str = AccessPattern.SINGLE_SIDED.value
@@ -40,8 +49,7 @@ class CampaignSpec:
     seed: int = 2023
 
     def __post_init__(self) -> None:
-        if self.experiment not in ("acmin", "taggonmin", "ber"):
-            raise ValueError(f"unknown experiment {self.experiment!r}")
+        registry.get(self.experiment)  # raises ValueError for unknown names
         AccessPattern(self.access)
         DataPattern(self.data_pattern)
 
@@ -59,74 +67,74 @@ class CampaignSpec:
         return cls(**raw)
 
 
-_RECORD_TYPES = {
-    "acmin": AcminRecord,
-    "taggonmin": TaggonminRecord,
-    "ber": BerRecord,
-}
-
-
 def run_campaign(spec: CampaignSpec, observer: Observer | None = None) -> list:
-    """Execute a campaign spec; returns the flat records.
+    """Execute a campaign spec sequentially; returns the flat records.
 
-    ``observer`` (see :mod:`repro.obs`) receives per-experiment spans,
-    metrics from every instrumented layer underneath, and progress
-    events; the default null observer records nothing.
+    Dispatch goes through the experiment registry, so any registered
+    experiment kind works here.  ``observer`` (see :mod:`repro.obs`)
+    receives per-experiment spans, metrics from every instrumented layer
+    underneath, and progress events; the default null observer records
+    nothing.  For sharded/parallel/resumable execution of the same spec
+    use :func:`repro.characterization.engine.run_engine`.
     """
     obs = observer or NULL_OBSERVER
+    experiment = registry.get(spec.experiment)
     runner = CharacterizationRunner(
         module_ids=list(spec.module_ids),
         sites_per_module=spec.sites_per_module,
         seed=spec.seed,
         observer=obs,
     )
-    access = AccessPattern(spec.access)
-    data = DataPattern(spec.data_pattern)
     with obs.span(
         "campaign.run", campaign=spec.name, experiment=spec.experiment
     ) as span:
-        if spec.experiment == "acmin":
-            records = runner.acmin_sweep(
-                t_aggon_values=spec.t_aggon_values,
-                access=access,
-                temperature_c=spec.temperature_c,
-                data=data,
-            )
-        elif spec.experiment == "taggonmin":
-            records = runner.taggonmin_sweep(
-                activation_counts=spec.activation_counts,
-                temperature_c=spec.temperature_c,
-                access=access,
-            )
-        else:
-            records = runner.ber_sweep(
-                t_aggon_values=spec.t_aggon_values,
-                access=access,
-                temperature_c=spec.temperature_c,
-                data=data,
-            )
+        records = experiment.run(runner, spec, obs)
         span.set(records=len(records))
     return records
 
 
 def save_results(path: str | Path, spec: CampaignSpec, records: Iterable) -> None:
-    """Write a campaign's spec + records to a JSON file.
+    """Write a campaign's spec + records to a JSON file (schema v2).
 
-    The write is atomic (temp file + rename), so an interrupted campaign
-    never leaves a truncated results file behind.
+    Every record carries its experiment name, so mixed-experiment result
+    sets merge cleanly downstream.  The write is atomic (temp file +
+    rename), so an interrupted campaign never leaves a truncated results
+    file behind.
     """
+    experiment = registry.get(spec.experiment)
     payload = {
+        "schema_version": RESULTS_SCHEMA_VERSION,
         "spec": dataclasses.asdict(spec),
-        "record_type": spec.experiment,
-        "records": [dataclasses.asdict(record) for record in records],
+        "records": [
+            {"experiment": experiment.name, **dataclasses.asdict(record)}
+            for record in records
+        ],
     }
     atomic_write_text(Path(path), json.dumps(payload, indent=1))
 
 
 def load_results(path: str | Path) -> tuple[CampaignSpec, list]:
-    """Read back a campaign file; records are rebuilt as dataclasses."""
+    """Read back a campaign file; records are rebuilt as dataclasses.
+
+    Understands both schema versions: v1 (pre-registry files with one
+    top-level ``record_type``) and v2 (per-record experiment names).
+    Anything else raises a :class:`ValueError` naming the version.
+    """
     payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version", 1)
     spec = CampaignSpec.from_json(json.dumps(payload["spec"]))
-    record_type = _RECORD_TYPES[payload["record_type"]]
-    records = [record_type(**record) for record in payload["records"]]
+    if version == 1:
+        record_type = registry.get(payload["record_type"]).record_type
+        records = [record_type(**record) for record in payload["records"]]
+    elif version == 2:
+        records = []
+        for raw in payload["records"]:
+            raw = dict(raw)
+            record_type = registry.get(raw.pop("experiment")).record_type
+            records.append(record_type(**raw))
+    else:
+        raise ValueError(
+            f"unsupported results schema version {version!r} in {path} "
+            f"(this build reads v1 and v{RESULTS_SCHEMA_VERSION})"
+        )
     return spec, records

@@ -1,0 +1,735 @@
+"""Parallel, resumable campaign execution engine.
+
+The paper's 164-chip characterization ran as multi-week campaigns spread
+across several DRAM Bender setups, dumping raw results incrementally so
+interrupted runs could resume.  This module is that campaign layer for
+the behavioral fleet:
+
+* :func:`plan_shards` cuts a :class:`~repro.characterization.campaign.
+  CampaignSpec` into independent work shards — one (module, site-block,
+  sweep-point) cell each — with deterministic per-shard seeds derived
+  from :func:`repro.rng.derive_seed`;
+* :func:`run_engine` fans the shards out over a ``multiprocessing``
+  worker pool (or runs them in-process with ``workers=1``), appends each
+  completed shard to a JSONL checkpoint through the atomic-write helper,
+  retries failed shards with bounded exponential backoff, and surfaces
+  shards that still fail as structured :class:`ShardFailure` records
+  instead of aborting the campaign;
+* with ``resume=True`` a restarted campaign skips every shard already in
+  the checkpoint and finishes only the remainder.
+
+Because every experiment unit is a deterministic function of the spec's
+seed (benches rebuild identically from :mod:`repro.rng` streams and each
+probe starts from ``fresh_experiment``), the merged record list — shards
+sorted back into sweep order — is identical to a sequential
+:func:`~repro.characterization.campaign.run_campaign` with the same spec.
+
+Workers ship their spans and metrics back over the result queue; the
+parent folds them into its own observer, so a parallel campaign still
+produces one merged trace, one metrics snapshot, and unified progress
+("shards 37/120, 2 retried").  See ``docs/CAMPAIGNS.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.characterization import registry
+from repro.characterization.campaign import CampaignSpec
+from repro.characterization.runner import CharacterizationRunner
+from repro.obs import (
+    NULL_OBSERVER,
+    MetricsRegistry,
+    Observer,
+    Tracer,
+    atomic_write_text,
+    get_logger,
+)
+from repro.rng import derive_seed
+
+__all__ = [
+    "ShardSpec",
+    "ShardFailure",
+    "EngineResult",
+    "CampaignCheckpoint",
+    "plan_shards",
+    "run_engine",
+]
+
+logger = get_logger("characterization.engine")
+
+#: Checkpoint-file schema (the JSONL sidecar, not the results file).
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: Retry backoff ceiling in seconds.
+_BACKOFF_CAP_S = 2.0
+
+
+# ----------------------------------------------------------------------
+# sharding
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One independent unit of campaign work.
+
+    A shard covers one module, a block of consecutive site indices, and
+    one sweep point; its ``seed`` is derived from the campaign seed and
+    the shard coordinates, so planning is deterministic and stable
+    across runs (which is what checkpoint resume keys on).
+    """
+
+    index: int
+    shard_id: str
+    module_id: str
+    module_index: int
+    site_indices: tuple[int, ...]
+    sweep_index: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """A shard that kept failing after every retry."""
+
+    shard_id: str
+    attempts: int
+    error: str
+    traceback: str = ""
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine run."""
+
+    records: list
+    failures: list[ShardFailure]
+    shards_total: int
+    shards_run: int
+    shards_resumed: int
+    retries: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether every shard eventually completed."""
+        return not self.failures
+
+
+def plan_shards(spec: CampaignSpec, shard_size: int = 4) -> list[ShardSpec]:
+    """Cut a spec into (module x site-block x sweep-point) shards.
+
+    ``shard_size`` is the number of consecutive sites per shard; smaller
+    shards parallelize further but checkpoint more often.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    experiment = registry.get(spec.experiment)
+    points = len(experiment.sweep_values(spec))
+    shards: list[ShardSpec] = []
+    for module_index, module_id in enumerate(spec.module_ids):
+        for block_start in range(0, spec.sites_per_module, shard_size):
+            block = tuple(
+                range(block_start, min(block_start + shard_size, spec.sites_per_module))
+            )
+            for sweep_index in range(points):
+                shards.append(
+                    ShardSpec(
+                        index=len(shards),
+                        shard_id=f"{module_id}/s{block[0]}-{block[-1]}/p{sweep_index}",
+                        module_id=module_id,
+                        module_index=module_index,
+                        site_indices=block,
+                        sweep_index=sweep_index,
+                        seed=derive_seed(
+                            spec.seed, "shard", module_id, block[0], sweep_index
+                        ),
+                    )
+                )
+    return shards
+
+
+def _backoff_s(base_s: float, attempt: int, seed: int) -> float:
+    """Bounded exponential backoff with deterministic per-shard jitter."""
+    if base_s <= 0.0 or attempt < 1:
+        return 0.0
+    jitter = 1.0 + (seed % 997) / 997.0  # in [1, 2), stable per shard
+    return min(base_s * (2.0 ** (attempt - 1)) * jitter, _BACKOFF_CAP_S)
+
+
+# ----------------------------------------------------------------------
+# shard execution (shared by the in-process path and pool workers)
+# ----------------------------------------------------------------------
+
+
+def _run_shard_units(
+    runner: CharacterizationRunner,
+    spec: CampaignSpec,
+    shard: ShardSpec,
+    observer: Observer,
+    fault_hook: Callable[[ShardSpec, int], None] | None = None,
+    attempt: int = 0,
+) -> tuple[list, int]:
+    """Execute one shard's units; returns ``([(unit_index, record)], flips)``.
+
+    ``unit_index`` is the unit's position in the sequential sweep order
+    (module, then site, then sweep point), which is how the engine
+    re-normalizes parallel completion order back to sequential order.
+    """
+    if fault_hook is not None:
+        fault_hook(shard, attempt)
+    experiment = registry.get(spec.experiment)
+    values = experiment.sweep_values(spec)
+    value = values[shard.sweep_index]
+    bench = runner.bench(shard.module_id)
+    sites = runner.sites(bench.module)
+    units: list = []
+    flips = 0
+    with observer.span(
+        "campaign.shard",
+        shard=shard.shard_id,
+        module=shard.module_id,
+        attempt=attempt,
+    ) as shard_span:
+        for site_index in shard.site_indices:
+            if site_index >= len(sites):
+                continue  # geometry yielded fewer sites than requested
+            site = sites[site_index]
+            unit_index = (
+                shard.module_index * spec.sites_per_module + site_index
+            ) * len(values) + shard.sweep_index
+            with observer.span(
+                "experiment",
+                kind=experiment.name,
+                module=shard.module_id,
+                row=site.row,
+                value=value,
+            ) as span:
+                record = experiment.run_unit(
+                    runner, spec, shard.module_id, site, value, observer
+                )
+                record_flips = experiment.flips(record)
+                span.set(flips=record_flips)
+            observer.metrics.counter("campaign.experiments").inc()
+            flips += record_flips
+            units.append((unit_index, record))
+        shard_span.set(units=len(units), flips=flips)
+    return units, flips
+
+
+@dataclass
+class _ShardTask:
+    """Pickled work order for one pool-worker shard attempt."""
+
+    spec_json: str
+    shard: ShardSpec
+    attempt: int
+    observe: bool
+    backoff_s: float
+
+
+@dataclass
+class _ShardOutcome:
+    """Pickled result of one shard attempt (success or failure)."""
+
+    shard: ShardSpec
+    attempt: int
+    ok: bool
+    units: list
+    flips: int
+    elapsed_s: float
+    error: str | None = None
+    traceback_text: str | None = None
+    spans: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+
+#: Per-worker-process state, keyed by spec JSON: the runner's benches
+#: persist across the shards a worker executes, like a Bender setup that
+#: keeps its modules socketed between experiments.
+_PROCESS_STATE: dict[str, tuple[CharacterizationRunner, Observer]] = {}
+
+#: Test-only failure injection, installed by the pool initializer.
+_FAULT_HOOK: Callable[[ShardSpec, int], None] | None = None
+
+
+def _init_worker(fault_hook: Callable[[ShardSpec, int], None] | None) -> None:
+    """Pool initializer: installs the (test-only) fault hook."""
+    global _FAULT_HOOK
+    _FAULT_HOOK = fault_hook
+
+
+def _process_context(
+    spec_json: str, observe: bool
+) -> tuple[CharacterizationRunner, Observer]:
+    """This worker process's runner + observer for a spec (cached)."""
+    key = f"{int(observe)}:{spec_json}"
+    state = _PROCESS_STATE.get(key)
+    if state is None:
+        spec = CampaignSpec.from_json(spec_json)
+        observer = (
+            Observer(metrics=MetricsRegistry(), tracer=Tracer())
+            if observe
+            else NULL_OBSERVER
+        )
+        runner = CharacterizationRunner(
+            module_ids=list(spec.module_ids),
+            sites_per_module=spec.sites_per_module,
+            seed=spec.seed,
+            observer=observer,
+        )
+        state = (runner, observer)
+        _PROCESS_STATE[key] = state
+    return state
+
+
+def _execute_shard(task: _ShardTask) -> _ShardOutcome:
+    """Pool-worker entry point: run one shard attempt, never raise."""
+    if task.backoff_s > 0.0:
+        time.sleep(task.backoff_s)
+    spec = CampaignSpec.from_json(task.spec_json)
+    runner, observer = _process_context(task.spec_json, task.observe)
+    start = time.perf_counter()
+    try:
+        units, flips = _run_shard_units(
+            runner, spec, task.shard, observer, fault_hook=_FAULT_HOOK,
+            attempt=task.attempt,
+        )
+    except Exception as error:  # surfaced as a structured failure upstream
+        return _ShardOutcome(
+            shard=task.shard,
+            attempt=task.attempt,
+            ok=False,
+            units=[],
+            flips=0,
+            elapsed_s=time.perf_counter() - start,
+            error=f"{type(error).__name__}: {error}",
+            traceback_text=traceback.format_exc(),
+            spans=observer.tracer.drain(),
+            metrics=observer.metrics.drain() if observer.metrics.enabled else {},
+        )
+    return _ShardOutcome(
+        shard=task.shard,
+        attempt=task.attempt,
+        ok=True,
+        units=units,
+        flips=flips,
+        elapsed_s=time.perf_counter() - start,
+        spans=observer.tracer.drain(),
+        metrics=observer.metrics.drain() if observer.metrics.enabled else {},
+    )
+
+
+# ----------------------------------------------------------------------
+# checkpointing
+# ----------------------------------------------------------------------
+
+
+class CampaignCheckpoint:
+    """JSONL checkpoint of completed shards (see docs/CAMPAIGNS.md).
+
+    Line 1 is a header binding the file to a spec + shard size; every
+    completed shard appends one ``{"kind": "shard", ...}`` line and every
+    permanent failure one ``{"kind": "failure", ...}`` line.  Each append
+    rewrites the file through the atomic-write helper, so a killed
+    campaign always leaves a complete, parseable checkpoint behind.
+    """
+
+    def __init__(
+        self, path: str | Path, spec: CampaignSpec, shard_size: int
+    ) -> None:
+        self.path = Path(path)
+        self.spec = spec
+        self.shard_size = shard_size
+        self._lines: list[str] = []
+        self._completed: dict[str, dict] = {}
+
+    # -- reading -------------------------------------------------------
+
+    def load(self) -> dict[str, dict]:
+        """Parse an existing checkpoint for resume.
+
+        Returns ``shard_id -> shard line payload`` for completed shards.
+        Old failure lines are dropped (those shards run again); a spec or
+        shard-size mismatch raises :class:`ValueError` so a checkpoint
+        can never silently mix two campaigns.
+        """
+        text = self.path.read_text()
+        header: dict | None = None
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                logger.warning(
+                    "%s:%d: unparseable checkpoint line skipped",
+                    self.path,
+                    line_number,
+                )
+                continue
+            kind = payload.get("kind")
+            if kind == "header":
+                header = payload
+            elif kind == "shard":
+                self._completed[payload["shard_id"]] = payload
+            # "failure" lines are intentionally not carried over
+        if header is None:
+            raise ValueError(f"checkpoint {self.path} has no header line")
+        if header.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
+            raise ValueError(
+                f"checkpoint {self.path} has schema version "
+                f"{header.get('schema_version')!r}; this build writes "
+                f"v{CHECKPOINT_SCHEMA_VERSION}"
+            )
+        # Normalize through JSON: the header's spec has lists where the
+        # live dataclass has tuples.
+        if header.get("spec") != json.loads(self.spec.to_json()):
+            raise ValueError(
+                f"checkpoint {self.path} was written for a different campaign "
+                f"spec; refusing to resume"
+            )
+        if header.get("shard_size") != self.shard_size:
+            raise ValueError(
+                f"checkpoint {self.path} used shard_size="
+                f"{header.get('shard_size')}, current run uses "
+                f"{self.shard_size}; shards would not line up"
+            )
+        self._lines = [json.dumps(header)] + [
+            json.dumps(payload) for payload in self._completed.values()
+        ]
+        self._flush()
+        return dict(self._completed)
+
+    def completed_units(self, payload: dict) -> tuple[list, int]:
+        """Rebuild a shard line's ``[(unit_index, record)]`` and flips."""
+        experiment = registry.get(self.spec.experiment)
+        units = [
+            (entry["unit"], experiment.record_type(**entry["record"]))
+            for entry in payload["units"]
+        ]
+        return units, payload.get("flips", 0)
+
+    # -- writing -------------------------------------------------------
+
+    def start(self) -> None:
+        """Write a fresh header (discarding any previous content)."""
+        self._completed = {}
+        self._lines = [
+            json.dumps(
+                {
+                    "kind": "header",
+                    "schema_version": CHECKPOINT_SCHEMA_VERSION,
+                    "experiment": self.spec.experiment,
+                    "shard_size": self.shard_size,
+                    "spec": dataclasses.asdict(self.spec),
+                }
+            )
+        ]
+        self._flush()
+
+    def record_shard(self, outcome: _ShardOutcome) -> None:
+        """Append one completed shard."""
+        self._lines.append(
+            json.dumps(
+                {
+                    "kind": "shard",
+                    "shard_id": outcome.shard.shard_id,
+                    "seed": outcome.shard.seed,
+                    "attempt": outcome.attempt,
+                    "elapsed_s": outcome.elapsed_s,
+                    "flips": outcome.flips,
+                    "units": [
+                        {"unit": unit_index, "record": dataclasses.asdict(record)}
+                        for unit_index, record in outcome.units
+                    ],
+                }
+            )
+        )
+        self._flush()
+
+    def record_failure(self, failure: ShardFailure) -> None:
+        """Append one permanent failure."""
+        self._lines.append(
+            json.dumps(
+                {
+                    "kind": "failure",
+                    "shard_id": failure.shard_id,
+                    "attempts": failure.attempts,
+                    "error": failure.error,
+                    "traceback": failure.traceback,
+                }
+            )
+        )
+        self._flush()
+
+    def _flush(self) -> None:
+        atomic_write_text(self.path, "\n".join(self._lines) + "\n")
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap start, inherits registrations) when available."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_engine(
+    spec: CampaignSpec,
+    workers: int = 1,
+    shard_size: int = 4,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.05,
+    observer: Observer | None = None,
+    fault_hook: Callable[[ShardSpec, int], None] | None = None,
+) -> EngineResult:
+    """Execute a campaign spec as a sharded, checkpointed campaign.
+
+    ``workers=1`` runs shards in-process (no pool, spans nest directly);
+    ``workers>1`` fans shards out over a process pool.  With
+    ``checkpoint`` set, every completed shard is persisted; with
+    ``resume=True`` and an existing checkpoint, already-completed shards
+    are skipped.  Shards that raise are retried up to ``max_retries``
+    times with bounded backoff, then surfaced in ``failures``.  The
+    returned records are order-normalized to sequential sweep order, so
+    for a fully successful run they equal
+    :func:`~repro.characterization.campaign.run_campaign` on the same
+    spec.  ``fault_hook`` is a test-only failure injector called at the
+    start of every shard attempt.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    obs = observer or NULL_OBSERVER
+    experiment = registry.get(spec.experiment)
+    shards = plan_shards(spec, shard_size)
+    points = len(experiment.sweep_values(spec))
+
+    ckpt: CampaignCheckpoint | None = None
+    resumed: dict[str, dict] = {}
+    if checkpoint is not None:
+        ckpt = CampaignCheckpoint(checkpoint, spec, shard_size)
+        if resume and ckpt.path.exists():
+            resumed = ckpt.load()
+        else:
+            ckpt.start()
+    elif resume:
+        raise ValueError("resume=True requires a checkpoint path")
+
+    all_units: list = []
+    failures: list[ShardFailure] = []
+    retries = 0
+    flips_total = 0
+    shards_done = 0
+
+    obs.progress.start(
+        total=len(spec.module_ids) * spec.sites_per_module * points,
+        label=f"campaign:{spec.name}",
+    )
+    with obs.span(
+        "campaign.run",
+        campaign=spec.name,
+        experiment=spec.experiment,
+        engine=f"workers={workers}",
+        shards=len(shards),
+    ) as campaign_span:
+        pending: list[ShardSpec] = []
+        resumed_count = 0
+        for shard in shards:
+            payload = resumed.get(shard.shard_id)
+            if payload is None:
+                pending.append(shard)
+                continue
+            units, flips = ckpt.completed_units(payload)
+            all_units.extend(units)
+            flips_total += flips
+            shards_done += 1
+            resumed_count += 1
+            obs.metrics.counter("engine.shards_resumed").inc()
+            obs.progress.advance(len(units), flips=flips)
+        if resumed_count:
+            logger.info(
+                "resumed %d/%d shards from %s", resumed_count, len(shards), ckpt.path
+            )
+
+        def finalize(outcome: _ShardOutcome) -> None:
+            nonlocal shards_done, flips_total
+            shards_done += 1
+            flips_total += outcome.flips
+            all_units.extend(outcome.units)
+            if ckpt is not None:
+                ckpt.record_shard(outcome)
+            obs.metrics.counter("engine.shards").inc()
+            obs.metrics.histogram("engine.shard_seconds").record(outcome.elapsed_s)
+            obs.progress.advance(len(outcome.units), flips=outcome.flips)
+            logger.info(
+                "shards %d/%d, %d retried%s",
+                shards_done,
+                len(shards),
+                retries,
+                f", {len(failures)} failed" if failures else "",
+            )
+
+        def fail(shard: ShardSpec, attempts: int, error: str, tb: str) -> None:
+            nonlocal shards_done
+            shards_done += 1
+            failure = ShardFailure(
+                shard_id=shard.shard_id,
+                attempts=attempts,
+                error=error,
+                traceback=tb,
+            )
+            failures.append(failure)
+            if ckpt is not None:
+                ckpt.record_failure(failure)
+            obs.metrics.counter("engine.shard_failures").inc()
+            logger.error(
+                "shard %s failed permanently after %d attempts: %s",
+                shard.shard_id,
+                attempts,
+                error,
+            )
+
+        if workers == 1:
+            runner = CharacterizationRunner(
+                module_ids=list(spec.module_ids),
+                sites_per_module=spec.sites_per_module,
+                seed=spec.seed,
+                observer=obs,
+            )
+            for shard in pending:
+                attempt = 0
+                while True:
+                    start = time.perf_counter()
+                    try:
+                        units, flips = _run_shard_units(
+                            runner, spec, shard, obs,
+                            fault_hook=fault_hook, attempt=attempt,
+                        )
+                    except Exception as error:
+                        if attempt >= max_retries:
+                            fail(
+                                shard,
+                                attempt + 1,
+                                f"{type(error).__name__}: {error}",
+                                traceback.format_exc(),
+                            )
+                            break
+                        attempt += 1
+                        retries += 1
+                        obs.metrics.counter("engine.retries").inc()
+                        backoff = _backoff_s(retry_backoff_s, attempt, shard.seed)
+                        logger.warning(
+                            "shard %s attempt %d failed (%s); retrying in %.2fs",
+                            shard.shard_id,
+                            attempt,
+                            error,
+                            backoff,
+                        )
+                        if backoff > 0.0:
+                            time.sleep(backoff)
+                        continue
+                    finalize(
+                        _ShardOutcome(
+                            shard=shard,
+                            attempt=attempt,
+                            ok=True,
+                            units=units,
+                            flips=flips,
+                            elapsed_s=time.perf_counter() - start,
+                        )
+                    )
+                    break
+        elif pending:
+            spec_json = spec.to_json()
+            observe = obs.enabled
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+                initargs=(fault_hook,),
+            ) as pool:
+                dispatched_at: dict[str, float] = {}
+
+                def submit(shard: ShardSpec, attempt: int) -> object:
+                    dispatched_at[shard.shard_id] = obs.tracer.now_s()
+                    return pool.submit(
+                        _execute_shard,
+                        _ShardTask(
+                            spec_json=spec_json,
+                            shard=shard,
+                            attempt=attempt,
+                            observe=observe,
+                            backoff_s=_backoff_s(
+                                retry_backoff_s, attempt, shard.seed
+                            ),
+                        ),
+                    )
+
+                futures = {submit(shard, 0) for shard in pending}
+                while futures:
+                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        outcome = future.result()
+                        if observe:
+                            obs.tracer.ingest(
+                                outcome.spans,
+                                parent=campaign_span,
+                                shift_s=dispatched_at.get(
+                                    outcome.shard.shard_id, 0.0
+                                ),
+                            )
+                            obs.metrics.merge_snapshot(outcome.metrics)
+                        if outcome.ok:
+                            finalize(outcome)
+                        elif outcome.attempt >= max_retries:
+                            fail(
+                                outcome.shard,
+                                outcome.attempt + 1,
+                                outcome.error or "unknown error",
+                                outcome.traceback_text or "",
+                            )
+                        else:
+                            retries += 1
+                            obs.metrics.counter("engine.retries").inc()
+                            logger.warning(
+                                "shard %s attempt %d failed (%s); retrying",
+                                outcome.shard.shard_id,
+                                outcome.attempt + 1,
+                                outcome.error,
+                            )
+                            futures.add(
+                                submit(outcome.shard, outcome.attempt + 1)
+                            )
+
+        all_units.sort(key=lambda unit: unit[0])
+        campaign_span.set(
+            records=len(all_units),
+            shards=len(shards),
+            resumed=resumed_count,
+            retries=retries,
+            failures=len(failures),
+        )
+    obs.progress.finish()
+    return EngineResult(
+        records=[record for _, record in all_units],
+        failures=failures,
+        shards_total=len(shards),
+        shards_run=len(shards) - resumed_count - len(failures),
+        shards_resumed=resumed_count,
+        retries=retries,
+    )

@@ -1,0 +1,348 @@
+"""Pluggable experiment registry for characterization campaigns.
+
+The paper's multi-week campaigns interleave several experiment kinds
+(ACmin sweeps, t_AggONmin searches, BER measurements) over the same
+fleet.  Instead of hard-coding an ``if/elif`` dispatch in the campaign
+layer, every experiment kind is an object satisfying the
+:class:`Experiment` protocol and registered here by name; campaigns,
+results files, and the parallel engine all resolve experiments through
+:func:`get`, so a new experiment type plugs in without editing core
+code::
+
+    from repro.characterization import registry
+
+    class MyExperiment:
+        name = "mine"
+        record_type = MyRecord
+        ...
+
+    registry.register(MyExperiment())
+    CampaignSpec(name="x", module_ids=("S3",), experiment="mine")
+
+The three paper experiments (``acmin``, ``taggonmin``, ``ber``) are
+registered at import time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.characterization.acmin import AcminSearch
+from repro.characterization.ber import measure_ber
+from repro.characterization.patterns import (
+    AccessPattern,
+    ExperimentConfig,
+    RowSite,
+)
+from repro.characterization.results import AcminRecord, BerRecord, TaggonminRecord
+from repro.characterization.taggonmin import find_taggonmin
+from repro.dram.datapattern import DataPattern
+from repro.obs import NULL_OBSERVER, Observer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (campaign imports us)
+    from repro.bender.infrastructure import TestingInfrastructure
+    from repro.characterization.campaign import CampaignSpec
+    from repro.characterization.runner import CharacterizationRunner
+
+__all__ = [
+    "Experiment",
+    "register",
+    "unregister",
+    "get",
+    "names",
+    "record_type_for",
+    "AcminExperiment",
+    "TaggonminExperiment",
+    "BerExperiment",
+]
+
+
+@runtime_checkable
+class Experiment(Protocol):
+    """One pluggable experiment kind.
+
+    ``run`` executes a whole campaign sequentially (the classic
+    :func:`repro.characterization.campaign.run_campaign` path);
+    ``run_unit`` executes exactly one (module, site, sweep-value) cell,
+    which is the granularity the parallel engine shards at.  Both must
+    be deterministic functions of the spec's seed so that sharded and
+    sequential campaigns produce identical records.
+    """
+
+    name: str
+    record_type: type
+
+    def sweep_values(self, spec: "CampaignSpec") -> tuple:
+        """The spec's sweep axis for this experiment."""
+
+    def run(
+        self,
+        runner: "CharacterizationRunner",
+        spec: "CampaignSpec",
+        observer: Observer,
+    ) -> list:
+        """Execute the full campaign sequentially; returns flat records."""
+
+    def run_unit(
+        self,
+        runner: "CharacterizationRunner",
+        spec: "CampaignSpec",
+        module_id: str,
+        site: RowSite,
+        value: object,
+        observer: Observer,
+    ) -> object:
+        """Execute one (module, site, sweep-value) cell; returns one record."""
+
+    def flips(self, record: object) -> int:
+        """Bitflip evidence in one record (drives progress reporting)."""
+
+
+_REQUIRED_ATTRS = ("name", "record_type", "sweep_values", "run", "run_unit", "flips")
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment, replace: bool = False) -> Experiment:
+    """Register an experiment under ``experiment.name``; returns it.
+
+    ``replace`` permits overriding an existing registration (tests and
+    downstream variants); otherwise a duplicate name is an error.
+    """
+    missing = [
+        attr for attr in _REQUIRED_ATTRS if getattr(experiment, attr, None) is None
+    ]
+    if missing:
+        raise TypeError(
+            f"{type(experiment).__name__} does not satisfy the Experiment "
+            f"protocol (missing: {', '.join(missing)})"
+        )
+    name = experiment.name
+    if not isinstance(name, str) or not name:
+        raise TypeError("experiment.name must be a non-empty string")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"experiment {name!r} is already registered")
+    _REGISTRY[name] = experiment
+    return experiment
+
+
+def unregister(name: str) -> None:
+    """Remove a registration (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> Experiment:
+    """The registered experiment called ``name``.
+
+    Raises :class:`ValueError` (listing the known names) for unknown
+    experiments — the error spec validation and results loading rely on.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(names())
+        raise ValueError(f"unknown experiment {name!r} (registered: {known})") from None
+
+
+def names() -> tuple[str, ...]:
+    """All registered experiment names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def record_type_for(name: str) -> type:
+    """The record dataclass an experiment produces."""
+    return get(name).record_type
+
+
+# ----------------------------------------------------------------------
+# built-in experiments
+# ----------------------------------------------------------------------
+
+
+class _SweepExperiment:
+    """Shared plumbing of the built-in single-axis sweep experiments."""
+
+    name: str = ""
+    record_type: type = object
+
+    def _bench(
+        self, runner: "CharacterizationRunner", spec: "CampaignSpec", module_id: str
+    ) -> "TestingInfrastructure":
+        bench = runner.bench(module_id)
+        bench.module.device.set_temperature(spec.temperature_c)
+        return bench
+
+
+class AcminExperiment(_SweepExperiment):
+    """Minimum activation count to flip a bit (Figs. 1, 6-7, 13, 17-18)."""
+
+    name = "acmin"
+    record_type = AcminRecord
+
+    def sweep_values(self, spec: "CampaignSpec") -> tuple:
+        """t_AggON sweep points (ns)."""
+        return tuple(spec.t_aggon_values)
+
+    def run(
+        self,
+        runner: "CharacterizationRunner",
+        spec: "CampaignSpec",
+        observer: Observer,
+    ) -> list[AcminRecord]:
+        """Full sequential sweep via :meth:`CharacterizationRunner.acmin_sweep`."""
+        return runner.acmin_sweep(
+            t_aggon_values=tuple(spec.t_aggon_values),
+            access=AccessPattern(spec.access),
+            temperature_c=spec.temperature_c,
+            data=DataPattern(spec.data_pattern),
+        )
+
+    def run_unit(
+        self,
+        runner: "CharacterizationRunner",
+        spec: "CampaignSpec",
+        module_id: str,
+        site: RowSite,
+        value: object,
+        observer: Observer,
+    ) -> AcminRecord:
+        """ACmin of one site at one t_AggON."""
+        obs = observer or NULL_OBSERVER
+        bench = self._bench(runner, spec, module_id)
+        config = ExperimentConfig(
+            access=AccessPattern(spec.access), data=DataPattern(spec.data_pattern)
+        )
+        searcher = AcminSearch(infra=bench, config=config, observer=obs)
+        acmin = searcher.search(site, float(value))
+        info = bench.module.info
+        return AcminRecord(
+            module_id=info.module_id,
+            die_key=info.die_key,
+            access=spec.access,
+            temperature_c=spec.temperature_c,
+            t_aggon=float(value),
+            site_row=site.row,
+            acmin=acmin,
+        )
+
+    def flips(self, record: AcminRecord) -> int:
+        """1 when the search found a bitflip within the budget."""
+        return 0 if record.acmin is None else 1
+
+
+class TaggonminExperiment(_SweepExperiment):
+    """Minimum row-open time to flip a bit at a fixed AC (Figs. 9, 15)."""
+
+    name = "taggonmin"
+    record_type = TaggonminRecord
+
+    def sweep_values(self, spec: "CampaignSpec") -> tuple:
+        """Aggressor activation counts."""
+        return tuple(spec.activation_counts)
+
+    def run(
+        self,
+        runner: "CharacterizationRunner",
+        spec: "CampaignSpec",
+        observer: Observer,
+    ) -> list[TaggonminRecord]:
+        """Full sequential sweep via :meth:`CharacterizationRunner.taggonmin_sweep`."""
+        return runner.taggonmin_sweep(
+            activation_counts=tuple(spec.activation_counts),
+            temperature_c=spec.temperature_c,
+            access=AccessPattern(spec.access),
+        )
+
+    def run_unit(
+        self,
+        runner: "CharacterizationRunner",
+        spec: "CampaignSpec",
+        module_id: str,
+        site: RowSite,
+        value: object,
+        observer: Observer,
+    ) -> TaggonminRecord:
+        """t_AggONmin of one site at one activation count."""
+        obs = observer or NULL_OBSERVER
+        bench = self._bench(runner, spec, module_id)
+        # Matches taggonmin_sweep: the data pattern knob is not used here.
+        config = ExperimentConfig(access=AccessPattern(spec.access))
+        taggonmin = find_taggonmin(bench, site, int(value), config, observer=obs)
+        info = bench.module.info
+        return TaggonminRecord(
+            module_id=info.module_id,
+            die_key=info.die_key,
+            temperature_c=spec.temperature_c,
+            activation_count=int(value),
+            site_row=site.row,
+            taggonmin=taggonmin,
+        )
+
+    def flips(self, record: TaggonminRecord) -> int:
+        """1 when some on-time within the budget flipped a bit."""
+        return 0 if record.taggonmin is None else 1
+
+
+class BerExperiment(_SweepExperiment):
+    """Budget-maximal-activation bit error rate (Figs. 22, 25-26)."""
+
+    name = "ber"
+    record_type = BerRecord
+
+    def sweep_values(self, spec: "CampaignSpec") -> tuple:
+        """t_AggON sweep points (ns)."""
+        return tuple(spec.t_aggon_values)
+
+    def run(
+        self,
+        runner: "CharacterizationRunner",
+        spec: "CampaignSpec",
+        observer: Observer,
+    ) -> list[BerRecord]:
+        """Full sequential sweep via :meth:`CharacterizationRunner.ber_sweep`."""
+        return runner.ber_sweep(
+            t_aggon_values=tuple(spec.t_aggon_values),
+            access=AccessPattern(spec.access),
+            temperature_c=spec.temperature_c,
+            data=DataPattern(spec.data_pattern),
+        )
+
+    def run_unit(
+        self,
+        runner: "CharacterizationRunner",
+        spec: "CampaignSpec",
+        module_id: str,
+        site: RowSite,
+        value: object,
+        observer: Observer,
+    ) -> BerRecord:
+        """BER of one site at one t_AggON."""
+        obs = observer or NULL_OBSERVER
+        bench = self._bench(runner, spec, module_id)
+        config = ExperimentConfig(
+            access=AccessPattern(spec.access), data=DataPattern(spec.data_pattern)
+        )
+        measurement = measure_ber(bench, site, float(value), config, observer=obs)
+        info = bench.module.info
+        return BerRecord(
+            module_id=info.module_id,
+            die_key=info.die_key,
+            access=spec.access,
+            temperature_c=spec.temperature_c,
+            t_aggon=float(value),
+            t_aggoff=measurement.t_aggoff,
+            site_row=site.row,
+            ber=measurement.ber,
+            bitflips=measurement.bitflips,
+            one_to_zero=measurement.one_to_zero,
+        )
+
+    def flips(self, record: BerRecord) -> int:
+        """Observed bitflip count."""
+        return record.bitflips
+
+
+#: The built-in experiments, registered at import time.
+ACMIN = register(AcminExperiment())
+TAGGONMIN = register(TaggonminExperiment())
+BER = register(BerExperiment())

@@ -5,16 +5,20 @@ Commands:
 * ``fleet`` — list the calibrated module catalog (Table 1),
 * ``acmin`` — ACmin of one module across a t_AggON sweep,
 * ``attack`` — run the §6 real-system RowPress attack grid,
-* ``campaign`` — run a JSON campaign spec and save the records,
+* ``campaign`` — run a JSON campaign spec through the sharded engine
+  (``--workers N --shard-size K --resume``) and save the records,
 * ``obs-report`` — summarize a metrics or trace file from a prior run,
 * ``lint`` — static analysis: source rules and the program verifier
   (also installed standalone as ``reprolint``).
 
-``acmin``, ``attack``, and ``campaign`` accept ``--trace-out FILE``
-(Chrome trace-event JSON, loadable in ``chrome://tracing``) and
-``--metrics-out FILE`` (counter/gauge/histogram snapshot); ``-v``
-raises log verbosity (``-vv`` for debug) and surfaces campaign
-progress lines.
+Observability flags are global: ``repro [-v] [--trace-out FILE]
+[--metrics-out FILE] <command> ...`` works identically for every
+subcommand.  ``--trace-out`` writes Chrome trace-event JSON (loadable
+in ``chrome://tracing``), ``--metrics-out`` a counter/gauge/histogram
+snapshot, and ``-v`` raises log verbosity (``-vv`` for debug) and
+surfaces campaign progress lines.  The pre-redesign spellings after
+the subcommand (``repro acmin S3 --trace-out f``) still work but emit
+a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from pathlib import Path
 
 from repro import units
@@ -93,7 +98,7 @@ def _cmd_acmin(args: argparse.Namespace) -> int:
     from repro.dram import build_module
     from repro.dram.geometry import Geometry
 
-    observer = _build_observer(args)
+    observer = args.observer
     geometry = Geometry(
         ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=256, row_bits=65536
     )
@@ -116,7 +121,6 @@ def _cmd_acmin(args: argparse.Namespace) -> int:
             f"{args.module} row {args.row} @ {args.temperature:.0f}C",
         )
     )
-    _export_observability(args, observer)
     return 0
 
 
@@ -124,7 +128,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     from repro.dram.geometry import RowAddress
     from repro.system import AttackParameters, build_demo_system, run_rowpress_attack
 
-    observer = _build_observer(args)
+    observer = args.observer
     system = build_demo_system(rows_per_bank=4096)
     victims = [RowAddress(0, 1, 16 + 8 * i) for i in range(args.victims)]
     rows = []
@@ -144,16 +148,12 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             f"RowPress attack vs {args.victims} victims (TRR on)",
         )
     )
-    _export_observability(args, observer)
     return 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.characterization.campaign import (
-        CampaignSpec,
-        run_campaign,
-        save_results,
-    )
+    from repro.characterization.campaign import CampaignSpec, save_results
+    from repro.characterization.engine import run_engine
 
     try:
         spec_text = Path(args.spec).read_text()
@@ -165,11 +165,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     except (ValueError, TypeError, KeyError) as error:
         logger.error("invalid campaign spec %s: %s", args.spec, error)
         return 2
-    observer = _build_observer(args)
-    records = run_campaign(spec, observer=observer)
-    save_results(args.output, spec, records)
-    _export_observability(args, observer)
-    print(f"{len(records)} records written to {args.output}")
+    checkpoint = args.checkpoint or f"{args.output}.checkpoint.jsonl"
+    try:
+        result = run_engine(
+            spec,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            checkpoint=checkpoint,
+            resume=args.resume,
+            observer=args.observer,
+        )
+    except ValueError as error:
+        logger.error("cannot run campaign: %s", error)
+        return 2
+    save_results(args.output, spec, result.records)
+    print(f"{len(result.records)} records written to {args.output}")
+    print(
+        f"shards {result.shards_total - len(result.failures)}/"
+        f"{result.shards_total} complete "
+        f"({result.shards_resumed} resumed, {result.retries} retried)"
+    )
+    if result.failures:
+        logger.error(
+            "%d shard(s) failed permanently; see %s", len(result.failures), checkpoint
+        )
+        return 1
     return 0
 
 
@@ -280,16 +300,65 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 
 
-def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
-    subparser.add_argument(
+class _DeprecatedValueFlag(argparse.Action):
+    """Old per-subcommand spelling of a global flag: warn, keep working."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        message = (
+            f"`{option_string}` after the subcommand is deprecated; pass it "
+            f"before the subcommand: `repro {option_string} ... <command>`"
+        )
+        # Default warning filters hide DeprecationWarning outside
+        # __main__, so also log it where CLI users will see it.
+        warnings.warn(message, DeprecationWarning, stacklevel=2)
+        logger.warning(message)
+        setattr(namespace, self.dest, values)
+
+
+def _add_global_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The unified observability flags, attached to the parent parser."""
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise log verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="FILE",
+        default=None,
         help="write a Chrome trace-event JSON (chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write a metrics snapshot JSON (see `repro obs-report`)",
+    )
+
+
+def _add_deprecated_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    """Accept the pre-redesign per-subcommand spellings with a warning.
+
+    ``default=argparse.SUPPRESS`` keeps the subparser from clobbering a
+    value the parent parser already put in the namespace.
+    """
+    subparser.add_argument(
+        "--trace-out",
+        action=_DeprecatedValueFlag,
+        dest="trace_out",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
     )
     subparser.add_argument(
         "--metrics-out",
+        action=_DeprecatedValueFlag,
+        dest="metrics_out",
         metavar="FILE",
-        help="write a metrics snapshot JSON (see `repro obs-report`)",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
     )
 
 
@@ -298,13 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RowPress reproduction toolkit"
     )
-    parser.add_argument(
-        "-v",
-        "--verbose",
-        action="count",
-        default=0,
-        help="raise log verbosity (-v info, -vv debug)",
-    )
+    _add_global_obs_flags(parser)
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("fleet", help="list the module catalog").set_defaults(
@@ -315,19 +378,43 @@ def build_parser() -> argparse.ArgumentParser:
     acmin.add_argument("module", help="catalog module id, e.g. S3")
     acmin.add_argument("--row", type=int, default=100)
     acmin.add_argument("--temperature", type=float, default=50.0)
-    _add_obs_flags(acmin)
+    _add_deprecated_obs_flags(acmin)
     acmin.set_defaults(handler=_cmd_acmin)
 
     attack = commands.add_parser("attack", help="run the real-system demo")
     attack.add_argument("--victims", type=int, default=100)
     attack.add_argument("--iterations", type=int, default=200_000)
-    _add_obs_flags(attack)
+    _add_deprecated_obs_flags(attack)
     attack.set_defaults(handler=_cmd_attack)
 
-    campaign = commands.add_parser("campaign", help="run a campaign spec")
+    campaign = commands.add_parser(
+        "campaign", help="run a campaign spec through the sharded engine"
+    )
     campaign.add_argument("spec", help="path to a CampaignSpec JSON file")
     campaign.add_argument("--output", default="campaign_results.json")
-    _add_obs_flags(campaign)
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel worker processes (1 = in-process, no pool)",
+    )
+    campaign.add_argument(
+        "--shard-size",
+        type=int,
+        default=4,
+        help="row sites per work shard (smaller = finer checkpoints)",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards already recorded in the checkpoint file",
+    )
+    campaign.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="shard checkpoint JSONL (default: <output>.checkpoint.jsonl)",
+    )
+    _add_deprecated_obs_flags(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
 
     report = commands.add_parser(
@@ -348,7 +435,10 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     configure_logging(args.verbose)
-    return args.handler(args)
+    args.observer = _build_observer(args)
+    code = args.handler(args)
+    _export_observability(args, args.observer)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

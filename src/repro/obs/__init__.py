@@ -177,6 +177,10 @@ STANDARD_COUNTERS: tuple[tuple[str, dict[str, str]], ...] = (
     ("memctrl.preventive_refreshes", {}),
     ("campaign.experiments", {}),
     ("campaign.bitflips", {}),
+    ("engine.shards", {}),
+    ("engine.shards_resumed", {}),
+    ("engine.retries", {}),
+    ("engine.shard_failures", {}),
 )
 
 

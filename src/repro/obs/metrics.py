@@ -232,8 +232,13 @@ class MetricsRegistry:
             return self._gauges[key].value
         return None
 
-    def to_dict(self) -> dict:
-        """JSON-ready snapshot of every instrument."""
+    def to_dict(self, raw: bool = False) -> dict:
+        """JSON-ready snapshot of every instrument.
+
+        ``raw`` additionally exports each histogram's individual
+        observations (``"values"``), which lets another registry merge
+        the snapshot losslessly via :meth:`merge_snapshot`.
+        """
         return {
             "counters": [
                 {"name": c.name, "labels": c.labels, "value": c.value}
@@ -244,10 +249,47 @@ class MetricsRegistry:
                 for g in self._gauges.values()
             ],
             "histograms": [
-                {"name": h.name, "labels": h.labels, **h.summary()}
+                {
+                    "name": h.name,
+                    "labels": h.labels,
+                    **h.summary(),
+                    **({"values": list(h._values)} if raw else {}),
+                }
                 for h in self._histograms.values()
             ],
         }
+
+    def drain(self) -> dict:
+        """Snapshot (with raw histogram values) and reset every instrument.
+
+        Used by campaign-engine workers to ship per-shard metric deltas
+        over the result queue: repeated drains never double-count.
+        Gauges keep their last value (set semantics).
+        """
+        snapshot = self.to_dict(raw=True)
+        for counter in self._counters.values():
+            counter.value = 0
+        for histogram in self._histograms.values():
+            histogram._values.clear()
+            histogram._total = 0.0
+        return snapshot
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters add, gauges take the incoming value, and histograms
+        replay raw ``"values"`` when the snapshot carries them (snapshots
+        exported without ``raw`` merge their counters/gauges only).
+        """
+        for entry in snapshot.get("counters", ()):
+            if entry["value"]:
+                self.counter(entry["name"], **entry["labels"]).inc(entry["value"])
+        for entry in snapshot.get("gauges", ()):
+            self.gauge(entry["name"], **entry["labels"]).set(entry["value"])
+        for entry in snapshot.get("histograms", ()):
+            histogram = self.histogram(entry["name"], **entry["labels"])
+            for value in entry.get("values", ()):
+                histogram.record(value)
 
     def write_json(self, path: str | Path) -> None:
         """Dump the snapshot to ``path`` atomically."""
@@ -317,7 +359,7 @@ class NullRegistry(MetricsRegistry):
         """The shared inert timer."""
         return self._null_timer
 
-    def to_dict(self) -> dict:
+    def to_dict(self, raw: bool = False) -> dict:
         """Always the empty snapshot."""
         return {"counters": [], "gauges": [], "histograms": []}
 

@@ -123,6 +123,63 @@ class Tracer:
             self._stack.pop()
         self.finished.append(span)
 
+    def now_s(self) -> float:
+        """Seconds since this tracer's epoch (parent-relative timestamps)."""
+        return time.perf_counter() - self._epoch
+
+    # ------------------------------------------------------------------
+    # cross-process merging
+    # ------------------------------------------------------------------
+
+    def drain(self) -> list[dict]:
+        """Export finished spans as dicts and clear them.
+
+        Campaign-engine workers drain after every shard so span payloads
+        ship incrementally over the result queue without re-sending.
+        """
+        spans = [span.to_dict() for span in self.finished]
+        self.finished.clear()
+        return spans
+
+    def ingest(
+        self,
+        span_dicts: list[dict],
+        parent: Span | None = None,
+        shift_s: float = 0.0,
+    ) -> None:
+        """Absorb spans exported by another tracer (e.g. a worker process).
+
+        Span ids are remapped past this tracer's counter, spans without a
+        parent are re-parented under ``parent`` (nesting the worker's
+        trace below e.g. the campaign span), and start times are shifted
+        by ``shift_s`` — the parent-relative time the worker's epoch
+        corresponds to — so the merged Chrome trace shares one timeline.
+        """
+        if not span_dicts:
+            return
+        offset = self._next_id
+        base_depth = parent.depth + 1 if parent is not None else 0
+        root_parent = parent.span_id if parent is not None else None
+        highest = offset
+        for payload in span_dicts:
+            span = Span(
+                tracer=self,
+                name=payload["name"],
+                attrs=dict(payload.get("attrs", {})),
+                span_id=payload["id"] + offset,
+                parent_id=(
+                    payload["parent"] + offset
+                    if payload.get("parent") is not None
+                    else root_parent
+                ),
+                depth=payload.get("depth", 0) + base_depth,
+            )
+            span.start_s = payload.get("start_s", 0.0) + shift_s
+            span.duration_s = payload.get("duration_s", 0.0)
+            self.finished.append(span)
+            highest = max(highest, span.span_id)
+        self._next_id = highest + 1
+
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
@@ -187,6 +244,22 @@ class NullTracer:
     def span(self, name: str, **attrs: object) -> _NullSpan:
         """The shared inert span."""
         return NULL_SPAN
+
+    def now_s(self) -> float:
+        """Always 0.0 (there is no timeline)."""
+        return 0.0
+
+    def drain(self) -> list[dict]:
+        """Always empty."""
+        return []
+
+    def ingest(
+        self,
+        span_dicts: list[dict],
+        parent: object | None = None,
+        shift_s: float = 0.0,
+    ) -> None:
+        """No-op (ingested spans are dropped)."""
 
     def to_jsonl(self) -> str:
         """Always empty."""

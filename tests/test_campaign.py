@@ -66,3 +66,57 @@ def test_determinism_across_runs():
     a = run_campaign(small_spec())
     b = run_campaign(small_spec())
     assert a == b
+
+
+# ----------------------------------------------------------------------
+# results schema versioning
+# ----------------------------------------------------------------------
+
+
+def test_save_writes_schema_v2(tmp_path):
+    import json
+
+    spec = small_spec()
+    records = run_campaign(spec)
+    path = tmp_path / "campaign.json"
+    save_results(path, spec, records)
+    payload = json.loads(path.read_text())
+    assert payload["schema_version"] == 2
+    assert "record_type" not in payload
+    assert all(entry["experiment"] == "acmin" for entry in payload["records"])
+
+
+def test_load_reads_v1_files(tmp_path):
+    import dataclasses
+    import json
+
+    spec = small_spec()
+    records = run_campaign(spec)
+    # A v1 file as the pre-registry code wrote it: no schema_version,
+    # one top-level record_type naming the experiment.
+    payload = {
+        "spec": dataclasses.asdict(spec),
+        "record_type": "acmin",
+        "records": [dataclasses.asdict(r) for r in records],
+    }
+    path = tmp_path / "v1.json"
+    path.write_text(json.dumps(payload))
+    loaded_spec, loaded_records = load_results(path)
+    assert loaded_spec == spec
+    assert loaded_records == records
+
+
+def test_load_rejects_unknown_schema_version(tmp_path):
+    import dataclasses
+    import json
+
+    spec = small_spec()
+    payload = {
+        "schema_version": 99,
+        "spec": dataclasses.asdict(spec),
+        "records": [],
+    }
+    path = tmp_path / "future.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="99"):
+        load_results(path)

@@ -41,6 +41,128 @@ def test_campaign_command(tmp_path, capsys):
     assert len(payload["records"]) == 4
 
 
+def test_campaign_command_workers_and_resume(tmp_path, capsys):
+    spec = {
+        "name": "cli-engine",
+        "module_ids": ["S3"],
+        "experiment": "acmin",
+        "t_aggon_values": [36.0, 7800.0],
+        "sites_per_module": 2,
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    output = tmp_path / "out.json"
+    checkpoint = tmp_path / "ck.jsonl"
+    assert (
+        main(
+            [
+                "campaign",
+                str(spec_path),
+                "--output",
+                str(output),
+                "--workers",
+                "2",
+                "--shard-size",
+                "1",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "4 records written" in out
+    assert "shards 4/4 complete" in out
+    assert checkpoint.exists()
+    # Second run with --resume completes instantly from the checkpoint.
+    assert (
+        main(
+            [
+                "campaign",
+                str(spec_path),
+                "--output",
+                str(output),
+                "--shard-size",
+                "1",
+                "--resume",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        == 0
+    )
+    assert "(4 resumed" in capsys.readouterr().out
+
+
+def test_campaign_default_checkpoint_path(tmp_path, capsys):
+    spec = {
+        "name": "cli-default-ck",
+        "module_ids": ["S3"],
+        "experiment": "acmin",
+        "t_aggon_values": [36.0],
+        "sites_per_module": 1,
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    output = tmp_path / "out.json"
+    assert main(["campaign", str(spec_path), "--output", str(output)]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "out.json.checkpoint.jsonl").exists()
+
+
+def test_global_obs_flags_before_subcommand(tmp_path, capsys, recwarn):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    code = main(
+        [
+            "--trace-out",
+            str(trace),
+            "--metrics-out",
+            str(metrics),
+            "acmin",
+            "S3",
+            "--row",
+            "60",
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    assert trace.exists() and metrics.exists()
+    assert json.loads(trace.read_text())["traceEvents"]
+    # The new spelling does not warn.
+    assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+def test_global_obs_flags_work_for_every_subcommand(tmp_path, capsys):
+    metrics = tmp_path / "metrics.json"
+    assert main(["--metrics-out", str(metrics), "fleet"]) == 0
+    capsys.readouterr()
+    assert "counters" in json.loads(metrics.read_text())
+
+
+def test_deprecated_subcommand_obs_flags_warn_but_work(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    with pytest.warns(DeprecationWarning, match="--trace-out"):
+        code = main(["acmin", "S3", "--row", "60", "--trace-out", str(trace)])
+    assert code == 0
+    capsys.readouterr()
+    assert trace.exists()
+
+
+def test_deprecated_flag_does_not_clobber_global_value(tmp_path):
+    # A deprecated subcommand flag overrides the global spelling, and a
+    # global-only value survives the subparser (argparse SUPPRESS
+    # semantics: the subparser writes nothing unless the flag appears).
+    parser = build_parser()
+    with pytest.warns(DeprecationWarning):
+        args = parser.parse_args(
+            ["--trace-out", "global.json", "acmin", "S3", "--trace-out", "sub.json"]
+        )
+    assert args.trace_out == "sub.json"
+    args = parser.parse_args(["--metrics-out", "m.json", "acmin", "S3"])
+    assert args.metrics_out == "m.json"
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])

@@ -1,0 +1,114 @@
+"""Experiment registry: lookup, registration, and round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro import units
+from repro.characterization import registry
+from repro.characterization.campaign import (
+    CampaignSpec,
+    load_results,
+    run_campaign,
+    save_results,
+)
+from repro.characterization.results import AcminRecord, BerRecord, TaggonminRecord
+
+
+def small_spec(**kwargs):
+    defaults = dict(
+        name="unit",
+        module_ids=("S3",),
+        experiment="acmin",
+        t_aggon_values=(36.0, units.TREFI),
+        activation_counts=(1, 100),
+        sites_per_module=2,
+    )
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+def test_builtin_experiments_registered():
+    assert set(registry.names()) >= {"acmin", "taggonmin", "ber"}
+
+
+def test_get_unknown_raises_with_known_names():
+    with pytest.raises(ValueError) as excinfo:
+        registry.get("bogus")
+    message = str(excinfo.value)
+    assert "bogus" in message
+    assert "acmin" in message  # the error lists what IS registered
+
+
+def test_record_types():
+    assert registry.get("acmin").record_type is AcminRecord
+    assert registry.get("taggonmin").record_type is TaggonminRecord
+    assert registry.get("ber").record_type is BerRecord
+    assert registry.record_type_for("acmin") is AcminRecord
+
+
+def test_register_rejects_duplicates_and_incomplete():
+    with pytest.raises(ValueError):
+        registry.register(registry.get("acmin"))  # already registered
+
+    class NotAnExperiment:
+        name = "partial"
+
+    with pytest.raises(TypeError):
+        registry.register(NotAnExperiment())
+
+
+def test_register_replace_and_unregister():
+    original = registry.get("acmin")
+    registry.register(original, replace=True)  # replace allows re-register
+    assert registry.get("acmin") is original
+
+    @dataclasses.dataclass(frozen=True)
+    class NullRecord:
+        module_id: str
+
+    class NullExperiment:
+        name = "null-test"
+        record_type = NullRecord
+
+        def sweep_values(self, spec):
+            return (0.0,)
+
+        def run(self, runner, spec, observer):
+            return [NullRecord(mid) for mid in spec.module_ids]
+
+        def run_unit(self, runner, spec, module_id, site, value, observer):
+            return NullRecord(module_id)
+
+        def flips(self, record):
+            return 0
+
+    registry.register(NullExperiment())
+    try:
+        spec = small_spec(experiment="null-test")  # validates via registry
+        records = run_campaign(spec)
+        assert records == [NullRecord("S3")]
+    finally:
+        registry.unregister("null-test")
+    with pytest.raises(ValueError):
+        registry.get("null-test")
+
+
+@pytest.mark.parametrize("experiment", ["acmin", "taggonmin", "ber"])
+def test_registry_roundtrip_all_experiments(tmp_path, experiment):
+    spec = small_spec(experiment=experiment)
+    records = run_campaign(spec)
+    assert records
+    path = tmp_path / f"{experiment}.json"
+    save_results(path, spec, records)
+    loaded_spec, loaded_records = load_results(path)
+    assert loaded_spec == spec
+    assert loaded_records == records
+    expected = registry.get(experiment).record_type
+    assert all(isinstance(r, expected) for r in loaded_records)
+
+
+def test_flips_accessor():
+    ber = registry.get("ber")
+    record = run_campaign(small_spec(experiment="ber"))[0]
+    assert ber.flips(record) == record.bitflips
