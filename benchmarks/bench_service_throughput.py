@@ -1,0 +1,158 @@
+"""Campaign service throughput: cold runs vs result-cache hits.
+
+Stands up a real ``repro serve`` subprocess, then drives it with 1, 8,
+and 32 concurrent clients two ways:
+
+- **cold** — every client submits a spec the service has never seen and
+  waits for the engine to run it;
+- **cached** — the same specs again, now answered from the
+  content-addressed result store without running anything.
+
+The acceptance bar is cached throughput >= 10x cold throughput at every
+concurrency level: the whole point of content-addressing the results is
+that a fleet re-requesting known (spec, seed, module) campaigns costs
+a hash lookup, not a re-characterization.  Every cached response is also
+checked byte-identical to the cold run's results file, so the speedup
+can never come from serving different bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from conftest import emit
+
+from repro.characterization.campaign import CampaignSpec
+from repro.service.client import ServiceClient
+
+_CLIENT_COUNTS = (1, 8, 32)
+
+#: Cached must beat cold by at least this factor (ISSUE acceptance bar).
+_MIN_SPEEDUP = 10.0
+
+#: One tiny campaign per client: 1 site x 1 sweep point.
+_BASE_SEED = 40_000
+
+
+def _spec(seed: int) -> CampaignSpec:
+    return CampaignSpec(
+        name="svc-bench",
+        module_ids=("S3",),
+        experiment="acmin",
+        t_aggon_values=(36.0,),
+        activation_counts=(1, 100),
+        sites_per_module=1,
+        seed=seed,
+    )
+
+
+def _start_server(tmp_path: Path) -> tuple[subprocess.Popen, int]:
+    port_file = tmp_path / "port.txt"
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(
+        Path(__file__).resolve().parent.parent / "src"
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--data-dir",
+            str(tmp_path / "state"),
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--queue-limit",
+            "64",
+        ],
+        env=environment,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30.0
+    while not port_file.exists():
+        if process.poll() is not None:
+            raise RuntimeError("bench server died at startup")
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError("bench server never wrote its port file")
+        time.sleep(0.02)
+    return process, int(port_file.read_text())
+
+
+def _submit_and_wait(port: int, spec: CampaignSpec, ident: int) -> str:
+    client = ServiceClient(f"http://127.0.0.1:{port}", client_id=f"c{ident}")
+    status = client.submit(spec)
+    final = client.wait(status.job_id, timeout_s=300)
+    assert final.state == "done", final
+    return client.fetch_results_text(final.job_id)
+
+
+def test_service_cached_vs_cold_throughput(benchmark, tmp_path):
+    process, port = _start_server(tmp_path)
+    rows = []
+    try:
+        seed = _BASE_SEED
+        first = True
+        for clients in _CLIENT_COUNTS:
+            specs = [_spec(seed + i) for i in range(clients)]
+            seed += clients
+
+            def fan_out(specs=specs):
+                with ThreadPoolExecutor(max_workers=len(specs)) as pool:
+                    return list(
+                        pool.map(
+                            lambda pair: _submit_and_wait(port, pair[1], pair[0]),
+                            enumerate(specs),
+                        )
+                    )
+
+            start = time.perf_counter()
+            if first:
+                cold_texts = benchmark.pedantic(fan_out, rounds=1, iterations=1)
+                first = False
+            else:
+                cold_texts = fan_out()
+            cold_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            cached_texts = fan_out()
+            cached_s = time.perf_counter() - start
+
+            assert cached_texts == cold_texts  # byte-identical, just faster
+            cold_tp = clients / cold_s
+            cached_tp = clients / cached_s
+            speedup = cached_tp / cold_tp
+            rows.append(
+                [
+                    clients,
+                    f"{cold_s:.2f}",
+                    f"{cold_tp:.1f}",
+                    f"{cached_s:.3f}",
+                    f"{cached_tp:.1f}",
+                    f"{speedup:.0f}x",
+                ]
+            )
+            assert speedup >= _MIN_SPEEDUP, (
+                f"cached/cold speedup {speedup:.1f}x below {_MIN_SPEEDUP}x "
+                f"at {clients} client(s)"
+            )
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+    emit(
+        "Service throughput: cold vs result-cache (jobs/s)",
+        ["clients", "cold s", "cold/s", "cached s", "cached/s", "speedup"],
+        rows,
+    )

@@ -19,7 +19,10 @@ from repro.dram import build_module, build_fleet, DramModule, MODULE_CATALOG
 from repro.bender import TestingInfrastructure, Program
 from repro.characterization import find_acmin, find_taggonmin, measure_ber
 
-__version__ = "1.0.0"
+# Single source of truth for the package version: pyproject.toml reads
+# it back via `[tool.setuptools.dynamic]`, the CLI via `repro --version`,
+# and the campaign service advertises it in `Server:` and `/healthz`.
+__version__ = "1.1.0"
 
 __all__ = [
     "build_module",

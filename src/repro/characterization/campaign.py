@@ -93,16 +93,14 @@ def run_campaign(spec: CampaignSpec, observer: Observer | None = None) -> list:
     return records
 
 
-def save_results(path: str | Path, spec: CampaignSpec, records: Iterable) -> None:
-    """Write a campaign's spec + records to a JSON file (schema v2).
+def results_payload(spec: CampaignSpec, records: Iterable) -> dict:
+    """The schema-v2 results payload for a campaign (a plain dict).
 
     Every record carries its experiment name, so mixed-experiment result
-    sets merge cleanly downstream.  The write is atomic (temp file +
-    rename), so an interrupted campaign never leaves a truncated results
-    file behind.
+    sets merge cleanly downstream.
     """
     experiment = registry.get(spec.experiment)
-    payload = {
+    return {
         "schema_version": RESULTS_SCHEMA_VERSION,
         "spec": dataclasses.asdict(spec),
         "records": [
@@ -110,17 +108,36 @@ def save_results(path: str | Path, spec: CampaignSpec, records: Iterable) -> Non
             for record in records
         ],
     }
-    atomic_write_text(Path(path), json.dumps(payload, indent=1))
 
 
-def load_results(path: str | Path) -> tuple[CampaignSpec, list]:
-    """Read back a campaign file; records are rebuilt as dataclasses.
+def dumps_results(spec: CampaignSpec, records: Iterable) -> str:
+    """Serialize a campaign's spec + records to the canonical v2 text.
+
+    This is the byte-exact file format :func:`save_results` writes and
+    the service's result store serves, so results fetched over HTTP are
+    byte-identical to a local campaign run's output file.
+    """
+    return json.dumps(results_payload(spec, records), indent=1)
+
+
+def save_results(path: str | Path, spec: CampaignSpec, records: Iterable) -> None:
+    """Write a campaign's spec + records to a JSON file (schema v2).
+
+    The write is atomic (temp file + rename), so an interrupted campaign
+    never leaves a truncated results file behind.
+    """
+    atomic_write_text(Path(path), dumps_results(spec, records))
+
+
+def parse_results(payload: dict, source: str = "<memory>") -> tuple[CampaignSpec, list]:
+    """Rebuild (spec, records) from a decoded results payload.
 
     Understands both schema versions: v1 (pre-registry files with one
     top-level ``record_type``) and v2 (per-record experiment names).
-    Anything else raises a :class:`ValueError` naming the version.
+    Anything else raises a :class:`ValueError` naming the offending
+    version, the ``source`` it came from, and the versions this build
+    reads.
     """
-    payload = json.loads(Path(path).read_text())
     version = payload.get("schema_version", 1)
     spec = CampaignSpec.from_json(json.dumps(payload["spec"]))
     if version == 1:
@@ -134,7 +151,18 @@ def load_results(path: str | Path) -> tuple[CampaignSpec, list]:
             records.append(record_type(**raw))
     else:
         raise ValueError(
-            f"unsupported results schema version {version!r} in {path} "
-            f"(this build reads v1 and v{RESULTS_SCHEMA_VERSION})"
+            f"unsupported results schema version {version!r} in {source} "
+            f"(this build reads v1 and v{RESULTS_SCHEMA_VERSION}; a newer "
+            f"build probably wrote this file)"
         )
     return spec, records
+
+
+def loads_results(text: str, source: str = "<memory>") -> tuple[CampaignSpec, list]:
+    """Parse results text (e.g. fetched from the campaign service)."""
+    return parse_results(json.loads(text), source=source)
+
+
+def load_results(path: str | Path) -> tuple[CampaignSpec, list]:
+    """Read back a campaign file; records are rebuilt as dataclasses."""
+    return parse_results(json.loads(Path(path).read_text()), source=str(path))

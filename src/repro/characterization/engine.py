@@ -37,6 +37,7 @@ import json
 import multiprocessing
 import time
 import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -117,11 +118,12 @@ class EngineResult:
     shards_run: int
     shards_resumed: int
     retries: int
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
-        """Whether every shard eventually completed."""
-        return not self.failures
+        """Whether every shard eventually completed (and none were skipped)."""
+        return not self.failures and not self.interrupted
 
 
 def plan_shards(spec: CampaignSpec, shard_size: int = 4) -> list[ShardSpec]:
@@ -338,9 +340,12 @@ class CampaignCheckpoint:
 
     Line 1 is a header binding the file to a spec + shard size; every
     completed shard appends one ``{"kind": "shard", ...}`` line and every
-    permanent failure one ``{"kind": "failure", ...}`` line.  Each append
-    rewrites the file through the atomic-write helper, so a killed
-    campaign always leaves a complete, parseable checkpoint behind.
+    permanent failure one ``{"kind": "failure", ...}`` line.  Appends are
+    true O(1) file appends (one ``write`` syscall per line), so a
+    campaign killed mid-append can leave at most one truncated trailing
+    line behind — :meth:`load` tolerates that (the shard simply re-runs)
+    and rewrites the file normalized, so no manual cleanup is ever
+    needed.
     """
 
     def __init__(
@@ -349,7 +354,6 @@ class CampaignCheckpoint:
         self.path = Path(path)
         self.spec = spec
         self.shard_size = shard_size
-        self._lines: list[str] = []
         self._completed: dict[str, dict] = {}
 
     # -- reading -------------------------------------------------------
@@ -360,21 +364,32 @@ class CampaignCheckpoint:
         Returns ``shard_id -> shard line payload`` for completed shards.
         Old failure lines are dropped (those shards run again); a spec or
         shard-size mismatch raises :class:`ValueError` so a checkpoint
-        can never silently mix two campaigns.
+        can never silently mix two campaigns.  A truncated trailing line
+        (writer killed mid-append) is logged and skipped — that shard
+        re-runs — as is any other unparseable line.
         """
         text = self.path.read_text()
+        lines = text.splitlines()
         header: dict | None = None
-        for line_number, line in enumerate(text.splitlines(), start=1):
+        for line_number, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
             try:
                 payload = json.loads(line)
             except json.JSONDecodeError:
-                logger.warning(
-                    "%s:%d: unparseable checkpoint line skipped",
-                    self.path,
-                    line_number,
-                )
+                if line_number == len(lines) and not text.endswith("\n"):
+                    logger.warning(
+                        "%s:%d: truncated trailing checkpoint line (writer "
+                        "killed mid-append?); that shard will re-run",
+                        self.path,
+                        line_number,
+                    )
+                else:
+                    logger.warning(
+                        "%s:%d: unparseable checkpoint line skipped",
+                        self.path,
+                        line_number,
+                    )
                 continue
             kind = payload.get("kind")
             if kind == "header":
@@ -403,10 +418,12 @@ class CampaignCheckpoint:
                 f"{header.get('shard_size')}, current run uses "
                 f"{self.shard_size}; shards would not line up"
             )
-        self._lines = [json.dumps(header)] + [
+        # Rewrite normalized (atomically): garbage, truncated, and stale
+        # failure lines are dropped, so later appends extend a clean file.
+        normalized = [json.dumps(header)] + [
             json.dumps(payload) for payload in self._completed.values()
         ]
-        self._flush()
+        atomic_write_text(self.path, "\n".join(normalized) + "\n")
         return dict(self._completed)
 
     def completed_units(self, payload: dict) -> tuple[list, int]:
@@ -423,22 +440,20 @@ class CampaignCheckpoint:
     def start(self) -> None:
         """Write a fresh header (discarding any previous content)."""
         self._completed = {}
-        self._lines = [
-            json.dumps(
-                {
-                    "kind": "header",
-                    "schema_version": CHECKPOINT_SCHEMA_VERSION,
-                    "experiment": self.spec.experiment,
-                    "shard_size": self.shard_size,
-                    "spec": dataclasses.asdict(self.spec),
-                }
-            )
-        ]
-        self._flush()
+        header = json.dumps(
+            {
+                "kind": "header",
+                "schema_version": CHECKPOINT_SCHEMA_VERSION,
+                "experiment": self.spec.experiment,
+                "shard_size": self.shard_size,
+                "spec": dataclasses.asdict(self.spec),
+            }
+        )
+        atomic_write_text(self.path, header + "\n")
 
     def record_shard(self, outcome: _ShardOutcome) -> None:
         """Append one completed shard."""
-        self._lines.append(
+        self._append(
             json.dumps(
                 {
                     "kind": "shard",
@@ -454,11 +469,10 @@ class CampaignCheckpoint:
                 }
             )
         )
-        self._flush()
 
     def record_failure(self, failure: ShardFailure) -> None:
         """Append one permanent failure."""
-        self._lines.append(
+        self._append(
             json.dumps(
                 {
                     "kind": "failure",
@@ -469,10 +483,12 @@ class CampaignCheckpoint:
                 }
             )
         )
-        self._flush()
 
-    def _flush(self) -> None:
-        atomic_write_text(self.path, "\n".join(self._lines) + "\n")
+    def _append(self, line: str) -> None:
+        # One buffered write flushed on close: a kill can truncate only
+        # the line being written, which load() detects and re-runs.
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
 
 
 # ----------------------------------------------------------------------
@@ -497,6 +513,7 @@ def run_engine(
     retry_backoff_s: float = 0.05,
     observer: Observer | None = None,
     fault_hook: Callable[[ShardSpec, int], None] | None = None,
+    stop_check: Callable[[], bool] | None = None,
 ) -> EngineResult:
     """Execute a campaign spec as a sharded, checkpointed campaign.
 
@@ -511,6 +528,12 @@ def run_engine(
     :func:`~repro.characterization.campaign.run_campaign` on the same
     spec.  ``fault_hook`` is a test-only failure injector called at the
     start of every shard attempt.
+
+    ``stop_check`` is the graceful-drain hook (used by ``repro serve``'s
+    SIGTERM handling): it is polled between shards, and once it returns
+    True no further shards start — in-flight shards finish and
+    checkpoint, and the result comes back with ``interrupted=True`` so a
+    later ``resume=True`` run completes the remainder.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -535,6 +558,10 @@ def run_engine(
     retries = 0
     flips_total = 0
     shards_done = 0
+    interrupted = False
+
+    def stopping() -> bool:
+        return stop_check is not None and stop_check()
 
     obs.progress.start(
         total=len(spec.module_ids) * spec.sites_per_module * points,
@@ -612,6 +639,9 @@ def run_engine(
                 observer=obs,
             )
             for shard in pending:
+                if stopping():
+                    interrupted = True
+                    break
                 attempt = 0
                 while True:
                     start = time.perf_counter()
@@ -628,6 +658,11 @@ def run_engine(
                                 f"{type(error).__name__}: {error}",
                                 traceback.format_exc(),
                             )
+                            break
+                        if stopping():
+                            # Drain: leave the shard unfinished (it is
+                            # not checkpointed, so resume re-runs it).
+                            interrupted = True
                             break
                         attempt += 1
                         retries += 1
@@ -680,7 +715,24 @@ def run_engine(
                         ),
                     )
 
-                futures = {submit(shard, 0) for shard in pending}
+                # Shards are dispatched incrementally (a window of two
+                # per worker) rather than all upfront, so a drain
+                # request stops the queue promptly: only the in-flight
+                # window still completes.
+                backlog = deque(pending)
+                window = 2 * min(workers, len(pending))
+                futures: set = set()
+
+                def pump() -> None:
+                    nonlocal interrupted
+                    while backlog and len(futures) < window:
+                        if stopping():
+                            interrupted = True
+                            backlog.clear()
+                            break
+                        futures.add(submit(backlog.popleft(), 0))
+
+                pump()
                 while futures:
                     done, futures = wait(futures, return_when=FIRST_COMPLETED)
                     for future in done:
@@ -703,6 +755,10 @@ def run_engine(
                                 outcome.error or "unknown error",
                                 outcome.traceback_text or "",
                             )
+                        elif stopping():
+                            # Drain: drop the retry; the shard is not
+                            # checkpointed, so resume re-runs it.
+                            interrupted = True
                         else:
                             retries += 1
                             obs.metrics.counter("engine.retries").inc()
@@ -715,6 +771,7 @@ def run_engine(
                             futures.add(
                                 submit(outcome.shard, outcome.attempt + 1)
                             )
+                    pump()
 
         all_units.sort(key=lambda unit: unit[0])
         campaign_span.set(
@@ -723,13 +780,22 @@ def run_engine(
             resumed=resumed_count,
             retries=retries,
             failures=len(failures),
+            interrupted=interrupted,
         )
     obs.progress.finish()
+    if interrupted:
+        logger.info(
+            "campaign %s drained after %d/%d shards; resume to finish",
+            spec.name,
+            shards_done,
+            len(shards),
+        )
     return EngineResult(
         records=[record for _, record in all_units],
         failures=failures,
         shards_total=len(shards),
-        shards_run=len(shards) - resumed_count - len(failures),
+        shards_run=shards_done - resumed_count - len(failures),
         shards_resumed=resumed_count,
         retries=retries,
+        interrupted=interrupted,
     )

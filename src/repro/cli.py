@@ -7,9 +7,16 @@ Commands:
 * ``attack`` — run the §6 real-system RowPress attack grid,
 * ``campaign`` — run a JSON campaign spec through the sharded engine
   (``--workers N --shard-size K --resume``) and save the records,
+* ``serve`` — run the campaign service daemon (job queue + result
+  cache + streaming progress; see ``docs/SERVICE.md``),
+* ``submit`` — submit a campaign spec to a running service and save
+  the results (byte-identical to a local ``campaign`` run),
 * ``obs-report`` — summarize a metrics or trace file from a prior run,
 * ``lint`` — static analysis: source rules and the program verifier
   (also installed standalone as ``reprolint``).
+
+``repro --version`` prints the package version (single-sourced from
+``repro.__version__``; the service advertises the same string).
 
 Observability flags are global: ``repro [-v] [--trace-out FILE]
 [--metrics-out FILE] <command> ...`` works identically for every
@@ -29,7 +36,7 @@ import sys
 import warnings
 from pathlib import Path
 
-from repro import units
+from repro import __version__, units
 from repro.analysis.tables import format_table
 from repro.lint.cli import configure_parser as configure_lint_parser
 from repro.lint.cli import run_lint
@@ -190,6 +197,69 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "%d shard(s) failed permanently; see %s", len(result.failures), checkpoint
         )
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        engine_workers=args.workers,
+        shard_size=args.shard_size,
+        queue_limit=args.queue_limit,
+        rate_per_s=args.rate_per_s,
+        rate_burst=args.rate_burst,
+        port_file=args.port_file,
+    )
+    return serve(config, observer=args.observer)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.characterization.campaign import CampaignSpec
+    from repro.obs import atomic_write_text
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        spec_text = Path(args.spec).read_text()
+    except OSError as error:
+        logger.error("cannot read campaign spec %s: %s", args.spec, error)
+        return 2
+    try:
+        spec = CampaignSpec.from_json(spec_text)
+    except (ValueError, TypeError, KeyError) as error:
+        logger.error("invalid campaign spec %s: %s", args.spec, error)
+        return 2
+    client = ServiceClient(args.server, client_id=args.client_id)
+    try:
+        submitted = client.submit(spec)
+        print(f"job {submitted.job_id}: {submitted.outcome} ({submitted.state})")
+        if args.follow and submitted.state not in ("done", "failed"):
+            for event in client.stream_events(submitted.job_id):
+                if event.get("event") == "progress":
+                    print(
+                        f"  progress {event['done']}/{event['total']} "
+                        f"({event['flips']} flips)"
+                    )
+                elif event.get("event") in ("state", "done", "failed"):
+                    print(f"  {event.get('event')}: "
+                          f"{event.get('state', event.get('event'))}")
+        final = client.wait(submitted.job_id, timeout_s=args.timeout)
+        if final.state == "failed":
+            logger.error("job %s failed: %s", final.job_id, final.error)
+            return 1
+        # Verbatim bytes: identical to a local `repro campaign` output.
+        atomic_write_text(Path(args.output), client.fetch_results_text(final.job_id))
+    except ServiceError as error:
+        logger.error("service request failed: %s", error)
+        return 2
+    except TimeoutError as error:
+        logger.error("%s", error)
+        return 1
+    cached = " (served from result cache)" if final.cached else ""
+    print(f"{final.records} records written to {args.output}{cached}")
     return 0
 
 
@@ -367,6 +437,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RowPress reproduction toolkit"
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the package version and exit",
+    )
     _add_global_obs_flags(parser)
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -416,6 +492,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_deprecated_obs_flags(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the campaign service daemon"
+    )
+    serve_cmd.add_argument(
+        "--data-dir",
+        default="service-data",
+        help="state directory: jobs, checkpoints, result store",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8023, help="TCP port (0 = pick a free one)"
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine worker processes per job (1 = in-process)",
+    )
+    serve_cmd.add_argument(
+        "--shard-size",
+        type=int,
+        default=4,
+        help="row sites per work shard (smaller = finer checkpoints)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="max queued jobs before 429 backpressure",
+    )
+    serve_cmd.add_argument(
+        "--rate-per-s",
+        type=float,
+        default=50.0,
+        help="per-client submission token refill rate",
+    )
+    serve_cmd.add_argument(
+        "--rate-burst",
+        type=float,
+        default=100.0,
+        help="per-client submission token bucket size",
+    )
+    serve_cmd.add_argument(
+        "--port-file",
+        metavar="FILE",
+        default=None,
+        help="write the bound port here once listening (for --port 0)",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    submit = commands.add_parser(
+        "submit", help="submit a campaign spec to a running service"
+    )
+    submit.add_argument("spec", help="path to a CampaignSpec JSON file")
+    submit.add_argument(
+        "--server",
+        required=True,
+        metavar="URL",
+        help="service base URL, e.g. http://127.0.0.1:8023",
+    )
+    submit.add_argument("--output", default="campaign_results.json")
+    submit.add_argument(
+        "--client-id",
+        default=None,
+        help="rate-limiting identity (default: the client's IP)",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up waiting for the job after this many seconds",
+    )
+    submit.add_argument(
+        "--follow",
+        action="store_true",
+        help="print the job's progress events while waiting",
+    )
+    submit.set_defaults(handler=_cmd_submit)
 
     report = commands.add_parser(
         "obs-report", help="summarize a metrics or trace file"

@@ -181,6 +181,14 @@ STANDARD_COUNTERS: tuple[tuple[str, dict[str, str]], ...] = (
     ("engine.shards_resumed", {}),
     ("engine.retries", {}),
     ("engine.shard_failures", {}),
+    ("service.requests", {}),
+    ("service.cache_hits", {}),
+    ("service.jobs_submitted", {}),
+    ("service.jobs_completed", {}),
+    ("service.jobs_failed", {}),
+    ("service.jobs_interrupted", {}),
+    ("service.rate_limited", {}),
+    ("service.backpressure", {}),
 )
 
 

@@ -1,0 +1,260 @@
+"""Blocking client for the campaign service (stdlib ``http.client``).
+
+The client speaks the JSON API in :mod:`repro.service.server` and folds
+the service's explicit backpressure into a polite retry loop: ``429``
+and ``503`` responses carry ``Retry-After`` and the client sleeps
+exactly that long before retrying; connection errors (server not up
+yet, restart mid-conversation) back off exponentially with a
+deterministic schedule (no jitter — the repo bans nondeterministic
+randomness outside seeded experiments).
+
+Typical use::
+
+    client = ServiceClient("http://127.0.0.1:8023")
+    status = client.submit(spec)
+    for event in client.stream_events(status.job_id):
+        ...
+    spec, records = client.fetch_results(status.job_id)
+
+``fetch_results_text`` returns the stored schema-v2 file verbatim, so a
+submitted campaign's results are byte-identical to a local
+``repro campaign`` run of the same spec.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+from typing import Iterator
+from urllib.parse import urlsplit
+
+from repro.characterization.campaign import CampaignSpec, loads_results
+from repro.obs import get_logger
+
+__all__ = ["ServiceError", "JobStatus", "ServiceClient"]
+
+logger = get_logger("service.client")
+
+
+class ServiceError(Exception):
+    """A request failed permanently (bad status after retries)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One job's status as reported by the service."""
+
+    job_id: str
+    state: str
+    campaign: str
+    cached: bool
+    records: int | None
+    shards_total: int
+    error: str | None
+    outcome: str | None = None
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JobStatus":
+        """Build from a ``GET /v1/campaigns/{id}`` (or submit) body."""
+        return cls(
+            job_id=payload["job_id"],
+            state=payload["state"],
+            campaign=payload.get("campaign", ""),
+            cached=payload.get("cached", False),
+            records=payload.get("records"),
+            shards_total=payload.get("shards_total", 0),
+            error=payload.get("error"),
+            outcome=payload.get("outcome"),
+        )
+
+
+class ServiceClient:
+    """Typed blocking client with retry, backoff, and Retry-After honor."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        retries: int = 5,
+        backoff_s: float = 0.2,
+        client_id: str | None = None,
+    ) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"only http:// service URLs are supported, got {base_url!r}")
+        netloc = parts.netloc or parts.path  # tolerate "host:port" without scheme
+        self.host, _, port_text = netloc.partition(":")
+        self.port = int(port_text) if port_text else 80
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.client_id = client_id
+
+    # -- transport -----------------------------------------------------
+
+    def _headers(self) -> dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
+        return headers
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+
+    def _request(
+        self, method: str, path: str, body: str | None = None
+    ) -> tuple[int, dict]:
+        """One JSON request with retries; returns ``(status, payload)``.
+
+        Retries connection errors with deterministic exponential backoff
+        (``backoff_s * 2**attempt``) and honors ``Retry-After`` on 429
+        and 503.  Raises :class:`ServiceError` on any other non-2xx
+        status, or after the retry budget is spent.
+        """
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            connection = self._connect()
+            try:
+                connection.request(
+                    method, path, body=body, headers=self._headers()
+                )
+                response = connection.getresponse()
+                raw = response.read()
+                if response.status in (429, 503) and attempt < self.retries:
+                    retry_after = float(response.getheader("Retry-After", "1") or "1")
+                    logger.info(
+                        "%s %s -> %d; retrying in %.2fs",
+                        method,
+                        path,
+                        response.status,
+                        retry_after,
+                    )
+                    time.sleep(retry_after)
+                    continue
+                try:
+                    payload = json.loads(raw.decode("utf-8")) if raw else {}
+                except ValueError:
+                    payload = {"error": raw.decode("utf-8", "replace")}
+                if response.status >= 400:
+                    raise ServiceError(
+                        response.status, str(payload.get("error", payload))
+                    )
+                return response.status, payload
+            except (ConnectionError, OSError, http.client.HTTPException) as error:
+                last_error = error
+                if attempt >= self.retries:
+                    break
+                delay = self.backoff_s * (2**attempt)
+                logger.info(
+                    "%s %s failed (%s); retrying in %.2fs", method, path, error, delay
+                )
+                time.sleep(delay)
+            finally:
+                connection.close()
+        raise ServiceError(0, f"cannot reach service at {self.host}:{self.port}: {last_error}")
+
+    # -- API -----------------------------------------------------------
+
+    def submit(self, spec: CampaignSpec) -> JobStatus:
+        """Submit a campaign spec; dedups and cache hits are transparent."""
+        _status, payload = self._request(
+            "POST", "/v1/campaigns", body=spec.to_json()
+        )
+        return JobStatus.from_payload(payload)
+
+    def status(self, job_id: str) -> JobStatus:
+        """Current status of one job."""
+        _status, payload = self._request("GET", f"/v1/campaigns/{job_id}")
+        return JobStatus.from_payload(payload)
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float | None = None,
+        poll_s: float = 0.2,
+    ) -> JobStatus:
+        """Poll until the job is ``done`` or ``failed``.
+
+        Polling (rather than holding an event stream open) survives
+        service restarts mid-job — each poll reconnects.  Raises
+        :class:`TimeoutError` if ``timeout_s`` elapses first.
+        """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status.state in ("done", "failed"):
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.state} after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def stream_events(self, job_id: str) -> Iterator[dict]:
+        """Yield the job's NDJSON events live until it reaches a terminal state.
+
+        ``http.client`` decodes the chunked transfer encoding, so each
+        ``readline`` is one JSON event.  The stream replays history
+        first, then follows live progress.
+        """
+        connection = self._connect()
+        try:
+            connection.request(
+                "GET", f"/v1/campaigns/{job_id}/events", headers=self._headers()
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read().decode("utf-8", "replace")
+                raise ServiceError(response.status, raw.strip())
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8").strip()
+                if text:
+                    yield json.loads(text)
+        finally:
+            connection.close()
+
+    def fetch_results_text(self, job_id: str) -> str:
+        """The stored schema-v2 results file, byte-for-byte."""
+        connection = self._connect()
+        try:
+            connection.request(
+                "GET", f"/v1/campaigns/{job_id}/results", headers=self._headers()
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                try:
+                    message = json.loads(raw.decode("utf-8")).get("error", "")
+                except ValueError:
+                    message = raw.decode("utf-8", "replace")
+                raise ServiceError(response.status, str(message))
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
+    def fetch_results(self, job_id: str) -> tuple[CampaignSpec, list]:
+        """Results parsed into ``(spec, records)``."""
+        return loads_results(
+            self.fetch_results_text(job_id), source=f"service job {job_id}"
+        )
+
+    def healthz(self) -> dict:
+        """The service's ``/healthz`` payload."""
+        _status, payload = self._request("GET", "/healthz")
+        return payload
+
+    def metrics(self) -> dict:
+        """The service's exported metrics registry."""
+        _status, payload = self._request("GET", "/metrics")
+        return payload

@@ -1,0 +1,498 @@
+"""Job model, bounded queue, per-client rate limiting, and supervisor.
+
+A *job* is one submitted campaign spec moving through the lifecycle::
+
+    queued -> running -> done
+                     \\-> failed          (shards failed permanently)
+                     \\-> interrupted     (service drained mid-job)
+
+Jobs are content-addressed: the job id *is* the result-store key of the
+spec, so resubmitting an identical (spec, seed, modules) campaign lands
+on the same job — deduplicated while in flight, served from the result
+cache once done.  Every state change persists the job's JSON record
+under ``<data_dir>/jobs/``, and the supervisor runs jobs through
+:func:`repro.characterization.engine.run_engine` with a per-job
+checkpoint, so a service restart (or SIGTERM drain) re-enqueues
+unfinished jobs and the engine resumes them shard-by-shard instead of
+starting over.
+
+Backpressure is explicit: :meth:`JobManager.submit` raises
+:class:`RateLimited` when a client exceeds its token bucket and
+:class:`QueueFull` when the bounded queue is at capacity — the HTTP
+layer turns both into ``429`` with a ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.characterization.campaign import CampaignSpec
+from repro.characterization.engine import plan_shards, run_engine
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    Observer,
+    ProgressEvent,
+    ProgressReporter,
+    atomic_write_text,
+    get_logger,
+)
+from repro.service.store import ResultStore, spec_key
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "INTERRUPTED",
+    "DONE",
+    "FAILED",
+    "TERMINAL_STATES",
+    "RateLimited",
+    "QueueFull",
+    "TokenBucket",
+    "Job",
+    "JobManager",
+    "JobSupervisor",
+]
+
+logger = get_logger("service.jobs")
+
+#: Job lifecycle states (persisted as strings in the job records).
+QUEUED = "queued"
+RUNNING = "running"
+INTERRUPTED = "interrupted"
+DONE = "done"
+FAILED = "failed"
+
+#: States a job never leaves on its own (failed jobs can be resubmitted).
+TERMINAL_STATES = (DONE, FAILED)
+
+
+class RateLimited(Exception):
+    """A client exceeded its submission token bucket."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(f"rate limited; retry after {retry_after_s:.2f}s")
+        self.retry_after_s = retry_after_s
+
+
+class QueueFull(Exception):
+    """The bounded job queue is at capacity (backpressure)."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(f"job queue full; retry after {retry_after_s:.2f}s")
+        self.retry_after_s = retry_after_s
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate_per_s`` refill up to ``burst`` tokens."""
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s <= 0.0 or burst < 1.0:
+            raise ValueError("rate_per_s must be > 0 and burst >= 1")
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._updated_s = time.monotonic()
+
+    def try_acquire(self, now_s: float | None = None) -> float:
+        """Take one token; returns 0.0 on success, else seconds to wait."""
+        now_s = time.monotonic() if now_s is None else now_s
+        elapsed = max(now_s - self._updated_s, 0.0)
+        self.tokens = min(self.tokens + elapsed * self.rate_per_s, self.burst)
+        self._updated_s = now_s
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate_per_s
+
+
+@dataclass
+class Job:
+    """One submitted campaign and its in-memory event stream."""
+
+    job_id: str
+    spec: CampaignSpec
+    state: str = QUEUED
+    client: str = ""
+    submitted_seq: int = 0
+    submitted_at_s: float = 0.0
+    cached: bool = False
+    error: str | None = None
+    records: int | None = None
+    shards_total: int = 0
+    events: list[dict] = field(default_factory=list)
+    _changed: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job reached ``done`` or ``failed``."""
+        return self.state in TERMINAL_STATES
+
+    def publish(self, event: dict) -> None:
+        """Append one NDJSON event and wake every streaming reader.
+
+        Must be called on the event loop thread (the supervisor bridges
+        engine-thread progress callbacks via ``call_soon_threadsafe``).
+        """
+        event = {"seq": len(self.events), **event}
+        self.events.append(event)
+        changed, self._changed = self._changed, asyncio.Event()
+        changed.set()
+
+    async def wait_changed(self) -> None:
+        """Block until the next :meth:`publish` (event-loop only)."""
+        await self._changed.wait()
+
+    def set_state(self, state: str, **extra: object) -> None:
+        """Move to ``state`` and publish the transition as an event."""
+        self.state = state
+        self.publish({"event": "state", "state": state, **extra})
+
+    def to_payload(self) -> dict:
+        """The JSON form served by ``GET /v1/campaigns/{id}`` (and persisted)."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "campaign": self.spec.name,
+            "experiment": self.spec.experiment,
+            "client": self.client,
+            "submitted_seq": self.submitted_seq,
+            "submitted_at_s": self.submitted_at_s,
+            "cached": self.cached,
+            "error": self.error,
+            "records": self.records,
+            "shards_total": self.shards_total,
+            "events": len(self.events),
+            "spec": self.spec.to_json(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Job":
+        """Rebuild a persisted job record (events are not persisted)."""
+        return cls(
+            job_id=payload["job_id"],
+            spec=CampaignSpec.from_json(payload["spec"]),
+            state=payload["state"],
+            client=payload.get("client", ""),
+            submitted_seq=payload.get("submitted_seq", 0),
+            submitted_at_s=payload.get("submitted_at_s", 0.0),
+            cached=payload.get("cached", False),
+            error=payload.get("error"),
+            records=payload.get("records"),
+            shards_total=payload.get("shards_total", 0),
+        )
+
+
+class JobManager:
+    """Owns the job table, the bounded queue, and submission admission.
+
+    All methods are event-loop-thread only (the HTTP handlers and the
+    supervisor share one loop); the engine's worker thread never touches
+    the manager directly.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        store: ResultStore,
+        queue_limit: int = 16,
+        rate_per_s: float = 50.0,
+        rate_burst: float = 100.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.jobs_dir = Path(data_dir) / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.store = store
+        self.queue_limit = queue_limit
+        self.rate_per_s = rate_per_s
+        self.rate_burst = rate_burst
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.jobs: dict[str, Job] = {}
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._seq = 0
+
+    # -- admission -----------------------------------------------------
+
+    def check_rate(self, client: str) -> None:
+        """Charge one submission against ``client``'s token bucket."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate_per_s, self.rate_burst)
+            self._buckets[client] = bucket
+        wait_s = bucket.try_acquire()
+        if wait_s > 0.0:
+            self.metrics.counter("service.rate_limited").inc()
+            raise RateLimited(wait_s)
+
+    def queued_count(self) -> int:
+        """Jobs admitted but not yet picked up by the supervisor."""
+        return sum(1 for job in self.jobs.values() if job.state == QUEUED)
+
+    def submit(self, spec: CampaignSpec, client: str = "") -> tuple[Job, str]:
+        """Admit one spec; returns ``(job, outcome)``.
+
+        Outcomes: ``"new"`` (enqueued, will run), ``"cached"`` (results
+        already in the store — job is born ``done``), ``"duplicate"``
+        (the same spec is already queued or running).  A previously
+        ``failed`` job is re-admitted as ``"new"``.  Raises
+        :class:`QueueFull` when the bounded queue is at capacity.
+        """
+        key = spec_key(spec)
+        existing = self.jobs.get(key)
+        if existing is not None and existing.state != FAILED:
+            if existing.state == DONE:
+                self.metrics.counter("service.cache_hits").inc()
+                return existing, "cached"
+            return existing, "duplicate"
+        if self.store.has(key):
+            job = Job(
+                job_id=key,
+                spec=spec,
+                state=DONE,
+                client=client,
+                submitted_seq=self._next_seq(),
+                submitted_at_s=time.time(),
+                cached=True,
+            )
+            _spec, records = self.store.load(key)
+            job.records = len(records)
+            job.publish({"event": "state", "state": DONE, "cached": True})
+            self.jobs[key] = job
+            self.persist(job)
+            self.metrics.counter("service.cache_hits").inc()
+            logger.info("campaign %s served from result cache", key)
+            return job, "cached"
+        if self.queued_count() >= self.queue_limit:
+            self.metrics.counter("service.backpressure").inc()
+            raise QueueFull(retry_after_s=1.0)
+        job = Job(
+            job_id=key,
+            spec=spec,
+            client=client,
+            submitted_seq=self._next_seq(),
+            submitted_at_s=time.time(),
+            shards_total=len(plan_shards(spec)),
+        )
+        job.publish({"event": "state", "state": QUEUED})
+        self.jobs[key] = job
+        self.persist(job)
+        self._queue.put_nowait(key)
+        self.metrics.counter("service.jobs_submitted").inc()
+        self.metrics.gauge("service.queue_depth").set(self.queued_count())
+        logger.info(
+            "job %s queued (campaign %r, %d shards)",
+            key,
+            spec.name,
+            job.shards_total,
+        )
+        return job, "new"
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- persistence and recovery --------------------------------------
+
+    def persist(self, job: Job) -> None:
+        """Write the job's JSON record atomically."""
+        atomic_write_text(
+            self.jobs_dir / f"{job.job_id}.json",
+            json.dumps(job.to_payload(), indent=1),
+        )
+
+    def recover(self) -> int:
+        """Reload persisted jobs; re-enqueue every unfinished one.
+
+        Jobs found ``queued``, ``running``, or ``interrupted`` go back on
+        the queue (in original submission order) — their engine
+        checkpoints make the re-run incremental.  Returns the number of
+        jobs re-enqueued.
+        """
+        recovered: list[Job] = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            try:
+                job = Job.from_payload(json.loads(path.read_text()))
+            except (ValueError, TypeError, KeyError) as error:
+                logger.warning("skipping unreadable job record %s: %s", path, error)
+                continue
+            self.jobs[job.job_id] = job
+            self._seq = max(self._seq, job.submitted_seq)
+            if job.state == DONE and not self.store.has(job.job_id):
+                # Results vanished (pruned store?): run it again.
+                job.state = QUEUED
+            if job.state not in TERMINAL_STATES:
+                job.set_state(QUEUED, resumed=True)
+                recovered.append(job)
+            elif job.state == DONE:
+                job.publish({"event": "state", "state": DONE, "cached": True})
+            else:
+                job.publish(
+                    {"event": "failed", "error": job.error or "unknown error"}
+                )
+        for job in sorted(recovered, key=lambda j: j.submitted_seq):
+            self.persist(job)
+            self._queue.put_nowait(job.job_id)
+        if recovered:
+            logger.info(
+                "recovered %d unfinished job(s): %s",
+                len(recovered),
+                ", ".join(job.job_id for job in recovered),
+            )
+        return len(recovered)
+
+    # -- supervisor feed -----------------------------------------------
+
+    async def next_job(self) -> Job | None:
+        """The next queued job, or None on a drain wakeup sentinel."""
+        key = await self._queue.get()
+        if key is None:
+            return None
+        job = self.jobs.get(key)
+        if job is None or job.state != QUEUED:
+            return None
+        self.metrics.gauge("service.queue_depth").set(self.queued_count())
+        return job
+
+    def wake(self) -> None:
+        """Unblock a supervisor waiting on an empty queue (for drain)."""
+        self._queue.put_nowait(None)
+
+
+class JobSupervisor:
+    """Runs queued jobs through the campaign engine, one at a time.
+
+    The engine call itself runs on a worker thread (``asyncio.to_thread``)
+    so the event loop keeps serving requests; ``engine_workers > 1``
+    additionally fans shards out over the engine's process pool.  The
+    ``draining`` callable doubles as the engine's ``stop_check``, so a
+    SIGTERM stops the current job at the next shard boundary with its
+    checkpoint intact.
+    """
+
+    def __init__(
+        self,
+        manager: JobManager,
+        checkpoints_dir: str | Path,
+        engine_workers: int = 1,
+        shard_size: int = 4,
+        draining: Callable[[], bool] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.manager = manager
+        self.checkpoints_dir = Path(checkpoints_dir)
+        self.checkpoints_dir.mkdir(parents=True, exist_ok=True)
+        self.engine_workers = engine_workers
+        self.shard_size = shard_size
+        self.draining = draining if draining is not None else lambda: False
+        self.metrics = metrics if metrics is not None else manager.metrics
+
+    async def run(self) -> None:
+        """Supervisor loop: pull jobs until drained."""
+        while not self.draining():
+            job = await self.manager.next_job()
+            if job is None:
+                continue  # wakeup sentinel (or stale entry); re-check drain
+            await self.run_job(job)
+        logger.info("supervisor drained; no further jobs will start")
+
+    def checkpoint_path(self, job: Job) -> Path:
+        """The engine checkpoint sidecar for one job."""
+        return self.checkpoints_dir / f"{job.job_id}.checkpoint.jsonl"
+
+    async def run_job(self, job: Job) -> None:
+        """Execute one job through the engine and settle its state."""
+        loop = asyncio.get_running_loop()
+        job.set_state(RUNNING)
+        self.manager.persist(job)
+
+        def progress_sink(event: ProgressEvent) -> None:
+            # Called on the engine thread; hop onto the loop thread.
+            loop.call_soon_threadsafe(
+                job.publish,
+                {
+                    "event": "progress",
+                    "done": event.done,
+                    "total": event.total,
+                    "flips": event.flips,
+                    "elapsed_s": round(event.elapsed_s, 3),
+                    "eta_s": None if event.eta_s is None else round(event.eta_s, 3),
+                },
+            )
+
+        observer = Observer(
+            metrics=self.metrics,
+            tracer=NullTracer(),
+            progress=ProgressReporter(label=job.job_id, sink=progress_sink),
+        )
+        started_s = time.monotonic()
+        try:
+            result = await asyncio.to_thread(
+                run_engine,
+                job.spec,
+                workers=self.engine_workers,
+                shard_size=self.shard_size,
+                checkpoint=self.checkpoint_path(job),
+                resume=True,
+                observer=observer,
+                stop_check=self.draining,
+            )
+        except Exception as error:  # job isolation boundary: never kill the loop
+            self._fail(job, f"{type(error).__name__}: {error}")
+            return
+        elapsed_s = time.monotonic() - started_s
+        self.metrics.histogram("service.job_seconds").record(elapsed_s)
+        if result.interrupted:
+            job.set_state(INTERRUPTED, shards_run=result.shards_run)
+            self.manager.persist(job)
+            self.metrics.counter("service.jobs_interrupted").inc()
+            logger.info(
+                "job %s interrupted by drain after %d shard(s); checkpoint kept",
+                job.job_id,
+                result.shards_run,
+            )
+            return
+        if result.failures:
+            first = result.failures[0]
+            self._fail(
+                job,
+                f"{len(result.failures)} shard(s) failed permanently; "
+                f"first: {first.shard_id}: {first.error}",
+            )
+            return
+        self.manager.store.put(job.spec, result.records)
+        self.checkpoint_path(job).unlink(missing_ok=True)
+        job.records = len(result.records)
+        job.state = DONE
+        job.publish(
+            {
+                "event": "done",
+                "records": job.records,
+                "elapsed_s": round(elapsed_s, 3),
+                "shards_resumed": result.shards_resumed,
+            }
+        )
+        self.manager.persist(job)
+        self.metrics.counter("service.jobs_completed").inc()
+        logger.info(
+            "job %s done: %d records in %.2fs (%d shards resumed)",
+            job.job_id,
+            job.records,
+            elapsed_s,
+            result.shards_resumed,
+        )
+
+    def _fail(self, job: Job, error: str) -> None:
+        job.error = error
+        job.state = FAILED
+        job.publish({"event": "failed", "error": error})
+        self.manager.persist(job)
+        self.metrics.counter("service.jobs_failed").inc()
+        logger.error("job %s failed: %s", job.job_id, error)

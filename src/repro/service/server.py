@@ -1,0 +1,554 @@
+"""Campaign-as-a-service: a dependency-free asyncio HTTP/1.1 server.
+
+The service turns the PR 3 campaign engine into a multi-tenant job
+system, the way litex-rowhammer-tester exposes its payload executor
+behind a remote client — many clients submit sweeps against one managed
+worker fleet, and cached results are served back instantly.
+
+Routes (all JSON; see docs/SERVICE.md for the full reference)::
+
+    POST /v1/campaigns                submit a CampaignSpec (validated
+                                      against the experiment registry)
+    GET  /v1/campaigns                list known jobs
+    GET  /v1/campaigns/{id}           job status
+    GET  /v1/campaigns/{id}/events    NDJSON progress stream (chunked)
+    GET  /v1/campaigns/{id}/results   schema-v2 results (byte-identical
+                                      to a local `repro campaign` run)
+    GET  /metrics                     the repro.obs metrics registry
+    GET  /healthz                     readiness / drain state + version
+
+Backpressure surfaces as ``429`` with ``Retry-After`` (token-bucket
+rate limiting per client, bounded job queue); a draining server answers
+submissions with ``503``.  SIGTERM triggers a graceful drain: stop
+accepting work, stop the running job at the next shard boundary (its
+checkpoint survives), persist state, exit — a restarted server
+re-enqueues and resumes unfinished jobs.
+
+Everything is stdlib: ``asyncio`` transports and a small, strict
+HTTP/1.1 request parser.  The matching blocking client lives in
+:mod:`repro.service.client`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro import __version__
+from repro.characterization.campaign import CampaignSpec
+from repro.obs import (
+    MetricsRegistry,
+    Observer,
+    atomic_write_text,
+    declare_standard_metrics,
+    get_logger,
+)
+from repro.service.jobs import (
+    DONE,
+    JobManager,
+    JobSupervisor,
+    QueueFull,
+    RateLimited,
+    TERMINAL_STATES,
+)
+from repro.service.store import ResultStore
+
+__all__ = ["ServiceConfig", "HttpRequest", "CampaignService", "serve"]
+
+logger = get_logger("service.server")
+
+#: Advertised in the ``Server:`` header and ``/healthz``.
+SERVER_ID = f"repro-service/{__version__}"
+
+#: Largest accepted request body (campaign specs are tiny).
+_MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything needed to stand up one service instance."""
+
+    data_dir: str | Path
+    host: str = "127.0.0.1"
+    port: int = 8023
+    engine_workers: int = 1
+    shard_size: int = 4
+    queue_limit: int = 16
+    rate_per_s: float = 50.0
+    rate_burst: float = 100.0
+    #: When set, the actually-bound port is written here once listening
+    #: (useful with ``port=0`` for tests and benchmarks).
+    port_file: str | Path | None = None
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP/1.1 request."""
+
+    method: str
+    path: str
+    query: str
+    headers: dict[str, str]
+    body: bytes
+    client: str
+
+    @property
+    def client_id(self) -> str:
+        """Rate-limiting identity: ``X-Client-Id`` header, else peer host."""
+        return self.headers.get("x-client-id", self.client)
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, client: str
+) -> HttpRequest | None:
+    """Parse one request off the connection; None on EOF/garbage."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        return None
+    method, target = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readline()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        return None
+    if length < 0 or length > _MAX_BODY_BYTES:
+        length = -1  # signal oversized; the dispatcher answers 413
+    body = b""
+    if length > 0:
+        try:
+            body = await reader.readexactly(length)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+    path, _, query = target.partition("?")
+    request = HttpRequest(
+        method=method,
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+        client=client,
+    )
+    if length == -1:
+        request.headers["x-internal-oversized"] = "1"
+    return request
+
+
+class CampaignService:
+    """The HTTP front end wired to a job manager, supervisor, and store."""
+
+    def __init__(
+        self, config: ServiceConfig, observer: Observer | None = None
+    ) -> None:
+        self.config = config
+        self.data_dir = Path(config.data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        if observer is not None and observer.metrics.enabled:
+            self.metrics: MetricsRegistry = observer.metrics
+        else:
+            self.metrics = MetricsRegistry()
+        declare_standard_metrics(self.metrics)
+        self.store = ResultStore(self.data_dir / "results")
+        self.manager = JobManager(
+            self.data_dir,
+            self.store,
+            queue_limit=config.queue_limit,
+            rate_per_s=config.rate_per_s,
+            rate_burst=config.rate_burst,
+            metrics=self.metrics,
+        )
+        self.supervisor = JobSupervisor(
+            self.manager,
+            self.data_dir / "checkpoints",
+            engine_workers=config.engine_workers,
+            shard_size=config.shard_size,
+            draining=lambda: self._draining,
+            metrics=self.metrics,
+        )
+        self._draining = False
+        self._server: asyncio.base_events.Server | None = None
+        self._supervisor_task: asyncio.Task | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._started_s = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Recover persisted jobs, bind the socket, start the supervisor."""
+        recovered = self.manager.recover()
+        if recovered:
+            logger.info("resuming %d job(s) from a previous run", recovered)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._supervisor_task = asyncio.create_task(self.supervisor.run())
+        if self.config.port_file is not None:
+            atomic_write_text(Path(self.config.port_file), f"{self.port}\n")
+        logger.info(
+            "%s listening on %s:%d (data dir %s)",
+            SERVER_ID,
+            self.config.host,
+            self.port,
+            self.data_dir,
+        )
+
+    def begin_drain(self) -> None:
+        """Stop accepting jobs; current job stops at its next shard."""
+        if self._draining:
+            return
+        self._draining = True
+        logger.info("drain requested: no new jobs; checkpointing in-flight work")
+        self.manager.wake()
+
+    async def wait_drained(self) -> None:
+        """Block until the supervisor has wound down (after a drain)."""
+        if self._supervisor_task is not None:
+            await self._supervisor_task
+
+    async def stop(self) -> None:
+        """Close the listening socket and every open connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        logger.info("server stopped")
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if isinstance(peer, tuple) else "?"
+        self._writers.add(writer)
+        try:
+            while True:
+                request = await _read_request(reader, client)
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _dispatch(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Route one request; returns whether to keep the connection."""
+        started = time.monotonic()
+        route = "unknown"
+        try:
+            route, keep_alive = await self._route(request, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as error:  # never leak a traceback as a hang
+            logger.exception("unhandled error serving %s %s", request.method, request.path)
+            await self._send_json(
+                writer,
+                500,
+                {"error": f"internal error: {type(error).__name__}: {error}"},
+            )
+            keep_alive = False
+        self.metrics.counter("service.requests").inc()
+        self.metrics.counter("service.requests_by_route", route=route).inc()
+        self.metrics.histogram("service.request_seconds").record(
+            time.monotonic() - started
+        )
+        if request.headers.get("connection", "").lower() == "close":
+            return False
+        return keep_alive
+
+    async def _route(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> tuple[str, bool]:
+        """Dispatch to a handler; returns (route label, keep-alive)."""
+        if request.headers.pop("x-internal-oversized", None):
+            await self._send_json(
+                writer,
+                413,
+                {"error": f"request body exceeds {_MAX_BODY_BYTES} bytes"},
+            )
+            return "oversized", False
+        segments = [part for part in request.path.split("/") if part]
+        if segments == ["healthz"] and request.method == "GET":
+            await self._send_json(writer, 200, self._health_payload())
+            return "healthz", True
+        if segments == ["metrics"] and request.method == "GET":
+            await self._send_json(writer, 200, self.metrics.to_dict())
+            return "metrics", True
+        if segments[:2] == ["v1", "campaigns"]:
+            if len(segments) == 2:
+                if request.method == "POST":
+                    return "submit", await self._post_campaign(request, writer)
+                if request.method == "GET":
+                    await self._send_json(
+                        writer,
+                        200,
+                        {
+                            "jobs": [
+                                job.to_payload()
+                                for job in sorted(
+                                    self.manager.jobs.values(),
+                                    key=lambda j: j.submitted_seq,
+                                )
+                            ]
+                        },
+                    )
+                    return "list", True
+            elif len(segments) in (3, 4) and request.method == "GET":
+                job = self.manager.jobs.get(segments[2])
+                if job is None:
+                    await self._send_json(
+                        writer,
+                        404,
+                        {"error": f"unknown campaign job {segments[2]!r}"},
+                    )
+                    return "status", True
+                if len(segments) == 3:
+                    await self._send_json(writer, 200, job.to_payload())
+                    return "status", True
+                if segments[3] == "events":
+                    await self._stream_events(writer, job)
+                    return "events", True
+                if segments[3] == "results":
+                    return "results", await self._get_results(writer, job)
+        await self._send_json(
+            writer,
+            404 if request.method in ("GET", "POST") else 405,
+            {"error": f"no route for {request.method} {request.path}"},
+        )
+        return "unknown", True
+
+    # -- handlers ------------------------------------------------------
+
+    def _health_payload(self) -> dict:
+        """The ``/healthz`` body: readiness, drain state, and version."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "version": __version__,
+            "server": SERVER_ID,
+            "uptime_s": round(time.monotonic() - self._started_s, 3),
+            "jobs": job_states(self.manager.jobs.values()),
+            "queue_depth": self.manager.queued_count(),
+            "results_cached": len(self.store.keys()),
+        }
+
+    async def _post_campaign(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """``POST /v1/campaigns``: admit a spec, or push back."""
+        if self._draining:
+            await self._send_json(
+                writer,
+                503,
+                {"error": "service is draining; resubmit after restart"},
+                extra={"Retry-After": "1"},
+            )
+            return True
+        try:
+            self.manager.check_rate(request.client_id)
+        except RateLimited as limited:
+            await self._send_json(
+                writer,
+                429,
+                {"error": str(limited)},
+                extra={"Retry-After": f"{math.ceil(limited.retry_after_s)}"},
+            )
+            return True
+        try:
+            spec = CampaignSpec.from_json(request.body.decode("utf-8"))
+        except (ValueError, TypeError, KeyError, UnicodeDecodeError) as error:
+            await self._send_json(
+                writer,
+                400,
+                {"error": f"invalid campaign spec: {error}"},
+            )
+            return True
+        try:
+            job, outcome = self.manager.submit(spec, client=request.client_id)
+        except QueueFull as full:
+            await self._send_json(
+                writer,
+                429,
+                {"error": str(full)},
+                extra={"Retry-After": f"{math.ceil(full.retry_after_s)}"},
+            )
+            return True
+        payload = job.to_payload()
+        payload["outcome"] = outcome
+        await self._send_json(writer, 202 if outcome == "new" else 200, payload)
+        return True
+
+    async def _get_results(
+        self, writer: asyncio.StreamWriter, job
+    ) -> bool:
+        """``GET .../results``: the stored schema-v2 file, verbatim."""
+        if job.state != DONE:
+            status = 409 if job.state not in TERMINAL_STATES else 404
+            await self._send_json(
+                writer,
+                status,
+                {
+                    "error": f"campaign job {job.job_id} is {job.state}, "
+                    f"results are available once it is {DONE}",
+                    "state": job.state,
+                },
+            )
+            return True
+        try:
+            text = self.store.read_text(job.job_id)
+        except KeyError:
+            await self._send_json(
+                writer,
+                404,
+                {"error": f"results for {job.job_id} are missing from the store"},
+            )
+            return True
+        await self._send(
+            writer, 200, text.encode("utf-8"), content_type="application/json"
+        )
+        return True
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, job) -> None:
+        """``GET .../events``: replay + live NDJSON until terminal."""
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            f"Server: {SERVER_ID}\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        index = 0
+        while True:
+            while index < len(job.events):
+                data = (json.dumps(job.events[index]) + "\n").encode("utf-8")
+                writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+                index += 1
+            await writer.drain()
+            if job.terminal and index >= len(job.events):
+                break
+            await job.wait_changed()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- response plumbing ---------------------------------------------
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        extra: dict[str, str] | None = None,
+    ) -> None:
+        """Serialize ``payload`` and send it with ``status``."""
+        await self._send(
+            writer,
+            status,
+            (json.dumps(payload, indent=1) + "\n").encode("utf-8"),
+            content_type="application/json",
+            extra=extra,
+        )
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra: dict[str, str] | None = None,
+    ) -> None:
+        """Write one complete HTTP/1.1 response."""
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Server: {SERVER_ID}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        for name, value in (extra or {}).items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+async def _serve_async(config: ServiceConfig, observer: Observer | None) -> int:
+    """Start the service and block until a drain completes."""
+    service = CampaignService(config, observer=observer)
+    await service.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, service.begin_drain)
+        except (NotImplementedError, RuntimeError):  # non-POSIX loops
+            pass
+    await service.wait_drained()
+    await service.stop()
+    return 0
+
+
+def serve(config: ServiceConfig, observer: Observer | None = None) -> int:
+    """Blocking entry point for ``repro serve``.
+
+    Runs until SIGTERM/SIGINT, then drains gracefully: in-flight work
+    stops at the next shard boundary with its checkpoint intact, job
+    state is persisted, and a later ``repro serve`` on the same data
+    directory resumes whatever was unfinished.
+    """
+    try:
+        return asyncio.run(_serve_async(config, observer))
+    except KeyboardInterrupt:  # SIGINT raced the handler installation
+        return 0
+
+
+def job_states(jobs: Iterable) -> dict[str, int]:
+    """Histogram of job states (shared by /healthz and the CLI)."""
+    states: dict[str, int] = {}
+    for job in jobs:
+        states[job.state] = states.get(job.state, 0) + 1
+    return states

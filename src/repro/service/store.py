@@ -1,0 +1,98 @@
+"""Content-addressed campaign result store.
+
+Results are keyed by a digest of the *canonical spec JSON* — and a
+:class:`~repro.characterization.campaign.CampaignSpec` contains the
+seed, module list, experiment kind, and every sweep knob, so two
+submissions with identical (spec, seed, modules) resolve to the same
+key.  Because every campaign is a deterministic function of its spec
+(see docs/CAMPAIGNS.md), a stored result is *the* result: resubmitting a
+spec the fleet has already characterized is served straight from the
+store as a cache hit, never re-run.
+
+Files on disk are ordinary schema-v2 results files (the exact bytes
+:func:`~repro.characterization.campaign.save_results` writes), so a
+stored entry can be copied out and fed to ``load_results`` or any
+analysis script unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from repro.characterization.campaign import (
+    CampaignSpec,
+    dumps_results,
+    loads_results,
+)
+from repro.obs import atomic_write_text, get_logger
+
+__all__ = ["spec_key", "ResultStore"]
+
+logger = get_logger("service.store")
+
+
+def spec_key(spec: CampaignSpec) -> str:
+    """Content address of a campaign's results.
+
+    A SHA-256 digest (truncated to 24 hex chars) of the spec serialized
+    canonically — sorted keys, no whitespace — so key equality is exactly
+    spec equality, independent of field order or formatting in the JSON
+    a client submitted.
+    """
+    canonical = json.dumps(
+        dataclasses.asdict(spec), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+class ResultStore:
+    """Directory of content-addressed schema-v2 results files."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        """Where the results file for ``key`` lives (existing or not)."""
+        return self.root / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """Whether results for ``key`` are stored."""
+        return self.path(key).exists()
+
+    def keys(self) -> tuple[str, ...]:
+        """All stored result keys, sorted."""
+        return tuple(sorted(path.stem for path in self.root.glob("*.json")))
+
+    def read_text(self, key: str) -> str:
+        """The stored results file verbatim; raises ``KeyError`` if absent."""
+        try:
+            return self.path(key).read_text()
+        except FileNotFoundError:
+            raise KeyError(f"no stored results for key {key!r}") from None
+
+    def load(self, key: str) -> tuple[CampaignSpec, list]:
+        """Rebuild (spec, records) from a stored entry."""
+        return loads_results(self.read_text(key), source=str(self.path(key)))
+
+    def put(self, spec: CampaignSpec, records: list) -> str:
+        """Store a campaign's results; returns the content key.
+
+        Identical (spec, seed, modules) submissions collapse onto one
+        entry: re-putting an existing key is a no-op (first write wins —
+        campaigns are deterministic, so the bytes would be equal anyway).
+        The write is atomic, so readers never observe a partial entry.
+        """
+        key = spec_key(spec)
+        path = self.path(key)
+        if path.exists():
+            logger.info("result store already has %s (dedup)", key)
+            return key
+        atomic_write_text(path, dumps_results(spec, records))
+        logger.info(
+            "stored %d records for campaign %r as %s", len(records), spec.name, key
+        )
+        return key

@@ -171,3 +171,94 @@ def test_unknown_command_rejected():
 def test_missing_subcommand_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# ----------------------------------------------------------------------
+# version and service commands
+# ----------------------------------------------------------------------
+
+
+def test_version_flag_prints_package_version(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+def test_version_is_single_sourced_with_pyproject():
+    """pyproject.toml must read the version from repro.__version__.
+
+    Text-level checks (not tomllib) so this also runs on Python 3.10.
+    """
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+    text = pyproject.read_text()
+    assert 'dynamic = ["version"]' in text
+    assert 'version = { attr = "repro.__version__" }' in text
+    assert not any(
+        line.strip().startswith("version =") and "attr" not in line
+        for line in text.splitlines()
+    )
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve", "--port", "0"])
+    assert args.handler.__name__ == "_cmd_serve"
+    assert args.port == 0
+    assert args.queue_limit == 16
+    assert args.workers == 1
+
+
+def test_submit_requires_server_flag(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text("{}")
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["submit", str(spec_path)])
+
+
+def test_submit_rejects_missing_spec_file(tmp_path, capsys):
+    code = main(
+        [
+            "submit",
+            str(tmp_path / "nope.json"),
+            "--server",
+            "http://127.0.0.1:1",
+        ]
+    )
+    assert code == 2
+
+
+def test_submit_rejects_invalid_spec(tmp_path):
+    spec_path = tmp_path / "bad.json"
+    spec_path.write_text(json.dumps({"name": "x", "experiment": "bogus"}))
+    code = main(
+        ["submit", str(spec_path), "--server", "http://127.0.0.1:1"]
+    )
+    assert code == 2
+
+
+def test_submit_unreachable_server_fails_cleanly(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(
+        json.dumps(
+            {
+                "name": "cli-service",
+                "module_ids": ["S3"],
+                "experiment": "acmin",
+                "t_aggon_values": [36.0],
+                "sites_per_module": 1,
+            }
+        )
+    )
+    code = main(
+        [
+            "submit",
+            str(spec_path),
+            "--server",
+            "http://127.0.0.1:9",  # discard port: nothing listens
+        ]
+    )
+    assert code == 2

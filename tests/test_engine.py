@@ -165,6 +165,40 @@ def test_checkpoint_skips_garbage_lines(tmp_path):
     assert resumed.records == run_campaign(spec)
 
 
+def test_checkpoint_tolerates_truncated_trailing_line(tmp_path):
+    """A writer killed mid-append leaves a partial last line: warn, re-run."""
+    spec = small_spec()
+    checkpoint = tmp_path / "ck.jsonl"
+    first = run_engine(spec, workers=1, shard_size=2, checkpoint=checkpoint)
+    text = checkpoint.read_text()
+    lines = text.splitlines(keepends=True)
+    # Chop the final shard line mid-JSON, with no trailing newline.
+    truncated = "".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2].rstrip("\n")
+    checkpoint.write_text(truncated)
+    resumed = run_engine(
+        spec, workers=1, shard_size=2, checkpoint=checkpoint, resume=True
+    )
+    assert resumed.ok
+    assert resumed.shards_resumed == first.shards_total - 1
+    assert resumed.shards_run == 1  # only the truncated shard re-ran
+    assert resumed.records == first.records
+
+
+def test_checkpoint_load_normalizes_truncated_file(tmp_path):
+    spec = small_spec()
+    checkpoint = tmp_path / "ck.jsonl"
+    run_engine(spec, workers=1, shard_size=2, checkpoint=checkpoint)
+    lines = checkpoint.read_text().splitlines(keepends=True)
+    checkpoint.write_text("".join(lines[:-1]) + '{"kind": "sha')
+    ckpt = CampaignCheckpoint(checkpoint, spec, shard_size=2)
+    ckpt.load()
+    # After load the file is whole again: every line parses, newline at EOF.
+    normalized = checkpoint.read_text()
+    assert normalized.endswith("\n")
+    for line in normalized.splitlines():
+        json.loads(line)
+
+
 def test_checkpoint_requires_header(tmp_path):
     spec = small_spec()
     checkpoint = tmp_path / "ck.jsonl"
@@ -302,3 +336,74 @@ def test_pool_engine_merges_worker_observability():
     }
     assert counters["campaign.experiments"] == 6
     assert counters["engine.shards"] == 4
+
+
+# ----------------------------------------------------------------------
+# cooperative stop (service drain)
+# ----------------------------------------------------------------------
+
+
+def test_inline_stop_check_interrupts_between_shards(tmp_path):
+    spec = small_spec()
+    checkpoint = tmp_path / "ck.jsonl"
+    calls = {"n": 0}
+
+    def stop_after_two():
+        calls["n"] += 1
+        return calls["n"] > 2
+
+    result = run_engine(
+        spec,
+        workers=1,
+        shard_size=1,
+        checkpoint=checkpoint,
+        stop_check=stop_after_two,
+    )
+    assert result.interrupted
+    assert not result.ok
+    assert 0 < result.shards_run < result.shards_total
+    # Completed shards are checkpointed; a resume finishes the campaign.
+    resumed = run_engine(
+        spec, workers=1, shard_size=1, checkpoint=checkpoint, resume=True
+    )
+    assert resumed.ok and not resumed.interrupted
+    assert resumed.shards_resumed == result.shards_run
+    assert resumed.records == run_campaign(spec)
+
+
+def test_pool_stop_check_interrupts_and_resumes(tmp_path):
+    spec = small_spec()
+    checkpoint = tmp_path / "ck.jsonl"
+    calls = {"n": 0}
+
+    def stop_after_first_wait():
+        calls["n"] += 1
+        return calls["n"] > 2
+
+    result = run_engine(
+        spec,
+        workers=2,
+        shard_size=1,
+        checkpoint=checkpoint,
+        stop_check=stop_after_first_wait,
+    )
+    assert result.interrupted
+    assert result.shards_run < result.shards_total
+    resumed = run_engine(
+        spec, workers=2, shard_size=1, checkpoint=checkpoint, resume=True
+    )
+    assert resumed.ok
+    assert resumed.records == run_campaign(spec)
+
+
+def test_stop_check_before_any_shard_runs_nothing(tmp_path):
+    result = run_engine(
+        small_spec(),
+        workers=1,
+        shard_size=2,
+        checkpoint=tmp_path / "ck.jsonl",
+        stop_check=lambda: True,
+    )
+    assert result.interrupted
+    assert result.shards_run == 0
+    assert result.records == []

@@ -1,0 +1,289 @@
+"""Job lifecycle, rate limiting, backpressure, persistence, supervisor."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.characterization.campaign import CampaignSpec, run_campaign
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    INTERRUPTED,
+    QUEUED,
+    Job,
+    JobManager,
+    JobSupervisor,
+    QueueFull,
+    RateLimited,
+    TokenBucket,
+)
+from repro.service.store import ResultStore, spec_key
+
+
+def small_spec(**kwargs):
+    defaults = dict(
+        name="jobs-unit",
+        module_ids=("S3",),
+        experiment="acmin",
+        t_aggon_values=(36.0, 7800.0),
+        activation_counts=(1, 100),
+        sites_per_module=2,
+        seed=5,
+    )
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+def make_manager(tmp_path, **kwargs):
+    store = ResultStore(tmp_path / "results")
+    return JobManager(tmp_path, store, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# token bucket
+# ----------------------------------------------------------------------
+
+
+def test_token_bucket_burst_then_refill():
+    bucket = TokenBucket(rate_per_s=10.0, burst=2.0)
+    assert bucket.try_acquire(now_s=0.0) == 0.0
+    assert bucket.try_acquire(now_s=0.0) == 0.0
+    wait = bucket.try_acquire(now_s=0.0)  # bucket empty
+    assert wait == pytest.approx(0.1)
+    # After enough simulated time the bucket refills.
+    assert bucket.try_acquire(now_s=1.0) == 0.0
+
+
+def test_token_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate_per_s=0.0, burst=2.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate_per_s=1.0, burst=0.5)
+
+
+# ----------------------------------------------------------------------
+# admission
+# ----------------------------------------------------------------------
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+def test_submit_outcomes_new_duplicate_cached(tmp_path):
+    async def scenario():
+        manager = make_manager(tmp_path)
+        spec = small_spec()
+        job, outcome = manager.submit(spec, client="a")
+        assert outcome == "new" and job.state == QUEUED
+        assert job.job_id == spec_key(spec)
+        assert job.shards_total > 0
+        # Same spec while queued: deduplicated onto the same job.
+        same, outcome = manager.submit(spec, client="b")
+        assert outcome == "duplicate" and same is job
+        # A different spec is a different job.
+        other, outcome = manager.submit(small_spec(seed=6), client="a")
+        assert outcome == "new" and other is not job
+
+    run_async(scenario())
+
+
+def test_submit_served_from_store_is_born_done(tmp_path):
+    async def scenario():
+        manager = make_manager(tmp_path)
+        spec = small_spec()
+        records = run_campaign(spec)
+        manager.store.put(spec, records)
+        job, outcome = manager.submit(spec, client="a")
+        assert outcome == "cached"
+        assert job.state == DONE and job.cached
+        assert job.records == len(records)
+
+    run_async(scenario())
+
+
+def test_submit_backpressure_when_queue_full(tmp_path):
+    async def scenario():
+        manager = make_manager(tmp_path, queue_limit=2)
+        manager.submit(small_spec(seed=1), client="a")
+        manager.submit(small_spec(seed=2), client="a")
+        with pytest.raises(QueueFull) as excinfo:
+            manager.submit(small_spec(seed=3), client="a")
+        assert excinfo.value.retry_after_s > 0
+
+    run_async(scenario())
+
+
+def test_rate_limiting_per_client(tmp_path):
+    async def scenario():
+        manager = make_manager(tmp_path, rate_per_s=1.0, rate_burst=2.0)
+        manager.check_rate("alice")
+        manager.check_rate("alice")
+        with pytest.raises(RateLimited) as excinfo:
+            manager.check_rate("alice")
+        assert excinfo.value.retry_after_s > 0
+        manager.check_rate("bob")  # independent bucket
+
+    run_async(scenario())
+
+
+def test_failed_job_is_readmitted_as_new(tmp_path):
+    async def scenario():
+        manager = make_manager(tmp_path)
+        spec = small_spec()
+        job, _ = manager.submit(spec, client="a")
+        job.state = FAILED
+        again, outcome = manager.submit(spec, client="a")
+        assert outcome == "new" and again is not job
+
+    run_async(scenario())
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+
+
+def test_job_publish_sequences_and_wakes_waiters(tmp_path):
+    async def scenario():
+        job = Job(job_id="j", spec=small_spec())
+        waiter = asyncio.ensure_future(job.wait_changed())
+        await asyncio.sleep(0)
+        job.publish({"event": "state", "state": QUEUED})
+        job.publish({"event": "progress", "done": 1})
+        await asyncio.wait_for(waiter, timeout=1.0)
+        assert [e["seq"] for e in job.events] == [0, 1]
+
+    run_async(scenario())
+
+
+# ----------------------------------------------------------------------
+# persistence and recovery
+# ----------------------------------------------------------------------
+
+
+def test_persist_and_recover_reenqueues_unfinished(tmp_path):
+    async def first_life():
+        manager = make_manager(tmp_path)
+        spec = small_spec()
+        job, _ = manager.submit(spec, client="a")
+        return job.job_id
+
+    job_id = run_async(first_life())
+
+    async def second_life():
+        manager = make_manager(tmp_path)
+        assert manager.recover() == 1
+        job = manager.jobs[job_id]
+        assert job.state == QUEUED
+        next_job = await asyncio.wait_for(manager.next_job(), timeout=1.0)
+        assert next_job is job
+
+    run_async(second_life())
+
+
+def test_recover_requeues_done_job_with_pruned_store(tmp_path):
+    async def scenario():
+        manager = make_manager(tmp_path)
+        spec = small_spec()
+        job, _ = manager.submit(spec, client="a")
+        job.state = DONE  # claims done, but the store has no entry
+        manager.persist(job)
+        fresh = make_manager(tmp_path)
+        assert fresh.recover() == 1
+        assert fresh.jobs[job.job_id].state == QUEUED
+
+    run_async(scenario())
+
+
+def test_recover_skips_corrupt_record(tmp_path):
+    async def scenario():
+        manager = make_manager(tmp_path)
+        (manager.jobs_dir / "bogus.json").write_text("{not json")
+        assert manager.recover() == 0
+
+    run_async(scenario())
+
+
+def test_persisted_record_is_valid_json_with_spec(tmp_path):
+    async def scenario():
+        manager = make_manager(tmp_path)
+        spec = small_spec()
+        job, _ = manager.submit(spec, client="a")
+        payload = json.loads((manager.jobs_dir / f"{job.job_id}.json").read_text())
+        assert payload["state"] == QUEUED
+        assert CampaignSpec.from_json(payload["spec"]) == spec
+
+    run_async(scenario())
+
+
+# ----------------------------------------------------------------------
+# supervisor
+# ----------------------------------------------------------------------
+
+
+def test_supervisor_runs_job_to_done_and_stores_results(tmp_path):
+    async def scenario():
+        manager = make_manager(tmp_path)
+        supervisor = JobSupervisor(manager, tmp_path / "checkpoints")
+        spec = small_spec()
+        job, _ = manager.submit(spec, client="a")
+        await supervisor.run_job(job)
+        assert job.state == DONE
+        assert manager.store.has(job.job_id)
+        assert not supervisor.checkpoint_path(job).exists()
+        assert job.events[-1]["event"] == "done"
+        assert any(e["event"] == "progress" for e in job.events)
+        # Stored results parse back to the original spec.
+        loaded_spec, records = manager.store.load(job.job_id)
+        assert loaded_spec == spec and len(records) == job.records
+
+    run_async(scenario())
+
+
+def test_supervisor_interrupts_on_drain_and_keeps_checkpoint(tmp_path):
+    async def scenario():
+        manager = make_manager(tmp_path)
+        calls = {"n": 0}
+
+        def draining():
+            calls["n"] += 1
+            return calls["n"] > 2  # let a shard or two land, then drain
+
+        supervisor = JobSupervisor(
+            manager, tmp_path / "checkpoints", shard_size=1, draining=draining
+        )
+        job, _ = manager.submit(small_spec(sites_per_module=4), client="a")
+        await supervisor.run_job(job)
+        assert job.state == INTERRUPTED
+        assert supervisor.checkpoint_path(job).exists()
+        assert not manager.store.has(job.job_id)
+        # A later supervisor (fresh service) finishes from the checkpoint.
+        resumed = JobSupervisor(manager, tmp_path / "checkpoints", shard_size=1)
+        job.state = QUEUED
+        await resumed.run_job(job)
+        assert job.state == DONE
+        done_event = job.events[-1]
+        assert done_event["event"] == "done"
+        assert done_event["shards_resumed"] > 0
+
+    run_async(scenario())
+
+
+def test_supervisor_failure_isolates_job(tmp_path, monkeypatch):
+    async def scenario():
+        manager = make_manager(tmp_path)
+        supervisor = JobSupervisor(manager, tmp_path / "checkpoints")
+        job, _ = manager.submit(small_spec(), client="a")
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("engine fell over")
+
+        monkeypatch.setattr("repro.service.jobs.run_engine", explode)
+        await supervisor.run_job(job)
+        assert job.state == FAILED
+        assert "engine fell over" in job.error
+        assert job.events[-1]["event"] == "failed"
+
+    run_async(scenario())

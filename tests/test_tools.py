@@ -21,3 +21,45 @@ def test_gen_api_docs_runs_and_covers_packages():
         assert f"## {package}" in output
     assert "DramDevice" in output
     assert "*(undocumented)*" not in output  # full docstring coverage
+
+
+def test_gen_api_docs_covers_service_package():
+    output = (ROOT / "docs" / "API.md").read_text()
+    assert "## service" in output
+    assert "ServiceClient" in output and "ResultStore" in output
+
+
+def test_gen_api_docs_check_passes_when_current():
+    subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_docs.py")],
+        check=True,
+        capture_output=True,
+        cwd=ROOT,
+    )
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_docs.py"), "--check"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "up to date" in result.stdout
+
+
+def test_gen_api_docs_check_fails_on_stale_docs(tmp_path):
+    api = ROOT / "docs" / "API.md"
+    original = api.read_text()
+    try:
+        api.write_text(original + "\nstale suffix\n")
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "gen_api_docs.py"), "--check"],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+        )
+        assert result.returncode == 1
+        assert "stale" in result.stderr
+        # --check must never rewrite the file.
+        assert api.read_text() == original + "\nstale suffix\n"
+    finally:
+        api.write_text(original)
