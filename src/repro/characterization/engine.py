@@ -55,6 +55,8 @@ from repro.obs import (
     get_logger,
 )
 from repro.rng import derive_seed
+from repro.testkit.faults import fault_point, fault_write
+from repro.testkit.points import ENGINE_CHECKPOINT_APPEND, ENGINE_SHARD_START
 
 __all__ = [
     "ShardSpec",
@@ -186,6 +188,7 @@ def _run_shard_units(
     (module, then site, then sweep point), which is how the engine
     re-normalizes parallel completion order back to sequential order.
     """
+    fault_point(ENGINE_SHARD_START)
     if fault_hook is not None:
         fault_hook(shard, attempt)
     experiment = registry.get(spec.experiment)
@@ -488,7 +491,7 @@ class CampaignCheckpoint:
         # One buffered write flushed on close: a kill can truncate only
         # the line being written, which load() detects and re-runs.
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+            fault_write(ENGINE_CHECKPOINT_APPEND, handle.write, line + "\n")
 
 
 # ----------------------------------------------------------------------

@@ -267,6 +267,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.testkit.cli import run_fuzz  # heavy deps load lazily
+
+    return run_fuzz(args)
+
+
 # ----------------------------------------------------------------------
 # obs-report
 # ----------------------------------------------------------------------
@@ -583,6 +589,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     configure_lint_parser(lint)
     lint.set_defaults(handler=_cmd_lint)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="property-fuzz the model against the paper's oracles"
+    )
+    fuzz.add_argument(
+        "target",
+        nargs="?",
+        default="all",
+        help="oracle name, or 'all' (see --list)",
+    )
+    fuzz.add_argument("--seed", type=int, default=2023, help="root RNG seed")
+    fuzz.add_argument(
+        "--max-examples",
+        type=int,
+        default=None,
+        help="examples per oracle (default: per-oracle budget)",
+    )
+    fuzz.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="minimize failing inputs before reporting (--no-shrink to skip)",
+    )
+    fuzz.add_argument(
+        "--self-check",
+        action="store_true",
+        help="mutation self-check: each oracle must catch its planted bug",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        help="regression-corpus directory to replay and extend",
+    )
+    fuzz.add_argument(
+        "--list", action="store_true", help="list oracles and exit"
+    )
+    fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 
 

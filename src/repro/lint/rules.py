@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 from repro import units
 from repro.lint.diagnostics import LintDiagnostic
 from repro.lint.engine import FileContext
+from repro.testkit.points import FAULT_POINTS
 
 
 class Rule:
@@ -321,6 +322,56 @@ class NoMutableDefaultRule(Rule):
                 )
 
 
+class UnknownFaultPointRule(Rule):
+    """Fault-point names must come from ``repro.testkit.points``.
+
+    A typo'd point string would make :func:`fault_point` silently never
+    fire (production) or :class:`FaultSpec` only fail at runtime (test),
+    so string literals passed to the fault-injection API are checked
+    against the declared ``FAULT_POINTS`` registry statically.
+    """
+
+    code = "unknown-fault-point"
+    description = (
+        "string literal passed to the fault-injection API is not a "
+        "declared repro.testkit.points constant; fix the typo or declare "
+        "the new point in FAULT_POINTS"
+    )
+    node_types = (ast.Call,)
+
+    #: callables whose first argument (or ``point=``) names a fault point.
+    _TARGETS = {
+        "repro.testkit.faults.fault_point",
+        "repro.testkit.faults.fault_write",
+        "repro.testkit.faults.FaultSpec",
+        "repro.testkit.FaultSpec",
+    }
+
+    def _point_argument(self, node: ast.Call) -> ast.AST | None:
+        for keyword in node.keywords:
+            if keyword.arg == "point":
+                return keyword.value
+        if node.args:
+            return node.args[0]
+        return None
+
+    def check(self, node: ast.Call, context: FileContext) -> Iterable[LintDiagnostic]:
+        """Flag constant point strings missing from ``FAULT_POINTS``."""
+        if context.resolve(node.func) not in self._TARGETS:
+            return
+        argument = self._point_argument(node)
+        if not isinstance(argument, ast.Constant):
+            return  # named constants are validated at their definition
+        value = argument.value
+        if isinstance(value, str) and value not in FAULT_POINTS:
+            yield self.found(
+                context,
+                argument,
+                f"unknown fault point {value!r}; declared points: "
+                f"{', '.join(sorted(FAULT_POINTS))}",
+            )
+
+
 class RequireFutureAnnotationsRule(Rule):
     """Modules that define anything need postponed annotation evaluation."""
 
@@ -359,6 +410,7 @@ def default_rules() -> Sequence[Rule]:
         PreferUnitsConstantRule(),
         UnitSuffixMismatchRule(),
         NoMutableDefaultRule(),
+        UnknownFaultPointRule(),
         RequireFutureAnnotationsRule(),
     )
 

@@ -43,6 +43,8 @@ from repro.obs import (
     get_logger,
 )
 from repro.service.store import ResultStore, spec_key
+from repro.testkit.faults import fault_write
+from repro.testkit.points import SERVICE_JOB_PERSIST
 
 __all__ = [
     "QUEUED",
@@ -303,8 +305,10 @@ class JobManager:
 
     def persist(self, job: Job) -> None:
         """Write the job's JSON record atomically."""
-        atomic_write_text(
-            self.jobs_dir / f"{job.job_id}.json",
+        path = self.jobs_dir / f"{job.job_id}.json"
+        fault_write(
+            SERVICE_JOB_PERSIST,
+            lambda text: atomic_write_text(path, text),
             json.dumps(job.to_payload(), indent=1),
         )
 

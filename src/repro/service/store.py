@@ -28,6 +28,8 @@ from repro.characterization.campaign import (
     loads_results,
 )
 from repro.obs import atomic_write_text, get_logger
+from repro.testkit.faults import fault_point, fault_write
+from repro.testkit.points import SERVICE_STORE_PUT, SERVICE_STORE_READ
 
 __all__ = ["spec_key", "ResultStore"]
 
@@ -59,20 +61,56 @@ class ResultStore:
         """Where the results file for ``key`` lives (existing or not)."""
         return self.root / f"{key}.json"
 
+    def _validated_text(self, key: str) -> str | None:
+        """The entry's text if it parses as a results payload, else None.
+
+        A corrupt file (truncated write, bad JSON, missing keys) is
+        *quarantined* — renamed to ``<key>.json.corrupt`` — so it can
+        never be served as a cache hit again and ``put`` re-creates the
+        entry from a fresh run.  The corrupt bytes are kept for
+        post-mortems instead of deleted.
+        """
+        path = self.path(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+            for required in ("schema_version", "spec", "records"):
+                if required not in payload:
+                    raise ValueError(f"payload lacks {required!r}")
+        except ValueError as error:
+            quarantine = path.with_name(path.name + ".corrupt")
+            path.replace(quarantine)
+            logger.warning(
+                "quarantined corrupt result %s (%s) -> %s", key, error, quarantine
+            )
+            return None
+        return text
+
     def has(self, key: str) -> bool:
-        """Whether results for ``key`` are stored."""
-        return self.path(key).exists()
+        """Whether *valid* results for ``key`` are stored."""
+        return self._validated_text(key) is not None
 
     def keys(self) -> tuple[str, ...]:
         """All stored result keys, sorted."""
         return tuple(sorted(path.stem for path in self.root.glob("*.json")))
 
     def read_text(self, key: str) -> str:
-        """The stored results file verbatim; raises ``KeyError`` if absent."""
-        try:
-            return self.path(key).read_text()
-        except FileNotFoundError:
-            raise KeyError(f"no stored results for key {key!r}") from None
+        """The stored results file verbatim; raises ``KeyError`` if absent.
+
+        Corrupt entries raise ``KeyError`` too (after being
+        quarantined): a damaged cache entry must look like a miss, not
+        get served to a client.
+        """
+        fault_point(SERVICE_STORE_READ)
+        text = self._validated_text(key)
+        if text is None:
+            raise KeyError(f"no stored results for key {key!r}")
+        return text
 
     def load(self, key: str) -> tuple[CampaignSpec, list]:
         """Rebuild (spec, records) from a stored entry."""
@@ -82,16 +120,22 @@ class ResultStore:
         """Store a campaign's results; returns the content key.
 
         Identical (spec, seed, modules) submissions collapse onto one
-        entry: re-putting an existing key is a no-op (first write wins —
-        campaigns are deterministic, so the bytes would be equal anyway).
-        The write is atomic, so readers never observe a partial entry.
+        entry: re-putting an existing *valid* key is a no-op (first
+        write wins — campaigns are deterministic, so the bytes would be
+        equal anyway), while a corrupt entry is quarantined and
+        replaced.  The write is atomic, so readers never observe a
+        partial entry.
         """
         key = spec_key(spec)
         path = self.path(key)
-        if path.exists():
+        if self._validated_text(key) is not None:
             logger.info("result store already has %s (dedup)", key)
             return key
-        atomic_write_text(path, dumps_results(spec, records))
+        fault_write(
+            SERVICE_STORE_PUT,
+            lambda text: atomic_write_text(path, text),
+            dumps_results(spec, records),
+        )
         logger.info(
             "stored %d records for campaign %r as %s", len(records), spec.name, key
         )

@@ -1,0 +1,97 @@
+"""repro.testkit — property-based testing, shrinking, fault injection.
+
+A dependency-free (stdlib + the numpy already required by ``repro``)
+generative testing subsystem:
+
+* :mod:`repro.testkit.gen` — deterministic generators over recorded
+  choice sequences, seeded via ``repro.rng`` streams;
+* :mod:`repro.testkit.shrink` — greedy choice-sequence minimizer;
+* :mod:`repro.testkit.harness` — the ``@prop`` runner with a saved
+  regression corpus under ``tests/corpus/``;
+* :mod:`repro.testkit.faults` / :mod:`repro.testkit.points` —
+  deterministic crash / IO-error / delay / truncated-write injection
+  at named fault points wired into the engine and service;
+* :mod:`repro.testkit.oracles` — metamorphic properties from the paper
+  (imported lazily: ``from repro.testkit import oracles``), runnable as
+  ``repro fuzz <target> --seed N``.
+
+See docs/TESTKIT.md for the workflow.
+"""
+
+from __future__ import annotations
+
+from repro.testkit import faults, points
+from repro.testkit.faults import FaultError, FaultPlan, FaultSpec, InjectedCrash
+from repro.testkit.gen import (
+    DrawContext,
+    Gen,
+    Invalid,
+    Overrun,
+    binary,
+    booleans,
+    builds,
+    campaign_specs,
+    command_programs,
+    data_patterns,
+    experiment_records,
+    floats,
+    integers,
+    just,
+    lists,
+    log_floats,
+    one_of,
+    row_sites,
+    sampled_from,
+    service_requests,
+    tuples,
+)
+from repro.testkit.harness import (
+    DEFAULT_MAX_EXAMPLES,
+    DEFAULT_SEED,
+    Counterexample,
+    PropertyFailed,
+    PropertyReport,
+    assume,
+    prop,
+    run_property,
+)
+from repro.testkit.shrink import shrink
+
+__all__ = [
+    "faults",
+    "points",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "DrawContext",
+    "Gen",
+    "Invalid",
+    "Overrun",
+    "binary",
+    "booleans",
+    "builds",
+    "campaign_specs",
+    "command_programs",
+    "data_patterns",
+    "experiment_records",
+    "floats",
+    "integers",
+    "just",
+    "lists",
+    "log_floats",
+    "one_of",
+    "row_sites",
+    "sampled_from",
+    "service_requests",
+    "tuples",
+    "DEFAULT_MAX_EXAMPLES",
+    "DEFAULT_SEED",
+    "Counterexample",
+    "PropertyFailed",
+    "PropertyReport",
+    "assume",
+    "prop",
+    "run_property",
+    "shrink",
+]

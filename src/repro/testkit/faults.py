@@ -1,0 +1,196 @@
+"""Deterministic fault injection at named production fault points.
+
+The engine and service call :func:`fault_point` / :func:`fault_write`
+at the locations named in :mod:`repro.testkit.points`.  With no plan
+installed those calls are a single ``None`` check — effectively free —
+so they stay in production code permanently.  A test installs a
+:class:`FaultPlan` as a context manager and the named points start
+failing *deterministically*: the same plan always fires at the same
+hit of the same point, so crash-consistency tests are replayable.
+
+Actions:
+
+* ``"crash"`` — raise :class:`InjectedCrash` (a ``BaseException``, like
+  ``KeyboardInterrupt``), which sails through ``except Exception``
+  handlers exactly as a ``kill -9`` would end the process there.
+* ``"io-error"`` — raise :class:`FaultError` (an ``OSError``), the
+  recoverable-failure flavor production code is expected to handle.
+* ``"truncate"`` — for :func:`fault_write`: write only the first
+  ``keep_bytes`` bytes of the payload, then crash.  Simulates a kill
+  mid-write that leaves a partial record on disk.
+* ``"delay"`` — sleep ``delay_s`` (wall clock; never use inside
+  simulated-time code), then proceed normally.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.testkit.points import FAULT_POINTS
+
+__all__ = [
+    "ACTIONS",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "fault_point",
+    "fault_write",
+]
+
+ACTIONS = ("crash", "io-error", "truncate", "delay")
+
+
+class InjectedCrash(BaseException):
+    """A simulated process kill.
+
+    Deliberately **not** an ``Exception``: retry loops and supervisors
+    that catch ``Exception`` must not be able to swallow it, because a
+    real ``SIGKILL`` would not be catchable either.
+    """
+
+
+class FaultError(OSError):
+    """A recoverable injected IO failure."""
+
+
+@dataclass
+class FaultSpec:
+    """One planned fault: *what* happens at *which* hit of a point.
+
+    ``at_hit`` is 1-based: ``at_hit=3`` arms the fault on the third time
+    the point is reached while the plan is active.  ``times`` lets the
+    fault repeat on consecutive hits (default: fire once).
+    """
+
+    point: str
+    action: str = "crash"
+    at_hit: int = 1
+    times: int = 1
+    keep_bytes: int = 0
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; "
+                f"known: {sorted(FAULT_POINTS)}"
+            )
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; known: {ACTIONS}"
+            )
+        if self.at_hit < 1:
+            raise ValueError("at_hit is 1-based and must be >= 1")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+
+@dataclass
+class FaultPlan:
+    """A set of :class:`FaultSpec`\\ s, active inside a ``with`` block.
+
+    >>> plan = FaultPlan(FaultSpec(points.SERVICE_STORE_PUT, "truncate",
+    ...                            keep_bytes=20))
+    >>> with plan:
+    ...     store.put(spec, records)       # doctest: +SKIP
+    InjectedCrash
+
+    Only one plan can be active at a time (plans are installed in a
+    module global, mirroring "the process" being a singleton).  The
+    plan records every fault it fires in :attr:`fired` so tests can
+    assert the intended point was actually reached.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    hits: dict[str, int] = field(default_factory=dict)
+    fired: list[tuple[str, str, int]] = field(default_factory=list)
+
+    def __init__(self, *specs: FaultSpec) -> None:
+        self.specs = tuple(specs)
+        self.hits = {}
+        self.fired = []
+
+    def __enter__(self) -> "FaultPlan":
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("a FaultPlan is already active")
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _ACTIVE
+        _ACTIVE = None
+
+    def hit(self, point: str) -> FaultSpec | None:
+        """Record a hit of ``point``; return the spec to fire, if any."""
+        count = self.hits.get(point, 0) + 1
+        self.hits[point] = count
+        for spec in self.specs:
+            if spec.point != point:
+                continue
+            if spec.at_hit <= count < spec.at_hit + spec.times:
+                self.fired.append((point, spec.action, count))
+                return spec
+        return None
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, or ``None``."""
+    return _ACTIVE
+
+
+def _raise(spec: FaultSpec, point: str) -> None:
+    if spec.action in ("crash", "truncate"):
+        # ``truncate`` at a plain point has no payload: it is just a kill.
+        raise InjectedCrash(f"injected crash at {point}")
+    raise FaultError(f"injected io-error at {point}")
+
+
+def fault_point(point: str) -> None:
+    """Production hook: maybe fail here, per the active plan.
+
+    With no plan installed this is one global read and a comparison.
+    ``"truncate"`` at a plain point degrades to ``"crash"`` (there is
+    no payload to truncate).
+    """
+    if _ACTIVE is None:
+        return
+    spec = _ACTIVE.hit(point)
+    if spec is None:
+        return
+    if spec.action == "delay":
+        time.sleep(spec.delay_s)
+        return
+    _raise(spec, point)
+
+
+def fault_write(point: str, write: Callable[[str], object], text: str) -> None:
+    """Production hook wrapping a write so it can be truncated.
+
+    ``write(text)`` runs normally when no plan is active.  A
+    ``"truncate"`` fault writes only ``text[:keep_bytes]`` and then
+    crashes — the partial payload *is* durable (the caller's context
+    manager closes and flushes the file), exactly like a kill between
+    two ``write(2)`` calls.
+    """
+    if _ACTIVE is None:
+        write(text)
+        return
+    spec = _ACTIVE.hit(point)
+    if spec is None:
+        write(text)
+        return
+    if spec.action == "delay":
+        time.sleep(spec.delay_s)
+        write(text)
+        return
+    if spec.action == "truncate":
+        write(text[: max(spec.keep_bytes, 0)])
+        raise InjectedCrash(f"injected truncated write at {point}")
+    _raise(spec, point)

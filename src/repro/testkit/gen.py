@@ -1,0 +1,470 @@
+"""Deterministic generators over recorded choice sequences.
+
+Every generated value is a pure function of the sequence of primitive
+choices (ints, floats, bits) drawn from a :class:`DrawContext`.  The
+context either draws fresh choices from a ``repro.rng`` stream — and
+*records* them — or replays a previously recorded sequence.  That one
+design decision buys the whole testkit:
+
+* **replay** — re-running a property with the saved choices reproduces
+  the exact failing input, no matter how complex the generated object;
+* **shrinking** — :mod:`repro.testkit.shrink` never needs to know what
+  a ``CampaignSpec`` is; it deletes and minimizes raw choices and
+  replays.  Out-of-range replayed values are clamped into range and the
+  canonical (clamped) value is re-recorded, so mutated sequences stay
+  meaningful instead of crashing the generator.
+
+Generators (:class:`Gen`) are small composable wrappers over a draw
+function, with ``map``/``filter``/``bind`` and the usual combinator
+zoo (:func:`integers`, :func:`lists`, :func:`one_of`, ...), plus
+domain composites for DRAM command programs, campaign specs, data
+patterns, experiment records, and service request sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Invalid",
+    "Overrun",
+    "DrawContext",
+    "Gen",
+    "assume",
+    "just",
+    "integers",
+    "floats",
+    "log_floats",
+    "booleans",
+    "sampled_from",
+    "one_of",
+    "lists",
+    "tuples",
+    "binary",
+    "builds",
+    "command_programs",
+    "campaign_specs",
+    "data_patterns",
+    "row_sites",
+    "experiment_records",
+    "service_requests",
+]
+
+MAX_CHOICES = 16_384
+
+
+class Invalid(Exception):
+    """The current example cannot be completed; discard it."""
+
+
+class Overrun(Invalid):
+    """Replay ran past the end of the recorded choice sequence."""
+
+
+def assume(condition: object) -> None:
+    """Discard the current example unless ``condition`` is truthy."""
+    if not condition:
+        raise Invalid("assumption not satisfied")
+
+
+class DrawContext:
+    """Source of primitive choices: a recorded random run or a replay.
+
+    ``rng`` draws fresh values (pass a ``repro.rng.stream(...)``
+    generator); ``prefix`` replays recorded choices first.  When the
+    prefix is exhausted, drawing continues from ``rng`` if present and
+    raises :class:`Overrun` otherwise (pure replay).  All draws append
+    the *canonical* in-range value to :attr:`choices`.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator | None = None,
+        prefix: Sequence[float] | None = None,
+    ) -> None:
+        self.rng = rng
+        self.prefix = list(prefix) if prefix is not None else []
+        self.index = 0
+        self.choices: list[float] = []
+
+    def _next_raw(self) -> float | None:
+        """The next replayed raw value, or ``None`` to draw fresh."""
+        if self.index < len(self.prefix):
+            raw = self.prefix[self.index]
+            self.index += 1
+            return raw
+        if self.rng is None:
+            raise Overrun("replay exhausted its recorded choices")
+        return None
+
+    def _record(self, value: float) -> None:
+        if len(self.choices) >= MAX_CHOICES:
+            raise Invalid("example drew too many choices")
+        self.choices.append(value)
+
+    def draw_int(self, lo: int, hi: int) -> int:
+        """An integer in ``[lo, hi]`` (inclusive); shrinks toward ``lo``."""
+        if lo > hi:
+            raise Invalid(f"empty integer range [{lo}, {hi}]")
+        raw = self._next_raw()
+        if raw is None:
+            value = int(self.rng.integers(lo, hi + 1))
+        else:
+            value = min(max(int(raw), lo), hi)
+        self._record(value)
+        return value
+
+    def draw_index(self, size: int) -> int:
+        """An index in ``[0, size)``; shrinks toward 0."""
+        if size <= 0:
+            raise Invalid("empty collection to index")
+        return self.draw_int(0, size - 1)
+
+    def draw_float(self, lo: float, hi: float) -> float:
+        """A float in ``[lo, hi]``; shrinks toward ``lo``."""
+        if not lo <= hi:
+            raise Invalid(f"empty float range [{lo}, {hi}]")
+        raw = self._next_raw()
+        if raw is None:
+            value = float(self.rng.uniform(lo, hi))
+        else:
+            value = float(raw)
+            if not math.isfinite(value):
+                value = lo
+            value = min(max(value, lo), hi)
+        self._record(value)
+        return value
+
+    def draw_bool(self, p_true: float = 0.5) -> bool:
+        """A coin flip recorded as 0/1; shrinks toward ``False``."""
+        raw = self._next_raw()
+        if raw is None:
+            value = bool(self.rng.random() < p_true)
+        else:
+            value = bool(int(raw))
+        self._record(int(value))
+        return value
+
+
+class Gen:
+    """A composable generator: a draw function plus a label."""
+
+    def __init__(self, draw: Callable[[DrawContext], object], label: str = "gen"):
+        self._draw = draw
+        self.label = label
+
+    def sample(self, ctx: DrawContext) -> object:
+        """Draw one value from ``ctx``."""
+        return self._draw(ctx)
+
+    def map(self, fn: Callable) -> "Gen":
+        """Apply ``fn`` to every generated value."""
+        return Gen(lambda ctx: fn(self._draw(ctx)), f"{self.label}.map")
+
+    def filter(self, predicate: Callable) -> "Gen":
+        """Discard (``Invalid``) values failing ``predicate``."""
+
+        def draw(ctx: DrawContext) -> object:
+            value = self._draw(ctx)
+            assume(predicate(value))
+            return value
+
+        return Gen(draw, f"{self.label}.filter")
+
+    def bind(self, fn: Callable[[object], "Gen"]) -> "Gen":
+        """Monadic bind: generate, then generate again from the value."""
+        return Gen(lambda ctx: fn(self._draw(ctx)).sample(ctx), f"{self.label}.bind")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gen({self.label})"
+
+
+# ----------------------------------------------------------------------
+# combinators
+# ----------------------------------------------------------------------
+
+
+def just(value: object) -> Gen:
+    """Always ``value`` (draws nothing)."""
+    return Gen(lambda ctx: value, f"just({value!r})")
+
+
+def integers(lo: int, hi: int) -> Gen:
+    """Uniform integer in ``[lo, hi]``."""
+    return Gen(lambda ctx: ctx.draw_int(lo, hi), f"integers({lo}, {hi})")
+
+
+def floats(lo: float, hi: float) -> Gen:
+    """Uniform float in ``[lo, hi]``."""
+    return Gen(lambda ctx: ctx.draw_float(lo, hi), f"floats({lo}, {hi})")
+
+
+def log_floats(lo: float, hi: float) -> Gen:
+    """Log-uniform float in ``[lo, hi]`` (``lo`` must be positive).
+
+    Recorded as the exponent fraction in [0, 1], so shrinking walks the
+    value down toward ``lo`` multiplicatively — the natural direction
+    for time scales spanning ns to ms.
+    """
+    if not 0.0 < lo <= hi:
+        raise ValueError(f"log_floats needs 0 < lo <= hi, got [{lo}, {hi}]")
+    span = math.log(hi / lo)
+    return Gen(
+        lambda ctx: lo * math.exp(ctx.draw_float(0.0, 1.0) * span),
+        f"log_floats({lo}, {hi})",
+    )
+
+
+def booleans(p_true: float = 0.5) -> Gen:
+    """A biased coin; shrinks toward ``False``."""
+    return Gen(lambda ctx: ctx.draw_bool(p_true), "booleans")
+
+
+def sampled_from(values: Sequence) -> Gen:
+    """One of ``values``; shrinks toward the first."""
+    items = list(values)
+    return Gen(lambda ctx: items[ctx.draw_index(len(items))], "sampled_from")
+
+
+def one_of(*gens: Gen) -> Gen:
+    """Choose among generators; shrinks toward the first."""
+    return Gen(lambda ctx: gens[ctx.draw_index(len(gens))].sample(ctx), "one_of")
+
+
+def lists(element: Gen, min_size: int = 0, max_size: int = 8) -> Gen:
+    """A list of ``element`` draws, sized via continue bits.
+
+    Each optional element is preceded by a recorded continue bit, so
+    the shrinker can delete a ``(bit, element-choices)`` block and the
+    replay still parses — lists shrink by *removing elements*, not by
+    producing garbage.
+    """
+
+    def draw(ctx: DrawContext) -> list:
+        values: list = []
+        while len(values) < max_size:
+            if len(values) >= min_size and not ctx.draw_bool(0.75):
+                break
+            values.append(element.sample(ctx))
+        return values
+
+    return Gen(draw, f"lists({element.label})")
+
+
+def tuples(*gens: Gen) -> Gen:
+    """A fixed-shape tuple, one value per generator."""
+    return Gen(lambda ctx: tuple(g.sample(ctx) for g in gens), "tuples")
+
+
+def binary(length: int) -> Gen:
+    """Exactly ``length`` bytes; shrinks toward zeros."""
+    return Gen(
+        lambda ctx: bytes(ctx.draw_int(0, 255) for _ in range(length)),
+        f"binary({length})",
+    )
+
+
+def builds(factory: Callable, **field_gens: Gen) -> Gen:
+    """Call ``factory`` with one generated keyword argument per field."""
+
+    def draw(ctx: DrawContext) -> object:
+        return factory(**{name: g.sample(ctx) for name, g in field_gens.items()})
+
+    return Gen(draw, f"builds({getattr(factory, '__name__', 'factory')})")
+
+
+# ----------------------------------------------------------------------
+# domain composites
+# ----------------------------------------------------------------------
+
+_WAIT_CHOICES = (36.0, 15.0, 51.0, 20.0, 5.0, 0.0, 100.0)
+
+
+def command_programs(
+    *,
+    banks: int = 1,
+    rows: int = 64,
+    max_chunks: int = 5,
+    max_loop_count: int = 30,
+) -> Gen:
+    """Random DRAM command programs (ACT/PRE/WAIT soup plus loops).
+
+    Emitted in protocol-shaped *chunks* — single commands, well-formed
+    ACT/WAIT/PRE/WAIT episodes with waits biased toward the timing
+    boundaries (tRAS=36, tRP=15, tRC=51), and loops over such bodies —
+    so a useful fraction of programs is close to legal with exactly one
+    violation, which is where the progcheck-vs-executor differential
+    oracle finds its counterexamples.
+    """
+
+    def draw(ctx: DrawContext) -> object:
+        from repro.bender.program import Act, Loop, Pre, Program, Wait
+        from repro.dram.geometry import RowAddress
+
+        def draw_wait() -> object:
+            if ctx.draw_bool(0.7):
+                return Wait(_WAIT_CHOICES[ctx.draw_index(len(_WAIT_CHOICES))])
+            return Wait(round(ctx.draw_float(0.0, 120.0), 1))
+
+        def draw_row() -> int:
+            return 4 + ctx.draw_index(rows - 8)
+
+        def draw_simple() -> object:
+            kind = ctx.draw_index(3)
+            if kind == 0:
+                return draw_wait()
+            if kind == 1:
+                return Act(RowAddress(0, ctx.draw_index(banks), draw_row()))
+            return Pre(0, ctx.draw_index(banks))
+
+        def draw_episode() -> list:
+            bank = ctx.draw_index(banks)
+            return [
+                Act(RowAddress(0, bank, draw_row())),
+                draw_wait(),
+                Pre(0, bank),
+                draw_wait(),
+            ]
+
+        def draw_chunk(allow_loop: bool) -> list:
+            kind = ctx.draw_index(3 if allow_loop else 2)
+            if kind == 0:
+                return [draw_simple()]
+            if kind == 1:
+                return draw_episode()
+            count = ctx.draw_int(0, max_loop_count)
+            body: list = []
+            for _ in range(ctx.draw_int(1, 2)):
+                body.extend(draw_chunk(allow_loop=False))
+            return [Loop(count, tuple(body))]
+
+        instructions: list = []
+        chunks = 0
+        while chunks < max_chunks:
+            if chunks >= 1 and not ctx.draw_bool(0.7):
+                break
+            instructions.extend(draw_chunk(allow_loop=True))
+            chunks += 1
+        return Program(instructions)
+
+    return Gen(draw, "command_programs")
+
+
+def data_patterns() -> Gen:
+    """One of the paper's named data patterns (no CUSTOM payload)."""
+
+    def draw(ctx: DrawContext) -> object:
+        from repro.dram.datapattern import DataPattern
+
+        named = [p for p in DataPattern if p is not DataPattern.CUSTOM]
+        return named[ctx.draw_index(len(named))]
+
+    return Gen(draw, "data_patterns")
+
+
+def row_sites(*, banks: int = 2, rows: int = 64, margin: int = 8) -> Gen:
+    """A :class:`RowSite` with room for +-2 neighbors inside the bank."""
+
+    def draw(ctx: DrawContext) -> object:
+        from repro.characterization.patterns import RowSite
+
+        return RowSite(
+            rank=0,
+            bank=ctx.draw_index(banks),
+            row=margin + ctx.draw_index(max(rows - 2 * margin, 1)),
+        )
+
+    return Gen(draw, "row_sites")
+
+
+def campaign_specs(
+    *,
+    experiments: Sequence[str] = ("acmin", "taggonmin", "ber"),
+    module_ids: Sequence[str] = ("S3",),
+) -> Gen:
+    """Small, fast-to-run campaign specs over the given experiments."""
+
+    def draw(ctx: DrawContext) -> object:
+        from repro import units
+        from repro.characterization.campaign import CampaignSpec
+        from repro.characterization.patterns import AccessPattern
+        from repro.dram.datapattern import DataPattern
+
+        t_pool = (36.0, 516.0, units.TREFI, 2 * units.TREFI, units.TAGGON_MAX)
+        count_pool = (1, 10, 200, 2_000)
+        n_t = 1 + ctx.draw_index(2)
+        t_values = tuple(
+            sorted({t_pool[ctx.draw_index(len(t_pool))] for _ in range(n_t)})
+        )
+        n_c = 1 + ctx.draw_index(2)
+        counts = tuple(
+            sorted({count_pool[ctx.draw_index(len(count_pool))] for _ in range(n_c)})
+        )
+        accesses = [p.value for p in AccessPattern]
+        patterns = [DataPattern.CHECKERBOARD.value, DataPattern.ROWSTRIPE.value]
+        return CampaignSpec(
+            name="fuzz",
+            module_ids=(module_ids[ctx.draw_index(len(module_ids))],),
+            experiment=experiments[ctx.draw_index(len(experiments))],
+            t_aggon_values=t_values,
+            activation_counts=counts,
+            access=accesses[ctx.draw_index(len(accesses))],
+            data_pattern=patterns[ctx.draw_index(len(patterns))],
+            temperature_c=(50.0, 80.0)[ctx.draw_index(2)],
+            sites_per_module=1 + ctx.draw_index(2),
+            seed=ctx.draw_int(1, 10_000),
+        )
+
+    return Gen(draw, "campaign_specs")
+
+
+_RECORD_STRINGS = ("fuzz", "S3", "H4", "single", "double", "CB", "RS")
+
+
+def experiment_records(experiment: str) -> Gen:
+    """Synthetic records of a registered experiment's record type.
+
+    Fields are generated from the dataclass field annotations (``int``,
+    ``float``, ``str``, optional variants), so newly registered
+    experiments get round-trip coverage for free.
+    """
+
+    def draw(ctx: DrawContext) -> object:
+        import dataclasses
+
+        from repro.characterization import registry
+
+        record_type = registry.get(experiment).record_type
+        values = {}
+        for spec_field in dataclasses.fields(record_type):
+            annotation = str(spec_field.type)
+            optional = "None" in annotation
+            if optional and ctx.draw_bool(0.3):
+                values[spec_field.name] = None
+            elif "int" in annotation:
+                values[spec_field.name] = ctx.draw_int(0, 100_000)
+            elif "float" in annotation:
+                values[spec_field.name] = round(ctx.draw_float(0.0, 100_000.0), 3)
+            else:
+                values[spec_field.name] = _RECORD_STRINGS[
+                    ctx.draw_index(len(_RECORD_STRINGS))
+                ]
+        return record_type(**values)
+
+    return Gen(draw, f"experiment_records({experiment})")
+
+
+def service_requests(*, max_ops: int = 12, distinct_specs: int = 3) -> Gen:
+    """A client session: submit / status / results / restart op sequence.
+
+    Returns a list of ``(op, spec_index)`` tuples; ``"restart"`` means
+    "tear the manager down and recover from disk", which is how the
+    crash-consistency property drives the service through simulated
+    process lifetimes.
+    """
+    ops = ("submit", "status", "results", "restart")
+    op_gen = tuples(sampled_from(ops), integers(0, distinct_specs - 1))
+    return lists(op_gen, min_size=1, max_size=max_ops)

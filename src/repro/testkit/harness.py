@@ -1,0 +1,281 @@
+"""The property runner: corpus replay, random search, shrink, report.
+
+A property is a plain function taking generated keyword arguments.
+:func:`run_property` (or the :func:`prop` decorator, for pytest)
+executes it in three phases:
+
+1. **corpus replay** — every choice sequence saved under
+   ``tests/corpus/<name>.jsonl`` is replayed first, so previously
+   found counterexamples act as pinned regression tests;
+2. **random search** — ``max_examples`` fresh inputs drawn from
+   ``repro.rng.stream(seed, "testkit", name, i)``, so runs are
+   deterministic per (seed, property, example index);
+3. **shrink & persist** — on failure the recorded choices are
+   minimized (:mod:`repro.testkit.shrink`), appended to the corpus,
+   and reported with a ``pytest ... --repro-seed=N`` replay line.
+
+The raised :class:`PropertyFailed` is an ``AssertionError`` subclass,
+so pytest renders it as an ordinary test failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.rng import stream
+from repro.testkit.gen import DrawContext, Gen, Invalid, assume
+from repro.testkit.shrink import shrink
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DEFAULT_MAX_EXAMPLES",
+    "Counterexample",
+    "PropertyFailed",
+    "PropertyReport",
+    "assume",
+    "prop",
+    "run_property",
+]
+
+DEFAULT_SEED = 2023
+DEFAULT_MAX_EXAMPLES = 25
+_INVALID_FACTOR = 10
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A minimal failing input, fully described by its choices."""
+
+    name: str
+    seed: int
+    choices: tuple[float, ...]
+    args_repr: str
+    error_repr: str
+    shrink_calls: int
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """What a successful run did."""
+
+    name: str
+    seed: int
+    examples: int
+    invalid: int
+    corpus_replayed: int
+
+
+class PropertyFailed(AssertionError):
+    """A property failed; carries the shrunk :class:`Counterexample`."""
+
+    def __init__(self, message: str, counterexample: Counterexample) -> None:
+        super().__init__(message)
+        self.counterexample = counterexample
+
+
+def _attempt(fn, gens: dict[str, Gen], ctx: DrawContext):
+    """Run one example; returns ``(status, error, args_repr)``."""
+    try:
+        args = {field: gen.sample(ctx) for field, gen in gens.items()}
+    except Invalid:
+        return "invalid", None, ""
+    args_repr = ", ".join(f"{field}={value!r}" for field, value in args.items())
+    try:
+        fn(**args)
+    except Invalid:
+        return "invalid", None, args_repr
+    except Exception as error:  # the property failed
+        return "fail", error, args_repr
+    return "ok", None, args_repr
+
+
+def _corpus_file(corpus_dir: Path | str | None, name: str) -> Path | None:
+    if corpus_dir is None:
+        return None
+    return Path(corpus_dir) / f"{name}.jsonl"
+
+
+def _load_corpus(path: Path | None) -> list[list[float]]:
+    if path is None or not path.exists():
+        return []
+    entries: list[list[float]] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue  # hand-edited garbage must not break the suite
+        if isinstance(entry, list):
+            entries.append(entry)
+    return entries
+
+
+def _save_corpus(path: Path | None, choices: list[float]) -> bool:
+    if path is None:
+        return False
+    line = json.dumps(choices)
+    if path.exists() and line in path.read_text().splitlines():
+        return True
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return True
+
+
+def _replay_line(fn, seed: int) -> str:
+    module = sys.modules.get(fn.__module__)
+    source = getattr(module, "__file__", None)
+    if source is None:
+        return ""
+    path = Path(source)
+    try:
+        path = path.relative_to(Path.cwd())
+    except ValueError:
+        pass
+    return f"python -m pytest {path}::{fn.__name__} --repro-seed={seed}"
+
+
+def _fail(fn, gens, name, seed, choices, *, shrink_enabled, max_shrink_calls, corpus_path):
+    """Shrink a failing sequence, persist it, and raise PropertyFailed."""
+
+    def still_fails(candidate: list[float]) -> bool:
+        status, _, _ = _attempt(fn, gens, DrawContext(prefix=candidate))
+        return status == "fail"
+
+    shrink_calls = 0
+    if shrink_enabled:
+        choices, shrink_calls = shrink(choices, still_fails, max_shrink_calls)
+    # one final replay for the canonical choices, args, and error
+    final = DrawContext(prefix=choices)
+    status, error, args_repr = _attempt(fn, gens, final)
+    minimal = list(final.choices)
+    if status != "fail":  # pragma: no cover - shrinker invariant
+        raise RuntimeError(f"shrunk sequence no longer fails {name}")
+    saved = _save_corpus(corpus_path, minimal)
+    counterexample = Counterexample(
+        name=name,
+        seed=seed,
+        choices=tuple(minimal),
+        args_repr=args_repr,
+        error_repr=repr(error),
+        shrink_calls=shrink_calls,
+    )
+    lines = [
+        f"property {name} failed (seed={seed}, "
+        f"shrunk with {shrink_calls} replays)",
+        f"  falsifying example: {args_repr}",
+        f"  error: {error!r}",
+        f"  choices: {json.dumps(minimal)}",
+    ]
+    replay = _replay_line(fn, seed)
+    if replay:
+        lines.append(f"  replay: {replay}")
+    if saved:
+        lines.append(f"  saved to regression corpus: {corpus_path}")
+    raise PropertyFailed("\n".join(lines), counterexample) from error
+
+
+def run_property(
+    fn,
+    gens: dict[str, Gen],
+    *,
+    name: str | None = None,
+    seed: int = DEFAULT_SEED,
+    max_examples: int = DEFAULT_MAX_EXAMPLES,
+    corpus_dir: Path | str | None = None,
+    shrink_enabled: bool = True,
+    max_shrink_calls: int = 2_000,
+) -> PropertyReport:
+    """Check ``fn`` against generated inputs; raise on counterexample.
+
+    Returns a :class:`PropertyReport` when every corpus entry and all
+    ``max_examples`` random examples pass.  Raises
+    :class:`PropertyFailed` with a shrunk, corpus-persisted
+    counterexample otherwise.
+    """
+    name = name or getattr(fn, "__name__", "property")
+    corpus_path = _corpus_file(corpus_dir, name)
+    replayed = 0
+    for entry in _load_corpus(corpus_path):
+        status, _, _ = _attempt(fn, gens, DrawContext(prefix=entry))
+        replayed += 1
+        if status == "fail":
+            _fail(
+                fn, gens, name, seed, entry,
+                shrink_enabled=shrink_enabled,
+                max_shrink_calls=max_shrink_calls,
+                corpus_path=corpus_path,
+            )
+    valid = 0
+    invalid = 0
+    attempt = 0
+    max_attempts = max_examples * _INVALID_FACTOR + _INVALID_FACTOR
+    while valid < max_examples and attempt < max_attempts:
+        ctx = DrawContext(rng=stream(seed, "testkit", name, attempt))
+        attempt += 1
+        status, _, _ = _attempt(fn, gens, ctx)
+        if status == "invalid":
+            invalid += 1
+            continue
+        valid += 1
+        if status == "fail":
+            _fail(
+                fn, gens, name, seed, list(ctx.choices),
+                shrink_enabled=shrink_enabled,
+                max_shrink_calls=max_shrink_calls,
+                corpus_path=corpus_path,
+            )
+    return PropertyReport(
+        name=name, seed=seed, examples=valid, invalid=invalid, corpus_replayed=replayed
+    )
+
+
+def prop(*, max_examples: int = DEFAULT_MAX_EXAMPLES, seed: int | None = None, **gens: Gen):
+    """Decorator turning a property function into a pytest test.
+
+    The wrapper accepts pytest's ``testkit_seed`` fixture (see
+    ``tests/conftest.py``), so ``pytest --repro-seed=N`` replays any
+    failure deterministically.  The regression corpus lives in a
+    ``corpus/`` directory next to the defining test file.
+
+    >>> @prop(count=integers(0, 10))          # doctest: +SKIP
+    ... def test_counts(count):
+    ...     assert count <= 10
+    """
+    if isinstance(seed, Gen):
+        # ``seed`` is a common *property argument* name (e.g. fuzzing a
+        # simulator's seed); a Gen here is a generator, not the option.
+        gens["seed"] = seed
+        seed = None
+
+    def decorate(fn):
+        module = sys.modules.get(fn.__module__)
+        source = getattr(module, "__file__", None)
+        corpus_dir = Path(source).parent / "corpus" if source else None
+        corpus_name = f"{Path(source).stem}.{fn.__name__}" if source else fn.__name__
+
+        def wrapper(testkit_seed):
+            run_property(
+                fn,
+                gens,
+                name=corpus_name,
+                seed=seed if seed is not None else (
+                    testkit_seed if testkit_seed is not None else DEFAULT_SEED
+                ),
+                max_examples=max_examples,
+                corpus_dir=corpus_dir,
+            )
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__module__ = fn.__module__
+        wrapper.testkit_property = fn
+        wrapper.testkit_gens = gens
+        return wrapper
+
+    return decorate

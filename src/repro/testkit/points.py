@@ -1,0 +1,47 @@
+"""Registry of named fault points.
+
+Every location in the production code that can be interrupted by
+:class:`repro.testkit.faults.FaultPlan` is named here, in one place, so
+
+* tests refer to points by constant instead of by string literal,
+* ``FaultPlan`` can reject typo'd point names at construction time, and
+* ``repro lint`` (the ``unknown-fault-point`` rule) can flag call sites
+  that pass a string not in :data:`FAULT_POINTS`.
+
+This module is intentionally dependency-free (stdlib only): the engine
+and service import it at module load, and it must never pull the test
+harness (or numpy) into production import paths.
+"""
+
+from __future__ import annotations
+
+ENGINE_SHARD_START = "engine.shard.start"
+"""Entry of :func:`~repro.characterization.engine._run_shard_units` —
+fires before any unit of the shard runs, so a crash here loses the
+whole shard attempt but never a recorded one."""
+
+ENGINE_CHECKPOINT_APPEND = "engine.checkpoint.append"
+"""The checkpoint JSONL append in ``CampaignCheckpoint._append`` —
+truncation here simulates a kill mid-write, which ``load()`` must
+detect and normalize."""
+
+SERVICE_JOB_PERSIST = "service.jobs.persist"
+"""The atomic job-record write in ``JobManager.persist``."""
+
+SERVICE_STORE_PUT = "service.store.put"
+"""The results-file write in ``ResultStore.put``."""
+
+SERVICE_STORE_READ = "service.store.read"
+"""Entry of ``ResultStore.read_text`` — lets tests inject IO errors or
+delays on the cached-result read path."""
+
+FAULT_POINTS: frozenset[str] = frozenset(
+    {
+        ENGINE_SHARD_START,
+        ENGINE_CHECKPOINT_APPEND,
+        SERVICE_JOB_PERSIST,
+        SERVICE_STORE_PUT,
+        SERVICE_STORE_READ,
+    }
+)
+"""All fault-point names the production code declares."""

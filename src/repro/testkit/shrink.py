@@ -1,0 +1,171 @@
+"""Greedy deterministic minimizer for recorded choice sequences.
+
+The shrinker never sees generated objects — it edits the raw choice
+list a failing example recorded (see :mod:`repro.testkit.gen`) and
+asks a caller-supplied predicate "does replaying this still fail?".
+Because replay clamps out-of-range values, almost any edit yields a
+*valid* nearby input, which is what makes blind structural shrinking
+effective.
+
+Two kinds of passes run to a fixpoint, entirely deterministically:
+
+1. **chunk deletion** — drop windows of 8/4/2/1 consecutive choices
+   (shrinks lists by whole elements, drops program chunks, ...);
+2. **value minimization** — binary-search each surviving choice toward
+   0 (and floats toward round integers), one index at a time.
+
+The predicate-call budget is bounded, so shrinking an expensive
+property (e.g. one that runs a whole campaign per replay) degrades to
+"fewer passes", never "hangs".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+__all__ = ["shrink"]
+
+_CHUNK_SIZES = (8, 4, 2, 1)
+_FLOAT_BISECTIONS = 12
+
+
+class _Budget(Exception):
+    """Internal: the predicate-call budget ran out mid-pass."""
+
+
+class _State:
+    """Current best failing sequence + memoized, budgeted predicate."""
+
+    def __init__(
+        self,
+        choices: Sequence[float],
+        predicate: Callable[[list[float]], bool],
+        max_calls: int,
+    ) -> None:
+        self.best = list(choices)
+        self.predicate = predicate
+        self.calls_left = max_calls
+        self.seen: dict[tuple, bool] = {tuple(self.best): True}
+
+    def consider(self, candidate: list[float]) -> bool:
+        """Adopt ``candidate`` if it still fails; report whether it did."""
+        key = tuple(candidate)
+        if key in self.seen:
+            result = self.seen[key]
+        else:
+            if self.calls_left <= 0:
+                raise _Budget
+            self.calls_left -= 1
+            result = bool(self.predicate(candidate))
+            self.seen[key] = result
+        if result and self._better(candidate):
+            self.best = list(candidate)
+        return result
+
+    def _better(self, candidate: list[float]) -> bool:
+        if len(candidate) != len(self.best):
+            return len(candidate) < len(self.best)
+        return candidate < self.best
+
+
+def _delete_chunks(state: _State) -> bool:
+    """Try removing windows of consecutive choices; True if any stuck."""
+    improved = False
+    for size in _CHUNK_SIZES:
+        start = len(state.best) - size
+        while start >= 0:
+            candidate = state.best[:start] + state.best[start + size :]
+            if candidate and state.consider(candidate):
+                improved = True
+                # the window shifted into start; retry the same offset
+                start = min(start, len(state.best) - size)
+            else:
+                start -= 1
+    return improved
+
+
+def _try_value(state: _State, index: int, value: float) -> bool:
+    if index >= len(state.best) or state.best[index] == value:
+        return False
+    candidate = list(state.best)
+    candidate[index] = value
+    return state.consider(candidate)
+
+
+def _minimize_int(state: _State, index: int) -> bool:
+    """Binary-search one integer choice toward 0."""
+    value = int(state.best[index])
+    if value == 0:
+        return False
+    if _try_value(state, index, 0):
+        return True
+    lo, hi = 0, abs(value)
+    sign = 1 if value > 0 else -1
+    improved = False
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _try_value(state, index, sign * mid):
+            hi = mid
+            improved = True
+        else:
+            lo = mid
+    return improved
+
+
+def _minimize_float(state: _State, index: int) -> bool:
+    """Pull one float choice toward 0.0 / the nearest round number."""
+    value = float(state.best[index])
+    if value == 0.0:
+        return False
+    if _try_value(state, index, 0.0):
+        return True
+    improved = False
+    if math.isfinite(value) and value != int(value):
+        improved = _try_value(state, index, float(int(value))) or improved
+    lo, hi = 0.0, float(state.best[index])
+    for _ in range(_FLOAT_BISECTIONS):
+        mid = (lo + hi) / 2.0
+        if _try_value(state, index, mid):
+            hi = float(state.best[index])
+            improved = True
+        else:
+            lo = mid
+    return improved
+
+
+def _minimize_values(state: _State) -> bool:
+    """One left-to-right pass of per-choice minimization."""
+    improved = False
+    index = 0
+    while index < len(state.best):
+        value = state.best[index]
+        if isinstance(value, float) and value != int(value):
+            improved = _minimize_float(state, index) or improved
+        else:
+            improved = _minimize_int(state, index) or improved
+        index += 1
+    return improved
+
+
+def shrink(
+    choices: Sequence[float],
+    predicate: Callable[[list[float]], bool],
+    max_calls: int = 2_000,
+) -> tuple[list[float], int]:
+    """Minimize a failing choice sequence; returns ``(best, calls_used)``.
+
+    ``predicate(candidate)`` must return True when replaying
+    ``candidate`` still fails the property.  The input ``choices`` is
+    assumed to fail already.  Deterministic: same input and predicate
+    behavior, same result.
+    """
+    state = _State(choices, predicate, max_calls)
+    try:
+        improved = True
+        while improved:
+            improved = _delete_chunks(state)
+            improved = _minimize_values(state) or improved
+    except _Budget:
+        pass
+    return list(state.best), max_calls - state.calls_left

@@ -1,4 +1,4 @@
-"""Shared fixtures: small, fast module/bench builders."""
+"""Shared fixtures: small, fast module/bench builders + testkit seed."""
 
 from __future__ import annotations
 
@@ -7,6 +7,25 @@ import pytest
 from repro.dram.catalog import build_module
 from repro.dram.geometry import Geometry
 from repro.bender.infrastructure import TestingInfrastructure
+
+
+def pytest_addoption(parser):
+    """``--repro-seed``: replay a testkit property failure's seed."""
+    parser.addoption(
+        "--repro-seed",
+        action="store",
+        type=int,
+        default=None,
+        help="root seed for repro.testkit generative tests "
+        "(default: the testkit's fixed seed; failures print the "
+        "exact --repro-seed line to replay them)",
+    )
+
+
+@pytest.fixture
+def testkit_seed(request):
+    """Seed consumed by every ``@prop`` test (None -> testkit default)."""
+    return request.config.getoption("--repro-seed")
 
 
 def small_geometry(rows: int = 256, row_bits: int = 8192) -> Geometry:

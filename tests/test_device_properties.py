@@ -1,12 +1,15 @@
-"""Property-based tests on device-level invariants (hypothesis)."""
+"""Property-based tests on device-level invariants (repro.testkit)."""
+
+from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
+from repro import units
 from repro.dram.catalog import build_module
 from repro.dram.datapattern import DataPattern, aggressor_bytes, victim_bytes
 from repro.dram.geometry import Geometry, RowAddress
+from repro.testkit import binary, floats, integers, lists, prop, tuples
 
 GEOMETRY = Geometry(
     ranks=1, bank_groups=1, banks_per_group=1, rows_per_bank=64, row_bits=8192
@@ -26,11 +29,11 @@ def setup_rows(device, aggressor_row=30):
     return aggressor, victim
 
 
-@given(
-    count=st.integers(min_value=1, max_value=100_000),
-    t_on=st.floats(min_value=36.0, max_value=100_000.0),
+@prop(
+    max_examples=25,
+    count=integers(1, 100_000),
+    t_on=floats(36.0, 100_000.0),
 )
-@settings(max_examples=25, deadline=None)
 def test_deposit_split_is_additive(count, t_on):
     """deposit(n) == deposit(k) + deposit(n-k) for dose accumulation."""
     split = max(count // 3, 1)
@@ -47,28 +50,24 @@ def test_deposit_split_is_additive(count, t_on):
     assert dose_whole[1] == pytest.approx(dose_parts[1], rel=1e-9, abs=1e-12)
 
 
-@given(
-    counts=st.tuples(
-        st.integers(min_value=100, max_value=50_000),
-        st.integers(min_value=100, max_value=50_000),
-    )
+@prop(
+    max_examples=15,
+    counts=tuples(integers(100, 50_000), integers(100, 50_000)),
 )
-@settings(max_examples=15, deadline=None)
 def test_dose_monotone_in_count(counts):
     low, high = min(counts), max(counts)
     device_low = fresh_device()
     device_high = fresh_device()
     aggressor, victim = setup_rows(device_low)
     setup_rows(device_high)
-    device_low.deposit_episodes(aggressor, 7800.0, 15.0, 1e6, low)
-    device_high.deposit_episodes(aggressor, 7800.0, 15.0, 1e6, high)
+    device_low.deposit_episodes(aggressor, units.TREFI, 15.0, 1e6, low)
+    device_high.deposit_episodes(aggressor, units.TREFI, 15.0, 1e6, high)
     assert device_high.dose_of(victim, now=1.1e6)[1] >= (
         device_low.dose_of(victim, now=1.1e6)[1]
     )
 
 
-@given(t_on=st.floats(min_value=100.0, max_value=1e7))
-@settings(max_examples=15, deadline=None)
+@prop(max_examples=15, t_on=floats(100.0, 1e7))
 def test_flip_count_monotone_in_dose(t_on):
     """More on-time at fixed count never yields fewer press flips."""
     device_short = fresh_device()
@@ -83,8 +82,7 @@ def test_flip_count_monotone_in_dose(t_on):
     assert long_flips >= short_flips
 
 
-@given(data=st.binary(min_size=GEOMETRY.row_bits // 8, max_size=GEOMETRY.row_bits // 8))
-@settings(max_examples=20, deadline=None)
+@prop(max_examples=20, data=binary(GEOMETRY.row_bits // 8))
 def test_write_read_without_disturbance_is_identity(data):
     device = fresh_device()
     address = RowAddress(0, 0, 10)
@@ -95,12 +93,11 @@ def test_write_read_without_disturbance_is_identity(data):
     assert np.array_equal(read_back, payload)
 
 
-@given(rows=st.lists(st.integers(min_value=1, max_value=62), min_size=1, max_size=6))
-@settings(max_examples=15, deadline=None)
+@prop(max_examples=15, rows=lists(integers(1, 62), min_size=1, max_size=6))
 def test_refresh_resets_all_disturbance(rows):
     device = fresh_device()
     aggressor, victim = setup_rows(device)
-    device.deposit_episodes(aggressor, 7800.0, 15.0, 1e6, 5000)
+    device.deposit_episodes(aggressor, units.TREFI, 15.0, 1e6, 5000)
     for row in {victim.row, *rows}:
         device.refresh_row(RowAddress(0, 0, row), 2e6)
     assert device.dose_of(victim) == (0.0, 0.0)

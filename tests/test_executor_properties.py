@@ -1,12 +1,14 @@
 """Property test: the executor's bulk loop path matches literal replay."""
 
+from __future__ import annotations
+
 import pytest
-from hypothesis import assume, given, settings, strategies as st
 
 from repro.dram.catalog import build_module
 from repro.dram.geometry import Geometry, RowAddress
 from repro.bender.executor import ProgramExecutor
 from repro.bender.program import Act, Loop, Pre, Program, Wait
+from repro.testkit import assume, floats, integers, lists, prop
 
 GEOMETRY = Geometry(
     ranks=1, bank_groups=1, banks_per_group=1, rows_per_bank=96, row_bits=8192
@@ -28,16 +30,12 @@ def _unrolled(rows, t_ons, count):
     return Program([Loop(1, loop.body * count)])
 
 
-@given(
-    rows=st.lists(
-        st.integers(min_value=10, max_value=80), min_size=1, max_size=3, unique=True
-    ),
-    t_ons=st.lists(
-        st.floats(min_value=36.0, max_value=20_000.0), min_size=3, max_size=3
-    ),
-    count=st.integers(min_value=24, max_value=80),
+@prop(
+    max_examples=20,
+    rows=lists(integers(10, 80), min_size=1, max_size=3),
+    t_ons=lists(floats(36.0, 20_000.0), min_size=3, max_size=3),
+    count=integers(24, 80),
 )
-@settings(max_examples=20, deadline=None)
 def test_bulk_loop_equals_literal_replay(rows, t_ons, count):
     """Doses agree within ~one episode's worth of slack.
 

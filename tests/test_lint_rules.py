@@ -280,6 +280,33 @@ def test_no_mutable_default_allows_none_and_tuples():
     assert not lint(source)
 
 
+def test_unknown_fault_point_flags_typos_in_literals():
+    source = (
+        "from __future__ import annotations\n"
+        "from repro.testkit.faults import FaultSpec, fault_point\n"
+        "def f():\n"
+        "    fault_point('engine.shard.strat')\n"  # typo'd literal
+        "    return FaultSpec(point='service.store.putt')\n"
+    )
+    diagnostics = [d for d in lint(source) if d.rule == "unknown-fault-point"]
+    assert len(diagnostics) == 2
+    assert "engine.shard.strat" in diagnostics[0].message
+
+
+def test_unknown_fault_point_accepts_registry_names_and_constants():
+    source = (
+        "from __future__ import annotations\n"
+        "from repro.testkit.faults import FaultSpec, fault_point, fault_write\n"
+        "from repro.testkit.points import ENGINE_SHARD_START\n"
+        "def f(write, text):\n"
+        "    fault_point('engine.shard.start')\n"
+        "    fault_write('engine.checkpoint.append', write, text)\n"
+        "    fault_point(ENGINE_SHARD_START)\n"  # named constant: not a literal
+        "    return FaultSpec('service.store.put', 'truncate')\n"
+    )
+    assert "unknown-fault-point" not in codes(lint(source))
+
+
 def test_require_future_annotations_only_when_defining():
     defines = "def f():\n    return 1\n"
     assert "require-future-annotations" in codes(lint(defines))

@@ -1,20 +1,21 @@
 """Property tests on the performance simulator's conservation laws."""
 
-from hypothesis import given, settings, strategies as st
+from __future__ import annotations
 
 from repro.sim import Simulator
 from repro.sim.request import RequestType
 from repro.sim.trace import WORKLOADS
+from repro.testkit import integers, prop, sampled_from
 
 NAMES = sorted(WORKLOADS)
 
 
-@given(
-    name=st.sampled_from(["429.mcf", "h264_encode", "462.libquantum", "ycsb_a"]),
-    requests=st.integers(min_value=50, max_value=800),
-    seed=st.integers(min_value=1, max_value=50),
+@prop(
+    max_examples=12,
+    name=sampled_from(["429.mcf", "h264_encode", "462.libquantum", "ycsb_a"]),
+    requests=integers(50, 800),
+    seed=integers(1, 50),
 )
-@settings(max_examples=12, deadline=None)
 def test_all_requests_are_served(name, requests, seed):
     sim = Simulator([name], requests_per_core=requests, seed=seed)
     reads = sum(
@@ -28,26 +29,24 @@ def test_all_requests_are_served(name, requests, seed):
     assert reads <= result.stats.accesses
 
 
-@given(
-    name=st.sampled_from(["429.mcf", "h264_encode", "tpch6"]),
-    requests=st.integers(min_value=100, max_value=600),
+@prop(
+    max_examples=10,
+    name=sampled_from(["429.mcf", "h264_encode", "tpch6"]),
+    requests=integers(100, 600),
 )
-@settings(max_examples=10, deadline=None)
 def test_ipc_bounded_by_issue_width(name, requests):
     result = Simulator([name], requests_per_core=requests).run()
     assert 0.0 < result.ipc_of(0) <= 4.0  # 4-wide core
 
 
-@given(cores=st.integers(min_value=1, max_value=4))
-@settings(max_examples=6, deadline=None)
+@prop(max_examples=6, cores=integers(1, 4))
 def test_accesses_scale_with_core_count(cores):
     result = Simulator(["505.mcf"] * cores, requests_per_core=300).run()
     assert result.stats.accesses == 300 * cores
     assert len(result.ipc) == cores
 
 
-@given(seed=st.integers(min_value=1, max_value=100))
-@settings(max_examples=8, deadline=None)
+@prop(max_examples=8, seed=integers(1, 100))
 def test_hit_rates_are_probabilities(seed):
     result = Simulator(["433.milc"], requests_per_core=400, seed=seed).run()
     assert 0.0 <= result.stats.row_hit_rate <= 1.0

@@ -1,0 +1,123 @@
+"""Fault plans: validation, exclusivity, hit windows, every action."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testkit import FaultError, FaultPlan, FaultSpec, InjectedCrash
+from repro.testkit.faults import active_plan, fault_point, fault_write
+from repro.testkit.points import (
+    ENGINE_CHECKPOINT_APPEND,
+    ENGINE_SHARD_START,
+    FAULT_POINTS,
+    SERVICE_STORE_PUT,
+)
+
+
+def test_spec_rejects_unknown_points_and_actions():
+    with pytest.raises(ValueError, match="unknown fault point"):
+        FaultSpec("engine.shard.strat")  # typo
+    with pytest.raises(ValueError, match="unknown fault action"):
+        FaultSpec(ENGINE_SHARD_START, "explode")
+    with pytest.raises(ValueError, match="at_hit"):
+        FaultSpec(ENGINE_SHARD_START, at_hit=0)
+    with pytest.raises(ValueError, match="times"):
+        FaultSpec(ENGINE_SHARD_START, times=0)
+
+
+def test_all_declared_points_are_spec_constructible():
+    for point in FAULT_POINTS:
+        FaultSpec(point)
+
+
+def test_only_one_plan_may_be_active():
+    with FaultPlan():
+        with pytest.raises(RuntimeError, match="already active"):
+            with FaultPlan():
+                pass  # pragma: no cover
+    assert active_plan() is None
+
+
+def test_no_plan_means_no_effect():
+    fault_point(ENGINE_SHARD_START)
+    written = []
+    fault_write(SERVICE_STORE_PUT, written.append, "payload")
+    assert written == ["payload"]
+
+
+def test_crash_fires_at_the_exact_hit():
+    plan = FaultPlan(FaultSpec(ENGINE_SHARD_START, "crash", at_hit=3))
+    with plan:
+        fault_point(ENGINE_SHARD_START)
+        fault_point(ENGINE_SHARD_START)
+        with pytest.raises(InjectedCrash):
+            fault_point(ENGINE_SHARD_START)
+        fault_point(ENGINE_SHARD_START)  # window passed; quiet again
+    assert plan.fired == [(ENGINE_SHARD_START, "crash", 3)]
+    assert plan.hits[ENGINE_SHARD_START] == 4
+
+
+def test_injected_crash_sails_through_except_exception():
+    assert not issubclass(InjectedCrash, Exception)
+    with FaultPlan(FaultSpec(ENGINE_SHARD_START)):
+        with pytest.raises(InjectedCrash):
+            try:
+                fault_point(ENGINE_SHARD_START)
+            except Exception:  # a retry loop must NOT swallow a kill
+                pytest.fail("InjectedCrash was caught as Exception")
+
+
+def test_io_error_is_a_recoverable_oserror():
+    with FaultPlan(FaultSpec(ENGINE_SHARD_START, "io-error")):
+        with pytest.raises(FaultError) as info:
+            fault_point(ENGINE_SHARD_START)
+    assert isinstance(info.value, OSError)
+
+
+def test_truncate_writes_prefix_then_crashes():
+    written = []
+    plan = FaultPlan(FaultSpec(SERVICE_STORE_PUT, "truncate", keep_bytes=4))
+    with plan:
+        with pytest.raises(InjectedCrash):
+            fault_write(SERVICE_STORE_PUT, written.append, "0123456789")
+    assert written == ["0123"]
+    assert plan.fired == [(SERVICE_STORE_PUT, "truncate", 1)]
+
+
+def test_truncate_at_plain_point_degrades_to_crash():
+    with FaultPlan(FaultSpec(ENGINE_SHARD_START, "truncate")):
+        with pytest.raises(InjectedCrash):
+            fault_point(ENGINE_SHARD_START)
+
+
+def test_times_widens_the_firing_window():
+    plan = FaultPlan(
+        FaultSpec(ENGINE_CHECKPOINT_APPEND, "io-error", at_hit=2, times=2)
+    )
+    outcomes = []
+    with plan:
+        for _ in range(4):
+            try:
+                fault_point(ENGINE_CHECKPOINT_APPEND)
+                outcomes.append("ok")
+            except FaultError:
+                outcomes.append("fault")
+    assert outcomes == ["ok", "fault", "fault", "ok"]
+
+
+def test_delay_proceeds_with_the_write():
+    written = []
+    with FaultPlan(FaultSpec(SERVICE_STORE_PUT, "delay", delay_s=0.0)):
+        fault_write(SERVICE_STORE_PUT, written.append, "payload")
+    assert written == ["payload"]
+
+
+def test_unfired_plans_only_count_hits():
+    plan = FaultPlan(FaultSpec(ENGINE_SHARD_START, at_hit=99))
+    with plan:
+        fault_point(ENGINE_SHARD_START)
+        written = []
+        fault_write(SERVICE_STORE_PUT, written.append, "payload")
+        assert written == ["payload"]
+    assert plan.fired == []
+    assert plan.hits == {ENGINE_SHARD_START: 1, SERVICE_STORE_PUT: 1}

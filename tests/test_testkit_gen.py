@@ -1,0 +1,190 @@
+"""Generators: determinism, replay clamping, and domain composites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rng import stream
+from repro.testkit import (
+    DrawContext,
+    Invalid,
+    Overrun,
+    binary,
+    campaign_specs,
+    command_programs,
+    data_patterns,
+    experiment_records,
+    integers,
+    lists,
+    log_floats,
+    one_of,
+    row_sites,
+    sampled_from,
+    service_requests,
+    tuples,
+)
+
+
+def fresh_ctx(*path):
+    return DrawContext(rng=stream(7, "testkit-gen-tests", *path))
+
+
+# ----------------------------------------------------------------------
+# primitive draws
+# ----------------------------------------------------------------------
+
+
+def draw_mixed(ctx):
+    return (
+        ctx.draw_int(0, 1000),
+        ctx.draw_float(0.0, 10.0),
+        ctx.draw_bool(),
+        ctx.draw_index(17),
+    )
+
+
+def test_same_seed_same_draws():
+    assert draw_mixed(fresh_ctx("a")) == draw_mixed(fresh_ctx("a"))
+    assert fresh_ctx("a").choices != fresh_ctx("b").choices or (
+        draw_mixed(fresh_ctx("a")) != draw_mixed(fresh_ctx("b"))
+    )
+
+
+def test_replay_reproduces_values_and_canonical_choices():
+    recorded = fresh_ctx("replay")
+    values = draw_mixed(recorded)
+    replay = DrawContext(prefix=recorded.choices)
+    assert draw_mixed(replay) == values
+    assert replay.choices == recorded.choices
+
+
+def test_replay_clamps_out_of_range_raw_values():
+    assert DrawContext(prefix=[999]).draw_int(0, 10) == 10
+    assert DrawContext(prefix=[-5]).draw_int(0, 10) == 0
+    assert DrawContext(prefix=[1e9]).draw_float(0.0, 1.0) == 1.0
+    assert DrawContext(prefix=[float("nan")]).draw_float(2.0, 3.0) == 2.0
+    # The canonical (clamped) value is what gets re-recorded.
+    ctx = DrawContext(prefix=[999])
+    ctx.draw_int(0, 10)
+    assert ctx.choices == [10]
+
+
+def test_pure_replay_overruns_when_exhausted():
+    ctx = DrawContext(prefix=[3])
+    assert ctx.draw_int(0, 10) == 3
+    with pytest.raises(Overrun):
+        ctx.draw_int(0, 10)
+    assert issubclass(Overrun, Invalid)  # an overrun discards the example
+
+
+def test_empty_ranges_are_invalid():
+    ctx = fresh_ctx("empty")
+    with pytest.raises(Invalid):
+        ctx.draw_int(5, 4)
+    with pytest.raises(Invalid):
+        ctx.draw_index(0)
+
+
+def test_choice_budget_bounds_runaway_examples():
+    ctx = fresh_ctx("budget")
+    with pytest.raises(Invalid):
+        for _ in range(20_000):
+            ctx.draw_bool()
+
+
+# ----------------------------------------------------------------------
+# combinators
+# ----------------------------------------------------------------------
+
+
+def test_lists_respect_size_bounds():
+    gen = lists(integers(0, 5), min_size=1, max_size=4)
+    sizes = {len(gen.sample(fresh_ctx("lists", i))) for i in range(30)}
+    assert sizes <= {1, 2, 3, 4}
+    assert 1 in sizes or 2 in sizes  # not everything maxes out
+
+
+def test_sampled_from_and_one_of_stay_in_domain():
+    gen = one_of(sampled_from(["a", "b"]), integers(10, 12))
+    for i in range(20):
+        value = gen.sample(fresh_ctx("oneof", i))
+        assert value in ("a", "b", 10, 11, 12)
+
+
+def test_binary_and_log_floats_ranges():
+    assert len(binary(16).sample(fresh_ctx("bin"))) == 16
+    for i in range(20):
+        value = log_floats(10.0, 1e6).sample(fresh_ctx("logf", i))
+        assert 10.0 <= value <= 1e6
+
+
+def test_map_filter_bind_compose():
+    doubled = integers(1, 5).map(lambda v: v * 2)
+    assert doubled.sample(fresh_ctx("map")) in (2, 4, 6, 8, 10)
+    even = integers(0, 9).filter(lambda v: v % 2 == 0)
+    assert even.sample(DrawContext(prefix=[4])) == 4
+    with pytest.raises(Invalid):
+        even.sample(DrawContext(prefix=[3]))
+    pair = integers(1, 3).bind(lambda n: tuples(*[integers(0, 1)] * n))
+    assert len(pair.sample(DrawContext(prefix=[2, 0, 1]))) == 2
+
+
+# ----------------------------------------------------------------------
+# domain composites
+# ----------------------------------------------------------------------
+
+
+def test_command_programs_are_well_formed_programs():
+    from repro.bender.program import Program
+
+    gen = command_programs(banks=1, rows=64)
+    for i in range(15):
+        program = gen.sample(fresh_ctx("prog", i))
+        assert isinstance(program, Program)
+        assert len(program.instructions) >= 1
+
+
+def test_campaign_specs_are_runnable_registry_specs():
+    from repro.characterization import registry
+
+    gen = campaign_specs()
+    for i in range(10):
+        spec = gen.sample(fresh_ctx("spec", i))
+        experiment = registry.get(spec.experiment)  # registered kind
+        assert experiment.sweep_values(spec)  # non-empty sweep
+        assert spec.module_ids == ("S3",)
+        assert spec.sites_per_module in (1, 2)
+        assert spec.t_aggon_values == tuple(sorted(spec.t_aggon_values))
+
+
+def test_experiment_records_build_the_registered_record_type():
+    from repro.characterization import registry
+
+    for experiment in ("acmin", "taggonmin", "ber"):
+        record = experiment_records(experiment).sample(fresh_ctx(experiment))
+        assert isinstance(record, registry.get(experiment).record_type)
+
+
+def test_row_sites_leave_neighbor_margin():
+    gen = row_sites(banks=2, rows=64, margin=8)
+    for i in range(20):
+        site = gen.sample(fresh_ctx("site", i))
+        assert 8 <= site.row <= 55
+        assert site.bank in (0, 1)
+
+
+def test_data_patterns_exclude_custom():
+    from repro.dram.datapattern import DataPattern
+
+    for i in range(10):
+        assert data_patterns().sample(fresh_ctx("dp", i)) is not DataPattern.CUSTOM
+
+
+def test_service_requests_shape():
+    gen = service_requests(max_ops=6, distinct_specs=2)
+    for i in range(15):
+        session = gen.sample(fresh_ctx("svc", i))
+        assert 1 <= len(session) <= 6
+        for op, index in session:
+            assert op in ("submit", "status", "results", "restart")
+            assert index in (0, 1)

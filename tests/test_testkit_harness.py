@@ -1,0 +1,173 @@
+"""Harness: shrinking, determinism, regression corpus, @prop wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.testkit import (
+    Gen,
+    PropertyFailed,
+    assume,
+    integers,
+    lists,
+    prop,
+    run_property,
+    shrink,
+    tuples,
+)
+
+# ----------------------------------------------------------------------
+# the shrinker
+# ----------------------------------------------------------------------
+
+
+def test_shrink_deletes_and_minimizes():
+    best, calls = shrink([1, 40, 1, 7, 1, 12], lambda c: sum(c) >= 10)
+    assert sum(best) >= 10
+    assert best == [10]
+    assert calls > 0
+
+
+def test_shrink_is_deterministic():
+    runs = [shrink([3, 99, 5, 42], lambda c: any(v >= 17 for v in c)) for _ in range(2)]
+    assert runs[0] == runs[1]
+    assert runs[0][0] == [17]
+
+
+def test_shrink_respects_budget():
+    best, calls = shrink(list(range(100)), lambda c: len(c) >= 3, max_calls=10)
+    assert calls <= 10
+    assert len(best) >= 3  # still failing, just less minimized
+
+
+# ----------------------------------------------------------------------
+# run_property
+# ----------------------------------------------------------------------
+
+
+def test_passing_property_reports_examples():
+    report = run_property(
+        lambda x: None, {"x": integers(0, 9)}, name="trivial", max_examples=7
+    )
+    assert report.examples == 7
+    assert report.invalid == 0
+
+
+def test_assume_discards_are_counted_not_failed():
+    def check(x):
+        assume(x % 2 == 0)
+
+    report = run_property(check, {"x": integers(0, 9)}, name="evens", max_examples=5)
+    assert report.examples == 5
+    assert report.invalid > 0
+
+
+def test_failure_shrinks_to_boundary():
+    def check(x):
+        assert x < 5
+
+    with pytest.raises(PropertyFailed) as info:
+        run_property(check, {"x": integers(0, 1000)}, name="boundary", seed=1)
+    counterexample = info.value.counterexample
+    assert counterexample.choices == (5,)
+    assert "x=5" in counterexample.args_repr
+    assert "--repro-seed=1" in str(info.value)
+
+
+def test_two_consecutive_runs_find_identical_minimal_counterexample():
+    """Acceptance: fixed seed => same shrunk counterexample, twice."""
+
+    def check(xs):
+        assert sum(xs) <= 20
+
+    found = []
+    for _ in range(2):
+        with pytest.raises(PropertyFailed) as info:
+            run_property(
+                check,
+                {"xs": lists(integers(0, 100), min_size=1, max_size=6)},
+                name="sum-bound",
+                seed=2023,
+            )
+        found.append(info.value.counterexample)
+    assert found[0].choices == found[1].choices
+    assert found[0].args_repr == found[1].args_repr
+    # and the result is minimal: one element just over the bound, plus
+    # the recorded stop bit that ends the list
+    assert found[0].choices == (21, 0)
+
+
+def test_corpus_saves_and_replays_counterexamples(tmp_path):
+    def check(pair):
+        assert pair[0] <= pair[1]
+
+    gens = {"pair": tuples(integers(0, 50), integers(0, 50))}
+    with pytest.raises(PropertyFailed):
+        run_property(check, gens, name="ordered", seed=3, corpus_dir=tmp_path)
+    corpus = tmp_path / "ordered.jsonl"
+    saved = [json.loads(line) for line in corpus.read_text().splitlines()]
+    assert len(saved) == 1
+
+    # The next run trips over the corpus entry before drawing anything
+    # random, and re-failing does not duplicate the corpus line.
+    with pytest.raises(PropertyFailed):
+        run_property(check, gens, name="ordered", seed=999, corpus_dir=tmp_path)
+    assert corpus.read_text().splitlines() == [json.dumps(entry) for entry in saved]
+
+    # Once the property is fixed the corpus acts as a regression suite.
+    report = run_property(
+        lambda pair: None, gens, name="ordered", seed=3, corpus_dir=tmp_path
+    )
+    assert report.corpus_replayed == 1
+
+
+def test_shrink_can_be_disabled():
+    def check(x):
+        assert x < 5
+
+    with pytest.raises(PropertyFailed) as info:
+        run_property(
+            check, {"x": integers(0, 1000)}, name="raw", seed=1, shrink_enabled=False
+        )
+    assert info.value.counterexample.shrink_calls == 0
+
+
+# ----------------------------------------------------------------------
+# the @prop decorator
+# ----------------------------------------------------------------------
+
+
+def test_prop_wrapper_runs_under_a_seed():
+    @prop(max_examples=4, x=integers(0, 3))
+    def check(x):
+        assert 0 <= x <= 3
+
+    check(11)  # the testkit_seed fixture value is just a root seed
+    check(None)  # None falls back to the default seed
+
+
+def test_prop_treats_seed_gen_as_property_argument():
+    seen = []
+
+    @prop(max_examples=3, seed=integers(5, 9))
+    def check(seed):
+        seen.append(seed)
+
+    check(None)
+    assert seen and all(5 <= value <= 9 for value in seen)
+
+
+def test_prop_failure_is_an_assertion_error():
+    @prop(max_examples=10, x=integers(0, 100))
+    def check(x):
+        assert x != 7 or x < 0
+
+    wrapped_gen = check.testkit_gens["x"]
+    assert isinstance(wrapped_gen, Gen)
+    with pytest.raises(AssertionError):
+        run_property(
+            check.testkit_property, check.testkit_gens, name="is-seven", seed=4,
+            max_examples=200,
+        )
