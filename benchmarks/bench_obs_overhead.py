@@ -7,6 +7,11 @@ The null path must be cheap enough to leave enabled everywhere, which
 is the contract `bench_fig06_acmin_sweep` (and every other bench)
 relies on after the instrumentation PR.
 
+The sampling profiler gets the same treatment: attaching it at the
+default 5 ms interval must not slow the profiled work beyond its
+budget, since ``repro campaign --profile-out`` is meant to be safe on
+production-sized campaigns.
+
 Timing is noisy on shared runners, so the guard takes the best of
 several repetitions per configuration before comparing.
 """
@@ -23,12 +28,18 @@ from repro.characterization.patterns import (
 )
 from repro.dram.catalog import build_module
 from repro.dram.geometry import Geometry
-from repro.obs import Observer
+from repro.obs import Observer, SamplingProfiler
 
 #: Allowed instrumented/null slowdown.  The ISSUE budget is ~5%; the
 #: guard uses a small cushion on top because single-process timers on
 #: shared CI machines jitter by a few percent on their own.
 MAX_OVERHEAD = 1.15
+
+#: Allowed profiled/unprofiled slowdown.  One stack walk per 5 ms is
+#: bounded work, but each sample also forces a GIL handoff into the
+#: sampler thread mid-loop, so the budget is a little looser than the
+#: pure-instrumentation guard.
+MAX_PROFILER_OVERHEAD = 1.25
 
 _REPS = 5
 _SITE = RowSite(0, 1, 100)
@@ -61,4 +72,25 @@ def test_null_observer_overhead(benchmark):
     )
     assert ratio < MAX_OVERHEAD, (
         f"instrumentation overhead {ratio:.2f}x exceeds {MAX_OVERHEAD:.2f}x budget"
+    )
+
+
+def test_sampling_profiler_overhead(benchmark):
+    plain_best = benchmark.pedantic(lambda: _bench(None), rounds=1, iterations=1)
+    profiler = SamplingProfiler(interval_s=0.005)
+    profiled_best = float("inf")
+    # Interleave plain and profiled passes so drift on a shared runner
+    # hits both configurations roughly equally.
+    for _ in range(2):
+        with profiler:
+            profiled_best = min(profiled_best, _bench(None))
+        plain_best = min(plain_best, _bench(None))
+    ratio = profiled_best / plain_best if plain_best > 0 else 1.0
+    print(
+        f"\nexecutor best-of-{_REPS}: plain={plain_best * 1e3:.2f}ms "
+        f"profiled={profiled_best * 1e3:.2f}ms ratio={ratio:.3f} "
+        f"({profiler.sample_count} samples)"
+    )
+    assert ratio < MAX_PROFILER_OVERHEAD, (
+        f"profiler overhead {ratio:.2f}x exceeds {MAX_PROFILER_OVERHEAD:.2f}x budget"
     )

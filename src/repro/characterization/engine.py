@@ -50,9 +50,12 @@ from repro.obs import (
     NULL_OBSERVER,
     MetricsRegistry,
     Observer,
+    SamplingProfiler,
+    TraceContext,
     Tracer,
     atomic_write_text,
     get_logger,
+    monotonic_s,
 )
 from repro.rng import derive_seed
 from repro.testkit.faults import fault_point, fault_write
@@ -232,13 +235,21 @@ def _run_shard_units(
 
 @dataclass
 class _ShardTask:
-    """Pickled work order for one pool-worker shard attempt."""
+    """Pickled work order for one pool-worker shard attempt.
+
+    ``trace_header`` is the serialized :class:`TraceContext` of the
+    parent campaign span; the worker's tracer parents its shard spans
+    under it, so the merged trace is one coherent tree across processes.
+    ``profile`` turns on in-worker stack sampling.
+    """
 
     spec_json: str
     shard: ShardSpec
     attempt: int
     observe: bool
     backoff_s: float
+    trace_header: str | None = None
+    profile: bool = False
 
 
 @dataclass
@@ -255,6 +266,7 @@ class _ShardOutcome:
     traceback_text: str | None = None
     spans: list = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    profile_counts: dict = field(default_factory=dict)
 
 
 #: Per-worker-process state, keyed by spec JSON: the runner's benches
@@ -273,15 +285,18 @@ def _init_worker(fault_hook: Callable[[ShardSpec, int], None] | None) -> None:
 
 
 def _process_context(
-    spec_json: str, observe: bool
+    spec_json: str, observe: bool, trace_header: str | None = None
 ) -> tuple[CharacterizationRunner, Observer]:
     """This worker process's runner + observer for a spec (cached)."""
-    key = f"{int(observe)}:{spec_json}"
+    key = f"{int(observe)}:{trace_header}:{spec_json}"
     state = _PROCESS_STATE.get(key)
     if state is None:
         spec = CampaignSpec.from_json(spec_json)
         observer = (
-            Observer(metrics=MetricsRegistry(), tracer=Tracer())
+            Observer(
+                metrics=MetricsRegistry(),
+                tracer=Tracer(context=TraceContext.from_header(trace_header)),
+            )
             if observe
             else NULL_OBSERVER
         )
@@ -301,9 +316,14 @@ def _execute_shard(task: _ShardTask) -> _ShardOutcome:
     if task.backoff_s > 0.0:
         time.sleep(task.backoff_s)
     spec = CampaignSpec.from_json(task.spec_json)
-    runner, observer = _process_context(task.spec_json, task.observe)
-    start = time.perf_counter()
+    runner, observer = _process_context(
+        task.spec_json, task.observe, task.trace_header
+    )
+    profiler = SamplingProfiler() if task.profile else None
+    start = monotonic_s()
     try:
+        if profiler is not None:
+            profiler.start()
         units, flips = _run_shard_units(
             runner, spec, task.shard, observer, fault_hook=_FAULT_HOOK,
             attempt=task.attempt,
@@ -315,11 +335,12 @@ def _execute_shard(task: _ShardTask) -> _ShardOutcome:
             ok=False,
             units=[],
             flips=0,
-            elapsed_s=time.perf_counter() - start,
+            elapsed_s=monotonic_s() - start,
             error=f"{type(error).__name__}: {error}",
             traceback_text=traceback.format_exc(),
             spans=observer.tracer.drain(),
             metrics=observer.metrics.drain() if observer.metrics.enabled else {},
+            profile_counts=profiler.stop().counts if profiler is not None else {},
         )
     return _ShardOutcome(
         shard=task.shard,
@@ -327,9 +348,10 @@ def _execute_shard(task: _ShardTask) -> _ShardOutcome:
         ok=True,
         units=units,
         flips=flips,
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=monotonic_s() - start,
         spans=observer.tracer.drain(),
         metrics=observer.metrics.drain() if observer.metrics.enabled else {},
+        profile_counts=profiler.stop().counts if profiler is not None else {},
     )
 
 
@@ -517,6 +539,7 @@ def run_engine(
     observer: Observer | None = None,
     fault_hook: Callable[[ShardSpec, int], None] | None = None,
     stop_check: Callable[[], bool] | None = None,
+    profiler: SamplingProfiler | None = None,
 ) -> EngineResult:
     """Execute a campaign spec as a sharded, checkpointed campaign.
 
@@ -537,6 +560,11 @@ def run_engine(
     True no further shards start — in-flight shards finish and
     checkpoint, and the result comes back with ``interrupted=True`` so a
     later ``resume=True`` run completes the remainder.
+
+    ``profiler`` (a started :class:`~repro.obs.SamplingProfiler`, usually
+    the CLI's) extends sampling into pool workers: each shard attempt is
+    sampled in-process and the collapsed counts are folded back into the
+    caller's profiler, so a parallel campaign still yields one profile.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -647,7 +675,7 @@ def run_engine(
                     break
                 attempt = 0
                 while True:
-                    start = time.perf_counter()
+                    start = monotonic_s()
                     try:
                         units, flips = _run_shard_units(
                             runner, spec, shard, obs,
@@ -688,13 +716,17 @@ def run_engine(
                             ok=True,
                             units=units,
                             flips=flips,
-                            elapsed_s=time.perf_counter() - start,
+                            elapsed_s=monotonic_s() - start,
                         )
                     )
                     break
         elif pending:
             spec_json = spec.to_json()
             observe = obs.enabled
+            campaign_context = campaign_span.context() if observe else None
+            trace_header = (
+                campaign_context.to_header() if campaign_context is not None else None
+            )
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(pending)),
                 mp_context=_pool_context(),
@@ -715,6 +747,8 @@ def run_engine(
                             backoff_s=_backoff_s(
                                 retry_backoff_s, attempt, shard.seed
                             ),
+                            trace_header=trace_header,
+                            profile=profiler is not None,
                         ),
                     )
 
@@ -749,6 +783,8 @@ def run_engine(
                                 ),
                             )
                             obs.metrics.merge_snapshot(outcome.metrics)
+                        if profiler is not None and outcome.profile_counts:
+                            profiler.merge_counts(outcome.profile_counts)
                         if outcome.ok:
                             finalize(outcome)
                         elif outcome.attempt >= max_retries:

@@ -11,7 +11,8 @@ Commands:
   cache + streaming progress; see ``docs/SERVICE.md``),
 * ``submit`` — submit a campaign spec to a running service and save
   the results (byte-identical to a local ``campaign`` run),
-* ``obs-report`` — summarize a metrics or trace file from a prior run,
+* ``obs-report`` — summarize (and merge) metrics or trace files from
+  prior runs, with p50/p90/p99 latency tables,
 * ``lint`` — static analysis: source rules and the program verifier
   (also installed standalone as ``reprolint``).
 
@@ -173,6 +174,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         logger.error("invalid campaign spec %s: %s", args.spec, error)
         return 2
     checkpoint = args.checkpoint or f"{args.output}.checkpoint.jsonl"
+    profiler = None
+    if args.profile_out:
+        from repro.obs import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        profiler.start()
     try:
         result = run_engine(
             spec,
@@ -181,10 +188,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             checkpoint=checkpoint,
             resume=args.resume,
             observer=args.observer,
+            profiler=profiler,
         )
     except ValueError as error:
         logger.error("cannot run campaign: %s", error)
         return 2
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            profiler.write_collapsed(args.profile_out)
+            logger.info(
+                "profile written to %s (%d samples)",
+                args.profile_out,
+                profiler.sample_count,
+            )
     save_results(args.output, spec, result.records)
     print(f"{len(result.records)} records written to {args.output}")
     print(
@@ -232,26 +249,39 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     except (ValueError, TypeError, KeyError) as error:
         logger.error("invalid campaign spec %s: %s", args.spec, error)
         return 2
-    client = ServiceClient(args.server, client_id=args.client_id)
+    observer = args.observer
+    client = ServiceClient(
+        args.server,
+        client_id=args.client_id,
+        tracer=observer.tracer if observer is not None else None,
+    )
     try:
-        submitted = client.submit(spec)
-        print(f"job {submitted.job_id}: {submitted.outcome} ({submitted.state})")
-        if args.follow and submitted.state not in ("done", "failed"):
-            for event in client.stream_events(submitted.job_id):
-                if event.get("event") == "progress":
-                    print(
-                        f"  progress {event['done']}/{event['total']} "
-                        f"({event['flips']} flips)"
-                    )
-                elif event.get("event") in ("state", "done", "failed"):
-                    print(f"  {event.get('event')}: "
-                          f"{event.get('state', event.get('event'))}")
-        final = client.wait(submitted.job_id, timeout_s=args.timeout)
-        if final.state == "failed":
-            logger.error("job %s failed: %s", final.job_id, final.error)
-            return 1
-        # Verbatim bytes: identical to a local `repro campaign` output.
-        atomic_write_text(Path(args.output), client.fetch_results_text(final.job_id))
+        # The open span's context rides every request's X-Repro-Trace
+        # header, so the server's spans (and the job's engine trace)
+        # nest under this submission in the exported Chrome trace.
+        with client.tracer.span(
+            "cli.submit", campaign=spec.name, server=args.server
+        ):
+            submitted = client.submit(spec)
+            print(f"job {submitted.job_id}: {submitted.outcome} ({submitted.state})")
+            if args.follow and submitted.state not in ("done", "failed"):
+                for event in client.stream_events(submitted.job_id):
+                    if event.get("event") == "progress":
+                        print(
+                            f"  progress {event['done']}/{event['total']} "
+                            f"({event['flips']} flips)"
+                        )
+                    elif event.get("event") in ("state", "done", "failed"):
+                        print(f"  {event.get('event')}: "
+                              f"{event.get('state', event.get('event'))}")
+            final = client.wait(submitted.job_id, timeout_s=args.timeout)
+            if final.state == "failed":
+                logger.error("job %s failed: %s", final.job_id, final.error)
+                return 1
+            # Verbatim bytes: identical to a local `repro campaign` output.
+            atomic_write_text(
+                Path(args.output), client.fetch_results_text(final.job_id)
+            )
     except ServiceError as error:
         logger.error("service request failed: %s", error)
         return 2
@@ -308,9 +338,11 @@ def _report_metrics(payload: dict) -> str:
         rows = [
             [
                 entry["name"],
+                " ".join(f"{k}={v}" for k, v in sorted(entry.get("labels", {}).items())) or "-",
                 entry["count"],
                 f"{entry['mean']:.4g}",
                 f"{entry['p50']:.4g}",
+                f"{entry.get('p90', 0.0):.4g}",
                 f"{entry['p99']:.4g}",
                 f"{entry['max']:.4g}",
             ]
@@ -318,7 +350,9 @@ def _report_metrics(payload: dict) -> str:
         ]
         sections.append(
             format_table(
-                ["histogram", "count", "mean", "p50", "p99", "max"], rows, "Histograms"
+                ["histogram", "labels", "count", "mean", "p50", "p90", "p99", "max"],
+                rows,
+                "Histograms",
             )
         )
     return "\n\n".join(sections) if sections else "(empty metrics file)"
@@ -351,25 +385,54 @@ def _report_trace(payload: dict) -> str:
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
-    try:
-        payload = json.loads(Path(args.file).read_text())
-    except OSError as error:
-        logger.error("cannot read %s: %s", args.file, error)
-        return 2
-    except json.JSONDecodeError as error:
-        logger.error("%s is not valid JSON: %s", args.file, error)
-        return 2
-    if isinstance(payload, dict) and "traceEvents" in payload:
-        print(_report_trace(payload))
-    elif isinstance(payload, dict) and (
-        "counters" in payload or "histograms" in payload or "gauges" in payload
-    ):
-        print(_report_metrics(payload))
-    else:
-        logger.error(
-            "%s is neither a metrics snapshot nor a Chrome trace file", args.file
-        )
-        return 2
+    """Summarize one or more metrics snapshots and/or Chrome trace files.
+
+    Multiple metrics files merge into one report (counters add, raw
+    histogram values concatenate — the fleet view of a many-process
+    run); multiple trace files concatenate their events.
+    """
+    from repro.obs import MetricsRegistry
+
+    metrics_payloads: list[dict] = []
+    trace_payloads: list[dict] = []
+    for name in args.files:
+        try:
+            payload = json.loads(Path(name).read_text())
+        except OSError as error:
+            logger.error("cannot read %s: %s", name, error)
+            return 2
+        except json.JSONDecodeError as error:
+            logger.error("%s is not valid JSON: %s", name, error)
+            return 2
+        if isinstance(payload, dict) and "traceEvents" in payload:
+            trace_payloads.append(payload)
+        elif isinstance(payload, dict) and (
+            "counters" in payload or "histograms" in payload or "gauges" in payload
+        ):
+            metrics_payloads.append(payload)
+        else:
+            logger.error(
+                "%s is neither a metrics snapshot nor a Chrome trace file", name
+            )
+            return 2
+    sections = []
+    if metrics_payloads:
+        if len(metrics_payloads) == 1:
+            merged = metrics_payloads[0]
+        else:
+            registry = MetricsRegistry()
+            for payload in metrics_payloads:
+                registry.merge_snapshot(payload)
+            merged = registry.to_dict()
+        sections.append(_report_metrics(merged))
+    if trace_payloads:
+        events = [
+            event
+            for payload in trace_payloads
+            for event in payload.get("traceEvents", [])
+        ]
+        sections.append(_report_trace({"traceEvents": events}))
+    print("\n\n".join(sections))
     return 0
 
 
@@ -496,6 +559,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="shard checkpoint JSONL (default: <output>.checkpoint.jsonl)",
     )
+    campaign.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="write a collapsed-stack sampling profile (flamegraph input); "
+        "with --workers N the pool workers are sampled too",
+    )
     _add_deprecated_obs_flags(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
 
@@ -579,9 +649,13 @@ def build_parser() -> argparse.ArgumentParser:
     submit.set_defaults(handler=_cmd_submit)
 
     report = commands.add_parser(
-        "obs-report", help="summarize a metrics or trace file"
+        "obs-report", help="summarize (and merge) metrics or trace files"
     )
-    report.add_argument("file", help="metrics JSON or Chrome trace JSON")
+    report.add_argument(
+        "files",
+        nargs="+",
+        help="metrics JSON and/or Chrome trace JSON files (merged per kind)",
+    )
     report.set_defaults(handler=_cmd_obs_report)
 
     lint = commands.add_parser(

@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 from repro import units
 from repro.lint.diagnostics import LintDiagnostic
 from repro.lint.engine import FileContext
+from repro.obs.names import METRIC_NAMES
 from repro.testkit.points import FAULT_POINTS
 
 
@@ -108,16 +109,17 @@ class NoAdhocRngRule(Rule):
 
 
 class NoWallClockRule(Rule):
-    """Simulation/DRAM/bender code must not read the host clock."""
+    """Simulation/DRAM/bender/obs code must not read the host clock directly."""
 
     code = "no-wall-clock"
     description = (
-        "wall-clock read inside sim/dram/bender code; simulated time is the "
-        "only clock there (host timing belongs to repro.obs)"
+        "direct wall-clock read; simulated-time code has no host clock at "
+        "all, and observability code must route through "
+        "repro.obs.clock.monotonic_s (the single sanctioned read site)"
     )
     node_types = (ast.Call,)
 
-    _SCOPES = ("repro.sim", "repro.dram", "repro.bender")
+    _SCOPES = ("repro.sim", "repro.dram", "repro.bender", "repro.obs")
     _BANNED = {
         "time.time",
         "time.time_ns",
@@ -372,6 +374,61 @@ class UnknownFaultPointRule(Rule):
             )
 
 
+class UnknownMetricNameRule(Rule):
+    """Metric names must come from ``repro.obs.names.METRIC_NAMES``.
+
+    A typo'd metric name would silently create a dead series that no
+    dashboard, Prometheus scrape, or trajectory benchmark ever reads, so
+    string literals passed to the metrics API are checked against the
+    central registry statically — the same pattern as
+    ``unknown-fault-point``.
+    """
+
+    code = "unknown-metric-name"
+    description = (
+        "string literal passed to the metrics API is not declared in "
+        "repro.obs.names.METRIC_NAMES; fix the typo or declare the new "
+        "series there first"
+    )
+    node_types = (ast.Call,)
+
+    #: metric-factory method names on a registry-like receiver.
+    _METHODS = {"counter", "gauge", "histogram", "timer"}
+
+    def applies_to(self, context: FileContext) -> bool:
+        """Everywhere except the instruments' own definition module."""
+        return context.module != "repro.obs.metrics"
+
+    def _is_registry_receiver(self, node: ast.Call, context: FileContext) -> bool:
+        receiver = context.dotted_name(node.func.value)
+        if receiver is None:
+            return False
+        tail = receiver.rsplit(".", 1)[-1]
+        return tail in ("metrics", "registry")
+
+    def check(self, node: ast.Call, context: FileContext) -> Iterable[LintDiagnostic]:
+        """Flag constant metric names missing from ``METRIC_NAMES``."""
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._METHODS:
+            return
+        if not self._is_registry_receiver(node, context):
+            return
+        argument: ast.AST | None = node.args[0] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg == "name":
+                argument = keyword.value
+        if not isinstance(argument, ast.Constant):
+            return  # named constants are validated at their definition
+        value = argument.value
+        if isinstance(value, str) and value not in METRIC_NAMES:
+            yield self.found(
+                context,
+                argument,
+                f"unknown metric name {value!r}; declare it in "
+                "repro.obs.names.METRIC_NAMES",
+            )
+
+
 class RequireFutureAnnotationsRule(Rule):
     """Modules that define anything need postponed annotation evaluation."""
 
@@ -411,6 +468,7 @@ def default_rules() -> Sequence[Rule]:
         UnitSuffixMismatchRule(),
         NoMutableDefaultRule(),
         UnknownFaultPointRule(),
+        UnknownMetricNameRule(),
         RequireFutureAnnotationsRule(),
     )
 

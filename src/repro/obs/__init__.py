@@ -28,7 +28,9 @@ import sys
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.clock import monotonic_s
 from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
     NULL_REGISTRY,
     Counter,
     Gauge,
@@ -38,8 +40,10 @@ from repro.obs.metrics import (
     Timer,
     atomic_write_text,
 )
+from repro.obs.names import METRIC_NAMES
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.progress import NullProgress, ProgressEvent, ProgressReporter, log_sink
-from repro.obs.tracing import NullTracer, Span, Tracer
+from repro.obs.tracing import TRACE_HEADER, NullTracer, Span, TraceContext, Tracer
 
 __all__ = [
     "Observer",
@@ -47,6 +51,8 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "METRIC_NAMES",
     "Counter",
     "Gauge",
     "Histogram",
@@ -54,11 +60,15 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "Span",
+    "TraceContext",
+    "TRACE_HEADER",
+    "SamplingProfiler",
     "ProgressReporter",
     "ProgressEvent",
     "NullProgress",
     "log_sink",
     "atomic_write_text",
+    "monotonic_s",
     "configure_logging",
     "get_logger",
     "declare_standard_metrics",
@@ -78,11 +88,16 @@ class Observer:
         cls,
         label: str = "run",
         progress_sink: Callable[[ProgressEvent], None] | None = None,
+        context: TraceContext | None = None,
     ) -> "Observer":
-        """An active observer recording metrics, spans, and progress."""
+        """An active observer recording metrics, spans, and progress.
+
+        ``context`` is a propagated :class:`TraceContext` from another
+        process; the observer's tracer parents its root spans under it.
+        """
         return cls(
             metrics=MetricsRegistry(),
-            tracer=Tracer(),
+            tracer=Tracer(context=context),
             progress=ProgressReporter(label=label, sink=progress_sink),
         )
 

@@ -11,17 +11,21 @@ plain-integer bookkeeping once per run.
 
 Percentiles use the nearest-rank method over the raw recorded samples —
 experiment counts here are thousands, not billions, so no sketching is
-needed.
+needed.  Bucket counts for the Prometheus exposition
+(:meth:`MetricsRegistry.to_prometheus`) are likewise computed on demand
+from the raw samples, keeping ``record()`` a two-operation hot path.
 """
 
 from __future__ import annotations
 
+import bisect
 import json
 import math
 import os
-import time
 from pathlib import Path
 from typing import Iterator
+
+from repro.obs.clock import monotonic_s
 
 __all__ = [
     "Counter",
@@ -31,8 +35,28 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
     "atomic_write_text",
 ]
+
+#: Fixed histogram buckets (seconds) for the Prometheus exposition —
+#: upper bounds chosen to cover microsecond shard units through
+#: multi-second campaign jobs.  ``+Inf`` is implicit.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
 
 
 def atomic_write_text(path: str | Path, text: str) -> None:
@@ -53,6 +77,34 @@ _LabelKey = tuple[tuple[str, str], ...]
 
 def _label_key(labels: dict[str, object]) -> _LabelKey:
     return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _prometheus_name(name: str) -> str:
+    """A dotted repro metric name as a valid Prometheus metric name."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prometheus_escape(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prometheus_labels(labels: dict[str, str]) -> str:
+    """``{key="value",...}`` or the empty string for unlabeled series."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_prometheus_escape(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _prometheus_value(value: float) -> str:
+    """A float formatted the way Prometheus expects (no trailing zeros)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:g}"
 
 
 class Counter:
@@ -149,6 +201,22 @@ class Histogram:
             "p99": self.percentile(99.0),
         }
 
+    def bucket_counts(
+        self, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending with +Inf.
+
+        Computed on demand from the raw samples so ``record()`` stays a
+        two-operation hot path; counts are monotonically non-decreasing
+        as Prometheus requires.
+        """
+        ordered = sorted(self._values)
+        pairs = [
+            (bound, bisect.bisect_right(ordered, bound)) for bound in buckets
+        ]
+        pairs.append((math.inf, len(ordered)))
+        return pairs
+
 
 class Timer:
     """Context manager recording elapsed wall seconds into a histogram."""
@@ -160,11 +228,11 @@ class Timer:
         self._start = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = monotonic_s()
         return self
 
     def __exit__(self, *exc_info: object) -> bool:
-        self.histogram.record(time.perf_counter() - self._start)
+        self.histogram.record(monotonic_s() - self._start)
         return False
 
 
@@ -292,8 +360,57 @@ class MetricsRegistry:
                 histogram.record(value)
 
     def write_json(self, path: str | Path) -> None:
-        """Dump the snapshot to ``path`` atomically."""
-        atomic_write_text(path, json.dumps(self.to_dict(), indent=1))
+        """Dump the snapshot to ``path`` atomically.
+
+        Raw histogram values are included so snapshot files from many
+        processes (``--metrics-out`` from workers and parent) can be
+        merged losslessly by ``repro obs-report``.
+        """
+        atomic_write_text(path, json.dumps(self.to_dict(raw=True), indent=1))
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every instrument.
+
+        Dotted metric names become underscored (``service.requests`` →
+        ``service_requests_total``); counters get the ``_total`` suffix,
+        histograms expand to cumulative ``_bucket{le=...}`` series plus
+        ``_sum``/``_count``, and every family is preceded by a ``# TYPE``
+        line so standard scrapers parse the output directly.
+        """
+        lines: list[str] = []
+        families: set[str] = set()
+
+        def emit_type(family: str, kind: str) -> None:
+            if family not in families:
+                families.add(family)
+                lines.append(f"# TYPE {family} {kind}")
+
+        for counter in self._counters.values():
+            family = _prometheus_name(counter.name) + "_total"
+            emit_type(family, "counter")
+            lines.append(
+                f"{family}{_prometheus_labels(counter.labels)} {counter.value}"
+            )
+        for gauge in self._gauges.values():
+            family = _prometheus_name(gauge.name)
+            emit_type(family, "gauge")
+            lines.append(
+                f"{family}{_prometheus_labels(gauge.labels)} "
+                f"{_prometheus_value(gauge.value)}"
+            )
+        for histogram in self._histograms.values():
+            family = _prometheus_name(histogram.name)
+            emit_type(family, "histogram")
+            for bound, count in histogram.bucket_counts():
+                bucket_labels = dict(histogram.labels)
+                bucket_labels["le"] = "+Inf" if math.isinf(bound) else f"{bound:g}"
+                lines.append(
+                    f"{family}_bucket{_prometheus_labels(bucket_labels)} {count}"
+                )
+            labels = _prometheus_labels(histogram.labels)
+            lines.append(f"{family}_sum{labels} {_prometheus_value(histogram.total)}")
+            lines.append(f"{family}_count{labels} {histogram.count}")
+        return "\n".join(lines) + "\n" if lines else ""
 
 
 class _NullCounter(Counter):

@@ -1,0 +1,87 @@
+"""Central registry of every metric name the codebase may emit.
+
+Dashboards, the Prometheus exposition, and the perf-trajectory harness
+all reference metrics by name; a typo at an instrumentation site would
+silently create a dead series and leave the dashboard flat.  The
+``unknown-metric-name`` lint rule (``repro.lint.rules``) therefore
+requires every string literal passed to the metrics API
+(``counter``/``gauge``/``histogram``/``timer``) to appear here — the
+same pattern as the fault-point registry in ``repro.testkit.points``.
+
+Add the name here first, then instrument; the linter keeps the two in
+sync forever after.  This module must stay dependency-free (the linter
+imports it while analyzing arbitrary files).
+"""
+
+from __future__ import annotations
+
+__all__ = ["METRIC_NAMES"]
+
+#: Every metric name that instrumentation may emit, grouped by subsystem.
+METRIC_NAMES: frozenset[str] = frozenset(
+    {
+        # bender executor / testing infrastructure
+        "executor.programs",
+        "executor.commands",
+        "executor.loop_iterations",
+        "executor.timing_violations",
+        "executor.ns_per_wall_s",
+        "executor.wall_s",
+        "bench.settle_events",
+        "bench.temperature_c",
+        # simulator and memory controller
+        "sim.runs",
+        "sim.events",
+        "sim.ns_per_wall_s",
+        "memctrl.requests_served",
+        "memctrl.row_hits",
+        "memctrl.row_misses",
+        "memctrl.row_conflicts",
+        "memctrl.activations",
+        "memctrl.refresh_commands",
+        "memctrl.preventive_refreshes",
+        "memctrl.row_hit_rate",
+        # mitigations
+        "mitigation.refreshes",
+        "mitigation.table_evictions",
+        # characterization experiments
+        "acmin.searches",
+        "acmin.probes",
+        "acmin.sites_with_flips",
+        "taggonmin.searches",
+        "taggonmin.probes",
+        "taggonmin.sites_with_flips",
+        "ber.measurements",
+        "ber.bitflips",
+        "campaign.experiments",
+        "campaign.bitflips",
+        # campaign engine
+        "engine.shards",
+        "engine.shards_resumed",
+        "engine.shard_seconds",
+        "engine.shard_failures",
+        "engine.retries",
+        # system-level attack demo
+        "attack.runs",
+        "attack.windows",
+        "attack.windows_clean",
+        "attack.bitflips",
+        # service
+        "service.requests",
+        "service.requests_by_route",
+        "service.request_seconds",
+        "service.rate_limited",
+        "service.cache_hits",
+        "service.backpressure",
+        "service.jobs_submitted",
+        "service.jobs_completed",
+        "service.jobs_failed",
+        "service.jobs_interrupted",
+        "service.job_seconds",
+        "service.job_state_seconds",
+        "service.jobs_by_state",
+        "service.oldest_job_age_s",
+        "service.queue_depth",
+        "service.dashboard_snapshots",
+    }
+)

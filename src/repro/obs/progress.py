@@ -11,9 +11,10 @@ callable.  :class:`NullProgress` is the inert stand-in.
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass
 from typing import Callable
+
+from repro.obs.clock import monotonic_s
 
 __all__ = ["ProgressEvent", "ProgressReporter", "NullProgress", "log_sink"]
 
@@ -60,7 +61,7 @@ class ProgressReporter:
         self.sink = sink if sink is not None else log_sink
         self.done = 0
         self.flips = 0
-        self._start = time.perf_counter()
+        self._start = monotonic_s()
 
     def start(self, total: int | None = None, label: str | None = None) -> None:
         """(Re)start the clock; optionally set the expected total."""
@@ -70,12 +71,12 @@ class ProgressReporter:
             self.label = label
         self.done = 0
         self.flips = 0
-        self._start = time.perf_counter()
+        self._start = monotonic_s()
 
     @property
     def elapsed_s(self) -> float:
         """Wall seconds since :meth:`start` (or construction)."""
-        return time.perf_counter() - self._start
+        return monotonic_s() - self._start
 
     @property
     def eta_s(self) -> float | None:

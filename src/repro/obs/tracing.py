@@ -1,15 +1,26 @@
-"""Hierarchical spans with JSONL and Chrome trace-event export.
+"""Hierarchical spans with cross-process context propagation.
 
 A :class:`Tracer` maintains a stack of open :class:`Span` objects; each
 ``with tracer.span("acmin.search", t_aggon=...)`` block records wall
 time, nesting (parent id and depth), and any attributes attached via
-``span.set(...)`` while the block runs.  Finished spans export to two
-formats:
+``span.set(...)`` while the block runs.
+
+Every span carries a ``trace_id`` (shared by all spans of one logical
+request) and a globally-unique string ``span_id``, so spans recorded in
+*different processes* merge into one coherent trace without id
+remapping.  A :class:`TraceContext` is the portable ``(trace_id,
+span_id)`` pair: serialize it with :meth:`TraceContext.to_header`, ship
+it over an HTTP header (``X-Repro-Trace``), a job record, or a worker
+task payload, and build the remote tracer with
+``Tracer(context=TraceContext.from_header(...))`` — its root spans then
+parent under the originating span.
+
+Finished spans export to two formats:
 
 * **JSONL** — one span object per line, convenient for grep/pandas;
 * **Chrome trace-event JSON** — loadable in ``chrome://tracing`` or
   https://ui.perfetto.dev as complete (``"ph": "X"``) events, one track
-  per nesting depth.
+  per nesting depth (depth is recomputed from the merged parent chain).
 
 The :class:`NullTracer` satisfies the same interface with a single
 reusable inert span, so tracing can stay in hot paths unconditionally.
@@ -18,12 +29,45 @@ reusable inert span, so tracing can stay in hot paths unconditionally.
 from __future__ import annotations
 
 import json
-import time
+import os
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs.clock import monotonic_s
 from repro.obs.metrics import atomic_write_text
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_SPAN"]
+__all__ = ["Span", "TraceContext", "Tracer", "NullTracer", "NULL_SPAN"]
+
+#: HTTP header carrying a serialized :class:`TraceContext`.
+TRACE_HEADER = "X-Repro-Trace"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable identity of one span: ``(trace_id, span_id)``.
+
+    This is what crosses process boundaries.  The receiving side builds
+    ``Tracer(context=ctx)`` so its root spans record ``ctx.span_id`` as
+    their parent and inherit ``ctx.trace_id``, stitching both processes
+    into a single trace.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def to_header(self) -> str:
+        """Serialize as ``"<trace_id>-<span_id>"`` for header transport."""
+        return f"{self.trace_id}-{self.span_id}"
+
+    @classmethod
+    def from_header(cls, value: str | None) -> "TraceContext | None":
+        """Parse :meth:`to_header` output; ``None`` on missing/malformed."""
+        if not value:
+            return None
+        trace_id, sep, span_id = value.strip().partition("-")
+        if not sep or not trace_id or not span_id:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
 
 
 class Span:
@@ -36,12 +80,14 @@ class Span:
     __slots__ = (
         "name",
         "attrs",
+        "trace_id",
         "span_id",
         "parent_id",
         "depth",
         "start_s",
         "duration_s",
         "_tracer",
+        "_detached",
     )
 
     def __init__(
@@ -49,23 +95,31 @@ class Span:
         tracer: "Tracer",
         name: str,
         attrs: dict[str, object],
-        span_id: int,
-        parent_id: int | None,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
         depth: int,
+        detached: bool = False,
     ) -> None:
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
+        self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
         self.depth = depth
         self.start_s = 0.0
         self.duration_s = 0.0
+        self._detached = detached
 
     def set(self, **attrs: object) -> "Span":
         """Attach attributes (e.g. results, counts) to the span."""
         self.attrs.update(attrs)
         return self
+
+    def context(self) -> TraceContext:
+        """This span's identity, ready to propagate to another process."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
 
     def __enter__(self) -> "Span":
         return self
@@ -78,6 +132,7 @@ class Span:
         """JSON-ready representation (times in seconds)."""
         return {
             "name": self.name,
+            "trace": self.trace_id,
             "id": self.span_id,
             "parent": self.parent_id,
             "depth": self.depth,
@@ -88,44 +143,112 @@ class Span:
 
 
 class Tracer:
-    """Collects hierarchical spans for one run."""
+    """Collects hierarchical spans for one run.
+
+    ``context`` is the propagated parent from another process: root
+    spans (nothing on the local stack) parent under ``context.span_id``
+    and inherit its trace id instead of starting a fresh trace.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, context: TraceContext | None = None) -> None:
         self.finished: list[Span] = []
+        self.context = context
+        self.trace_id = context.trace_id if context else os.urandom(8).hex()
         self._stack: list[Span] = []
-        self._next_id = 1
-        self._epoch = time.perf_counter()
+        # Random per-tracer prefix keeps span ids globally unique, so
+        # spans merged from many processes never collide.
+        self._prefix = os.urandom(4).hex()
+        self._next = 1
+        self._epoch = monotonic_s()
+
+    def _new_id(self) -> str:
+        span_id = f"{self._prefix}{self._next:06x}"
+        self._next += 1
+        return span_id
 
     def span(self, name: str, **attrs: object) -> Span:
         """Open a span nested under the innermost open span."""
         parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent_id, trace_id = parent.span_id, parent.trace_id
+        elif self.context is not None:
+            parent_id, trace_id = self.context.span_id, self.trace_id
+        else:
+            parent_id, trace_id = None, self.trace_id
         span = Span(
             tracer=self,
             name=name,
             attrs=dict(attrs),
-            span_id=self._next_id,
-            parent_id=parent.span_id if parent else None,
+            trace_id=trace_id,
+            span_id=self._new_id(),
+            parent_id=parent_id,
             depth=len(self._stack),
         )
-        self._next_id += 1
-        span.start_s = time.perf_counter() - self._epoch
+        span.start_s = monotonic_s() - self._epoch
         self._stack.append(span)
         return span
 
-    def _finish(self, span: Span) -> None:
-        span.duration_s = (time.perf_counter() - self._epoch) - span.start_s
-        # Close any abandoned children first (exceptions unwinding).
-        while self._stack and self._stack[-1] is not span:
-            self._stack.pop()
+    def start_span(
+        self,
+        name: str,
+        parent: "Span | TraceContext | None" = None,
+        **attrs: object,
+    ) -> Span:
+        """Open a *detached* span that bypasses the nesting stack.
+
+        Concurrent work (asyncio request handlers, overlapping jobs)
+        can't share the thread-local stack without corrupting nesting;
+        detached spans take an explicit ``parent`` — a local
+        :class:`Span`, a propagated :class:`TraceContext`, or ``None``
+        for a new root — and never touch the stack.  Close them with the
+        usual ``with`` block (or ``span.__exit__()``).
+        """
+        if isinstance(parent, Span):
+            parent_id, trace_id = parent.span_id, parent.trace_id
+            depth = parent.depth + 1
+        elif isinstance(parent, TraceContext):
+            parent_id, trace_id = parent.span_id, parent.trace_id
+            depth = 0
+        elif self.context is not None:
+            parent_id, trace_id = self.context.span_id, self.trace_id
+            depth = 0
+        else:
+            parent_id, trace_id = None, self.trace_id
+            depth = 0
+        span = Span(
+            tracer=self,
+            name=name,
+            attrs=dict(attrs),
+            trace_id=trace_id,
+            span_id=self._new_id(),
+            parent_id=parent_id,
+            depth=depth,
+            detached=True,
+        )
+        span.start_s = monotonic_s() - self._epoch
+        return span
+
+    def current_context(self) -> TraceContext | None:
+        """Context of the innermost open span (or the propagated one)."""
         if self._stack:
-            self._stack.pop()
+            return self._stack[-1].context()
+        return self.context
+
+    def _finish(self, span: Span) -> None:
+        span.duration_s = (monotonic_s() - self._epoch) - span.start_s
+        if not span._detached:
+            # Close any abandoned children first (exceptions unwinding).
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
         self.finished.append(span)
 
     def now_s(self) -> float:
         """Seconds since this tracer's epoch (parent-relative timestamps)."""
-        return time.perf_counter() - self._epoch
+        return monotonic_s() - self._epoch
 
     # ------------------------------------------------------------------
     # cross-process merging
@@ -149,26 +272,24 @@ class Tracer:
     ) -> None:
         """Absorb spans exported by another tracer (e.g. a worker process).
 
-        Span ids are remapped past this tracer's counter, spans without a
-        parent are re-parented under ``parent`` (nesting the worker's
-        trace below e.g. the campaign span), and start times are shifted
-        by ``shift_s`` — the parent-relative time the worker's epoch
+        Span ids are globally unique, so they are kept verbatim; spans
+        that arrive *without* a parent (pre-propagation producers) are
+        re-parented under ``parent``, and start times are shifted by
+        ``shift_s`` — the parent-relative time the remote epoch
         corresponds to — so the merged Chrome trace shares one timeline.
         """
-        if not span_dicts:
-            return
-        offset = self._next_id
         base_depth = parent.depth + 1 if parent is not None else 0
         root_parent = parent.span_id if parent is not None else None
-        highest = offset
+        root_trace = parent.trace_id if parent is not None else self.trace_id
         for payload in span_dicts:
             span = Span(
                 tracer=self,
                 name=payload["name"],
                 attrs=dict(payload.get("attrs", {})),
-                span_id=payload["id"] + offset,
+                trace_id=payload.get("trace") or root_trace,
+                span_id=payload["id"],
                 parent_id=(
-                    payload["parent"] + offset
+                    payload["parent"]
                     if payload.get("parent") is not None
                     else root_parent
                 ),
@@ -177,8 +298,6 @@ class Tracer:
             span.start_s = payload.get("start_s", 0.0) + shift_s
             span.duration_s = payload.get("duration_s", 0.0)
             self.finished.append(span)
-            highest = max(highest, span.span_id)
-        self._next_id = highest + 1
 
     # ------------------------------------------------------------------
     # export
@@ -193,8 +312,48 @@ class Tracer:
         text = self.to_jsonl()
         atomic_write_text(path, text + "\n" if text else "")
 
+    def _resolved_depths(self) -> dict[str, int]:
+        """Depth of every finished span, following merged parent chains.
+
+        Spans ingested from other processes carry depths relative to
+        their own tracer; walking the parent chain (falling back to the
+        recorded depth at roots, with a cycle guard for malformed input)
+        yields consistent track numbers for the merged Chrome trace.
+        """
+        by_id = {span.span_id: span for span in self.finished}
+        depths: dict[str, int] = {}
+        for span in self.finished:
+            chain: list[Span] = []
+            seen: set[str] = set()
+            current = span
+            while current.span_id not in depths:
+                if current.span_id in seen:  # cycle: trust recorded depth
+                    depths[current.span_id] = current.depth
+                    break
+                seen.add(current.span_id)
+                chain.append(current)
+                parent = (
+                    by_id.get(current.parent_id)
+                    if current.parent_id is not None
+                    else None
+                )
+                if parent is None:  # local root, or remote/unknown parent
+                    depths[current.span_id] = current.depth
+                    break
+                current = parent
+            for entry in reversed(chain):
+                if entry.span_id not in depths:
+                    depths[entry.span_id] = depths[entry.parent_id] + 1
+        return depths
+
     def to_chrome_trace(self) -> dict:
-        """Chrome trace-event format: complete events, ts/dur in us."""
+        """Chrome trace-event format: complete events, ts/dur in us.
+
+        Each event also carries top-level ``id``/``parent``/``trace``
+        keys (ignored by the Chrome viewer, preserved for tooling that
+        reconstructs ancestry from the export).
+        """
+        depths = self._resolved_depths()
         events = []
         for span in sorted(self.finished, key=lambda s: s.start_s):
             events.append(
@@ -205,7 +364,10 @@ class Tracer:
                     "ts": span.start_s * 1e6,
                     "dur": span.duration_s * 1e6,
                     "pid": 1,
-                    "tid": span.depth + 1,
+                    "tid": depths[span.span_id] + 1,
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "trace": span.trace_id,
                     "args": {str(k): v for k, v in span.attrs.items()},
                 }
             )
@@ -224,6 +386,9 @@ class _NullSpan:
     def set(self, **attrs: object) -> "_NullSpan":
         return self
 
+    def context(self) -> None:
+        return None
+
     def __enter__(self) -> "_NullSpan":
         return self
 
@@ -240,10 +405,25 @@ class NullTracer:
 
     enabled = False
     finished: list = []
+    context = None
+    trace_id = ""
 
     def span(self, name: str, **attrs: object) -> _NullSpan:
         """The shared inert span."""
         return NULL_SPAN
+
+    def start_span(
+        self,
+        name: str,
+        parent: object | None = None,
+        **attrs: object,
+    ) -> _NullSpan:
+        """The shared inert span (detached API)."""
+        return NULL_SPAN
+
+    def current_context(self) -> None:
+        """Always ``None`` (nothing to propagate)."""
+        return None
 
     def now_s(self) -> float:
         """Always 0.0 (there is no timeline)."""

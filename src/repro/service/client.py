@@ -31,7 +31,7 @@ from typing import Iterator
 from urllib.parse import urlsplit
 
 from repro.characterization.campaign import CampaignSpec, loads_results
-from repro.obs import get_logger
+from repro.obs import TRACE_HEADER, NullTracer, Tracer, get_logger
 
 __all__ = ["ServiceError", "JobStatus", "ServiceClient"]
 
@@ -84,6 +84,7 @@ class ServiceClient:
         retries: int = 5,
         backoff_s: float = 0.2,
         client_id: str | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         parts = urlsplit(base_url)
         if parts.scheme not in ("http", ""):
@@ -95,6 +96,11 @@ class ServiceClient:
         self.retries = retries
         self.backoff_s = backoff_s
         self.client_id = client_id
+        #: When set to an active tracer, every request carries the
+        #: innermost open span's context in ``X-Repro-Trace`` so the
+        #: server's spans (and any submitted job's engine trace) parent
+        #: under the client-side call site.
+        self.tracer: Tracer | NullTracer = tracer if tracer is not None else NullTracer()
 
     # -- transport -----------------------------------------------------
 
@@ -102,6 +108,9 @@ class ServiceClient:
         headers = {"Accept": "application/json"}
         if self.client_id is not None:
             headers["X-Client-Id"] = self.client_id
+        context = self.tracer.current_context()
+        if context is not None:
+            headers[TRACE_HEADER] = context.to_header()
         return headers
 
     def _connect(self) -> http.client.HTTPConnection:
@@ -255,6 +264,44 @@ class ServiceClient:
         return payload
 
     def metrics(self) -> dict:
-        """The service's exported metrics registry."""
-        _status, payload = self._request("GET", "/metrics")
+        """The service's exported metrics registry (JSON form)."""
+        _status, payload = self._request("GET", "/metrics?format=json")
         return payload
+
+    def metrics_text(self) -> str:
+        """The service's ``/metrics`` Prometheus text exposition."""
+        connection = self._connect()
+        try:
+            connection.request("GET", "/metrics", headers=self._headers())
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServiceError(
+                    response.status, raw.decode("utf-8", "replace").strip()
+                )
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
+    def dashboard(self, interval_s: float = 1.0, count: int = 0) -> Iterator[dict]:
+        """Yield live ``/v1/dashboard`` snapshots (NDJSON stream)."""
+        connection = self._connect()
+        try:
+            connection.request(
+                "GET",
+                f"/v1/dashboard?interval={interval_s}&count={count}",
+                headers=self._headers(),
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read().decode("utf-8", "replace")
+                raise ServiceError(response.status, raw.strip())
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8").strip()
+                if text:
+                    yield json.loads(text)
+        finally:
+            connection.close()

@@ -39,8 +39,11 @@ from repro.obs import (
     Observer,
     ProgressEvent,
     ProgressReporter,
+    TraceContext,
+    Tracer,
     atomic_write_text,
     get_logger,
+    monotonic_s,
 )
 from repro.service.store import ResultStore, spec_key
 from repro.testkit.faults import fault_write
@@ -127,7 +130,14 @@ class Job:
     error: str | None = None
     records: int | None = None
     shards_total: int = 0
+    #: Serialized :class:`TraceContext` of the submitting request span;
+    #: the supervisor parents the job's engine trace under it, stitching
+    #: client -> server -> engine -> worker into one trace.
+    trace_parent: str | None = None
     events: list[dict] = field(default_factory=list)
+    #: Monotonic instant the job entered its current state (not
+    #: persisted; feeds the per-state latency histograms and age gauges).
+    state_entered_s: float = field(default=0.0, repr=False)
     _changed: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     @property
@@ -169,6 +179,7 @@ class Job:
             "error": self.error,
             "records": self.records,
             "shards_total": self.shards_total,
+            "trace_parent": self.trace_parent,
             "events": len(self.events),
             "spec": self.spec.to_json(),
         }
@@ -187,6 +198,7 @@ class Job:
             error=payload.get("error"),
             records=payload.get("records"),
             shards_total=payload.get("shards_total", 0),
+            trace_parent=payload.get("trace_parent"),
         )
 
 
@@ -238,7 +250,12 @@ class JobManager:
         """Jobs admitted but not yet picked up by the supervisor."""
         return sum(1 for job in self.jobs.values() if job.state == QUEUED)
 
-    def submit(self, spec: CampaignSpec, client: str = "") -> tuple[Job, str]:
+    def submit(
+        self,
+        spec: CampaignSpec,
+        client: str = "",
+        trace_parent: str | None = None,
+    ) -> tuple[Job, str]:
         """Admit one spec; returns ``(job, outcome)``.
 
         Outcomes: ``"new"`` (enqueued, will run), ``"cached"`` (results
@@ -246,6 +263,8 @@ class JobManager:
         (the same spec is already queued or running).  A previously
         ``failed`` job is re-admitted as ``"new"``.  Raises
         :class:`QueueFull` when the bounded queue is at capacity.
+        ``trace_parent`` is the submitting request's serialized
+        :class:`TraceContext`; the job's engine trace parents under it.
         """
         key = spec_key(spec)
         existing = self.jobs.get(key)
@@ -282,6 +301,8 @@ class JobManager:
             submitted_seq=self._next_seq(),
             submitted_at_s=time.time(),
             shards_total=len(plan_shards(spec)),
+            trace_parent=trace_parent,
+            state_entered_s=monotonic_s(),
         )
         job.publish({"event": "state", "state": QUEUED})
         self.jobs[key] = job
@@ -329,6 +350,7 @@ class JobManager:
                 continue
             self.jobs[job.job_id] = job
             self._seq = max(self._seq, job.submitted_seq)
+            job.state_entered_s = monotonic_s()
             if job.state == DONE and not self.store.has(job.job_id):
                 # Results vanished (pruned store?): run it again.
                 job.state = QUEUED
@@ -369,6 +391,31 @@ class JobManager:
         """Unblock a supervisor waiting on an empty queue (for drain)."""
         self._queue.put_nowait(None)
 
+    # -- fleet gauges --------------------------------------------------
+
+    def update_state_gauges(self) -> None:
+        """Refresh per-state job-count and oldest-job-age gauges.
+
+        Called by the HTTP layer just before exposing metrics, so
+        ``/metrics`` and the dashboard stream always reflect the current
+        job table without per-transition bookkeeping.
+        """
+        now_s = monotonic_s()
+        by_state: dict[str, int] = {}
+        oldest: dict[str, float] = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+            if job.state_entered_s > 0.0:
+                age_s = max(now_s - job.state_entered_s, 0.0)
+                oldest[job.state] = max(oldest.get(job.state, 0.0), age_s)
+        for state in (QUEUED, RUNNING, INTERRUPTED, DONE, FAILED):
+            self.metrics.gauge("service.jobs_by_state", state=state).set(
+                by_state.get(state, 0)
+            )
+            self.metrics.gauge("service.oldest_job_age_s", state=state).set(
+                round(oldest.get(state, 0.0), 6)
+            )
+
 
 class JobSupervisor:
     """Runs queued jobs through the campaign engine, one at a time.
@@ -389,6 +436,7 @@ class JobSupervisor:
         shard_size: int = 4,
         draining: Callable[[], bool] | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         self.manager = manager
         self.checkpoints_dir = Path(checkpoints_dir)
@@ -397,6 +445,10 @@ class JobSupervisor:
         self.shard_size = shard_size
         self.draining = draining if draining is not None else lambda: False
         self.metrics = metrics if metrics is not None else manager.metrics
+        #: The service-wide tracer; each job's engine trace is collected
+        #: on a per-job tracer (parented by the job's ``trace_parent``)
+        #: and folded into this one when the job settles.
+        self.tracer: Tracer | NullTracer = tracer if tracer is not None else NullTracer()
 
     async def run(self) -> None:
         """Supervisor loop: pull jobs until drained."""
@@ -411,10 +463,23 @@ class JobSupervisor:
         """The engine checkpoint sidecar for one job."""
         return self.checkpoints_dir / f"{job.job_id}.checkpoint.jsonl"
 
+    def _record_state_duration(self, job: Job) -> None:
+        """Record how long ``job`` spent in its current state, and reset."""
+        if job.state_entered_s > 0.0:
+            self.metrics.histogram(
+                "service.job_state_seconds", state=job.state
+            ).record(max(monotonic_s() - job.state_entered_s, 0.0))
+        job.state_entered_s = monotonic_s()
+
+    def _enter_state(self, job: Job, state: str, **extra: object) -> None:
+        """Transition ``job``, recording time spent in the previous state."""
+        self._record_state_duration(job)
+        job.set_state(state, **extra)
+
     async def run_job(self, job: Job) -> None:
         """Execute one job through the engine and settle its state."""
         loop = asyncio.get_running_loop()
-        job.set_state(RUNNING)
+        self._enter_state(job, RUNNING)
         self.manager.persist(job)
 
         def progress_sink(event: ProgressEvent) -> None:
@@ -431,12 +496,19 @@ class JobSupervisor:
                 },
             )
 
+        # Each job collects its engine trace on a private tracer parented
+        # by the submitting request's context, then folds it into the
+        # service tracer — concurrent requests never share a span stack.
+        job_tracer: Tracer | NullTracer = NullTracer()
+        if self.tracer.enabled:
+            job_tracer = Tracer(context=TraceContext.from_header(job.trace_parent))
         observer = Observer(
             metrics=self.metrics,
-            tracer=NullTracer(),
+            tracer=job_tracer,
             progress=ProgressReporter(label=job.job_id, sink=progress_sink),
         )
-        started_s = time.monotonic()
+        started_s = monotonic_s()
+        trace_shift_s = self.tracer.now_s() if self.tracer.enabled else 0.0
         try:
             result = await asyncio.to_thread(
                 run_engine,
@@ -449,12 +521,16 @@ class JobSupervisor:
                 stop_check=self.draining,
             )
         except Exception as error:  # job isolation boundary: never kill the loop
+            if self.tracer.enabled:
+                self.tracer.ingest(job_tracer.drain(), shift_s=trace_shift_s)
             self._fail(job, f"{type(error).__name__}: {error}")
             return
-        elapsed_s = time.monotonic() - started_s
+        if self.tracer.enabled:
+            self.tracer.ingest(job_tracer.drain(), shift_s=trace_shift_s)
+        elapsed_s = monotonic_s() - started_s
         self.metrics.histogram("service.job_seconds").record(elapsed_s)
         if result.interrupted:
-            job.set_state(INTERRUPTED, shards_run=result.shards_run)
+            self._enter_state(job, INTERRUPTED, shards_run=result.shards_run)
             self.manager.persist(job)
             self.metrics.counter("service.jobs_interrupted").inc()
             logger.info(
@@ -474,6 +550,7 @@ class JobSupervisor:
         self.manager.store.put(job.spec, result.records)
         self.checkpoint_path(job).unlink(missing_ok=True)
         job.records = len(result.records)
+        self._record_state_duration(job)
         job.state = DONE
         job.publish(
             {
@@ -495,6 +572,7 @@ class JobSupervisor:
 
     def _fail(self, job: Job, error: str) -> None:
         job.error = error
+        self._record_state_duration(job)
         job.state = FAILED
         job.publish({"event": "failed", "error": error})
         self.manager.persist(job)

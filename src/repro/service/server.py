@@ -14,8 +14,18 @@ Routes (all JSON; see docs/SERVICE.md for the full reference)::
     GET  /v1/campaigns/{id}/events    NDJSON progress stream (chunked)
     GET  /v1/campaigns/{id}/results   schema-v2 results (byte-identical
                                       to a local `repro campaign` run)
-    GET  /metrics                     the repro.obs metrics registry
+    GET  /v1/dashboard                live NDJSON fleet snapshots
+                                      (``?interval=<s>&count=<n>``)
+    GET  /metrics                     Prometheus text exposition
+                                      (``?format=json`` for the raw
+                                      repro.obs registry)
     GET  /healthz                     readiness / drain state + version
+
+Every request may carry an ``X-Repro-Trace`` header (a serialized
+:class:`repro.obs.TraceContext`); the server opens an ``http.request``
+span parented under it and re-propagates *its own* context into
+submitted jobs, so client, server, engine, and worker spans merge into
+one end-to-end trace.
 
 Backpressure surfaces as ``429`` with ``Retry-After`` (token-bucket
 rate limiting per client, bounded job queue); a draining server answers
@@ -35,19 +45,24 @@ import asyncio
 import json
 import math
 import signal
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
+from urllib.parse import parse_qs
 
 from repro import __version__
 from repro.characterization.campaign import CampaignSpec
 from repro.obs import (
+    TRACE_HEADER,
     MetricsRegistry,
+    NullTracer,
     Observer,
+    TraceContext,
+    Tracer,
     atomic_write_text,
     declare_standard_metrics,
     get_logger,
+    monotonic_s,
 )
 from repro.service.jobs import (
     DONE,
@@ -110,6 +125,11 @@ class HttpRequest:
     headers: dict[str, str]
     body: bytes
     client: str
+    #: Serialized :class:`TraceContext` for this request.  Parsed from
+    #: the ``X-Repro-Trace`` header, then *overwritten* by the dispatcher
+    #: with the server's own request-span context before routing, so
+    #: handlers propagate the request span (not the client span) onward.
+    trace_parent: str | None = None
 
     @property
     def client_id(self) -> str:
@@ -161,6 +181,7 @@ async def _read_request(
         headers=headers,
         body=body,
         client=client,
+        trace_parent=headers.get(TRACE_HEADER.lower()),
     )
     if length == -1:
         request.headers["x-internal-oversized"] = "1"
@@ -180,6 +201,10 @@ class CampaignService:
             self.metrics: MetricsRegistry = observer.metrics
         else:
             self.metrics = MetricsRegistry()
+        if observer is not None and observer.tracer.enabled:
+            self.tracer: Tracer | NullTracer = observer.tracer
+        else:
+            self.tracer = NullTracer()
         declare_standard_metrics(self.metrics)
         self.store = ResultStore(self.data_dir / "results")
         self.manager = JobManager(
@@ -197,12 +222,13 @@ class CampaignService:
             shard_size=config.shard_size,
             draining=lambda: self._draining,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
         self._draining = False
         self._server: asyncio.base_events.Server | None = None
         self._supervisor_task: asyncio.Task | None = None
         self._writers: set[asyncio.StreamWriter] = set()
-        self._started_s = time.monotonic()
+        self._started_s = monotonic_s()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -280,24 +306,43 @@ class CampaignService:
         self, request: HttpRequest, writer: asyncio.StreamWriter
     ) -> bool:
         """Route one request; returns whether to keep the connection."""
-        started = time.monotonic()
+        started = monotonic_s()
         route = "unknown"
+        # Detached span: concurrent handlers on one event loop can't
+        # share the tracer's nesting stack.  The request span parents
+        # under the client's propagated context, and *its* context
+        # replaces ``request.trace_parent`` so submitted jobs nest under
+        # this request rather than dangling off the client span.
+        span = self.tracer.start_span(
+            "http.request",
+            parent=TraceContext.from_header(request.trace_parent),
+            method=request.method,
+            path=request.path,
+        )
+        context = span.context()
+        if context is not None:
+            request.trace_parent = context.to_header()
         try:
-            route, keep_alive = await self._route(request, writer)
-        except (ConnectionError, asyncio.CancelledError):
-            raise
-        except Exception as error:  # never leak a traceback as a hang
-            logger.exception("unhandled error serving %s %s", request.method, request.path)
-            await self._send_json(
-                writer,
-                500,
-                {"error": f"internal error: {type(error).__name__}: {error}"},
-            )
-            keep_alive = False
+            try:
+                route, keep_alive = await self._route(request, writer)
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as error:  # never leak a traceback as a hang
+                logger.exception(
+                    "unhandled error serving %s %s", request.method, request.path
+                )
+                await self._send_json(
+                    writer,
+                    500,
+                    {"error": f"internal error: {type(error).__name__}: {error}"},
+                )
+                keep_alive = False
+        finally:
+            span.set(route=route).__exit__()
         self.metrics.counter("service.requests").inc()
         self.metrics.counter("service.requests_by_route", route=route).inc()
-        self.metrics.histogram("service.request_seconds").record(
-            time.monotonic() - started
+        self.metrics.histogram("service.request_seconds", route=route).record(
+            monotonic_s() - started
         )
         if request.headers.get("connection", "").lower() == "close":
             return False
@@ -319,8 +364,20 @@ class CampaignService:
             await self._send_json(writer, 200, self._health_payload())
             return "healthz", True
         if segments == ["metrics"] and request.method == "GET":
-            await self._send_json(writer, 200, self.metrics.to_dict())
+            self.manager.update_state_gauges()
+            fmt = parse_qs(request.query).get("format", ["prometheus"])[0]
+            if fmt == "json":
+                await self._send_json(writer, 200, self.metrics.to_dict())
+            else:
+                await self._send(
+                    writer,
+                    200,
+                    self.metrics.to_prometheus().encode("utf-8"),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
             return "metrics", True
+        if segments == ["v1", "dashboard"] and request.method == "GET":
+            return "dashboard", await self._stream_dashboard(writer, request)
         if segments[:2] == ["v1", "campaigns"]:
             if len(segments) == 2:
                 if request.method == "POST":
@@ -372,7 +429,7 @@ class CampaignService:
             "status": "draining" if self._draining else "ok",
             "version": __version__,
             "server": SERVER_ID,
-            "uptime_s": round(time.monotonic() - self._started_s, 3),
+            "uptime_s": round(monotonic_s() - self._started_s, 3),
             "jobs": job_states(self.manager.jobs.values()),
             "queue_depth": self.manager.queued_count(),
             "results_cached": len(self.store.keys()),
@@ -410,7 +467,11 @@ class CampaignService:
             )
             return True
         try:
-            job, outcome = self.manager.submit(spec, client=request.client_id)
+            job, outcome = self.manager.submit(
+                spec,
+                client=request.client_id,
+                trace_parent=request.trace_parent,
+            )
         except QueueFull as full:
             await self._send_json(
                 writer,
@@ -476,6 +537,58 @@ class CampaignService:
             await job.wait_changed()
         writer.write(b"0\r\n\r\n")
         await writer.drain()
+
+    def _dashboard_snapshot(self) -> dict:
+        """One NDJSON line of the live dashboard stream."""
+        self.manager.update_state_gauges()
+        return {
+            "uptime_s": round(monotonic_s() - self._started_s, 3),
+            "draining": self._draining,
+            "jobs": job_states(self.manager.jobs.values()),
+            "queue_depth": self.manager.queued_count(),
+            "results_cached": len(self.store.keys()),
+        }
+
+    async def _stream_dashboard(
+        self, writer: asyncio.StreamWriter, request: HttpRequest
+    ) -> bool:
+        """``GET /v1/dashboard``: chunked NDJSON fleet snapshots.
+
+        ``?interval=<seconds>`` sets the cadence (default 1.0, clamped
+        to [0.05, 60]); ``?count=<n>`` stops after n snapshots (default
+        unbounded — the client hangs up when done watching).
+        """
+        params = parse_qs(request.query)
+        try:
+            interval_s = float(params.get("interval", ["1.0"])[0])
+            count = int(params.get("count", ["0"])[0])
+        except ValueError:
+            await self._send_json(
+                writer, 400, {"error": "interval and count must be numeric"}
+            )
+            return True
+        interval_s = min(max(interval_s, 0.05), 60.0)
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            f"Server: {SERVER_ID}\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        sent = 0
+        while True:
+            data = (json.dumps(self._dashboard_snapshot()) + "\n").encode("utf-8")
+            writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+            await writer.drain()
+            self.metrics.counter("service.dashboard_snapshots").inc()
+            sent += 1
+            if (count and sent >= count) or self._draining:
+                break
+            await asyncio.sleep(interval_s)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return True
 
     # -- response plumbing ---------------------------------------------
 

@@ -92,7 +92,9 @@ def test_to_dict_shape_and_json_roundtrip(tmp_path):
     assert snapshot["histograms"][0]["count"] == 1
     path = tmp_path / "m.json"
     reg.write_json(path)
-    assert json.loads(path.read_text()) == snapshot
+    # Files carry raw histogram values so obs-report can merge losslessly.
+    assert json.loads(path.read_text()) == reg.to_dict(raw=True)
+    assert json.loads(path.read_text())["histograms"][0]["values"] == [3.0]
     assert not (tmp_path / "m.json.tmp").exists()  # temp file renamed away
 
 

@@ -1,0 +1,130 @@
+"""Tests for the Prometheus text exposition (MetricsRegistry.to_prometheus)."""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry, NullRegistry
+
+#: One sample line: name, optional {labels}, and a value.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (\+Inf|-Inf|-?[0-9.e+-]+)$"
+)
+
+
+def _parse(text: str) -> tuple[dict[str, str], list[str]]:
+    """Split exposition text into {family: kind} and sample lines."""
+    types: dict[str, str] = {}
+    samples: list[str] = []
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, _, kind = rest.partition(" ")
+            types[family] = kind
+        elif line.startswith("#"):
+            continue
+        else:
+            samples.append(line)
+    return types, samples
+
+
+def _sample_value(samples: list[str], prefix: str) -> float:
+    matches = [line for line in samples if line.startswith(prefix)]
+    assert len(matches) == 1, f"expected one sample for {prefix}, got {matches}"
+    return float(matches[0].rpartition(" ")[2].replace("+Inf", "inf"))
+
+
+def build_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("service.requests").inc(7)
+    reg.counter("service.requests_by_route", route="submit").inc(3)
+    reg.counter("service.requests_by_route", route="metrics").inc(4)
+    reg.gauge("service.queue_depth").set(2)
+    hist = reg.histogram("service.request_seconds", route="submit")
+    for value in (0.0004, 0.003, 0.003, 0.08, 1.7, 42.0):
+        hist.record(value)
+    return reg
+
+
+def test_exposition_is_parseable_and_typed():
+    text = build_registry().to_prometheus()
+    assert text.endswith("\n")
+    types, samples = _parse(text)
+    assert types["service_requests_total"] == "counter"
+    assert types["service_requests_by_route_total"] == "counter"
+    assert types["service_queue_depth"] == "gauge"
+    assert types["service_request_seconds"] == "histogram"
+    for line in samples:
+        assert _SAMPLE_RE.match(line), f"unparseable sample line: {line!r}"
+
+
+def test_type_line_emitted_once_per_family():
+    text = build_registry().to_prometheus()
+    type_lines = [line for line in text.splitlines() if line.startswith("# TYPE ")]
+    assert len(type_lines) == len(set(type_lines))
+    # Both routes share one family and one TYPE line.
+    assert sum("service_requests_by_route_total" in line for line in type_lines) == 1
+
+
+def test_counter_values_and_labels():
+    _, samples = _parse(build_registry().to_prometheus())
+    assert _sample_value(samples, "service_requests_total ") == 7
+    assert (
+        _sample_value(samples, 'service_requests_by_route_total{route="submit"}') == 3
+    )
+    assert (
+        _sample_value(samples, 'service_requests_by_route_total{route="metrics"}') == 4
+    )
+    assert _sample_value(samples, "service_queue_depth ") == 2
+
+
+def test_histogram_buckets_are_cumulative_and_complete():
+    _, samples = _parse(build_registry().to_prometheus())
+    bucket_lines = [
+        line for line in samples if line.startswith("service_request_seconds_bucket")
+    ]
+    # One line per default bucket plus +Inf.
+    assert len(bucket_lines) == len(DEFAULT_BUCKETS) + 1
+    counts = [int(line.rpartition(" ")[2]) for line in bucket_lines]
+    assert counts == sorted(counts), "bucket counts must be monotone non-decreasing"
+    assert 'le="+Inf"' in bucket_lines[-1]
+    assert counts[-1] == 6  # +Inf bucket equals the observation count
+    assert (
+        _sample_value(samples, 'service_request_seconds_count{route="submit"}') == 6
+    )
+    total = _sample_value(samples, 'service_request_seconds_sum{route="submit"}')
+    assert math.isclose(total, 0.0004 + 0.003 + 0.003 + 0.08 + 1.7 + 42.0)
+
+
+def test_label_values_are_escaped():
+    reg = MetricsRegistry()
+    reg.counter("campaign.experiments", kind='we"ird\\path\n').inc()
+    text = reg.to_prometheus()
+    assert r"\"" in text
+    assert "\\\\" in text
+    assert "\\n" in text
+    assert "\n\n" not in text
+
+
+def test_empty_and_null_registries_expose_nothing():
+    assert MetricsRegistry().to_prometheus() == ""
+    assert NullRegistry().to_prometheus() == ""
+
+
+def test_bucket_counts_match_recorded_values():
+    reg = MetricsRegistry()
+    hist = reg.histogram("engine.shard_seconds")
+    for value in (0.0001, 0.002, 0.02, 0.2, 2.0, 20.0, 200.0):
+        hist.record(value)
+    pairs = hist.bucket_counts()
+    assert pairs[-1] == (math.inf, 7)
+    by_bound = dict(pairs)
+    assert by_bound[0.001] == 1
+    assert by_bound[0.005] == 2
+    assert by_bound[0.025] == 3
+    assert by_bound[0.25] == 4
+    assert by_bound[2.5] == 5
+    assert by_bound[10.0] == 5

@@ -1,0 +1,363 @@
+"""Performance-trajectory harness: curated benchmarks -> BENCH_<pr>.json.
+
+Run:  python tools/bench_trajectory.py --pr 6                # full run
+      python tools/bench_trajectory.py --pr 6 --smoke        # CI-sized run
+      python tools/bench_trajectory.py --pr 6 --only campaign_engine
+
+Each invocation times a small, curated set of end-to-end benchmarks
+(campaign-engine scaling, a figure-class ACmin sweep, and service
+request throughput), writes the results as ``BENCH_<pr>.json`` in the
+repository root, and compares them against the previous trajectory
+point (the highest-numbered ``BENCH_<n>.json`` with ``n < pr``, or an
+explicit ``--baseline``).  A benchmark that got more than
+``--threshold`` (default 20%) slower than the baseline fails the run
+with exit code 1, so performance regressions surface in review next to
+the code that caused them.
+
+Output schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "pr": 6,                      # trajectory point this file records
+      "mode": "full" | "smoke",     # smoke points are never compared
+                                    # against full ones (scales differ)
+      "repro_version": "...",
+      "env": {"python": ..., "platform": ..., "cpu_count": ...},
+      "benchmarks": [
+        {
+          "name": "campaign_engine",
+          "wall_s": 1.234,          # what the regression gate compares
+          "throughput": 120.5,
+          "unit": "records/s",
+          "detail": {...},          # benchmark-specific counters
+          "profiler_top": [[label, samples], ...]   # hottest leaf frames
+        },
+        ...
+      ]
+    }
+
+``--inject-slowdown FACTOR`` multiplies every measured wall time after
+the fact; it exists so CI can prove the regression gate actually trips
+(a run with ``--inject-slowdown 2.0`` against a fresh baseline must
+exit non-zero).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import __version__, units  # noqa: E402
+from repro.characterization.campaign import CampaignSpec  # noqa: E402
+from repro.obs import SamplingProfiler, atomic_write_text  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+SCHEMA_VERSION = 1
+DEFAULT_THRESHOLD = 0.20
+_BASELINE_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+# ----------------------------------------------------------------------
+# benchmarks
+# ----------------------------------------------------------------------
+
+
+def bench_campaign_engine(smoke: bool) -> dict:
+    """Sharded campaign engine, single worker, with the profiler attached."""
+    from repro.characterization.engine import run_engine
+
+    spec = CampaignSpec(
+        name="trajectory-engine",
+        module_ids=("S3",) if smoke else ("S0", "S3", "H0"),
+        experiment="acmin",
+        t_aggon_values=(36.0, 7800.0) if smoke else (36.0, 636.0, 7800.0),
+        activation_counts=(1, 100),
+        sites_per_module=2 if smoke else 4,
+        seed=6,
+    )
+    profiler = SamplingProfiler(interval_s=0.002)
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        with profiler:
+            result = run_engine(
+                spec,
+                workers=1,
+                shard_size=2,
+                checkpoint=Path(tmp) / "trajectory.checkpoint.jsonl",
+                resume=False,
+            )
+        wall_s = time.perf_counter() - start
+    records = len(result.records)
+    return {
+        "name": "campaign_engine",
+        "wall_s": wall_s,
+        "throughput": records / wall_s if wall_s > 0 else 0.0,
+        "unit": "records/s",
+        "detail": {"records": records, "shards": result.shards_total},
+        "profiler_top": profiler.top_frames(5),
+    }
+
+
+def bench_figure_acmin_sweep(smoke: bool) -> dict:
+    """Figure-class workload: ACmin bisection across a t_AggON sweep."""
+    from repro.bender import TestingInfrastructure
+    from repro.characterization import find_acmin
+    from repro.characterization.patterns import RowSite
+    from repro.dram import build_module
+    from repro.dram.geometry import Geometry
+
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=256, row_bits=65536
+    )
+    module = build_module("S3", geometry=geometry)
+    bench = TestingInfrastructure(module)
+    bench.module.device.set_temperature(50.0)
+    site = RowSite(0, 1, 100)
+    sweep = (
+        (36.0, 7800.0)
+        if smoke
+        else (36.0, 636.0, units.TREFI, 9 * units.TREFI, 30 * units.MS)
+    )
+    start = time.perf_counter()
+    found = 0
+    for t_aggon in sweep:
+        if find_acmin(bench, site, t_aggon) is not None:
+            found += 1
+    wall_s = time.perf_counter() - start
+    return {
+        "name": "figure_acmin_sweep",
+        "wall_s": wall_s,
+        "throughput": len(sweep) / wall_s if wall_s > 0 else 0.0,
+        "unit": "searches/s",
+        "detail": {"sweep_points": len(sweep), "acmin_found": found},
+        "profiler_top": [],
+    }
+
+
+def bench_service_throughput(smoke: bool) -> dict:
+    """Request throughput of a live `repro serve` subprocess."""
+    requests = 50 if smoke else 300
+    with tempfile.TemporaryDirectory() as tmp:
+        data_dir = Path(tmp)
+        port_file = data_dir / "port.txt"
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = str(SRC)
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--data-dir",
+                str(data_dir / "state"),
+                "--port",
+                "0",
+                "--port-file",
+                str(port_file),
+            ],
+            env=environment,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while not port_file.exists():
+                if process.poll() is not None:
+                    raise RuntimeError("service died at startup")
+                if time.monotonic() > deadline:
+                    raise RuntimeError("service did not write its port file")
+                time.sleep(0.02)
+            client = ServiceClient(
+                f"http://127.0.0.1:{int(port_file.read_text())}",
+                client_id="trajectory",
+            )
+            client.healthz()  # connection warm-up outside the timed region
+            start = time.perf_counter()
+            for _ in range(requests):
+                client.healthz()
+            wall_s = time.perf_counter() - start
+        finally:
+            process.kill()
+            process.wait(timeout=10)
+    return {
+        "name": "service_throughput",
+        "wall_s": wall_s,
+        "throughput": requests / wall_s if wall_s > 0 else 0.0,
+        "unit": "requests/s",
+        "detail": {"requests": requests},
+        "profiler_top": [],
+    }
+
+
+BENCHMARKS = {
+    "campaign_engine": bench_campaign_engine,
+    "figure_acmin_sweep": bench_figure_acmin_sweep,
+    "service_throughput": bench_service_throughput,
+}
+
+
+# ----------------------------------------------------------------------
+# trajectory comparison
+# ----------------------------------------------------------------------
+
+
+def discover_baseline(pr: int) -> Path | None:
+    """The highest-numbered ``BENCH_<n>.json`` with ``n < pr``, if any."""
+    candidates: list[tuple[int, Path]] = []
+    for path in ROOT.glob("BENCH_*.json"):
+        match = _BASELINE_RE.match(path.name)
+        if match and int(match.group(1)) < pr:
+            candidates.append((int(match.group(1)), path))
+    return max(candidates)[1] if candidates else None
+
+
+def compare(new: dict, old: dict, threshold: float) -> tuple[list[str], list[str]]:
+    """Regression messages and informational notes for a trajectory pair."""
+    notes: list[str] = []
+    if old.get("mode") != new["mode"]:
+        notes.append(
+            f"baseline mode {old.get('mode')!r} != current {new['mode']!r}; "
+            "scales differ, comparison skipped"
+        )
+        return [], notes
+    regressions: list[str] = []
+    old_by_name = {entry["name"]: entry for entry in old.get("benchmarks", [])}
+    for entry in new["benchmarks"]:
+        base = old_by_name.get(entry["name"])
+        if base is None:
+            notes.append(f"{entry['name']}: no baseline entry (new benchmark)")
+            continue
+        limit = base["wall_s"] * (1.0 + threshold)
+        if entry["wall_s"] > limit:
+            regressions.append(
+                f"{entry['name']}: {entry['wall_s']:.3f}s vs baseline "
+                f"{base['wall_s']:.3f}s (> {threshold:.0%} slower)"
+            )
+        else:
+            delta = (
+                (entry["wall_s"] - base["wall_s"]) / base["wall_s"]
+                if base["wall_s"] > 0
+                else 0.0
+            )
+            notes.append(
+                f"{entry['name']}: {entry['wall_s']:.3f}s "
+                f"({delta:+.1%} vs baseline)"
+            )
+    return regressions, notes
+
+
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pr", type=int, required=True, help="trajectory point number to record"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced scale for CI (never compared against full runs)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        choices=sorted(BENCHMARKS),
+        default=None,
+        help="run a subset of the benchmarks",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="output path (default: BENCH_<pr>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="explicit baseline file (default: auto-discover BENCH_<n>.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative wall-time slowdown that fails the run (default 0.20)",
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="multiply measured wall times (self-test hook for the gate)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.only or sorted(BENCHMARKS)
+    results = []
+    for name in names:
+        print(f"running {name} ({'smoke' if args.smoke else 'full'})...")
+        entry = BENCHMARKS[name](args.smoke)
+        if args.inject_slowdown != 1.0:
+            entry["wall_s"] *= args.inject_slowdown
+            entry["throughput"] /= args.inject_slowdown
+        print(
+            f"  {entry['wall_s']:.3f}s, "
+            f"{entry['throughput']:.1f} {entry['unit']}"
+        )
+        results.append(entry)
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "pr": args.pr,
+        "mode": "smoke" if args.smoke else "full",
+        "repro_version": __version__,
+        "env": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmarks": results,
+    }
+    out = Path(args.out) if args.out else ROOT / f"BENCH_{args.pr}.json"
+    atomic_write_text(out, json.dumps(payload, indent=1) + "\n")
+    print(f"trajectory written to {out}")
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else discover_baseline(args.pr)
+    )
+    if baseline_path is None:
+        print("no baseline trajectory found; comparison skipped")
+        return 0
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"cannot read baseline {baseline_path}: {error}", file=sys.stderr)
+        return 2
+    regressions, notes = compare(payload, baseline, args.threshold)
+    print(f"baseline: {baseline_path}")
+    for note in notes:
+        print(f"  {note}")
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION {regression}", file=sys.stderr)
+        return 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
