@@ -48,6 +48,53 @@ def test_full_source_lint_pass(benchmark):
     assert elapsed < MAX_LINT_SECONDS
 
 
+def test_flow_pass_stays_within_budget_of_per_file_pass(benchmark):
+    """The whole-program flow passes must cost < 2x the per-file pass.
+
+    The flow layer reuses the per-file ASTs (single parse), so its extra
+    work is the call-graph build plus three linear passes — if it ever
+    exceeds twice the per-file cost, something went quadratic.  A small
+    absolute slack keeps the ratio meaningful on noisy runners.
+    """
+    from repro.lint.flow import load_project, run_flow
+
+    linter = SourceLinter()
+
+    def combined():
+        project = load_project([SRC])
+        report = linter.lint_project(project)
+        return report, run_flow(project)
+
+    report, findings = run_once(benchmark, combined)
+    assert report.ok
+    assert findings == []
+
+    start = time.perf_counter()
+    linter.lint_paths([SRC])
+    per_file_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    project = load_project([SRC])
+    run_flow(project)
+    flow_s = time.perf_counter() - start
+
+    emit(
+        "lint: flow pass vs per-file pass",
+        ["files", "per_file_s", "flow_s", "ratio"],
+        [
+            [
+                report.files_checked,
+                f"{per_file_s:.3f}",
+                f"{flow_s:.3f}",
+                f"{flow_s / per_file_s:.2f}",
+            ]
+        ],
+    )
+    # flow_s includes its own parse (load_project), which the shared-AST
+    # CLI path amortizes away; even so it must stay under 2x + slack.
+    assert flow_s < 2.0 * per_file_s + 0.5
+
+
 def test_progcheck_analyzes_huge_loop_without_unrolling(benchmark):
     """A 10^9-iteration hammer loop must verify in well under a second."""
     program = single_sided_pattern(

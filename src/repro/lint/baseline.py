@@ -1,0 +1,139 @@
+"""Finding baselines: adopt a ruleset now, ratchet findings to zero.
+
+A baseline is a JSON snapshot of the current findings, keyed by
+``path::rule`` fingerprints with a count per key.  ``repro lint
+--baseline FILE`` then tolerates exactly those findings and fails only
+on *new* ones, so a new rule can land with its existing violations
+grandfathered while every future change is held to the stricter bar.
+
+``--baseline-strict`` additionally fails on *stale* entries — baseline
+counts higher than reality — forcing the file to be rewritten smaller
+whenever findings are fixed.  Under strict CI the baseline can only
+ever shrink: it ratchets monotonically toward empty.
+
+Line numbers are deliberately not part of the fingerprint: unrelated
+edits shift lines constantly, and a baseline that churns on every
+commit trains people to regenerate it blindly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.diagnostics import LintDiagnostic
+
+__all__ = [
+    "BaselineError",
+    "BaselineResult",
+    "compare_baseline",
+    "fingerprint",
+    "fingerprint_counts",
+    "load_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+
+class BaselineError(Exception):
+    """The baseline file is missing or malformed."""
+
+
+def fingerprint(diagnostic: LintDiagnostic) -> str:
+    """Stable identity of a finding across line drift: ``path::rule``."""
+    return f"{diagnostic.path}::{diagnostic.rule}"
+
+
+def fingerprint_counts(diagnostics: Iterable[LintDiagnostic]) -> dict[str, int]:
+    """Findings collapsed to fingerprint -> occurrence count."""
+    counts: dict[str, int] = {}
+    for diagnostic in diagnostics:
+        key = fingerprint(diagnostic)
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def write_baseline(path: str | Path, diagnostics: Iterable[LintDiagnostic]) -> int:
+    """Snapshot ``diagnostics`` to ``path``; returns the finding count."""
+    counts = fingerprint_counts(diagnostics)
+    payload = {"version": _VERSION, "findings": counts}
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+    return sum(counts.values())
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Read a baseline file back to fingerprint counts."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError as error:
+        raise BaselineError(f"baseline file not found: {path}") from error
+    except ValueError as error:
+        raise BaselineError(f"baseline file {path} is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline file {path} has unsupported format "
+            f"(expected version {_VERSION})"
+        )
+    findings = payload.get("findings")
+    if not isinstance(findings, dict) or not all(
+        isinstance(key, str) and isinstance(count, int) and count > 0
+        for key, count in findings.items()
+    ):
+        raise BaselineError(f"baseline file {path} has a malformed findings table")
+    return dict(findings)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of holding current findings against a baseline."""
+
+    #: Fingerprints with more findings than the baseline allows, with
+    #: the excess count: ``[("src/a.py::flow-…", 2), …]``.
+    new: list[tuple[str, int]] = field(default_factory=list)
+    #: Baseline entries larger than reality (over-allowance), with the
+    #: surplus count.  Failing on these (strict mode) is what makes the
+    #: baseline shrink-only.
+    stale: list[tuple[str, int]] = field(default_factory=list)
+    strict: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the comparison passes (strict mode also rejects stale)."""
+        return not self.new and not (self.strict and self.stale)
+
+    def render(self) -> str:
+        """Human-readable verdict lines."""
+        lines: list[str] = []
+        for key, excess in self.new:
+            lines.append(f"baseline: new finding {key} (+{excess})")
+        for key, surplus in self.stale:
+            marker = "stale entry" if self.strict else "stale entry (ignored)"
+            lines.append(
+                f"baseline: {marker} {key} (-{surplus}); "
+                "shrink the baseline with --write-baseline"
+            )
+        if not lines:
+            lines.append("baseline: clean (no new findings)")
+        return "\n".join(lines)
+
+
+def compare_baseline(
+    diagnostics: Iterable[LintDiagnostic],
+    baseline: dict[str, int],
+    strict: bool = False,
+) -> BaselineResult:
+    """Hold ``diagnostics`` against ``baseline``."""
+    current = fingerprint_counts(diagnostics)
+    result = BaselineResult(strict=strict)
+    for key, count in current.items():
+        allowed = baseline.get(key, 0)
+        if count > allowed:
+            result.new.append((key, count - allowed))
+    for key, allowed in sorted(baseline.items()):
+        count = current.get(key, 0)
+        if count < allowed:
+            result.stale.append((key, allowed - count))
+    return result

@@ -3,10 +3,18 @@
 Two modes share one flag surface:
 
 * **source mode** (default): lint the given paths (files or directory
-  trees) with the rule set from :mod:`repro.lint.rules`;
+  trees) with the rule set from :mod:`repro.lint.rules`; ``--flow``
+  additionally runs the whole-program passes from
+  :mod:`repro.lint.flow` (cross-file determinism taint, async-safety,
+  wire contracts) over the same parsed ASTs;
 * **program mode** (``--programs``): build the canonical access patterns
   from :mod:`repro.bender.builder` across boundary on/off times and run
   the static program verifier over each.
+
+``--write-baseline FILE`` snapshots the current findings;
+``--baseline FILE`` tolerates exactly those and fails only on new ones
+(``--baseline-strict`` also fails on stale entries, making the baseline
+shrink-only under CI).
 
 Exit codes: 0 clean, 1 findings, 2 usage error.
 """
@@ -15,8 +23,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro import units
+from repro.lint.baseline import (
+    BaselineError,
+    compare_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.diagnostics import LintReport
 from repro.lint.engine import SourceLinter
 from repro.lint.rules import rules_by_code
@@ -51,6 +66,27 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the whole-program flow passes (taint, async-safety, "
+        "wire contracts) across the linted files",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="tolerate the findings recorded in FILE; fail only on new ones",
+    )
+    parser.add_argument(
+        "--baseline-strict",
+        action="store_true",
+        help="with --baseline, also fail on stale entries (shrink-only)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="snapshot the current findings to FILE and exit 0",
+    )
 
 
 def _select_rules(spec: str | None) -> list | None:
@@ -71,6 +107,10 @@ def _select_rules(spec: str | None) -> list | None:
 def _list_rules() -> int:
     for code, rule in sorted(rules_by_code().items()):
         print(f"{code:26} {rule.description}")
+    from repro.lint.flow import FLOW_RULES
+
+    for code, description in sorted(FLOW_RULES.items()):
+        print(f"{code:26} {description} [--flow]")
     return 0
 
 
@@ -137,10 +177,37 @@ def run_lint(args: argparse.Namespace) -> int:
     if args.programs:
         report = LintReport()
         _check_builder_programs(report)
+    elif args.flow:
+        from repro.lint.flow import load_project, run_flow
+
+        # One shared load: per-file rules and flow passes see the same
+        # parsed contexts, so each file is parsed exactly once.
+        project = load_project(args.paths)
+        linter = SourceLinter(rules=_select_rules(args.rules))
+        report = linter.lint_project(project)
+        seen = set(report.diagnostics)
+        report.diagnostics.extend(
+            finding for finding in run_flow(project) if finding not in seen
+        )
+        report.diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.rule))
     else:
         linter = SourceLinter(rules=_select_rules(args.rules))
         report = linter.lint_paths(args.paths)
+    if args.write_baseline:
+        count = write_baseline(Path(args.write_baseline), report.diagnostics)
+        print(f"reprolint: wrote {args.write_baseline} ({count} finding(s))")
+        return 0
     print(report.render_json() if args.format == "json" else report.render_text())
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as error:
+            raise SystemExit(f"reprolint: {error}")
+        result = compare_baseline(
+            report.diagnostics, baseline, strict=args.baseline_strict
+        )
+        print(result.render())
+        return 0 if result.ok else 1
     return 0 if report.ok else 1
 
 

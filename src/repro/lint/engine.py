@@ -16,6 +16,7 @@ Suppression directives are ordinary comments:
 from __future__ import annotations
 
 import ast
+import fnmatch
 import io
 import re
 import tokenize
@@ -26,7 +27,7 @@ from typing import Iterable, Sequence
 from repro.lint.diagnostics import LintDiagnostic, LintReport
 
 _DIRECTIVE = re.compile(
-    r"#\s*reprolint:\s*(?P<kind>disable(?:-next|-file)?)\s*(?:=\s*(?P<rules>[\w\-, ]+))?"
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-next|-file)?)\s*(?:=\s*(?P<rules>[\w\-*?, ]+))?"
 )
 
 #: Sentinel rule-set meaning "every rule".
@@ -41,11 +42,14 @@ class Suppressions:
     whole_file: set[str] = field(default_factory=set)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        """Whether ``rule`` is silenced at ``line``."""
-        if rule in self.whole_file or "*" in self.whole_file:
+        """Whether ``rule`` is silenced at ``line``.
+
+        Directive entries are matched as ``fnmatch`` patterns, so
+        ``disable-file=flow-*`` silences every cross-file flow rule.
+        """
+        if _matches(self.whole_file, rule):
             return True
-        rules = self.by_line.get(line, frozenset())
-        return rule in rules or "*" in rules
+        return _matches(self.by_line.get(line, frozenset()), rule)
 
     def add(self, kind: str, rules: frozenset[str], line: int) -> None:
         """Record one directive found at ``line``."""
@@ -54,6 +58,16 @@ class Suppressions:
         else:
             target = line + 1 if kind == "disable-next" else line
             self.by_line[target] = self.by_line.get(target, frozenset()) | rules
+
+
+def _matches(patterns: Iterable[str], rule: str) -> bool:
+    """Whether any suppression pattern (exact or fnmatch glob) hits ``rule``."""
+    for pattern in patterns:
+        if pattern == rule or pattern == "*":
+            return True
+        if ("*" in pattern or "?" in pattern) and fnmatch.fnmatchcase(rule, pattern):
+            return True
+    return False
 
 
 def parse_suppressions(source: str) -> Suppressions:
@@ -154,6 +168,47 @@ def module_name_for(path: Path) -> str:
     return ".".join(parts)
 
 
+def parse_module(source: str, path: str = "<string>") -> ast.Module:
+    """Parse one module's source.
+
+    The single parse choke point: the per-file rule engine and the
+    whole-program flow passes both obtain their ASTs through here (via
+    :func:`build_context`), so a ``repro lint --flow`` run parses each
+    file exactly once — a property tested by monkeypatch-counting this
+    function.
+    """
+    return ast.parse(source)
+
+
+def build_context(source: str, path: str = "<string>") -> FileContext:
+    """Parse ``source`` once and assemble the shared :class:`FileContext`.
+
+    Raises :class:`SyntaxError` for unparsable input; callers turn that
+    into a ``syntax-error`` diagnostic (see :func:`syntax_diagnostic`).
+    """
+    tree = parse_module(source, path)
+    module = module_name_for(Path(path))
+    return FileContext(
+        path=path,
+        module=module,
+        tree=tree,
+        source=source,
+        imports=_collect_imports(tree, module),
+        suppressions=parse_suppressions(source),
+    )
+
+
+def syntax_diagnostic(error: SyntaxError, path: str) -> LintDiagnostic:
+    """The diagnostic form of a failed parse."""
+    return LintDiagnostic(
+        rule="syntax-error",
+        message=str(error.msg),
+        path=path,
+        line=error.lineno or 1,
+        column=error.offset or 0,
+    )
+
+
 class SourceLinter:
     """Runs a set of rules over files or in-memory source."""
 
@@ -169,26 +224,13 @@ class SourceLinter:
     def lint_source(self, source: str, path: str = "<string>") -> list[LintDiagnostic]:
         """Lint one in-memory module; ``path`` drives per-package scoping."""
         try:
-            tree = ast.parse(source)
+            context = build_context(source, path)
         except SyntaxError as error:
-            return [
-                LintDiagnostic(
-                    rule="syntax-error",
-                    message=str(error.msg),
-                    path=path,
-                    line=error.lineno or 1,
-                    column=error.offset or 0,
-                )
-            ]
-        module = module_name_for(Path(path))
-        context = FileContext(
-            path=path,
-            module=module,
-            tree=tree,
-            source=source,
-            imports=_collect_imports(tree, module),
-            suppressions=parse_suppressions(source),
-        )
+            return [syntax_diagnostic(error, path)]
+        return self.lint_context(context)
+
+    def lint_context(self, context: FileContext) -> list[LintDiagnostic]:
+        """Lint an already-parsed file (shares the AST with flow passes)."""
         return self._run(context)
 
     def lint_file(self, path: Path) -> list[LintDiagnostic]:
@@ -200,6 +242,22 @@ class SourceLinter:
         report = LintReport()
         for path in _iter_python_files(paths):
             report.extend(self.lint_file(path))
+            report.files_checked += 1
+        report.diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.rule))
+        return report
+
+    def lint_project(self, project) -> LintReport:
+        """Per-file rules over an already-loaded project (shared ASTs).
+
+        ``project`` is a :class:`repro.lint.flow.ProjectContext` (typed
+        loosely to keep the engine free of a flow dependency).  The flow
+        passes reuse the very same contexts, so a combined
+        ``repro lint --flow`` run parses each file exactly once.
+        """
+        report = LintReport()
+        report.diagnostics.extend(project.errors)
+        for context in project.files.values():
+            report.extend(self.lint_context(context))
             report.files_checked += 1
         report.diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.rule))
         return report

@@ -1,0 +1,77 @@
+"""Whole-program flow analysis on top of the per-file lint engine.
+
+``repro lint --flow`` builds one :class:`ProjectContext` (every file
+parsed exactly once, through the engine's shared parse choke point),
+derives a project call graph, and runs three cross-file passes:
+
+* interprocedural determinism taint (``flow-nondeterministic-result``),
+* async-safety (``flow-blocking-in-async``, ``flow-unpicklable-to-pool``),
+* wire contracts (``flow-route-mismatch``).
+
+Findings anchor at the sink / call site / route table, with the full
+call chain spelled out in the message, and honor the same
+``# reprolint:`` suppression directives as per-file rules — evaluated
+against the anchor file only.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import LintDiagnostic
+from repro.lint.flow.asynccheck import (
+    RULE_BLOCKING,
+    RULE_UNPICKLABLE,
+    check_async,
+    check_pool_picklability,
+)
+from repro.lint.flow.callgraph import CallGraph, build_callgraph
+from repro.lint.flow.contracts import RULE_ROUTE_MISMATCH, check_contracts
+from repro.lint.flow.project import ProjectContext, load_project
+from repro.lint.flow.taint import RULE_NONDETERMINISTIC, check_taint
+
+__all__ = [
+    "FLOW_RULES",
+    "CallGraph",
+    "ProjectContext",
+    "build_callgraph",
+    "load_project",
+    "run_flow",
+]
+
+#: rule code -> one-line description (mirrors ``Rule.description`` for
+#: per-file rules; consumed by ``repro lint --list-rules``).
+FLOW_RULES: dict[str, str] = {
+    RULE_NONDETERMINISTIC: (
+        "nondeterministic data (wall-clock, ad-hoc RNG, environment, "
+        "set/dict iteration order) flows into a result payload, "
+        "checkpoint, result store, or metrics snapshot"
+    ),
+    RULE_BLOCKING: (
+        "a blocking call is reachable from a service async def without "
+        "an asyncio.to_thread()/run_in_executor() hop"
+    ),
+    RULE_UNPICKLABLE: (
+        "a lambda or closure is handed to a process pool and cannot be "
+        "pickled to the worker"
+    ),
+    RULE_ROUTE_MISMATCH: (
+        "server routes, client request paths, and documented CLI flags "
+        "have drifted out of sync"
+    ),
+}
+
+
+def run_flow(project: ProjectContext) -> list[LintDiagnostic]:
+    """Run every flow pass over ``project`` and return sorted findings.
+
+    Syntax errors recorded while loading the project are included —
+    a file the flow passes could not see is itself a finding.
+    """
+    graph = build_callgraph(project)
+    findings = list(project.errors)
+    findings.extend(check_taint(graph))
+    findings.extend(check_async(graph))
+    findings.extend(check_pool_picklability(graph))
+    findings.extend(check_contracts(project))
+    kept = [d for d in findings if not project.suppressed(d)]
+    kept.sort(key=lambda d: (d.path, d.line, d.column, d.rule))
+    return kept

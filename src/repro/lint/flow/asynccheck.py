@@ -1,0 +1,177 @@
+"""Async-safety: blocking calls reachable from service event-loop code.
+
+The service promises that one asyncio event loop serves every client
+while campaign engines grind on worker threads/processes.  A blocking
+primitive (``time.sleep``, sync socket/file IO, ``subprocess``, the
+blocking :class:`~repro.service.client.ServiceClient`) reached from any
+``async def`` in ``repro.service`` without an executor hop therefore
+stalls every connection at once.  This pass walks the call graph from
+each service ``async def`` through *synchronous* project functions and
+reports the first blocking primitive on each path as
+``flow-blocking-in-async``.
+
+Call edges through ``asyncio.to_thread`` / ``run_in_executor`` /
+pool ``submit`` are not followed (the dispatched callable runs off the
+loop), and traversal never descends into other ``async def``\\ s — each
+is its own analysis root, so one blocking chain is reported exactly
+once, at the nearest async frontier.
+
+``flow-unpicklable-to-pool`` is the sibling check: lambdas and nested
+(closure) functions handed to a process pool cannot be pickled to the
+worker, so the submission would fail at runtime — flagged statically at
+the dispatch site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.diagnostics import LintDiagnostic
+from repro.lint.flow.callgraph import CallGraph
+
+__all__ = [
+    "RULE_BLOCKING",
+    "RULE_UNPICKLABLE",
+    "BLOCKING_CALLS",
+    "check_async",
+    "check_pool_picklability",
+]
+
+RULE_BLOCKING = "flow-blocking-in-async"
+RULE_UNPICKLABLE = "flow-unpicklable-to-pool"
+
+#: Primitives that block the calling thread.  Deliberately data-plane
+#: IO only: fast metadata ops (mkdir/unlink/stat) during startup or
+#: cleanup are not flagged.
+BLOCKING_CALLS: frozenset[str] = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "input",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.socket",
+        "socket.create_connection",
+        "http.client.HTTPConnection",
+        "http.client.HTTPSConnection",
+        "http.client.HTTPConnection.request",
+        "http.client.HTTPConnection.getresponse",
+        "urllib.request.urlopen",
+        "pathlib.Path.read_text",
+        "pathlib.Path.read_bytes",
+        "pathlib.Path.write_text",
+        "pathlib.Path.write_bytes",
+        "pathlib.Path.open",
+        "pathlib.Path.glob",
+        "pathlib.Path.rglob",
+        "pathlib.Path.iterdir",
+        "repro.service.client.ServiceClient._request",
+    }
+)
+
+#: Module prefixes whose ``async def``\ s are analysis roots.
+_ASYNC_ROOT_PREFIX = "repro.service"
+
+
+def _blocking_chain(
+    graph: CallGraph,
+    qual: str,
+    memo: dict[str, tuple[str, ...] | None],
+    stack: set[str],
+) -> tuple[str, ...] | None:
+    """Shortest-discovered chain from ``qual`` to a blocking primitive."""
+    if qual in memo:
+        return memo[qual]
+    if qual in stack:
+        return None  # recursion cycle: no new information on this path
+    stack.add(qual)
+    found: tuple[str, ...] | None = None
+    for site in graph.calls.get(qual, ()):
+        if site.in_executor:
+            continue
+        if site.callee in BLOCKING_CALLS:
+            found = (f"{site.callee}() ({site.path}:{site.line})",)
+            break
+        callee = graph.functions.get(site.callee)
+        if callee is None or callee.is_async:
+            continue
+        sub = _blocking_chain(graph, site.callee, memo, stack)
+        if sub is not None:
+            found = (f"{callee.display} ({site.path}:{site.line})", *sub)
+            break
+    stack.discard(qual)
+    memo[qual] = found
+    return found
+
+
+def check_async(graph: CallGraph) -> list[LintDiagnostic]:
+    """Report blocking primitives reachable from service async defs."""
+    findings: list[LintDiagnostic] = []
+    memo: dict[str, tuple[str, ...] | None] = {}
+    for qual, info in graph.functions.items():
+        if not info.is_async or not info.module.startswith(_ASYNC_ROOT_PREFIX):
+            continue
+        for site in graph.calls.get(qual, ()):
+            if site.in_executor:
+                continue
+            chain: tuple[str, ...] | None = None
+            if site.callee in BLOCKING_CALLS:
+                chain = (f"{site.callee}() ({site.path}:{site.line})",)
+            else:
+                callee = graph.functions.get(site.callee)
+                if callee is not None and not callee.is_async:
+                    sub = _blocking_chain(graph, site.callee, memo, set())
+                    if sub is not None:
+                        chain = (
+                            f"{callee.display} ({site.path}:{site.line})",
+                            *sub,
+                        )
+            if chain is None:
+                continue
+            findings.append(
+                LintDiagnostic(
+                    rule=RULE_BLOCKING,
+                    message=(
+                        f"async {info.display}() blocks the event loop: "
+                        f"{' -> '.join(chain)}; wrap the call in "
+                        "asyncio.to_thread() or run_in_executor()"
+                    ),
+                    path=info.path,
+                    line=site.line,
+                    column=site.node.col_offset,
+                )
+            )
+    return findings
+
+
+def check_pool_picklability(graph: CallGraph) -> list[LintDiagnostic]:
+    """Flag lambdas/closures handed to a process pool (unpicklable)."""
+    findings: list[LintDiagnostic] = []
+    for qual, dispatches in graph.pool_dispatches.items():
+        info = graph.functions[qual]
+        for dispatch in dispatches:
+            arg = dispatch.func_arg
+            problem: str | None = None
+            if isinstance(arg, ast.Lambda):
+                problem = "a lambda"
+            elif isinstance(arg, ast.Name) and arg.id in dispatch.nested_names:
+                problem = f"the nested function `{arg.id}`"
+            if problem is None:
+                continue
+            findings.append(
+                LintDiagnostic(
+                    rule=RULE_UNPICKLABLE,
+                    message=(
+                        f"{problem} is handed to {dispatch.api}() in "
+                        f"{info.display}(); closures cannot be pickled to a "
+                        "worker process — use a module-level function"
+                    ),
+                    path=dispatch.path,
+                    line=dispatch.line,
+                    column=dispatch.node.col_offset,
+                )
+            )
+    return findings

@@ -1,0 +1,618 @@
+"""Project-wide call graph with pragmatic, precision-first resolution.
+
+Built from the ASTs the engine already parsed (one per file), the graph
+resolves call expressions to fully-qualified targets:
+
+* direct names through each file's import-alias table (re-export chains
+  like ``repro.obs.atomic_write_text`` -> ``repro.obs.metrics.…`` are
+  followed through the intermediate module's own alias table);
+* ``self.method(...)`` within a class (single-level base lookup);
+* attribute calls through lightweight type inference — instance
+  attributes typed by ``self.x = ClassName(...)`` / annotated ``__init__``
+  parameters, locals typed by constructor calls, annotated returns of
+  resolved project calls, ``with Cls() as x``, and ``Path`` arithmetic.
+
+An attribute call that cannot be typed gets **no edge** — the flow
+passes favor precision over recall, so an unresolvable receiver never
+manufactures a finding.
+
+Calls inside nested functions and lambdas are attributed to the
+enclosing function (they run when the enclosing call graph reaches
+them), *except* references handed to ``asyncio.to_thread`` /
+``run_in_executor`` / pool ``submit``/``map``, which execute off the
+event loop and are recorded as :class:`PoolDispatch` entries instead of
+edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.engine import FileContext
+from repro.lint.flow.project import ProjectContext
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "CallSite",
+    "PoolDispatch",
+    "CallGraph",
+    "build_callgraph",
+]
+
+#: Methods of these callables dispatch their function argument to a
+#: worker thread — no call edge from the enclosing (possibly async) body.
+_THREAD_DISPATCH = {"asyncio.to_thread"}
+_THREAD_DISPATCH_ATTRS = {"run_in_executor", "call_soon_threadsafe"}
+
+#: Process-pool entry points whose function argument must be picklable.
+_PROCESS_POOLS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+}
+_POOL_METHODS = {"submit", "map", "imap", "imap_unordered", "apply_async"}
+
+#: Path-returning ``pathlib.Path`` methods (for local type inference).
+_PATH_RETURNING = {
+    "with_name",
+    "with_suffix",
+    "with_stem",
+    "joinpath",
+    "resolve",
+    "absolute",
+    "expanduser",
+    "rename",
+}
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or class method."""
+
+    qual: str
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    class_qual: str | None = None
+
+    @property
+    def display(self) -> str:
+        """Short human name: ``Class.method`` or ``module.func`` tail."""
+        if self.class_qual is not None:
+            return ".".join(self.qual.rsplit(".", 2)[-2:])
+        return self.qual.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, resolved bases, inferred instance-attr types."""
+
+    qual: str
+    module: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One resolved call expression inside a function body."""
+
+    callee: str
+    node: ast.Call
+    path: str
+    line: int
+    #: True when the call occurs inside a lambda/def handed to a
+    #: thread/process dispatcher — it never runs on the event loop.
+    in_executor: bool = False
+
+
+@dataclass
+class PoolDispatch:
+    """A function reference handed to a process pool (picklability check)."""
+
+    api: str
+    func_arg: ast.expr
+    node: ast.Call
+    path: str
+    line: int
+    #: Names of functions defined *inside* the enclosing function; a
+    #: reference to one of these is a closure and cannot be pickled.
+    nested_names: frozenset[str] = frozenset()
+
+
+class CallGraph:
+    """Functions, classes, and per-function resolved call sites."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.calls: dict[str, list[CallSite]] = {}
+        self.pool_dispatches: dict[str, list[PoolDispatch]] = {}
+
+    # -- symbol resolution ---------------------------------------------
+
+    def canonicalize(self, name: str) -> str:
+        """Follow re-export chains until a defined symbol (or fixpoint)."""
+        seen: set[str] = set()
+        while name not in self.functions and name not in self.classes:
+            if name in seen:
+                break
+            seen.add(name)
+            module, _, tail = name.rpartition(".")
+            context = self.project.modules.get(module)
+            if context is not None and tail in context.imports:
+                name = context.imports[tail]
+                continue
+            # Maybe the prefix is a re-exported class: canonicalize it
+            # and re-attach the attribute (repro.obs.Tracer.now_s).
+            if module and "." in module:
+                canonical = self.canonicalize(module)
+                if canonical != module:
+                    name = f"{canonical}.{tail}"
+                    continue
+            break
+        return name
+
+    def resolve_symbol(self, context: FileContext, dotted: str) -> str:
+        """A dotted source name -> canonical qual or external dotted name."""
+        head, _, rest = dotted.partition(".")
+        if head in context.imports:
+            base = context.imports[head]
+            full = f"{base}.{rest}" if rest else base
+        else:
+            local = f"{context.module}.{dotted}" if context.module else dotted
+            canonical = self.canonicalize(local)
+            if canonical in self.functions or canonical in self.classes:
+                return canonical
+            full = dotted
+        return self.canonicalize(full)
+
+    def lookup_method(self, class_qual: str, name: str) -> FunctionInfo | None:
+        """Find ``name`` on a class or (recursively) its project bases."""
+        seen: set[str] = set()
+        stack = [class_qual]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            stack.extend(info.bases)
+        return None
+
+
+def build_callgraph(project: ProjectContext) -> CallGraph:
+    """Index every function/class, then resolve every call site."""
+    graph = CallGraph(project)
+    for context in project.files.values():
+        _index_file(graph, context)
+    for context in project.files.values():
+        _resolve_class_attrs(graph, context)
+    for info in list(graph.functions.values()):
+        _scan_function(graph, info)
+    return graph
+
+
+# -- indexing -----------------------------------------------------------
+
+
+def _index_file(graph: CallGraph, context: FileContext) -> None:
+    for stmt in context.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{context.module}.{stmt.name}"
+            graph.functions[qual] = FunctionInfo(
+                qual=qual,
+                module=context.module,
+                path=context.path,
+                node=stmt,
+                is_async=isinstance(stmt, ast.AsyncFunctionDef),
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            class_qual = f"{context.module}.{stmt.name}"
+            info = ClassInfo(qual=class_qual, module=context.module, node=stmt)
+            graph.classes[class_qual] = info
+            for child in stmt.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{class_qual}.{child.name}"
+                    method = FunctionInfo(
+                        qual=qual,
+                        module=context.module,
+                        path=context.path,
+                        node=child,
+                        is_async=isinstance(child, ast.AsyncFunctionDef),
+                        class_qual=class_qual,
+                    )
+                    info.methods[child.name] = method
+                    graph.functions[qual] = method
+
+
+def _resolve_class_attrs(graph: CallGraph, context: FileContext) -> None:
+    """Second pass: resolve base classes and infer instance-attr types."""
+    for stmt in context.tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        info = graph.classes[f"{context.module}.{stmt.name}"]
+        for base in stmt.bases:
+            dotted = context.dotted_name(base)
+            if dotted:
+                resolved = graph.resolve_symbol(context, dotted)
+                if resolved in graph.classes:
+                    info.bases.append(resolved)
+        for method in info.methods.values():
+            params = _param_types(graph, context, method.node)
+            for node in ast.walk(method.node):
+                target: ast.expr | None = None
+                value: ast.expr | None = None
+                annotation: ast.expr | None = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value, annotation = node.target, node.value, node.annotation
+                if (
+                    not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id != "self"
+                ):
+                    continue
+                inferred = None
+                if annotation is not None:
+                    inferred = _annotation_type(graph, context, annotation)
+                if inferred is None and value is not None:
+                    inferred = _infer_expr_type(graph, context, value, params)
+                if inferred is not None:
+                    info.attr_types.setdefault(target.attr, inferred)
+
+
+def _param_types(
+    graph: CallGraph, context: FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+) -> dict[str, str]:
+    """Parameter name -> type from annotations (project classes / Path / set)."""
+    types: dict[str, str] = {}
+    args = node.args
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        if arg.annotation is not None:
+            inferred = _annotation_type(graph, context, arg.annotation)
+            if inferred is not None:
+                types[arg.arg] = inferred
+    return types
+
+
+# -- type inference -----------------------------------------------------
+
+
+def _annotation_type(
+    graph: CallGraph, context: FileContext, annotation: ast.expr
+) -> str | None:
+    """Resolve an annotation expression to a known type qual."""
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        # ``X | None`` (or ``None | X``): the non-None side decides.
+        for side in (annotation.left, annotation.right):
+            if isinstance(side, ast.Constant) and side.value is None:
+                continue
+            return _annotation_type(graph, context, side)
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # String annotation: only the simple-dotted-name form is handled.
+        text = annotation.value.strip()
+        if text.replace(".", "").replace("_", "").isalnum():
+            return _normalize_type(graph, context, text)
+        return None
+    dotted = context.dotted_name(annotation)
+    if dotted is None:
+        return None
+    return _normalize_type(graph, context, dotted)
+
+
+def _normalize_type(graph: CallGraph, context: FileContext, dotted: str) -> str | None:
+    resolved = graph.resolve_symbol(context, dotted)
+    if resolved in graph.classes:
+        return resolved
+    if resolved in ("pathlib.Path", "pathlib.PurePath", "pathlib.PosixPath"):
+        return "pathlib.Path"
+    if resolved in ("set", "frozenset"):
+        return "set"
+    if resolved in _PROCESS_POOLS:
+        return resolved
+    if resolved == "concurrent.futures.ThreadPoolExecutor":
+        return resolved
+    if resolved in ("http.client.HTTPConnection", "http.client.HTTPSConnection"):
+        return "http.client.HTTPConnection"
+    return None
+
+
+def _infer_expr_type(
+    graph: CallGraph,
+    context: FileContext,
+    expr: ast.expr,
+    env: dict[str, str],
+    class_info: ClassInfo | None = None,
+) -> str | None:
+    """Best-effort static type of an expression; None when undecidable."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id)
+    if isinstance(expr, ast.Attribute):
+        if (
+            isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and class_info is not None
+        ):
+            return _class_attr_type(graph, class_info, expr.attr)
+        base = _infer_expr_type(graph, context, expr.value, env, class_info)
+        if base in graph.classes:
+            return _class_attr_type(graph, graph.classes[base], expr.attr)
+        return None
+    if isinstance(expr, ast.BinOp):
+        # ``Path(x) / "sub"`` stays a Path.
+        left = _infer_expr_type(graph, context, expr.left, env, class_info)
+        if left == "pathlib.Path":
+            return "pathlib.Path"
+        return None
+    if isinstance(expr, ast.Await):
+        return _infer_expr_type(graph, context, expr.value, env, class_info)
+    if not isinstance(expr, ast.Call):
+        return None
+    resolved = _resolve_call_target(graph, context, expr, env, class_info)
+    if resolved is None:
+        return None
+    if resolved in graph.classes:
+        return resolved
+    if resolved in ("set", "frozenset"):
+        return "set"
+    info = graph.functions.get(resolved)
+    if info is not None and info.node.returns is not None:
+        return _annotation_type(
+            graph, graph.project.files[info.path], info.node.returns
+        )
+    if resolved == "pathlib.Path":
+        return "pathlib.Path"
+    if resolved in _PROCESS_POOLS or resolved == "concurrent.futures.ThreadPoolExecutor":
+        return resolved
+    if resolved in ("http.client.HTTPConnection", "http.client.HTTPSConnection"):
+        return "http.client.HTTPConnection"
+    head, _, method = resolved.rpartition(".")
+    if head == "pathlib.Path" and method in _PATH_RETURNING:
+        return "pathlib.Path"
+    return None
+
+
+#: Path methods that yield more Paths when iterated.
+_PATH_ITERATORS = {"glob", "rglob", "iterdir"}
+
+
+def _element_type(
+    graph: CallGraph,
+    context: FileContext,
+    iterable: ast.expr,
+    env: dict[str, str],
+    class_info: ClassInfo | None,
+) -> str | None:
+    """Element type of a for-loop iterable (Path directory listings)."""
+    # Unwrap order/materialization wrappers: sorted(x), list(x), reversed(x).
+    while (
+        isinstance(iterable, ast.Call)
+        and isinstance(iterable.func, ast.Name)
+        and iterable.func.id in ("sorted", "list", "reversed", "tuple")
+        and iterable.args
+    ):
+        iterable = iterable.args[0]
+    if isinstance(iterable, ast.Call):
+        resolved = _resolve_call_target(graph, context, iterable, env, class_info)
+        if resolved is not None:
+            head, _, method = resolved.rpartition(".")
+            if head == "pathlib.Path" and method in _PATH_ITERATORS:
+                return "pathlib.Path"
+    return None
+
+
+def _class_attr_type(graph: CallGraph, info: ClassInfo, attr: str) -> str | None:
+    seen: set[str] = set()
+    stack = [info.qual]
+    while stack:
+        qual = stack.pop()
+        if qual in seen:
+            continue
+        seen.add(qual)
+        current = graph.classes.get(qual)
+        if current is None:
+            continue
+        if attr in current.attr_types:
+            return current.attr_types[attr]
+        stack.extend(current.bases)
+    return None
+
+
+# -- call-site resolution ----------------------------------------------
+
+
+def _resolve_call_target(
+    graph: CallGraph,
+    context: FileContext,
+    call: ast.Call,
+    env: dict[str, str],
+    class_info: ClassInfo | None,
+) -> str | None:
+    """Canonical qual / external dotted name of a call, or None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return graph.resolve_symbol(context, func.id)
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = func.value
+    # self.method(...) / self.attr.method(...)
+    if isinstance(receiver, ast.Name) and receiver.id == "self":
+        if class_info is not None:
+            method = graph.lookup_method(class_info.qual, func.attr)
+            if method is not None:
+                return method.qual
+        return None
+    dotted = context.dotted_name(func)
+    if dotted is not None and not dotted.startswith("self."):
+        head = dotted.partition(".")[0]
+        if head not in env:
+            head_resolved = graph.resolve_symbol(context, head)
+            if (
+                head in context.imports
+                or head_resolved in graph.functions
+                or head_resolved in graph.classes
+            ):
+                resolved = graph.resolve_symbol(context, dotted)
+                if (
+                    resolved in graph.functions
+                    or resolved in graph.classes
+                    or "." in resolved
+                ):
+                    return resolved
+                return None
+    receiver_type = _infer_expr_type(graph, context, receiver, env, class_info)
+    if receiver_type is None:
+        return None
+    if receiver_type in graph.classes:
+        method = graph.lookup_method(receiver_type, func.attr)
+        if method is not None:
+            return method.qual
+        return None
+    return f"{receiver_type}.{func.attr}"
+
+
+def _scan_function(graph: CallGraph, info: FunctionInfo) -> None:
+    """Build the local type env, then record every call site."""
+    context = graph.project.files[info.path]
+    class_info = graph.classes.get(info.class_qual) if info.class_qual else None
+    env = _param_types(graph, context, info.node)
+
+    # One linear pre-pass over assignments for local variable types.
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                inferred = _infer_expr_type(
+                    graph, context, node.value, env, class_info
+                )
+                if inferred is not None:
+                    env[target.id] = inferred
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            inferred = _annotation_type(graph, context, node.annotation)
+            if inferred is not None:
+                env[node.target.id] = inferred
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            if isinstance(node.optional_vars, ast.Name):
+                inferred = _infer_expr_type(
+                    graph, context, node.context_expr, env, class_info
+                )
+                if inferred is not None:
+                    env[node.optional_vars.id] = inferred
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                element = _element_type(graph, context, node.iter, env, class_info)
+                if element is not None:
+                    env[node.target.id] = element
+
+    nested = frozenset(
+        child.name
+        for child in ast.walk(info.node)
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and child is not info.node
+    )
+
+    sites: list[CallSite] = []
+    dispatches: list[PoolDispatch] = []
+
+    def record_calls(node: ast.AST, in_executor: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Call):
+                _record_call_site(child, in_executor)
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                # Nested bodies run when the enclosing graph reaches
+                # them: attribute their calls to this function.
+                record_calls(child, in_executor)
+                continue
+            record_calls(child, in_executor)
+
+    def _record_call_site(call: ast.Call, in_executor: bool) -> None:
+        resolved = _resolve_call_target(graph, context, call, env, class_info)
+        if resolved is not None:
+            sites.append(
+                CallSite(
+                    callee=resolved,
+                    node=call,
+                    path=info.path,
+                    line=call.lineno,
+                    in_executor=in_executor,
+                )
+            )
+        dispatched = _dispatched_args(graph, context, call, resolved, env, class_info)
+        if dispatched is not None:
+            api, args, is_process = dispatched
+            for arg in args:
+                if is_process:
+                    dispatches.append(
+                        PoolDispatch(
+                            api=api,
+                            func_arg=arg,
+                            node=call,
+                            path=info.path,
+                            line=call.lineno,
+                            nested_names=nested,
+                        )
+                    )
+                # The dispatched callable runs off the loop: calls in a
+                # lambda/def literal argument are executor-side.
+                if isinstance(arg, ast.Lambda):
+                    record_calls(arg, True)
+            remaining = [a for a in call.args if a not in args] + [
+                k.value for k in call.keywords if k.value not in args
+            ]
+            for other in remaining:
+                if isinstance(other, ast.Call):
+                    _record_call_site(other, in_executor)
+                else:
+                    record_calls(other, in_executor)
+            return
+        record_calls(call, in_executor)
+
+    record_calls(info.node, False)
+    graph.calls[info.qual] = sites
+    graph.pool_dispatches[info.qual] = dispatches
+
+
+def _dispatched_args(
+    graph: CallGraph,
+    context: FileContext,
+    call: ast.Call,
+    resolved: str | None,
+    env: dict[str, str],
+    class_info: ClassInfo | None,
+) -> tuple[str, list[ast.expr], bool] | None:
+    """(api name, dispatched function args, needs-pickling) or None."""
+    if resolved in _THREAD_DISPATCH:
+        return resolved, call.args[:1], False
+    if resolved in _PROCESS_POOLS:
+        init = [k.value for k in call.keywords if k.arg == "initializer"]
+        return resolved, init, True
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr in _THREAD_DISPATCH_ATTRS:
+        # loop.run_in_executor(None, f, ...): f is the second positional.
+        index = 1 if func.attr == "run_in_executor" else 0
+        return f"*.{func.attr}", call.args[index : index + 1], False
+    if func.attr in _POOL_METHODS:
+        receiver_type = _infer_expr_type(graph, context, func.value, env, class_info)
+        if receiver_type in _PROCESS_POOLS:
+            return f"{receiver_type}.{func.attr}", call.args[:1], True
+        if receiver_type == "concurrent.futures.ThreadPoolExecutor":
+            return f"{receiver_type}.{func.attr}", call.args[:1], False
+    return None

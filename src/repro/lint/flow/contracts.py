@@ -1,0 +1,330 @@
+"""Wire contracts: server routes vs client paths, CLI flags vs docs.
+
+Client/server drift is invisible to per-file linting: the server can
+grow a route no client exercises, or a client can request a path the
+server never answers, and nothing fails until a live conversation 404s.
+This pass extracts both sides statically and reports asymmetry as
+``flow-route-mismatch``:
+
+* **routes**: the declarative ``ROUTES`` table in
+  :mod:`repro.service.server` (method, ``{param}`` pattern, label) is
+  read as an AST literal; request paths come from every
+  ``._request(method, path)`` / ``.request(method, path)`` call in
+  :mod:`repro.service.client` and :mod:`repro.cli` (f-string
+  interpolations normalize to ``{}``, query strings are stripped).
+  A client path with no matching route fails, and so does a route no
+  typed client ever requests — dead surface is drift too.
+* **CLI flags**: every ``--flag`` used in documented invocations of the
+  repo's own entry points (``repro …``, ``python -m repro …``,
+  ``reprolint …``, ``python tools/…`` lines in ``docs/*.md`` and
+  ``README.md``) must be defined by some ``add_argument`` call in the
+  project (or in ``tools/``).  Flags of external tools on other command
+  lines are ignored.
+
+Both checks gate on their subject being present (a project without the
+service modules, or without a docs tree, skips quietly).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.lint.diagnostics import LintDiagnostic
+from repro.lint.engine import FileContext, parse_module
+from repro.lint.flow.project import ProjectContext
+
+__all__ = ["RULE_ROUTE_MISMATCH", "check_contracts"]
+
+RULE_ROUTE_MISMATCH = "flow-route-mismatch"
+
+_SERVER_MODULE = "repro.service.server"
+_CLIENT_MODULES = ("repro.service.client", "repro.cli")
+
+#: Documented command lines whose flags must exist in our parsers.
+_COMMAND_PREFIXES = (
+    "repro ",
+    "python -m repro ",
+    "python -m repro.",
+    "reprolint",
+    "python tools/",
+)
+
+_FLAG = re.compile(r"(?<![\w-])--[a-zA-Z][\w-]*")
+
+
+def check_contracts(project: ProjectContext) -> list[LintDiagnostic]:
+    """Run both contract checks (each skips when its subject is absent)."""
+    findings = _check_routes(project)
+    findings.extend(_check_cli_flags(project))
+    return findings
+
+
+# -- routes -------------------------------------------------------------
+
+
+def _check_routes(project: ProjectContext) -> list[LintDiagnostic]:
+    server = project.modules.get(_SERVER_MODULE)
+    clients = [
+        project.modules[name] for name in _CLIENT_MODULES if name in project.modules
+    ]
+    if server is None or not clients:
+        return []
+    routes = _extract_routes(server)
+    if routes is None:
+        return []
+    routes_node, route_list = routes
+    requests = []
+    for context in clients:
+        requests.extend(_extract_requests(context))
+
+    findings: list[LintDiagnostic] = []
+    used: set[tuple[str, str]] = set()
+    for method, path, context, node in requests:
+        matched = False
+        for route_method, pattern, _name in route_list:
+            if method == route_method and _pattern_matches(pattern, path):
+                used.add((route_method, pattern))
+                matched = True
+        if not matched:
+            findings.append(
+                LintDiagnostic(
+                    rule=RULE_ROUTE_MISMATCH,
+                    message=(
+                        f"client requests {method} {path} but the server "
+                        "ROUTES table defines no matching route"
+                    ),
+                    path=context.path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                )
+            )
+    for route_method, pattern, name in route_list:
+        if (route_method, pattern) in used:
+            continue
+        findings.append(
+            LintDiagnostic(
+                rule=RULE_ROUTE_MISMATCH,
+                message=(
+                    f"server route {route_method} {pattern} ({name!r}) is "
+                    "never requested by repro.service.client or repro.cli — "
+                    "dead surface or a missing client method"
+                ),
+                path=server.path,
+                line=routes_node.lineno,
+                column=routes_node.col_offset,
+            )
+        )
+    return findings
+
+
+def _extract_routes(
+    server: FileContext,
+) -> tuple[ast.stmt, list[tuple[str, str, str]]] | None:
+    """The ``ROUTES`` literal as (assignment node, [(method, pattern, name)])."""
+    for stmt in server.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "ROUTES" for t in targets
+        ):
+            continue
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return None
+        routes: list[tuple[str, str, str]] = []
+        for element in value.elts:
+            fields: list[ast.expr]
+            if isinstance(element, ast.Call):
+                fields = list(element.args)
+            elif isinstance(element, (ast.Tuple, ast.List)):
+                fields = list(element.elts)
+            else:
+                continue
+            constants = [
+                f.value
+                for f in fields
+                if isinstance(f, ast.Constant) and isinstance(f.value, str)
+            ]
+            if len(constants) >= 3:
+                routes.append((constants[0], constants[1], constants[2]))
+        return stmt, routes
+    return None
+
+
+def _extract_requests(
+    context: FileContext,
+) -> list[tuple[str, str, FileContext, ast.Call]]:
+    """Every ``(_)request(method, path)`` call with a static method/path."""
+    out = []
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in (
+            "_request",
+            "request",
+        ):
+            continue
+        if len(node.args) < 2:
+            continue
+        method_node, path_node = node.args[0], node.args[1]
+        if not isinstance(method_node, ast.Constant) or not isinstance(
+            method_node.value, str
+        ):
+            continue
+        path = _literal_path(path_node)
+        if path is None:
+            continue
+        out.append((method_node.value.upper(), path, context, node))
+    return out
+
+
+def _literal_path(node: ast.expr) -> str | None:
+    """A path literal with f-string holes normalized to ``{}``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.partition("?")[0]
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            elif isinstance(value, ast.FormattedValue):
+                parts.append("{}")
+            else:
+                return None
+        return "".join(parts).partition("?")[0]
+    return None
+
+
+def _pattern_matches(pattern: str, path: str) -> bool:
+    pattern_segments = [s for s in pattern.split("/") if s]
+    path_segments = [s for s in path.split("/") if s]
+    if len(pattern_segments) != len(path_segments):
+        return False
+    for expected, got in zip(pattern_segments, path_segments):
+        if expected.startswith("{") and expected.endswith("}"):
+            continue  # route parameter: any concrete or ``{}`` segment
+        if got != expected:
+            return False
+    return True
+
+
+# -- CLI flags vs docs --------------------------------------------------
+
+
+def _check_cli_flags(project: ProjectContext) -> list[LintDiagnostic]:
+    cli = project.modules.get("repro.cli")
+    if cli is None:
+        return []
+    root = _repo_root(cli)
+    if root is None:
+        return []
+    doc_files = sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    readme = root / "README.md"
+    if readme.is_file():
+        doc_files.append(readme)
+    if not doc_files:
+        return []
+
+    defined = set()
+    for context in project.files.values():
+        defined |= _defined_flags(context.tree)
+    tools_dir = root / "tools"
+    if tools_dir.is_dir():
+        for tool in sorted(tools_dir.glob("*.py")):
+            try:
+                defined |= _defined_flags(parse_module(tool.read_text(), str(tool)))
+            except SyntaxError:
+                continue
+
+    findings: list[LintDiagnostic] = []
+    for doc in doc_files:
+        for line_number, command in _documented_commands(doc.read_text()):
+            for flag in _FLAG.findall(command):
+                base = flag
+                if base.startswith("--no-") and ("--" + base[5:]) in defined:
+                    continue
+                if base in defined:
+                    continue
+                findings.append(
+                    LintDiagnostic(
+                        rule=RULE_ROUTE_MISMATCH,
+                        message=(
+                            f"documented flag {flag} (in `{command.strip()}`) "
+                            "is not defined by any repro argparse parser"
+                        ),
+                        path=_display_path(doc),
+                        line=line_number,
+                    )
+                )
+    return findings
+
+
+def _repo_root(cli: FileContext) -> Path | None:
+    """Walk up from the CLI module looking for the project root."""
+    current = Path(cli.path).resolve().parent
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def _defined_flags(tree: ast.Module) -> set[str]:
+    """Every ``--flag`` string passed to an ``add_argument`` call."""
+    flags: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "add_argument"):
+            if not (isinstance(func, ast.Attribute) and func.attr == "addoption"):
+                continue
+        option_strings = [
+            arg.value
+            for arg in node.args
+            if isinstance(arg, ast.Constant)
+            and isinstance(arg.value, str)
+            and arg.value.startswith("--")
+        ]
+        flags.update(option_strings)
+        boolean_optional = any(
+            isinstance(kw.value, (ast.Name, ast.Attribute))
+            and str(getattr(kw.value, "attr", getattr(kw.value, "id", "")))
+            == "BooleanOptionalAction"
+            for kw in node.keywords
+            if kw.arg == "action"
+        )
+        if boolean_optional:
+            flags.update("--no-" + flag[2:] for flag in option_strings)
+    return flags
+
+
+def _documented_commands(text: str) -> list[tuple[int, str]]:
+    """(line number, command) for documented invocations of our CLIs."""
+    out: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line_number = index + 1
+        line = lines[index]
+        # Fold shell continuations onto one logical command line.
+        while line.rstrip().endswith("\\") and index + 1 < len(lines):
+            index += 1
+            line = line.rstrip()[:-1] + " " + lines[index].strip()
+        index += 1
+        command = line.strip().lstrip("$").strip()
+        if command.startswith(_COMMAND_PREFIXES):
+            out.append((line_number, command))
+    return out
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)

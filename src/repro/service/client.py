@@ -179,6 +179,11 @@ class ServiceClient:
         )
         return JobStatus.from_payload(payload)
 
+    def list_jobs(self) -> list[JobStatus]:
+        """Every job the service knows, oldest submission first."""
+        _status, payload = self._request("GET", "/v1/campaigns")
+        return [JobStatus.from_payload(job) for job in payload.get("jobs", [])]
+
     def status(self, job_id: str) -> JobStatus:
         """Current status of one job."""
         _status, payload = self._request("GET", f"/v1/campaigns/{job_id}")

@@ -250,7 +250,7 @@ class JobManager:
         """Jobs admitted but not yet picked up by the supervisor."""
         return sum(1 for job in self.jobs.values() if job.state == QUEUED)
 
-    def submit(
+    async def submit(
         self,
         spec: CampaignSpec,
         client: str = "",
@@ -265,15 +265,21 @@ class JobManager:
         :class:`QueueFull` when the bounded queue is at capacity.
         ``trace_parent`` is the submitting request's serialized
         :class:`TraceContext`; the job's engine trace parents under it.
+
+        Store IO (the cache probe/load and the job record write) runs on
+        a worker thread; the job table is re-checked after each await
+        because a concurrent submission of the same spec may have won
+        the race while this one was off the loop.
         """
         key = spec_key(spec)
-        existing = self.jobs.get(key)
-        if existing is not None and existing.state != FAILED:
-            if existing.state == DONE:
-                self.metrics.counter("service.cache_hits").inc()
-                return existing, "cached"
-            return existing, "duplicate"
-        if self.store.has(key):
+        duplicate = self._existing(key)
+        if duplicate is not None:
+            return duplicate
+        has_cached = await asyncio.to_thread(self.store.has, key)
+        duplicate = self._existing(key)
+        if duplicate is not None:
+            return duplicate
+        if has_cached:
             job = Job(
                 job_id=key,
                 spec=spec,
@@ -283,11 +289,13 @@ class JobManager:
                 submitted_at_s=time.time(),
                 cached=True,
             )
-            _spec, records = self.store.load(key)
+            # Claim the key before awaiting so a concurrent duplicate
+            # resolves against this job instead of racing the load.
+            self.jobs[key] = job
+            _spec, records = await asyncio.to_thread(self.store.load, key)
             job.records = len(records)
             job.publish({"event": "state", "state": DONE, "cached": True})
-            self.jobs[key] = job
-            self.persist(job)
+            await asyncio.to_thread(self.persist, job)
             self.metrics.counter("service.cache_hits").inc()
             logger.info("campaign %s served from result cache", key)
             return job, "cached"
@@ -306,7 +314,7 @@ class JobManager:
         )
         job.publish({"event": "state", "state": QUEUED})
         self.jobs[key] = job
-        self.persist(job)
+        await asyncio.to_thread(self.persist, job)
         self._queue.put_nowait(key)
         self.metrics.counter("service.jobs_submitted").inc()
         self.metrics.gauge("service.queue_depth").set(self.queued_count())
@@ -317,6 +325,16 @@ class JobManager:
             job.shards_total,
         )
         return job, "new"
+
+    def _existing(self, key: str) -> tuple[Job, str] | None:
+        """A live job already admitted under ``key``, as a submit outcome."""
+        existing = self.jobs.get(key)
+        if existing is None or existing.state == FAILED:
+            return None
+        if existing.state == DONE:
+            self.metrics.counter("service.cache_hits").inc()
+            return existing, "cached"
+        return existing, "duplicate"
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -480,7 +498,7 @@ class JobSupervisor:
         """Execute one job through the engine and settle its state."""
         loop = asyncio.get_running_loop()
         self._enter_state(job, RUNNING)
-        self.manager.persist(job)
+        await asyncio.to_thread(self.manager.persist, job)
 
         def progress_sink(event: ProgressEvent) -> None:
             # Called on the engine thread; hop onto the loop thread.
@@ -523,7 +541,7 @@ class JobSupervisor:
         except Exception as error:  # job isolation boundary: never kill the loop
             if self.tracer.enabled:
                 self.tracer.ingest(job_tracer.drain(), shift_s=trace_shift_s)
-            self._fail(job, f"{type(error).__name__}: {error}")
+            await self._fail(job, f"{type(error).__name__}: {error}")
             return
         if self.tracer.enabled:
             self.tracer.ingest(job_tracer.drain(), shift_s=trace_shift_s)
@@ -531,7 +549,7 @@ class JobSupervisor:
         self.metrics.histogram("service.job_seconds").record(elapsed_s)
         if result.interrupted:
             self._enter_state(job, INTERRUPTED, shards_run=result.shards_run)
-            self.manager.persist(job)
+            await asyncio.to_thread(self.manager.persist, job)
             self.metrics.counter("service.jobs_interrupted").inc()
             logger.info(
                 "job %s interrupted by drain after %d shard(s); checkpoint kept",
@@ -541,13 +559,13 @@ class JobSupervisor:
             return
         if result.failures:
             first = result.failures[0]
-            self._fail(
+            await self._fail(
                 job,
                 f"{len(result.failures)} shard(s) failed permanently; "
                 f"first: {first.shard_id}: {first.error}",
             )
             return
-        self.manager.store.put(job.spec, result.records)
+        await asyncio.to_thread(self.manager.store.put, job.spec, result.records)
         self.checkpoint_path(job).unlink(missing_ok=True)
         job.records = len(result.records)
         self._record_state_duration(job)
@@ -560,7 +578,7 @@ class JobSupervisor:
                 "shards_resumed": result.shards_resumed,
             }
         )
-        self.manager.persist(job)
+        await asyncio.to_thread(self.manager.persist, job)
         self.metrics.counter("service.jobs_completed").inc()
         logger.info(
             "job %s done: %d records in %.2fs (%d shards resumed)",
@@ -570,11 +588,11 @@ class JobSupervisor:
             result.shards_resumed,
         )
 
-    def _fail(self, job: Job, error: str) -> None:
+    async def _fail(self, job: Job, error: str) -> None:
         job.error = error
         self._record_state_duration(job)
         job.state = FAILED
         job.publish({"event": "failed", "error": error})
-        self.manager.persist(job)
+        await asyncio.to_thread(self.manager.persist, job)
         self.metrics.counter("service.jobs_failed").inc()
         logger.error("job %s failed: %s", job.job_id, error)

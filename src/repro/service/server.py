@@ -99,6 +99,45 @@ _REASONS = {
 
 
 @dataclass(frozen=True)
+class Route:
+    """One declarative route: method, ``{param}`` pattern, metric label."""
+
+    method: str
+    pattern: str
+    name: str
+
+    def match(self, method: str, segments: list[str]) -> dict[str, str] | None:
+        """Path params when ``method``/``segments`` hit this route."""
+        pattern_segments = [part for part in self.pattern.split("/") if part]
+        if method != self.method or len(pattern_segments) != len(segments):
+            return None
+        params: dict[str, str] = {}
+        for expected, got in zip(pattern_segments, segments):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = got
+            elif expected != got:
+                return None
+        return params
+
+
+#: The service's entire HTTP surface, as data.  ``repro lint --flow``
+#: reads this literal and cross-checks it against every request path in
+#: :mod:`repro.service.client` and :mod:`repro.cli` (flow-route-mismatch),
+#: so the table cannot drift from the clients unnoticed.  Order matters
+#: only for documentation; patterns are disjoint.
+ROUTES: tuple[Route, ...] = (
+    Route("GET", "/healthz", "healthz"),
+    Route("GET", "/metrics", "metrics"),
+    Route("GET", "/v1/dashboard", "dashboard"),
+    Route("POST", "/v1/campaigns", "submit"),
+    Route("GET", "/v1/campaigns", "list"),
+    Route("GET", "/v1/campaigns/{job_id}", "status"),
+    Route("GET", "/v1/campaigns/{job_id}/events", "events"),
+    Route("GET", "/v1/campaigns/{job_id}/results", "results"),
+)
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Everything needed to stand up one service instance."""
 
@@ -240,8 +279,13 @@ class CampaignService:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
-        """Recover persisted jobs, bind the socket, start the supervisor."""
-        recovered = self.manager.recover()
+        """Recover persisted jobs, bind the socket, start the supervisor.
+
+        Recovery reads every persisted job record and the port file is a
+        real write, so both hop to a worker thread — the loop may already
+        be serving another service instance in the same process (tests).
+        """
+        recovered = await asyncio.to_thread(self.manager.recover)
         if recovered:
             logger.info("resuming %d job(s) from a previous run", recovered)
         self._server = await asyncio.start_server(
@@ -249,7 +293,9 @@ class CampaignService:
         )
         self._supervisor_task = asyncio.create_task(self.supervisor.run())
         if self.config.port_file is not None:
-            atomic_write_text(Path(self.config.port_file), f"{self.port}\n")
+            await asyncio.to_thread(
+                atomic_write_text, Path(self.config.port_file), f"{self.port}\n"
+            )
         logger.info(
             "%s listening on %s:%d (data dir %s)",
             SERVER_ID,
@@ -351,7 +397,7 @@ class CampaignService:
     async def _route(
         self, request: HttpRequest, writer: asyncio.StreamWriter
     ) -> tuple[str, bool]:
-        """Dispatch to a handler; returns (route label, keep-alive)."""
+        """Dispatch against :data:`ROUTES`; returns (route label, keep-alive)."""
         if request.headers.pop("x-internal-oversized", None):
             await self._send_json(
                 writer,
@@ -360,10 +406,25 @@ class CampaignService:
             )
             return "oversized", False
         segments = [part for part in request.path.split("/") if part]
-        if segments == ["healthz"] and request.method == "GET":
-            await self._send_json(writer, 200, self._health_payload())
+        matched: Route | None = None
+        params: dict[str, str] = {}
+        for route in ROUTES:
+            found = route.match(request.method, segments)
+            if found is not None:
+                matched, params = route, found
+                break
+        if matched is None:
+            await self._send_json(
+                writer,
+                404 if request.method in ("GET", "POST") else 405,
+                {"error": f"no route for {request.method} {request.path}"},
+            )
+            return "unknown", True
+        if matched.name == "healthz":
+            payload = await asyncio.to_thread(self._health_payload)
+            await self._send_json(writer, 200, payload)
             return "healthz", True
-        if segments == ["metrics"] and request.method == "GET":
+        if matched.name == "metrics":
             self.manager.update_state_gauges()
             fmt = parse_qs(request.query).get("format", ["prometheus"])[0]
             if fmt == "json":
@@ -376,55 +437,50 @@ class CampaignService:
                     content_type="text/plain; version=0.0.4; charset=utf-8",
                 )
             return "metrics", True
-        if segments == ["v1", "dashboard"] and request.method == "GET":
+        if matched.name == "dashboard":
             return "dashboard", await self._stream_dashboard(writer, request)
-        if segments[:2] == ["v1", "campaigns"]:
-            if len(segments) == 2:
-                if request.method == "POST":
-                    return "submit", await self._post_campaign(request, writer)
-                if request.method == "GET":
-                    await self._send_json(
-                        writer,
-                        200,
-                        {
-                            "jobs": [
-                                job.to_payload()
-                                for job in sorted(
-                                    self.manager.jobs.values(),
-                                    key=lambda j: j.submitted_seq,
-                                )
-                            ]
-                        },
-                    )
-                    return "list", True
-            elif len(segments) in (3, 4) and request.method == "GET":
-                job = self.manager.jobs.get(segments[2])
-                if job is None:
-                    await self._send_json(
-                        writer,
-                        404,
-                        {"error": f"unknown campaign job {segments[2]!r}"},
-                    )
-                    return "status", True
-                if len(segments) == 3:
-                    await self._send_json(writer, 200, job.to_payload())
-                    return "status", True
-                if segments[3] == "events":
-                    await self._stream_events(writer, job)
-                    return "events", True
-                if segments[3] == "results":
-                    return "results", await self._get_results(writer, job)
-        await self._send_json(
-            writer,
-            404 if request.method in ("GET", "POST") else 405,
-            {"error": f"no route for {request.method} {request.path}"},
-        )
-        return "unknown", True
+        if matched.name == "submit":
+            return "submit", await self._post_campaign(request, writer)
+        if matched.name == "list":
+            await self._send_json(
+                writer,
+                200,
+                {
+                    "jobs": [
+                        job.to_payload()
+                        for job in sorted(
+                            self.manager.jobs.values(),
+                            key=lambda j: j.submitted_seq,
+                        )
+                    ]
+                },
+            )
+            return "list", True
+        # status/events/results all key on the job id.
+        job = self.manager.jobs.get(params["job_id"])
+        if job is None:
+            await self._send_json(
+                writer,
+                404,
+                {"error": f"unknown campaign job {params['job_id']!r}"},
+            )
+            return "status", True
+        if matched.name == "status":
+            await self._send_json(writer, 200, job.to_payload())
+            return "status", True
+        if matched.name == "events":
+            await self._stream_events(writer, job)
+            return "events", True
+        return "results", await self._get_results(writer, job)
 
     # -- handlers ------------------------------------------------------
 
     def _health_payload(self) -> dict:
-        """The ``/healthz`` body: readiness, drain state, and version."""
+        """The ``/healthz`` body: readiness, drain state, and version.
+
+        ``store.keys()`` lists the results directory, so handlers call
+        this via ``asyncio.to_thread`` rather than on the event loop.
+        """
         return {
             "status": "draining" if self._draining else "ok",
             "version": __version__,
@@ -467,7 +523,7 @@ class CampaignService:
             )
             return True
         try:
-            job, outcome = self.manager.submit(
+            job, outcome = await self.manager.submit(
                 spec,
                 client=request.client_id,
                 trace_parent=request.trace_parent,
@@ -502,7 +558,7 @@ class CampaignService:
             )
             return True
         try:
-            text = self.store.read_text(job.job_id)
+            text = await asyncio.to_thread(self.store.read_text, job.job_id)
         except KeyError:
             await self._send_json(
                 writer,
@@ -539,7 +595,7 @@ class CampaignService:
         await writer.drain()
 
     def _dashboard_snapshot(self) -> dict:
-        """One NDJSON line of the live dashboard stream."""
+        """One NDJSON line of the live dashboard stream (worker thread)."""
         self.manager.update_state_gauges()
         return {
             "uptime_s": round(monotonic_s() - self._started_s, 3),
@@ -578,7 +634,8 @@ class CampaignService:
         writer.write(head.encode("latin-1"))
         sent = 0
         while True:
-            data = (json.dumps(self._dashboard_snapshot()) + "\n").encode("utf-8")
+            snapshot = await asyncio.to_thread(self._dashboard_snapshot)
+            data = (json.dumps(snapshot) + "\n").encode("utf-8")
             writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
             await writer.drain()
             self.metrics.counter("service.dashboard_snapshots").inc()

@@ -177,7 +177,7 @@ def test_crash_during_submit_persist_leaves_no_ghost_job(tmp_path):
         spec = small_spec(sites_per_module=1)
         with FaultPlan(FaultSpec(SERVICE_JOB_PERSIST, "crash")):
             with pytest.raises(InjectedCrash):
-                manager.submit(spec)
+                await manager.submit(spec)
         # The client never got an ack, and the crash happened before
         # the job record hit disk: a restart knows nothing about it.
         fresh = JobManager(tmp_path, ResultStore(tmp_path / "results"))
@@ -196,7 +196,7 @@ def test_recover_requeues_done_job_whose_cached_result_went_corrupt(tmp_path):
         store = ResultStore(tmp_path / "results")
         store.put(spec, records)
         manager = JobManager(tmp_path, store)
-        job, outcome = manager.submit(spec)
+        job, outcome = await manager.submit(spec)
         assert outcome == "cached" and job.state == DONE
 
         # Corrupt the stored result behind the service's back (as a
@@ -243,7 +243,7 @@ def test_service_sessions_survive_restarts(session):
                 spec = _SPECS[index]
                 key = spec_key(spec)
                 if op == "submit":
-                    job, outcome = manager.submit(spec)
+                    job, outcome = await manager.submit(spec)
                     submitted.add(key)
                     if index == 0:
                         assert outcome == "cached" and job.state == DONE

@@ -222,14 +222,29 @@ def test_sigterm_mid_job_then_restart_completes_job(tmp_path):
     try:
         client = server.client(client_id="drain")
         submitted = client.submit(spec)
-        # Wait until the job is actually running with progress recorded.
+        # Wait until the job is running AND at least one shard checkpoint
+        # has landed — otherwise the restart has nothing to resume and the
+        # shards_resumed assertion below races the first shard.
+        checkpoint = (
+            tmp_path
+            / "state"
+            / "checkpoints"
+            / f"{submitted.job_id}.checkpoint.jsonl"
+        )
         deadline = time.monotonic() + 120.0
         while time.monotonic() < deadline:
             status = client.status(submitted.job_id)
-            if status.state == "running":
+            if (
+                status.state == "running"
+                and checkpoint.exists()
+                and checkpoint.read_text().strip()
+            ):
                 break
+            if status.state in ("done", "failed"):
+                break  # too late to drain; the asserts below explain
             time.sleep(0.05)
         assert status.state == "running"
+        assert checkpoint.exists() and checkpoint.read_text().strip()
         assert server.sigterm_and_wait() == 0
         # The persisted record shows an unfinished job, not done/failed.
         record_path = (

@@ -75,15 +75,15 @@ def test_submit_outcomes_new_duplicate_cached(tmp_path):
     async def scenario():
         manager = make_manager(tmp_path)
         spec = small_spec()
-        job, outcome = manager.submit(spec, client="a")
+        job, outcome = await manager.submit(spec, client="a")
         assert outcome == "new" and job.state == QUEUED
         assert job.job_id == spec_key(spec)
         assert job.shards_total > 0
         # Same spec while queued: deduplicated onto the same job.
-        same, outcome = manager.submit(spec, client="b")
+        same, outcome = await manager.submit(spec, client="b")
         assert outcome == "duplicate" and same is job
         # A different spec is a different job.
-        other, outcome = manager.submit(small_spec(seed=6), client="a")
+        other, outcome = await manager.submit(small_spec(seed=6), client="a")
         assert outcome == "new" and other is not job
 
     run_async(scenario())
@@ -95,7 +95,7 @@ def test_submit_served_from_store_is_born_done(tmp_path):
         spec = small_spec()
         records = run_campaign(spec)
         manager.store.put(spec, records)
-        job, outcome = manager.submit(spec, client="a")
+        job, outcome = await manager.submit(spec, client="a")
         assert outcome == "cached"
         assert job.state == DONE and job.cached
         assert job.records == len(records)
@@ -106,10 +106,10 @@ def test_submit_served_from_store_is_born_done(tmp_path):
 def test_submit_backpressure_when_queue_full(tmp_path):
     async def scenario():
         manager = make_manager(tmp_path, queue_limit=2)
-        manager.submit(small_spec(seed=1), client="a")
-        manager.submit(small_spec(seed=2), client="a")
+        await manager.submit(small_spec(seed=1), client="a")
+        await manager.submit(small_spec(seed=2), client="a")
         with pytest.raises(QueueFull) as excinfo:
-            manager.submit(small_spec(seed=3), client="a")
+            await manager.submit(small_spec(seed=3), client="a")
         assert excinfo.value.retry_after_s > 0
 
     run_async(scenario())
@@ -132,9 +132,9 @@ def test_failed_job_is_readmitted_as_new(tmp_path):
     async def scenario():
         manager = make_manager(tmp_path)
         spec = small_spec()
-        job, _ = manager.submit(spec, client="a")
+        job, _ = await manager.submit(spec, client="a")
         job.state = FAILED
-        again, outcome = manager.submit(spec, client="a")
+        again, outcome = await manager.submit(spec, client="a")
         assert outcome == "new" and again is not job
 
     run_async(scenario())
@@ -167,7 +167,7 @@ def test_persist_and_recover_reenqueues_unfinished(tmp_path):
     async def first_life():
         manager = make_manager(tmp_path)
         spec = small_spec()
-        job, _ = manager.submit(spec, client="a")
+        job, _ = await manager.submit(spec, client="a")
         return job.job_id
 
     job_id = run_async(first_life())
@@ -187,7 +187,7 @@ def test_recover_requeues_done_job_with_pruned_store(tmp_path):
     async def scenario():
         manager = make_manager(tmp_path)
         spec = small_spec()
-        job, _ = manager.submit(spec, client="a")
+        job, _ = await manager.submit(spec, client="a")
         job.state = DONE  # claims done, but the store has no entry
         manager.persist(job)
         fresh = make_manager(tmp_path)
@@ -210,7 +210,7 @@ def test_persisted_record_is_valid_json_with_spec(tmp_path):
     async def scenario():
         manager = make_manager(tmp_path)
         spec = small_spec()
-        job, _ = manager.submit(spec, client="a")
+        job, _ = await manager.submit(spec, client="a")
         payload = json.loads((manager.jobs_dir / f"{job.job_id}.json").read_text())
         assert payload["state"] == QUEUED
         assert CampaignSpec.from_json(payload["spec"]) == spec
@@ -228,7 +228,7 @@ def test_supervisor_runs_job_to_done_and_stores_results(tmp_path):
         manager = make_manager(tmp_path)
         supervisor = JobSupervisor(manager, tmp_path / "checkpoints")
         spec = small_spec()
-        job, _ = manager.submit(spec, client="a")
+        job, _ = await manager.submit(spec, client="a")
         await supervisor.run_job(job)
         assert job.state == DONE
         assert manager.store.has(job.job_id)
@@ -254,7 +254,7 @@ def test_supervisor_interrupts_on_drain_and_keeps_checkpoint(tmp_path):
         supervisor = JobSupervisor(
             manager, tmp_path / "checkpoints", shard_size=1, draining=draining
         )
-        job, _ = manager.submit(small_spec(sites_per_module=4), client="a")
+        job, _ = await manager.submit(small_spec(sites_per_module=4), client="a")
         await supervisor.run_job(job)
         assert job.state == INTERRUPTED
         assert supervisor.checkpoint_path(job).exists()
@@ -275,7 +275,7 @@ def test_supervisor_failure_isolates_job(tmp_path, monkeypatch):
     async def scenario():
         manager = make_manager(tmp_path)
         supervisor = JobSupervisor(manager, tmp_path / "checkpoints")
-        job, _ = manager.submit(small_spec(), client="a")
+        job, _ = await manager.submit(small_spec(), client="a")
 
         def explode(*args, **kwargs):
             raise RuntimeError("engine fell over")
