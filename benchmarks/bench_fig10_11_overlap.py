@@ -8,6 +8,7 @@ t_AggON >= 7.8 us.
 
 from repro import units
 from repro.bender.infrastructure import TestingInfrastructure
+from repro.bender.isa import compile_program
 from repro.characterization.overlap import overlap_ratio
 from repro.characterization.patterns import RowSite, build_disturb_program, max_activations
 from repro.characterization.retention_test import retention_failures
@@ -35,7 +36,7 @@ def _campaign():
             program, site_victims = build_disturb_program(
                 site, t_aggon, max_activations(t_aggon)
             )
-            flips.extend(bench.run(program).bitflips)
+            flips.extend(bench.execute(compile_program(program)).bitflips)
             victims.extend(site_victims)
         return flips, victims
 
@@ -98,7 +99,7 @@ def _acmin_campaign():
                 continue
             bench.fresh_experiment()
             program, _ = build_disturb_program(site, t_aggon, acmin)
-            flips.extend(bench.run(program).bitflips)
+            flips.extend(bench.execute(compile_program(program)).bitflips)
         return flips
 
     hammer_flips = collect_at_acmin(36.0)

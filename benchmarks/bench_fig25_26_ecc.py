@@ -8,6 +8,7 @@ budget-maximal activation count for t_AggON = 7.8 us and 70.2 us at
 from repro import units
 from repro.analysis.ecc import EccScheme, uncorrectable_fraction, word_error_histogram
 from repro.bender.infrastructure import TestingInfrastructure
+from repro.bender.isa import compile_program
 from repro.characterization.patterns import (
     AccessPattern,
     ExperimentConfig,
@@ -42,7 +43,8 @@ def _campaign():
                     program, _ = build_disturb_program(
                         site, t_aggon, max_activations(t_aggon, config), config
                     )
-                    flips.extend(bench.run(program).bitflips)
+                    payload = compile_program(program, config.timing)
+                    flips.extend(bench.execute(payload).bitflips)
                 results[(module_id, access.value, t_aggon)] = flips
     return results
 

@@ -9,8 +9,18 @@ This package provides the same capability against the behavioral device:
   double-sided, RowPress-ONOFF),
 * :mod:`repro.bender.executor` — timing-checked execution with a fast bulk
   path for high-iteration hammer loops,
+* :mod:`repro.bender.isa` — the packed 32-bit payload ISA behind the
+  unified ``compile_program(...)`` / ``execute(...)`` surface,
 * :mod:`repro.bender.temperature` — heater-pad + PID controller model,
 * :mod:`repro.bender.infrastructure` — the full test bench.
+
+The one blessed execution surface is *compile once, execute many*::
+
+    payload = compile_program(program)      # -> Payload (packed words)
+    result = execute(payload, device)       # loop-summarized execution
+
+``ProgramExecutor.run`` and ``TestingInfrastructure.run`` survive only
+as :class:`DeprecationWarning` shims over that pair.
 """
 
 from repro.bender.program import Act, FillRow, Loop, Pre, Program, ReadRow, Wait
@@ -22,6 +32,7 @@ from repro.bender.builder import (
     single_sided_pattern,
 )
 from repro.bender.executor import ExecutionResult, ProgramExecutor, RowRead, TimingViolation
+from repro.bender.isa import CompileError, Payload, compile_program, disassemble, execute
 from repro.bender.temperature import TemperatureController
 from repro.bender.infrastructure import TestingInfrastructure
 
@@ -41,6 +52,11 @@ __all__ = [
     "ExecutionResult",
     "RowRead",
     "TimingViolation",
+    "compile_program",
+    "execute",
+    "Payload",
+    "CompileError",
+    "disassemble",
     "TemperatureController",
     "TestingInfrastructure",
     "parse_program",

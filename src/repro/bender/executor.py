@@ -14,15 +14,21 @@ ACmin bisection over hundreds of thousands of activations tractable.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro import units
 from repro.dram.device import Bitflip, DramDevice
 from repro.dram.geometry import RowAddress
+from repro.bender.loops import LoopSummary, summarize_steady_loop
 from repro.bender.program import Act, FillRow, Instruction, Loop, Pre, Program, ReadRow, Wait
 from repro.obs import NULL_OBSERVER, Observer, monotonic_s
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (isa imports us)
+    from repro.bender.isa import Payload
 
 
 class TimingViolation(Exception):
@@ -123,6 +129,9 @@ class ProgramExecutor:
         self.check_timing = check_timing
         self.observer = observer or NULL_OBSERVER
         self._banks: dict[tuple[int, int], _BankTiming] = {}
+        #: Precomputed loop summaries of the payload being executed
+        #: (``id(loop) -> LoopSummary | None``); None between payloads.
+        self._summaries: dict[int, LoopSummary | None] | None = None
         # Bound once: hot paths touch inert singletons under NULL_OBSERVER.
         self._violation_counter = self.observer.metrics.counter(
             "executor.timing_violations"
@@ -133,6 +142,50 @@ class ProgramExecutor:
 
     def run(
         self, program: Program, start_time: float = 0.0, verify: bool = False
+    ) -> ExecutionResult:
+        """Deprecated spelling of the compile/execute surface.
+
+        .. deprecated::
+            Compile once and execute the payload instead::
+
+                from repro.bender import compile_program, execute
+
+                result = execute(compile_program(program), device)
+
+            or, holding an executor, ``executor.execute_payload(payload)``.
+        """
+        warnings.warn(
+            "ProgramExecutor.run(...) is deprecated; compile the program with "
+            "repro.bender.compile_program(...) and run the payload via "
+            "repro.bender.execute(...) or ProgramExecutor.execute_payload(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._execute(program, start_time=start_time, verify=verify)
+
+    def execute_payload(
+        self, payload: Payload, start_time: float = 0.0, verify: bool = False
+    ) -> ExecutionResult:
+        """Execute a compiled :class:`repro.bender.isa.Payload`.
+
+        Identical semantics to interpreting the payload's decoded
+        program, but steady loops reuse the summaries precomputed at
+        compile time instead of re-analyzing the body on every run.
+        """
+        self.observer.metrics.counter("executor.payloads").inc()
+        return self._execute(
+            payload.program,
+            start_time=start_time,
+            verify=verify,
+            summaries=payload.summaries,
+        )
+
+    def _execute(
+        self,
+        program: Program,
+        start_time: float = 0.0,
+        verify: bool = False,
+        summaries: dict[int, LoopSummary | None] | None = None,
     ) -> ExecutionResult:
         """Execute ``program``; returns reads, bitflips, and timing.
 
@@ -154,12 +207,16 @@ class ProgramExecutor:
                 program, self.device.timing, budget=None, refresh_disabled=True
             )
         self._banks.clear()
+        self._summaries = summaries
         result = ExecutionResult(start_time=start_time)
         activations_before = self.device.activation_count
         # Host-time profiling is intentional (observability, not simulated
         # time); monotonic_s is the codebase's one sanctioned clock read.
         wall_start = monotonic_s()
-        end_time = self._run_block(list(program), start_time, result)
+        try:
+            end_time = self._run_block(list(program), start_time, result)
+        finally:
+            self._summaries = None
         result.wall_seconds = monotonic_s() - wall_start
         result.end_time = end_time
         result.activations = self.device.activation_count - activations_before
@@ -263,12 +320,13 @@ class ProgramExecutor:
         for _ in range(_WARMUP_ITERATIONS):
             time_ns = self._run_block(body, time_ns, result)
         remaining = loop.count - _WARMUP_ITERATIONS
-        episodes, period = self._analyze_iteration(body)
-        if episodes is None:
+        summary = self._loop_summary(loop)
+        if summary is None:
             # Unbalanced body (e.g. row left open): run literally.
             for _ in range(remaining):
                 time_ns = self._run_block(body, time_ns, result)
             return time_ns
+        period = summary.period
         # Bulk-deposited iterations still count as issued commands.
         for instruction in body:
             if isinstance(instruction, Act):
@@ -278,64 +336,30 @@ class ProgramExecutor:
             elif isinstance(instruction, Wait):
                 result.wait_commands += remaining
         base = time_ns + (remaining - 1) * period
-        for address, act_off, pre_off, t_off in episodes:
+        for episode in summary.episodes:
             self.device.deposit_episodes(
-                address,
-                t_on=pre_off - act_off,
-                t_off=t_off,
-                end_time=base + pre_off,
+                episode.address,
+                t_on=episode.t_on,
+                t_off=episode.t_off,
+                end_time=base + episode.pre_offset,
                 count=remaining,
             )
-        bank_keys = {(addr.rank, addr.bank) for addr, *_ in episodes}
+        bank_keys = {
+            (episode.address.rank, episode.address.bank)
+            for episode in summary.episodes
+        }
         for rank, bank in bank_keys:
             state = self._bank(rank, bank)
             state.last_act += remaining * period
             state.last_pre += remaining * period
         return time_ns + remaining * period
 
-    def _analyze_iteration(
-        self, body: list[Instruction]
-    ) -> tuple[list[tuple[RowAddress, float, float, float]] | None, float]:
-        """Extract (address, act_offset, pre_offset, t_off) per episode.
-
-        Returns ``(None, period)`` when the body cannot be bulk-deposited
-        (a row stays open across the iteration boundary).
-        """
-        offset = 0.0
-        open_rows: dict[tuple[int, int], tuple[RowAddress, float]] = {}
-        raw: list[tuple[RowAddress, float, float]] = []
-        for instruction in body:
-            if isinstance(instruction, Wait):
-                offset += instruction.duration
-            elif isinstance(instruction, Act):
-                key = (instruction.address.rank, instruction.address.bank)
-                if key in open_rows:
-                    return None, offset
-                open_rows[key] = (instruction.address, offset)
-            elif isinstance(instruction, Pre):
-                key = (instruction.rank, instruction.bank)
-                opened = open_rows.pop(key, None)
-                if opened is None:
-                    continue
-                address, act_off = opened
-                raw.append((address, act_off, offset))
-        if open_rows or not raw:
-            return None, offset
-        period = offset
-        # Off-time of each episode: gap until the next activation of the
-        # same row in the cyclic schedule.
-        episodes: list[tuple[RowAddress, float, float, float]] = []
-        for index, (address, act_off, pre_off) in enumerate(raw):
-            next_act = None
-            for other_address, other_act, _ in raw[index + 1 :]:
-                if other_address == address:
-                    next_act = other_act
-                    break
-            if next_act is None:
-                for other_address, other_act, _ in raw[: index + 1]:
-                    if other_address == address:
-                        next_act = other_act + period
-                        break
-            assert next_act is not None
-            episodes.append((address, act_off, pre_off, next_act - pre_off))
-        return episodes, period
+    def _loop_summary(self, loop: Loop) -> LoopSummary | None:
+        """Summary of the loop body, from the payload cache if compiled."""
+        cache = self._summaries
+        if cache is not None:
+            try:
+                return cache[id(loop)]
+            except KeyError:
+                pass
+        return summarize_steady_loop(loop.body)

@@ -12,11 +12,13 @@ controller into one object that characterization code drives:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro import units
 from repro.dram.module import DramModule
 from repro.bender.executor import ExecutionResult, ProgramExecutor
+from repro.bender.isa import Payload, compile_program
 from repro.bender.program import Program
 from repro.bender.temperature import TemperatureController
 from repro.obs import NULL_OBSERVER, Observer
@@ -72,20 +74,39 @@ class TestingInfrastructure:
         self.observer.metrics.gauge("bench.temperature_c").set(target_c)
         return settle_s
 
-    def run(self, program: Program, start_time: float = 0.0) -> ExecutionResult:
-        """Execute a test program with refresh disabled."""
+    def execute(self, payload: Payload, start_time: float = 0.0) -> ExecutionResult:
+        """Execute a compiled payload with refresh disabled."""
         if self.enforce_refresh_window:
-            duration = program.duration()
+            duration = payload.duration_ns
             if duration > units.EXPERIMENT_BUDGET:
                 raise ValueError(
                     f"program duration {units.format_time(duration)} exceeds the "
                     f"{units.format_time(units.EXPERIMENT_BUDGET)} experiment budget "
                     "(would overlap retention failures)"
                 )
-        result = self.executor.run(program, start_time)
+        result = self.executor.execute_payload(payload, start_time)
         self.log.programs_run += 1
         self.log.total_activations += result.activations
         return result
+
+    def run(self, program: Program, start_time: float = 0.0) -> ExecutionResult:
+        """Deprecated spelling of :meth:`execute`.
+
+        .. deprecated::
+            Compile once and execute the payload instead::
+
+                bench.execute(repro.bender.compile_program(program))
+        """
+        warnings.warn(
+            "TestingInfrastructure.run(program, ...) is deprecated; compile "
+            "the program with repro.bender.compile_program(...) and run it "
+            "via TestingInfrastructure.execute(payload, ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute(
+            compile_program(program, self.module.device.timing), start_time
+        )
 
     def fresh_experiment(self) -> None:
         """Clear accumulated disturbance between independent experiments."""

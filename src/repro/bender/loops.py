@@ -1,0 +1,119 @@
+"""Shared no-unroll analysis of steady DRAM command loops.
+
+Both consumers of loop structure live here so they cannot drift apart:
+
+* the executor's bulk path (:mod:`repro.bender.executor`) and the
+  compiled-payload path (:mod:`repro.bender.isa`) summarize a steady
+  loop body once via :func:`summarize_steady_loop` and then apply one
+  closed-form dose/state update per aggressor episode x iteration
+  count instead of replaying the body activation by activation;
+* the static verifier (:mod:`repro.lint.progcheck`) walks a loop body
+  at most twice and extrapolates the remaining iterations with
+  :func:`collapsed_loop_end`.
+
+A loop is *steady* when its body contains only Act/Pre/Wait commands
+(:attr:`repro.bender.program.Loop.is_steady`); only steady bodies are
+summarizable, and even then the body must close every row it opens
+within one iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bender.program import Act, Instruction, Pre, Wait
+from repro.dram.geometry import RowAddress
+
+__all__ = [
+    "LoopEpisode",
+    "LoopSummary",
+    "collapsed_loop_end",
+    "summarize_steady_loop",
+]
+
+
+@dataclass(frozen=True)
+class LoopEpisode:
+    """One aggressor ACT→PRE episode within a steady loop iteration."""
+
+    address: RowAddress
+    #: Nanoseconds from the iteration start to the row's ACT.
+    act_offset: float
+    #: Nanoseconds from the iteration start to the row's PRE.
+    pre_offset: float
+    #: Gap until the same row's next ACT in the cyclic schedule.
+    t_off: float
+
+    @property
+    def t_on(self) -> float:
+        """Row-open time of the episode (the paper's t_AggON)."""
+        return self.pre_offset - self.act_offset
+
+
+@dataclass(frozen=True)
+class LoopSummary:
+    """Closed-form description of one steady loop iteration."""
+
+    episodes: tuple[LoopEpisode, ...]
+    #: Nanoseconds one iteration advances simulated time.
+    period: float
+
+
+def summarize_steady_loop(body: Sequence[Instruction]) -> LoopSummary | None:
+    """Summarize one iteration of a steady loop body, or ``None``.
+
+    Returns ``None`` when the body cannot be bulk-deposited: a bank is
+    re-activated while its row is still open, a row stays open across
+    the iteration boundary, or the body performs no complete episode.
+    """
+    offset = 0.0
+    open_rows: dict[tuple[int, int], tuple[RowAddress, float]] = {}
+    raw: list[tuple[RowAddress, float, float]] = []
+    for instruction in body:
+        if isinstance(instruction, Wait):
+            offset += instruction.duration
+        elif isinstance(instruction, Act):
+            key = (instruction.address.rank, instruction.address.bank)
+            if key in open_rows:
+                return None
+            open_rows[key] = (instruction.address, offset)
+        elif isinstance(instruction, Pre):
+            key = (instruction.rank, instruction.bank)
+            opened = open_rows.pop(key, None)
+            if opened is None:
+                continue
+            address, act_off = opened
+            raw.append((address, act_off, offset))
+    if open_rows or not raw:
+        return None
+    period = offset
+    # Off-time of each episode: gap until the next activation of the
+    # same row in the cyclic schedule.
+    episodes: list[LoopEpisode] = []
+    for index, (address, act_off, pre_off) in enumerate(raw):
+        next_act = None
+        for other_address, other_act, _ in raw[index + 1 :]:
+            if other_address == address:
+                next_act = other_act
+                break
+        if next_act is None:
+            for other_address, other_act, _ in raw[: index + 1]:
+                if other_address == address:
+                    next_act = other_act + period
+                    break
+        assert next_act is not None
+        episodes.append(LoopEpisode(address, act_off, pre_off, next_act - pre_off))
+    return LoopSummary(episodes=tuple(episodes), period=period)
+
+
+def collapsed_loop_end(after_first: float, after_second: float, count: int) -> float:
+    """End time of a ``count``-iteration loop walked only twice.
+
+    The first iteration may differ from the steady state (bank timing
+    history carried in from before the loop), so callers walk the body
+    twice and the remaining ``count - 2`` iterations each advance time
+    by the steady-state delta.
+    """
+    steady_ns = after_second - after_first
+    return after_second + (count - 2) * steady_ns

@@ -14,7 +14,9 @@ import math
 from dataclasses import dataclass, field
 
 from repro.bender.infrastructure import TestingInfrastructure
+from repro.bender.isa import Payload, compile_program
 from repro.characterization.patterns import (
+    AccessPattern,
     ExperimentConfig,
     RowSite,
     build_disturb_program,
@@ -32,11 +34,34 @@ class AcminSearch:
     accuracy: float = 0.01  # 1 % relative accuracy (paper's setting)
     observer: Observer = field(default_factory=Observer.null)
     _probes: int = field(default=0, repr=False)
+    #: Compiled probe payloads keyed by (site, t_aggon, count parity);
+    #: bisection probes differ only in iteration count, which is a
+    #: single-word SETCNT patch on the cached payload.
+    _payloads: dict[tuple[RowSite, float, int], Payload] = field(
+        default_factory=dict, repr=False
+    )
+
+    def _payload(self, site: RowSite, t_aggon: float, count: int) -> Payload:
+        """Compiled probe program for ``count`` total activations.
+
+        Double-sided patterns loop over aggressor *pairs* and append a
+        trailing half-episode when the total is odd, so the loop count
+        is ``count // 2`` and the parity is part of the compiled shape.
+        """
+        double = self.config.access is AccessPattern.DOUBLE_SIDED
+        loops, parity = divmod(count, 2) if double else (count, 0)
+        cached = self._payloads.get((site, t_aggon, parity))
+        if cached is not None and loops > 0:
+            return cached.with_loop_count(loops)
+        program, _ = build_disturb_program(site, t_aggon, count, self.config)
+        payload = compile_program(program, self.config.timing)
+        if loops > 0 and len(payload.top_level_loops) == 1:
+            self._payloads[(site, t_aggon, parity)] = payload
+        return payload
 
     def _flips_at(self, site: RowSite, t_aggon: float, count: int) -> int:
         self.infra.fresh_experiment()
-        program, _ = build_disturb_program(site, t_aggon, count, self.config)
-        result = self.infra.run(program)
+        result = self.infra.execute(self._payload(site, t_aggon, count))
         self._probes += 1
         return len(result.bitflips)
 

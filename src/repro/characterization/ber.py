@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.dram.geometry import RowAddress
 from repro.bender.infrastructure import TestingInfrastructure
+from repro.bender.isa import compile_program
 from repro.characterization.patterns import (
     AccessPattern,
     ExperimentConfig,
@@ -77,7 +78,7 @@ def measure_ber(
     ) as span:
         infra.fresh_experiment()
         program, victims = build_disturb_program(site, t_aggon, count, config)
-        result = infra.run(program)
+        result = infra.execute(compile_program(program, config.timing))
         row_bits = infra.module.geometry.row_bits
         total, by_victim, by_word, one_to_zero = _collect(result.reads, row_bits)
         span.set(bitflips=total)
@@ -112,7 +113,7 @@ def measure_onoff_ber(
     ) as span:
         infra.fresh_experiment()
         program, victims = build_onoff_program(site, t_aggon, t_aggoff, config)
-        result = infra.run(program)
+        result = infra.execute(compile_program(program, config.timing))
         row_bits = infra.module.geometry.row_bits
         total, by_victim, by_word, one_to_zero = _collect(result.reads, row_bits)
         span.set(bitflips=total)

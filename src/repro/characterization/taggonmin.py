@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 
 from repro.bender.infrastructure import TestingInfrastructure
+from repro.bender.isa import compile_program
 from repro.characterization.patterns import ExperimentConfig, RowSite, build_disturb_program
 from repro.obs import Observer
 
@@ -24,7 +25,7 @@ def _flips_at(
 ) -> int:
     infra.fresh_experiment()
     program, _ = build_disturb_program(site, t_aggon, count, config)
-    result = infra.run(program)
+    result = infra.execute(compile_program(program, config.timing))
     return len(result.bitflips)
 
 

@@ -293,6 +293,42 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.bender import compile_program, disassemble
+    from repro.bender.builder import (
+        double_sided_pattern,
+        onoff_pattern,
+        single_sided_pattern,
+    )
+    from repro.dram.geometry import RowAddress
+    from repro.dram.timing import DDR4_3200W
+
+    timing = DDR4_3200W
+    aggressor = RowAddress(args.rank, args.bank, args.row)
+    t_aggoff = args.t_aggoff if args.t_aggoff is not None else timing.tRP
+    try:
+        if args.pattern == "single":
+            program = single_sided_pattern(aggressor, args.t_aggon, args.count, timing)
+        elif args.pattern == "double":
+            program = double_sided_pattern(
+                aggressor, aggressor.neighbor(2), args.t_aggon, args.count, timing
+            )
+        else:
+            program = onoff_pattern(
+                [aggressor], args.t_aggon, t_aggoff, args.count, timing
+            )
+        payload = compile_program(program, timing)
+    except ValueError as error:
+        logger.error("cannot compile %s pattern: %s", args.pattern, error)
+        return 2
+    print(disassemble(payload))
+    print(
+        f"{len(payload)} words, {len(payload.constants)} constants, "
+        f"duration {units.format_time(payload.duration_ns)}"
+    )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
@@ -663,6 +699,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     configure_lint_parser(lint)
     lint.set_defaults(handler=_cmd_lint)
+
+    compile_cmd = commands.add_parser(
+        "compile",
+        help="compile an access pattern to payload ISA words and disassemble",
+    )
+    compile_cmd.add_argument(
+        "pattern",
+        choices=("single", "double", "onoff"),
+        help="access-pattern builder (Figs. 5, 16, 21)",
+    )
+    compile_cmd.add_argument(
+        "--count", type=int, default=1000, help="aggressor activations"
+    )
+    compile_cmd.add_argument(
+        "--t-aggon", type=float, default=36.0, help="aggressor-row on-time, ns"
+    )
+    compile_cmd.add_argument(
+        "--t-aggoff",
+        type=float,
+        default=None,
+        help="off-time for the onoff pattern, ns (default: tRP)",
+    )
+    compile_cmd.add_argument("--rank", type=int, default=0)
+    compile_cmd.add_argument("--bank", type=int, default=1)
+    compile_cmd.add_argument("--row", type=int, default=100)
+    compile_cmd.set_defaults(handler=_cmd_compile)
 
     fuzz = commands.add_parser(
         "fuzz", help="property-fuzz the model against the paper's oracles"

@@ -277,6 +277,12 @@ def _sample_columns(
     count = min(count, pool_size)
     if count <= 0:
         return np.empty(0, dtype=np.int64)
+    if count >= pool_size:
+        # Saturated population: every allowed column is weak, so the
+        # draw is the whole pool no matter how it would be clustered.
+        # (Skips the coupon-collector batches below, which previously
+        # cost ~100 ms per saturated row.)
+        return np.flatnonzero(allowed).astype(np.int64)
     if cluster_size_mean <= 1.0:
         pool = np.flatnonzero(allowed)
         return np.sort(rng.choice(pool, size=count, replace=False))

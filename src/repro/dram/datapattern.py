@@ -104,6 +104,25 @@ def classify_pair(
     return classify_aggressor(aggressor_data)
 
 
+def classify_fill_pair(
+    aggressor_byte: int | None, victim_byte: int | None
+) -> DataPattern:
+    """:func:`classify_pair` from pre-extracted uniform fill bytes.
+
+    ``None`` means the row is uninitialized or its content is mixed —
+    exactly :func:`uniform_fill_byte`'s convention — so callers that
+    cache that byte per row (the device's dose-deposit hot path) skip
+    the full-row scan while classifying identically.
+    """
+    if aggressor_byte is not None and victim_byte is not None:
+        pattern = _PAIR_TO_PATTERN.get((aggressor_byte, victim_byte))
+        if pattern is not None:
+            return pattern
+    if aggressor_byte is None:
+        return DataPattern.CUSTOM
+    return _BYTE_TO_AGGRESSOR.get(aggressor_byte, DataPattern.CUSTOM)
+
+
 def classify_aggressor(data: np.ndarray | None) -> DataPattern:
     """Classify an aggressor row's content into a named pattern.
 

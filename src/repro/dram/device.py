@@ -30,9 +30,9 @@ from repro import units
 from repro.dram import retention as retention_model
 from repro.dram.cells import CellPopulation, charged_mask
 from repro.dram.datapattern import (
-    DataPattern,
     bits_from_bytes,
-    classify_pair,
+    classify_fill_pair,
+    uniform_fill_byte,
 )
 from repro.dram.disturb import (
     DisturbanceModel,
@@ -107,6 +107,10 @@ class DramDevice:
             (rank, bank): _BankState() for rank, bank in geometry.iter_banks()
         }
         self._data: dict[RowKey, np.ndarray] = {}
+        #: Cached uniform fill byte per row (None = mixed content), kept
+        #: in sync with every ``_data`` mutation so dose classification
+        #: never re-scans a full row on the deposit hot path.
+        self._uniform_byte: dict[RowKey, int | None] = {}
         self._hammer_dose: dict[RowKey, float] = {}
         self._press_dose: dict[RowKey, float] = {}
         self._last_restore: dict[RowKey, float] = {}
@@ -144,7 +148,17 @@ class DramDevice:
         if data is None:
             data = np.zeros(self.geometry.row_bits // 8, dtype=np.uint8)
             self._data[key] = data
+            self._uniform_byte[key] = 0
         return data
+
+    def _fill_byte(self, key: RowKey) -> int | None:
+        """Uniform fill byte of a row (cached; None for mixed content)."""
+        try:
+            return self._uniform_byte[key]
+        except KeyError:
+            value = uniform_fill_byte(self._data.get(key))
+            self._uniform_byte[key] = value
+            return value
 
     def _sandwich_window(self, t_on: float) -> float:
         return max(self.config.sandwich_window_floor, 64.0 * (t_on + self.timing.tRC))
@@ -176,7 +190,7 @@ class DramDevice:
     ) -> None:
         """Deposit ``count`` identical episodes of ``aggressor`` onto victims."""
         rank, bank, row = aggressor
-        aggressor_data = self._data.get(aggressor)
+        aggressor_byte = self._fill_byte(aggressor)
         window = self._sandwich_window(t_on)
         temperature = self.config.temperature_c
         for distance in range(1, self.config.neighbor_distance + 1):
@@ -195,14 +209,14 @@ class DramDevice:
                     other = (rank, bank, victim + direction)
                     last_end = self._last_episode_end.get(other)
                     sandwiched = last_end is not None and end_time - last_end <= window
-                pattern = classify_pair(aggressor_data, self._data.get(vkey))
-                hammer, press = self.disturb.episode_doses(
-                    t_on, t_off, temperature, pattern, distance, sandwiched
+                pattern = classify_fill_pair(aggressor_byte, self._fill_byte(vkey))
+                hammer, press = self.disturb.loop_doses(
+                    t_on, t_off, temperature, pattern, distance, sandwiched, count
                 )
                 if hammer:
-                    self._hammer_dose[vkey] = self._hammer_dose.get(vkey, 0.0) + hammer * count
+                    self._hammer_dose[vkey] = self._hammer_dose.get(vkey, 0.0) + hammer
                 if press:
-                    self._press_dose[vkey] = self._press_dose.get(vkey, 0.0) + press * count
+                    self._press_dose[vkey] = self._press_dose.get(vkey, 0.0) + press
         self._last_episode_end[aggressor] = end_time
 
     def deposit_episodes(
@@ -271,6 +285,7 @@ class DramDevice:
             raise ValueError(f"row data must be {expected} bytes, got {data.size}")
         key = self._key(address)
         self._data[key] = np.array(data, dtype=np.uint8, copy=True)
+        self._uniform_byte[key] = uniform_fill_byte(self._data[key])
         self._hammer_dose.pop(key, None)
         self._press_dose.pop(key, None)
         self._pending.pop(key, None)
@@ -386,6 +401,9 @@ class DramDevice:
         self._hammer_dose.pop(key, None)
         self._press_dose.pop(key, None)
         self._last_restore[key] = time_ns
+        if flips:
+            # Data mutated: the uniform-byte cache recomputes lazily.
+            self._uniform_byte.pop(key, None)
         return flips
 
     @staticmethod
@@ -396,17 +414,18 @@ class DramDevice:
         bits: np.ndarray,
         mechanism: str,
     ) -> list[Bitflip]:
-        flips = []
-        for column, bit in zip(columns.tolist(), bits.tolist()):
-            new_bit = 1 - bit
-            byte_index = column >> 3
-            mask = 1 << (column & 7)
-            if new_bit:
-                data[byte_index] |= mask
-            else:
-                data[byte_index] &= 0xFF ^ mask
-            flips.append(Bitflip(address, column, bit, new_bit, mechanism))
-        return flips
+        if columns.size == 0:
+            return []
+        byte_index = columns >> 3
+        masks = (1 << (columns & 7)).astype(np.uint8)
+        setting = bits == 0  # the flip writes the complement bit
+        # Columns are distinct, so bulk |=/&= per index is exact.
+        np.bitwise_or.at(data, byte_index[setting], masks[setting])
+        np.bitwise_and.at(data, byte_index[~setting], ~masks[~setting])
+        return [
+            Bitflip(address, column, bit, 1 - bit, mechanism)
+            for column, bit in zip(columns.tolist(), bits.tolist())
+        ]
 
     # ------------------------------------------------------------------
     # inspection (used by tests and the security analysis)

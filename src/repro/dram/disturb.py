@@ -245,8 +245,14 @@ class DoseParameters:
 class DisturbanceModel:
     """Convenience wrapper binding :class:`DoseParameters` to queries."""
 
+    #: Memo entries kept before the per-episode cache resets; steady
+    #: loops query a handful of distinct episode shapes, so this only
+    #: guards against pathological churn.
+    _CACHE_LIMIT = 4096
+
     def __init__(self, params: DoseParameters) -> None:
         self.params = params
+        self._episode_cache: dict[tuple, tuple[float, float]] = {}
 
     def episode_doses(
         self,
@@ -257,11 +263,44 @@ class DisturbanceModel:
         distance: int,
         sandwiched: bool,
     ) -> tuple[float, float]:
-        """(hammer, press) dose delivered by one episode at ``distance``."""
-        hammer = self.params.hammer_dose(
+        """(hammer, press) dose delivered by one episode at ``distance``.
+
+        A pure function of its arguments (``params`` is frozen), so the
+        result is memoized: bisection sweeps re-query the same few
+        episode shapes hundreds of times per search.
+        """
+        key = (t_on, t_off, temperature_c, aggressor_pattern, distance, sandwiched)
+        cached = self._episode_cache.get(key)
+        if cached is None:
+            hammer = self.params.hammer_dose(
+                t_on, t_off, temperature_c, aggressor_pattern, distance, sandwiched
+            )
+            press = self.params.press_dose(
+                t_on, temperature_c, aggressor_pattern, distance, sandwiched, t_off
+            )
+            if len(self._episode_cache) >= self._CACHE_LIMIT:
+                self._episode_cache.clear()
+            cached = (hammer, press)
+            self._episode_cache[key] = cached
+        return cached
+
+    def loop_doses(
+        self,
+        t_on: float,
+        t_off: float,
+        temperature_c: float,
+        aggressor_pattern: DataPattern,
+        distance: int,
+        sandwiched: bool,
+        count: int,
+    ) -> tuple[float, float]:
+        """Closed-form dose of ``count`` identical episodes.
+
+        One multiply per channel replaces per-activation accumulation;
+        this is the per-loop update the compiled payload path applies
+        after its warm-up iterations.
+        """
+        hammer, press = self.episode_doses(
             t_on, t_off, temperature_c, aggressor_pattern, distance, sandwiched
         )
-        press = self.params.press_dose(
-            t_on, temperature_c, aggressor_pattern, distance, sandwiched, t_off
-        )
-        return hammer, press
+        return hammer * count, press * count

@@ -42,6 +42,7 @@ from repro import units
 from repro.dram.timing import DDR4_3200W, TimingParameters
 from repro.lint.diagnostics import ProgramDiagnostic
 from repro.bender.executor import FILL_COST, READ_COST
+from repro.bender.loops import collapsed_loop_end
 from repro.bender.program import (
     Act,
     FillRow,
@@ -234,8 +235,7 @@ class _Walker:
             for diagnostic in self.diagnostics[checkpoint:]
             if (diagnostic.code, diagnostic.location) not in seen_in_first
         ]
-        steady_ns = after_second - after_first
-        return after_second + (loop.count - 2) * steady_ns
+        return collapsed_loop_end(after_first, after_second, loop.count)
 
 
 def check_program(

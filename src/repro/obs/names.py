@@ -22,6 +22,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
     {
         # bender executor / testing infrastructure
         "executor.programs",
+        "executor.payloads",
         "executor.commands",
         "executor.loop_iterations",
         "executor.timing_violations",

@@ -31,6 +31,23 @@ class BankState:
         self.ready = pre_time + timing.tRP
         return self.ready
 
+    def advance_loop(self, iterations: int, period_ns: float) -> None:
+        """Closed-form update for steady ACT→PRE loop iterations.
+
+        Once a command loop reaches steady state every iteration shifts
+        the bank's clocks by exactly one period, so ``iterations`` more
+        iterations collapse into one O(1) translation — the
+        memory-controller analog of the executor's bulk-deposit path
+        (:mod:`repro.bender.executor`).
+        """
+        if iterations <= 0:
+            return
+        shift = iterations * period_ns
+        self.last_act += shift
+        self.ready += shift
+        if self.open_row is not None:
+            self.open_since += shift
+
 
 @dataclass
 class DramState:

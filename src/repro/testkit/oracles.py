@@ -4,8 +4,9 @@ Each oracle states a relationship the reproduction must satisfy for
 *any* input — ACmin falls as t_AggON grows (§5.1), dose and bitflips
 accumulate with activation count, RowPress worsens with temperature
 while RowHammer eases (§5.2), the static program verifier agrees with
-the timing-checked executor, sharded engine output equals sequential
-output, and results survive serialization round-trips.
+the timing-checked executor, compiled-payload execution is bit-identical
+to interpretation, sharded engine output equals sequential output, and
+results survive serialization round-trips.
 
 Every oracle ships with a deliberately planted **model mutation** (a
 context manager that temporarily breaks the production code in a
@@ -251,17 +252,17 @@ def _check_progcheck_differential(program) -> None:
     device model does — both are defensible, so the differential claim
     excludes them.
     """
-    from repro.bender.executor import ProgramExecutor, TimingViolation
-    from repro.dram.catalog import build_module
+    from repro.bender.executor import TimingViolation
+    from repro.bender.isa import compile_program, execute
     from repro.dram.timing import DDR4_3200W
     from repro.lint.progcheck import check_program
 
     report = check_program(program, DDR4_3200W, budget=None, refresh_disabled=True)
     codes = report.codes()
     assume("pre-closed-bank" not in codes)
-    device = build_module("S3", geometry=_small_geometry()).device
+    device = _fresh_device()
     try:
-        ProgramExecutor(device).run(program)
+        execute(compile_program(program), device)
         dynamic_error = None
     except (TimingViolation, RuntimeError) as error:
         dynamic_error = error
@@ -311,7 +312,94 @@ def _mutate_progcheck_blind() -> Iterator[None]:
 
 
 # ----------------------------------------------------------------------
-# 5. sharded engine == sequential campaign
+# 5. compiled payload == interpreted program (PR 8 ISA differential)
+# ----------------------------------------------------------------------
+
+
+def _check_isa_equivalence(program) -> None:
+    """Compiled-payload execution is byte-identical to interpretation.
+
+    The reference side drives the executor's internal entry point
+    directly (no payload, per-run loop analysis) so the differential is
+    against the interpreter engine itself, not the deprecation shim.
+    Every observable of the run must match bit-for-bit: end time,
+    per-opcode command counts, loop iterations, activations, and each
+    row read's bytes and bitflips — or, when the program is illegal,
+    both sides must fail with the very same error.
+    """
+    from repro.bender.executor import ProgramExecutor, TimingViolation
+    from repro.bender.isa import compile_program, execute
+
+    interpreted_device = _fresh_device()
+    compiled_device = _fresh_device()
+    payload = compile_program(program)
+    interpreted = compiled = None
+    interpreted_error = compiled_error = None
+    try:
+        interpreted = ProgramExecutor(interpreted_device)._execute(program)
+    except (TimingViolation, RuntimeError, ValueError) as error:
+        interpreted_error = error
+    try:
+        compiled = execute(payload, compiled_device)
+    except (TimingViolation, RuntimeError, ValueError) as error:
+        compiled_error = error
+    assert (
+        interpreted_device.activation_count == compiled_device.activation_count
+    ), (
+        f"activation counts diverge: interpreted "
+        f"{interpreted_device.activation_count}, compiled "
+        f"{compiled_device.activation_count}"
+    )
+    if interpreted_error is not None or compiled_error is not None:
+        assert type(interpreted_error) is type(compiled_error) and str(
+            interpreted_error
+        ) == str(compiled_error), (
+            f"error divergence: interpreted raised {interpreted_error!r}, "
+            f"compiled raised {compiled_error!r}"
+        )
+        return
+    assert compiled.end_time == interpreted.end_time, (
+        f"end times diverge: {compiled.end_time} != {interpreted.end_time}"
+    )
+    assert compiled.commands_by_opcode == interpreted.commands_by_opcode, (
+        f"command counts diverge: {compiled.commands_by_opcode} != "
+        f"{interpreted.commands_by_opcode}"
+    )
+    assert compiled.loop_iterations == interpreted.loop_iterations, (
+        f"loop iterations diverge: {compiled.loop_iterations} != "
+        f"{interpreted.loop_iterations}"
+    )
+    assert len(compiled.reads) == len(interpreted.reads)
+    for mine, reference in zip(compiled.reads, interpreted.reads):
+        assert mine.address == reference.address
+        assert bytes(mine.data) == bytes(reference.data), (
+            f"read bytes of {mine.address} diverge"
+        )
+        assert mine.bitflips == reference.bitflips, (
+            f"bitflips of {mine.address} diverge: {mine.bitflips} != "
+            f"{reference.bitflips}"
+        )
+
+
+@contextlib.contextmanager
+def _mutate_setcnt_off_by_one() -> Iterator[None]:
+    """Bug: the compiler packs every loop count one iteration too high."""
+    from repro.bender import isa
+
+    original = isa._pack_setcnt
+
+    def mutated(reg: int, count: int) -> int:
+        return original(reg, count + 1)
+
+    isa._pack_setcnt = mutated
+    try:
+        yield
+    finally:
+        isa._pack_setcnt = original
+
+
+# ----------------------------------------------------------------------
+# 6. sharded engine == sequential campaign
 # ----------------------------------------------------------------------
 
 
@@ -350,7 +438,7 @@ def _mutate_unit_order() -> Iterator[None]:
 
 
 # ----------------------------------------------------------------------
-# 6. results round-trip
+# 7. results round-trip
 # ----------------------------------------------------------------------
 
 
@@ -453,6 +541,17 @@ ORACLES: dict[str, Oracle] = {
             check=_check_progcheck_differential,
             mutate=_mutate_progcheck_blind,
             mutation_note="act-too-soon diagnostics suppressed",
+            max_examples=40,
+            self_check_examples=60,
+            shrink_calls=300,
+        ),
+        Oracle(
+            name="isa-equivalence",
+            title="compiled payload == interpreted program, bit for bit",
+            gens={"program": gen.command_programs(banks=1, rows=_SMALL_ROWS)},
+            check=_check_isa_equivalence,
+            mutate=_mutate_setcnt_off_by_one,
+            mutation_note="compiled loop counts off by one",
             max_examples=40,
             self_check_examples=60,
             shrink_calls=300,

@@ -13,7 +13,8 @@ ALL = oracles.names()
 def test_registry_lists_the_paper_oracles():
     assert "acmin-monotone" in ALL
     assert "progcheck-differential" in ALL
-    assert len(ALL) == 6
+    assert "isa-equivalence" in ALL
+    assert len(ALL) == 7
     with pytest.raises(KeyError, match="unknown oracle"):
         oracles.get("no-such-oracle")
 

@@ -147,6 +147,58 @@ def bench_figure_acmin_sweep(smoke: bool) -> dict:
     }
 
 
+def bench_isa_compiled(smoke: bool) -> dict:
+    """Compiled loop payload vs the same pattern unrolled and interpreted.
+
+    Measures the headline win of the payload ISA: a hammer pattern with
+    thousands of activations executes through one loop-summarized
+    payload instead of activation-by-activation interpretation.  The
+    two paths must agree exactly on activations (and closely on end
+    time) or the measurement is meaningless, so both are asserted.
+    """
+    from repro.bender import compile_program, execute
+    from repro.bender.executor import ProgramExecutor
+    from repro.bender.program import Act, Loop, Pre, Program, Wait
+    from repro.dram import build_module
+    from repro.dram.geometry import Geometry, RowAddress
+
+    activations = 400 if smoke else 4000
+    geometry = Geometry(
+        ranks=1, bank_groups=1, banks_per_group=2, rows_per_bank=256, row_bits=65536
+    )
+    aggressor = RowAddress(0, 1, 100)
+    episode = (Act(aggressor), Wait(636.0), Pre(0, 1), Wait(15.0))
+    looped = Program([Loop(activations, episode)])
+    unrolled = Program(list(episode) * activations)
+
+    compiled_device = build_module("S3", geometry=geometry).device
+    payload = compile_program(looped)
+    start = time.perf_counter()
+    compiled = execute(payload, compiled_device)
+    compiled_wall_s = time.perf_counter() - start
+
+    interpreter_device = build_module("S3", geometry=geometry).device
+    start = time.perf_counter()
+    interpreted = ProgramExecutor(interpreter_device)._execute(unrolled)
+    interpreter_wall_s = time.perf_counter() - start
+
+    assert compiled.activations == interpreted.activations == activations
+    assert abs(compiled.end_time - interpreted.end_time) <= 1e-6 * interpreted.end_time
+    speedup = interpreter_wall_s / compiled_wall_s if compiled_wall_s > 0 else 0.0
+    return {
+        "name": "isa_compiled",
+        "wall_s": compiled_wall_s,
+        "throughput": activations / compiled_wall_s if compiled_wall_s > 0 else 0.0,
+        "unit": "activations/s",
+        "detail": {
+            "activations": activations,
+            "interpreter_wall_s": interpreter_wall_s,
+            "speedup": speedup,
+        },
+        "profiler_top": [],
+    }
+
+
 def bench_service_throughput(smoke: bool) -> dict:
     """Request throughput of a live `repro serve` subprocess."""
     requests = 50 if smoke else 300
@@ -205,6 +257,7 @@ def bench_service_throughput(smoke: bool) -> dict:
 BENCHMARKS = {
     "campaign_engine": bench_campaign_engine,
     "figure_acmin_sweep": bench_figure_acmin_sweep,
+    "isa_compiled": bench_isa_compiled,
     "service_throughput": bench_service_throughput,
 }
 
