@@ -1,0 +1,176 @@
+"""Fleet throughput: one ACmin campaign, 1 vs 4 lease-pulling workers.
+
+Stands up a real ``repro serve --backend fleet`` subprocess and runs the
+same-shaped ACmin campaign twice: once drained by a single ``repro
+worker`` process, once by four.  Workers are separate OS processes, so
+on multi-core machines the 4-worker run must beat the 1-worker run (the
+ISSUE acceptance bar); on single-core containers the speedup assertion
+is skipped and the table is report-only.
+
+Both runs are checked byte-identical to a sequential in-process
+``run_campaign``, so the scaling numbers can never come from dropping,
+reordering, or double-counting shards.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.characterization.campaign import (
+    CampaignSpec,
+    dumps_results,
+    run_campaign,
+)
+from repro.service.client import ServiceClient
+
+_WORKER_COUNTS = (1, 4)
+
+#: Minimum 4-vs-1 worker speedup demanded when real cores are available.
+_MIN_SPEEDUP = 1.2
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _spec(seed: int) -> CampaignSpec:
+    """2 modules x 4 sites x 3 points = 24 ACmin searches (24 shards)."""
+    return CampaignSpec(
+        name="fleet-bench",
+        module_ids=("S3", "H0"),
+        experiment="acmin",
+        t_aggon_values=(36.0, 7800.0, 70_200.0),
+        sites_per_module=4,
+        seed=seed,
+    )
+
+
+def _environment() -> dict:
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(_SRC)
+    return environment
+
+
+def _start_server(tmp_path: Path) -> tuple[subprocess.Popen, int]:
+    port_file = tmp_path / "port.txt"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--backend",
+            "fleet",
+            "--data-dir",
+            str(tmp_path / "state"),
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--shard-size",
+            "1",
+        ],
+        env=_environment(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30.0
+    while not port_file.exists():
+        if process.poll() is not None:
+            raise RuntimeError("bench server died at startup")
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError("bench server never wrote its port file")
+        time.sleep(0.02)
+    return process, int(port_file.read_text())
+
+
+def _start_workers(port: int, count: int) -> list[subprocess.Popen]:
+    return [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                "--server",
+                f"http://127.0.0.1:{port}",
+                "--worker-id",
+                f"bench-w{index}",
+                "--poll-s",
+                "0.05",
+            ],
+            env=_environment(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        for index in range(count)
+    ]
+
+
+def _stop(processes) -> None:
+    for process in processes:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+    for process in processes:
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10)
+
+
+def test_fleet_throughput(benchmark, tmp_path):
+    server, port = _start_server(tmp_path)
+    rows = []
+    elapsed: dict[int, float] = {}
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{port}", client_id="bench")
+        first = True
+        for count in _WORKER_COUNTS:
+            spec = _spec(seed=50_000 + count)  # fresh seed: no cache hits
+            workers = _start_workers(port, count)
+            try:
+
+                def run(spec=spec):
+                    status = client.submit(spec)
+                    final = client.wait(status.job_id, timeout_s=600)
+                    assert final.state == "done", final
+                    return client.fetch_results_text(final.job_id)
+
+                start = time.perf_counter()
+                if first:
+                    text = benchmark.pedantic(run, rounds=1, iterations=1)
+                    first = False
+                else:
+                    text = run()
+                elapsed[count] = time.perf_counter() - start
+            finally:
+                _stop(workers)
+            expected = dumps_results(spec, run_campaign(spec))
+            assert text == expected  # fleet == sequential, byte for byte
+            rows.append(
+                [
+                    count,
+                    f"{elapsed[count]:.2f}",
+                    f"{elapsed[1] / elapsed[count]:.2f}x",
+                ]
+            )
+    finally:
+        _stop([server])
+    emit(
+        f"Fleet campaign wall time ({os.cpu_count()} cores)",
+        ["workers", "seconds", "speedup"],
+        rows,
+    )
+    if (os.cpu_count() or 1) >= 2:
+        speedup = elapsed[1] / elapsed[4]
+        assert speedup >= _MIN_SPEEDUP, (
+            f"4-worker speedup {speedup:.2f}x below {_MIN_SPEEDUP}x "
+            f"on a {os.cpu_count()}-core machine"
+        )

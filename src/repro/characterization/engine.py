@@ -35,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import multiprocessing
+import threading
 import time
 import traceback
 from collections import deque
@@ -67,6 +68,7 @@ __all__ = [
     "EngineResult",
     "CampaignCheckpoint",
     "plan_shards",
+    "execute_shard",
     "run_engine",
 ]
 
@@ -269,10 +271,13 @@ class _ShardOutcome:
     profile_counts: dict = field(default_factory=dict)
 
 
-#: Per-worker-process state, keyed by spec JSON: the runner's benches
-#: persist across the shards a worker executes, like a Bender setup that
-#: keeps its modules socketed between experiments.
-_PROCESS_STATE: dict[str, tuple[CharacterizationRunner, Observer]] = {}
+#: Per-worker state, keyed by spec JSON: the runner's benches persist
+#: across the shards a worker executes, like a Bender setup that keeps
+#: its modules socketed between experiments.  Thread-local rather than
+#: process-global: a CharacterizationRunner owns one command timeline,
+#: so concurrent fleet worker threads sharing a runner would interleave
+#: ACT/PRE commands and trip timing violations.
+_PROCESS_STATE = threading.local()
 
 #: Test-only failure injection, installed by the pool initializer.
 _FAULT_HOOK: Callable[[ShardSpec, int], None] | None = None
@@ -288,8 +293,12 @@ def _process_context(
     spec_json: str, observe: bool, trace_header: str | None = None
 ) -> tuple[CharacterizationRunner, Observer]:
     """This worker process's runner + observer for a spec (cached)."""
+    cache: dict[str, tuple[CharacterizationRunner, Observer]] | None
+    cache = getattr(_PROCESS_STATE, "cache", None)
+    if cache is None:
+        cache = _PROCESS_STATE.cache = {}
     key = f"{int(observe)}:{trace_header}:{spec_json}"
-    state = _PROCESS_STATE.get(key)
+    state = cache.get(key)
     if state is None:
         spec = CampaignSpec.from_json(spec_json)
         observer = (
@@ -307,7 +316,7 @@ def _process_context(
             observer=observer,
         )
         state = (runner, observer)
-        _PROCESS_STATE[key] = state
+        cache[key] = state
     return state
 
 
@@ -352,6 +361,35 @@ def _execute_shard(task: _ShardTask) -> _ShardOutcome:
         spans=observer.tracer.drain(),
         metrics=observer.metrics.drain() if observer.metrics.enabled else {},
         profile_counts=profiler.stop().counts if profiler is not None else {},
+    )
+
+
+def execute_shard(
+    spec_json: str,
+    shard: ShardSpec,
+    attempt: int = 0,
+    observe: bool = False,
+    trace_header: str | None = None,
+) -> _ShardOutcome:
+    """Run one shard in this process: the wire-level shard entry point.
+
+    This is the same code path a pool worker runs for a :class:`_ShardTask`
+    — the per-process runner cache keyed by ``spec_json`` persists across
+    calls, and the outcome never raises (failures come back structured).
+    ``repro.fleet`` workers call this for every leased shard, so a shard
+    executes identically whether it ran in-process, in a local pool
+    worker, or on a remote fleet worker; the deterministic per-shard
+    seed makes the records byte-identical regardless.
+    """
+    return _execute_shard(
+        _ShardTask(
+            spec_json=spec_json,
+            shard=shard,
+            attempt=attempt,
+            observe=observe,
+            backoff_s=0.0,
+            trace_header=trace_header,
+        )
     )
 
 
@@ -494,6 +532,16 @@ class CampaignCheckpoint:
                 }
             )
         )
+
+    def record_shard_payload(self, payload: dict) -> None:
+        """Append a completed shard already in wire/checkpoint line form.
+
+        The fleet completion payload (see :mod:`repro.fleet.leases`) uses
+        exactly the checkpoint shard-line schema, so an accepted upload
+        appends verbatim — what a resumed run reads is byte-for-byte what
+        the worker reported.
+        """
+        self._append(json.dumps({"kind": "shard", **payload}))
 
     def record_failure(self, failure: ShardFailure) -> None:
         """Append one permanent failure."""

@@ -229,9 +229,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         rate_per_s=args.rate_per_s,
         rate_burst=args.rate_burst,
+        backend=args.backend,
+        lease_ttl_s=args.lease_ttl_s,
         port_file=args.port_file,
     )
     return serve(config, observer=args.observer)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.fleet.worker import FleetWorker
+
+    worker = FleetWorker(
+        server_url=args.server,
+        worker_id=args.worker_id,
+        concurrency=args.concurrency,
+        poll_s=args.poll_s,
+        max_idle_s=args.max_idle_s,
+        max_shards=args.max_shards,
+    )
+    stats = worker.run()
+    print(
+        f"worker {worker.worker_id}: {stats.shards_executed} shard(s) "
+        f"executed, {stats.shards_discarded} discarded, "
+        f"{stats.shards_failed} failed"
+    )
+    return 0 if not stats.errors else 1
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -648,12 +670,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-client submission token bucket size",
     )
     serve_cmd.add_argument(
+        "--backend",
+        choices=("local", "fleet"),
+        default="local",
+        help="where jobs execute: this process (local) or leased "
+        "shard-by-shard to `repro worker` processes (fleet)",
+    )
+    serve_cmd.add_argument(
+        "--lease-ttl-s",
+        type=float,
+        default=10.0,
+        help="fleet lease TTL: heartbeat within this window or the "
+        "shard is reassigned",
+    )
+    serve_cmd.add_argument(
         "--port-file",
         metavar="FILE",
         default=None,
         help="write the bound port here once listening (for --port 0)",
     )
     serve_cmd.set_defaults(handler=_cmd_serve)
+
+    worker_cmd = commands.add_parser(
+        "worker",
+        help="run a fleet worker: lease shards from a `repro serve "
+        "--backend fleet` server and execute them",
+    )
+    worker_cmd.add_argument(
+        "--server",
+        required=True,
+        metavar="URL",
+        help="service base URL, e.g. http://127.0.0.1:8023",
+    )
+    worker_cmd.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        help="shards executed in parallel by this worker process",
+    )
+    worker_cmd.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: worker-<host>-<pid>)",
+    )
+    worker_cmd.add_argument(
+        "--poll-s",
+        type=float,
+        default=0.25,
+        help="idle poll interval when no shards are available",
+    )
+    worker_cmd.add_argument(
+        "--max-idle-s",
+        type=float,
+        default=None,
+        help="exit after this long without being granted a shard",
+    )
+    worker_cmd.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help="exit after executing this many shards",
+    )
+    worker_cmd.set_defaults(handler=_cmd_worker)
 
     submit = commands.add_parser(
         "submit", help="submit a campaign spec to a running service"

@@ -1,0 +1,43 @@
+"""Distributed worker fleet: wire-level shard leasing over the service.
+
+The campaign engine already decomposes a run into deterministic,
+independently-seeded shards; :mod:`repro.fleet` promotes that shard to
+a network work unit.  The server side (:mod:`repro.fleet.leases`) leases
+shards to pull-based workers with TTLs and fencing epochs; the worker
+side (:mod:`repro.fleet.worker`) is the ``repro worker`` process.  See
+``docs/FLEET.md`` for the protocol walkthrough and failure matrix.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.leases import (
+    CompletionResult,
+    FencingViolation,
+    FleetJobResult,
+    FleetJobStatus,
+    LeaseError,
+    LeaseGrant,
+    LeaseManager,
+    UnknownLease,
+    outcome_to_payload,
+    shard_from_payload,
+    shard_to_payload,
+)
+from repro.fleet.worker import FleetWorker, WorkerStats, default_worker_id
+
+__all__ = [
+    "LeaseManager",
+    "LeaseGrant",
+    "LeaseError",
+    "UnknownLease",
+    "FencingViolation",
+    "CompletionResult",
+    "FleetJobStatus",
+    "FleetJobResult",
+    "FleetWorker",
+    "WorkerStats",
+    "default_worker_id",
+    "shard_to_payload",
+    "shard_from_payload",
+    "outcome_to_payload",
+]

@@ -1,0 +1,707 @@
+"""Server-side shard leasing: TTL leases, fencing epochs, reassignment.
+
+The campaign engine's shard — one (module x site-block x sweep-point)
+cell with a deterministic seed — is already an independent, restartable
+unit of work.  This module promotes it to a *wire-level* work item: a
+:class:`LeaseManager` owns the shard tables of every fleet-backend job
+and hands shards to pull-based workers as **leases**.
+
+The protocol invariants (exercised by ``tests/test_fleet_leases.py``):
+
+* **TTL** — a granted lease must be renewed by heartbeat before
+  ``ttl_s`` elapses or it *expires*: the shard returns to the pending
+  pool and the next ``acquire`` reassigns it.
+* **Fencing epochs** — every grant of a shard increments that shard's
+  epoch, and every heartbeat/completion must present the epoch it was
+  granted under.  A zombie worker (lease expired, shard reassigned)
+  presenting a stale epoch is rejected with ``409``, so its late upload
+  can never double-count a shard.
+* **Idempotent completion** — completing a shard that is already
+  completed is acknowledged as a ``duplicate`` and changes nothing.
+* **At-most-one checkpoint record per shard** — only the first accepted
+  completion appends to the job's engine checkpoint; everything a
+  resumed run reads is exactly what one winning worker reported.
+
+Because every shard is a deterministic function of its seed, *which*
+worker ran it is irrelevant to the bytes of the merged result — the
+lease protocol only has to guarantee exactly-once accounting, not
+determinism.  All methods are synchronous and single-threaded by
+contract (the service calls them on its event loop, like
+:class:`~repro.service.jobs.JobManager`); time is injected so tests
+drive expiry with a fake clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.characterization.engine import (
+    CampaignCheckpoint,
+    ShardFailure,
+    ShardSpec,
+)
+from repro.obs import MetricsRegistry, get_logger, monotonic_s
+
+__all__ = [
+    "LeaseError",
+    "UnknownLease",
+    "FencingViolation",
+    "LeaseGrant",
+    "CompletionResult",
+    "FleetJobStatus",
+    "FleetJobResult",
+    "LeaseManager",
+    "shard_to_payload",
+    "shard_from_payload",
+    "outcome_to_payload",
+]
+
+logger = get_logger("fleet.leases")
+
+#: Shard slot states inside a fleet job.
+_PENDING = "pending"
+_LEASED = "leased"
+_COMPLETED = "completed"
+_FAILED = "failed"
+
+
+class LeaseError(Exception):
+    """A lease operation was rejected; ``status`` is the HTTP mapping."""
+
+    status = 400
+
+
+class UnknownLease(LeaseError):
+    """The lease id does not name a live lease (job finished or bogus)."""
+
+    status = 404
+
+
+class FencingViolation(LeaseError):
+    """Stale epoch, expired lease, or wrong worker: the fence held."""
+
+    status = 409
+
+
+# ----------------------------------------------------------------------
+# wire forms
+# ----------------------------------------------------------------------
+
+
+def shard_to_payload(shard: ShardSpec) -> dict:
+    """JSON-safe form of a :class:`ShardSpec` for the lease response."""
+    return {
+        "index": shard.index,
+        "shard_id": shard.shard_id,
+        "module_id": shard.module_id,
+        "module_index": shard.module_index,
+        "site_indices": list(shard.site_indices),
+        "sweep_index": shard.sweep_index,
+        "seed": shard.seed,
+    }
+
+
+def shard_from_payload(payload: dict) -> ShardSpec:
+    """Rebuild a :class:`ShardSpec` a lease response shipped."""
+    return ShardSpec(
+        index=payload["index"],
+        shard_id=payload["shard_id"],
+        module_id=payload["module_id"],
+        module_index=payload["module_index"],
+        site_indices=tuple(payload["site_indices"]),
+        sweep_index=payload["sweep_index"],
+        seed=payload["seed"],
+    )
+
+
+def outcome_to_payload(outcome) -> dict:
+    """Completion body for one ``engine.execute_shard`` outcome.
+
+    The success keys (``shard_id``/``seed``/``attempt``/``elapsed_s``/
+    ``flips``/``units``) deliberately mirror the engine's checkpoint
+    shard-line schema, so the server can append an accepted upload to
+    the job checkpoint verbatim.  ``spans``/``metrics`` ride along only
+    when the worker observed (they merge into the service trace and are
+    never checkpointed).
+    """
+    import dataclasses
+
+    return {
+        "ok": outcome.ok,
+        "error": outcome.error,
+        "shard_id": outcome.shard.shard_id,
+        "seed": outcome.shard.seed,
+        "attempt": outcome.attempt,
+        "elapsed_s": outcome.elapsed_s,
+        "flips": outcome.flips,
+        "units": [
+            {"unit": unit_index, "record": dataclasses.asdict(record)}
+            for unit_index, record in outcome.units
+        ],
+        "spans": outcome.spans,
+        "metrics": outcome.metrics,
+    }
+
+
+#: Checkpoint shard-line keys accepted from a completion payload.
+_CHECKPOINT_KEYS = ("shard_id", "seed", "attempt", "elapsed_s", "flips", "units")
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """One granted lease, as returned to (and serialized for) a worker."""
+
+    lease_id: str
+    job_id: str
+    epoch: int
+    ttl_s: float
+    attempt: int
+    spec_json: str
+    shard: ShardSpec
+    observe: bool = False
+    trace_parent: str | None = None
+
+    def to_payload(self) -> dict:
+        """The JSON body entry for ``POST /v1/leases``."""
+        return {
+            "lease_id": self.lease_id,
+            "job_id": self.job_id,
+            "epoch": self.epoch,
+            "ttl_s": self.ttl_s,
+            "attempt": self.attempt,
+            "spec": self.spec_json,
+            "shard": shard_to_payload(self.shard),
+            "observe": self.observe,
+            "trace_parent": self.trace_parent,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LeaseGrant":
+        """Rebuild a grant on the worker side."""
+        return cls(
+            lease_id=payload["lease_id"],
+            job_id=payload["job_id"],
+            epoch=payload["epoch"],
+            ttl_s=payload["ttl_s"],
+            attempt=payload.get("attempt", 0),
+            spec_json=payload["spec"],
+            shard=shard_from_payload(payload["shard"]),
+            observe=payload.get("observe", False),
+            trace_parent=payload.get("trace_parent"),
+        )
+
+
+@dataclass
+class CompletionResult:
+    """What :meth:`LeaseManager.complete` decided about one upload."""
+
+    #: ``"accepted"`` (first completion), ``"duplicate"`` (idempotent
+    #: re-upload of a completed shard), or ``"retry"`` (a reported
+    #: failure that will be re-leased).
+    outcome: str
+    #: Set on ``"accepted"``: call it off the event loop to append the
+    #: shard to the job's engine checkpoint (at most once per shard).
+    checkpoint_append: Callable[[], None] | None = None
+
+
+@dataclass(frozen=True)
+class FleetJobStatus:
+    """Progress snapshot of one fleet job (for events/dashboard)."""
+
+    units_done: int
+    units_total: int
+    flips: int
+    shards_pending: int
+    shards_leased: int
+    shards_completed: int
+    shards_failed: int
+
+    @property
+    def settled(self) -> bool:
+        """No shard is pending or leased: the job can be closed."""
+        return self.shards_pending == 0 and self.shards_leased == 0
+
+
+@dataclass
+class FleetJobResult:
+    """Everything :meth:`LeaseManager.close_job` hands the supervisor."""
+
+    records: list
+    failures: list[ShardFailure]
+    shards_completed: int
+    shards_resumed: int
+    flips: int
+    #: ``(spans, metrics_snapshot, granted_tracer_s)`` batches from
+    #: observing workers, in acceptance order, for trace/metric merging.
+    trace_batches: list[tuple[list, dict, float]]
+
+
+@dataclass
+class _ShardSlot:
+    """Server-side state of one leasable shard."""
+
+    shard: ShardSpec
+    state: str = _PENDING
+    epoch: int = 0
+    attempts: int = 0
+    worker_id: str | None = None
+    lease_id: str | None = None
+    deadline_s: float = 0.0
+    granted_s: float = 0.0
+    granted_tracer_s: float = 0.0
+
+
+@dataclass
+class _FleetJob:
+    """One open fleet-backend job inside the manager."""
+
+    job_id: str
+    spec_json: str
+    checkpoint: CampaignCheckpoint
+    slots: dict[str, _ShardSlot]
+    order: list[str]
+    units_total: int
+    units: list = field(default_factory=list)
+    failures: list[ShardFailure] = field(default_factory=list)
+    flips: int = 0
+    units_resumed: int = 0
+    flips_resumed: int = 0
+    shards_resumed: int = 0
+    observe: bool = False
+    trace_parent: str | None = None
+    trace_now: Callable[[], float] | None = None
+    trace_batches: list[tuple[list, dict, float]] = field(default_factory=list)
+    on_change: Callable[[], None] | None = None
+
+    def changed(self) -> None:
+        if self.on_change is not None:
+            self.on_change()
+
+
+class LeaseManager:
+    """Owns shard leases for every open fleet job.
+
+    One instance lives inside :class:`~repro.service.server.
+    CampaignService`; the HTTP handlers call :meth:`acquire`,
+    :meth:`heartbeat`, and :meth:`complete` on the event loop, and the
+    :class:`~repro.service.jobs.JobSupervisor` opens/closes jobs around
+    them.  ``clock`` defaults to the repo's monotonic single-clock and
+    is injectable so the protocol tests can force expiry
+    deterministically.
+    """
+
+    def __init__(
+        self,
+        ttl_s: float = 10.0,
+        max_retries: int = 2,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = monotonic_s,
+    ) -> None:
+        if ttl_s <= 0.0:
+            raise ValueError(f"ttl_s must be > 0, got {ttl_s}")
+        self.ttl_s = ttl_s
+        self.max_retries = max_retries
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.clock = clock
+        self._jobs: dict[str, _FleetJob] = {}
+        #: lease_id -> (job_id, shard_id, epoch); kept for the life of
+        #: the job so stale ids answer with a precise rejection.
+        self._leases: dict[str, tuple[str, str, int]] = {}
+        self._lease_seq = 0
+        #: worker_id -> last time it touched the API (for the gauge).
+        self._worker_seen_s: dict[str, float] = {}
+
+    # -- job lifecycle (supervisor side) --------------------------------
+
+    def open_job(
+        self,
+        job_id: str,
+        spec_json: str,
+        shards: list[ShardSpec],
+        resumed: dict[str, dict],
+        checkpoint: CampaignCheckpoint,
+        units_total: int,
+        observe: bool = False,
+        trace_parent: str | None = None,
+        trace_now: Callable[[], float] | None = None,
+        on_change: Callable[[], None] | None = None,
+    ) -> None:
+        """Register a job's shards as leasable work.
+
+        ``resumed`` maps already-checkpointed shard ids to their
+        checkpoint payloads (from :meth:`CampaignCheckpoint.load`); those
+        shards are folded straight into the result and never leased.
+        """
+        if job_id in self._jobs:
+            raise ValueError(f"fleet job {job_id} is already open")
+        job = _FleetJob(
+            job_id=job_id,
+            spec_json=spec_json,
+            checkpoint=checkpoint,
+            slots={},
+            order=[],
+            units_total=units_total,
+            observe=observe,
+            trace_parent=trace_parent,
+            trace_now=trace_now,
+            on_change=on_change,
+        )
+        for shard in shards:
+            payload = resumed.get(shard.shard_id)
+            if payload is not None:
+                units, flips = checkpoint.completed_units(payload)
+                job.units.extend(units)
+                job.flips += flips
+                job.units_resumed += len(units)
+                job.flips_resumed += flips
+                job.shards_resumed += 1
+                continue
+            job.slots[shard.shard_id] = _ShardSlot(shard=shard)
+            job.order.append(shard.shard_id)
+        self._jobs[job_id] = job
+        self._update_gauges()
+        logger.info(
+            "fleet job %s opened: %d leasable shard(s), %d resumed",
+            job_id,
+            len(job.slots),
+            job.shards_resumed,
+        )
+        job.changed()
+
+    def job_status(self, job_id: str) -> FleetJobStatus:
+        """Progress counts for one open job."""
+        job = self._jobs[job_id]
+        self._expire_scan()
+        states: dict[str, int] = {}
+        for slot in job.slots.values():
+            states[slot.state] = states.get(slot.state, 0) + 1
+        return FleetJobStatus(
+            units_done=len(job.units),
+            units_total=job.units_total,
+            flips=job.flips,
+            shards_pending=states.get(_PENDING, 0),
+            shards_leased=states.get(_LEASED, 0),
+            shards_completed=states.get(_COMPLETED, 0) + job.shards_resumed,
+            shards_failed=states.get(_FAILED, 0),
+        )
+
+    def close_job(self, job_id: str) -> FleetJobResult:
+        """Remove a settled (or abandoned) job and return its results.
+
+        Outstanding leases die with the job: later heartbeats and
+        completions for them answer :class:`UnknownLease` and the
+        workers discard their local results (the checkpoint already
+        holds every accepted shard, so nothing is lost).
+        """
+        job = self._jobs.pop(job_id)
+        for lease_id in [
+            lease_id
+            for lease_id, (owner, _, _) in self._leases.items()
+            if owner == job_id
+        ]:
+            del self._leases[lease_id]
+        job.units.sort(key=lambda unit: unit[0])
+        self._update_gauges()
+        return FleetJobResult(
+            records=[record for _, record in job.units],
+            failures=list(job.failures),
+            shards_completed=sum(
+                1 for slot in job.slots.values() if slot.state == _COMPLETED
+            ),
+            shards_resumed=job.shards_resumed,
+            flips=job.flips,
+            trace_batches=list(job.trace_batches),
+        )
+
+    def open_jobs(self) -> tuple[str, ...]:
+        """Ids of jobs currently offering (or finishing) work."""
+        return tuple(self._jobs)
+
+    # -- worker-facing protocol -----------------------------------------
+
+    def acquire(self, worker_id: str, max_shards: int = 1) -> list[LeaseGrant]:
+        """Lease up to ``max_shards`` pending shards to ``worker_id``.
+
+        Oldest open job first, shards in plan order.  Every grant bumps
+        the shard's fencing epoch; a shard previously leased (expired or
+        failed) counts as a reassignment.
+        """
+        if max_shards < 1:
+            raise LeaseError(f"max_shards must be >= 1, got {max_shards}")
+        now = self.clock()
+        self._worker_seen_s[worker_id] = now
+        self._expire_scan(now)
+        grants: list[LeaseGrant] = []
+        for job in self._jobs.values():
+            for shard_id in job.order:
+                if len(grants) >= max_shards:
+                    break
+                slot = job.slots[shard_id]
+                if slot.state != _PENDING:
+                    continue
+                reassigned = slot.epoch > 0
+                slot.epoch += 1
+                slot.state = _LEASED
+                slot.worker_id = worker_id
+                slot.deadline_s = now + self.ttl_s
+                slot.granted_s = now
+                slot.granted_tracer_s = (
+                    job.trace_now() if job.trace_now is not None else 0.0
+                )
+                self._lease_seq += 1
+                slot.lease_id = f"L{self._lease_seq}"
+                self._leases[slot.lease_id] = (job.job_id, shard_id, slot.epoch)
+                self.metrics.counter("fleet.leases_granted").inc()
+                if reassigned:
+                    self.metrics.counter("fleet.leases_reassigned").inc()
+                grants.append(
+                    LeaseGrant(
+                        lease_id=slot.lease_id,
+                        job_id=job.job_id,
+                        epoch=slot.epoch,
+                        ttl_s=self.ttl_s,
+                        attempt=slot.attempts,
+                        spec_json=job.spec_json,
+                        shard=slot.shard,
+                        observe=job.observe,
+                        trace_parent=job.trace_parent,
+                    )
+                )
+            if len(grants) >= max_shards:
+                break
+        self._update_gauges()
+        return grants
+
+    def heartbeat(self, lease_id: str, worker_id: str, epoch: int) -> float:
+        """Renew a lease; returns the new TTL.
+
+        Raises :class:`FencingViolation` when the lease expired (the
+        shard is pending or re-leased under a newer epoch) and
+        :class:`UnknownLease` when the id names no live job.
+        """
+        now = self.clock()
+        self._worker_seen_s[worker_id] = now
+        self._expire_scan(now)
+        job, slot, granted_epoch = self._resolve(lease_id)
+        if (
+            slot.state != _LEASED
+            or slot.epoch != granted_epoch
+            or epoch != granted_epoch
+            or slot.worker_id != worker_id
+        ):
+            self.metrics.counter("fleet.heartbeats_rejected").inc()
+            raise FencingViolation(
+                f"lease {lease_id} (epoch {epoch}) is no longer held by "
+                f"{worker_id}: shard {slot.shard.shard_id} is {slot.state} "
+                f"at epoch {slot.epoch}"
+            )
+        slot.deadline_s = now + self.ttl_s
+        self.metrics.counter("fleet.heartbeats").inc()
+        return self.ttl_s
+
+    def complete(
+        self, lease_id: str, worker_id: str, epoch: int, payload: dict
+    ) -> CompletionResult:
+        """Apply one completion upload; fenced, idempotent, exactly-once.
+
+        Decision table (the failure matrix in ``docs/FLEET.md``):
+
+        * the winning worker re-uploads its completed shard (network
+          retry) -> ``"duplicate"`` (no state change);
+        * stale epoch / expired lease / foreign worker — including a
+          zombie uploading a shard another worker already won -> raises
+          :class:`FencingViolation` (the upload is discarded);
+        * reported failure under a valid lease -> ``"retry"`` until the
+          engine's retry budget is spent, then a permanent
+          :class:`ShardFailure`;
+        * success under a valid lease -> ``"accepted"``: units fold into
+          the job and the returned ``checkpoint_append`` persists the
+          shard line (call it off the event loop).
+        """
+        now = self.clock()
+        self._worker_seen_s[worker_id] = now
+        self._expire_scan(now)
+        job, slot, granted_epoch = self._resolve(lease_id)
+        if slot.state == _COMPLETED:
+            if (
+                slot.epoch == granted_epoch
+                and epoch == granted_epoch
+                and slot.worker_id == worker_id
+            ):
+                # The winning worker re-uploading (network retry): fine.
+                self.metrics.counter("fleet.completions_duplicate").inc()
+                return CompletionResult(outcome="duplicate")
+            # A zombie's stale upload of an already-won shard: fenced.
+            self.metrics.counter("fleet.completions_rejected").inc()
+            raise FencingViolation(
+                f"completion for lease {lease_id} (epoch {epoch}) rejected: "
+                f"shard {slot.shard.shard_id} was completed at epoch "
+                f"{slot.epoch} by another worker"
+            )
+        if (
+            slot.state != _LEASED
+            or slot.epoch != granted_epoch
+            or epoch != granted_epoch
+            or slot.worker_id != worker_id
+        ):
+            self.metrics.counter("fleet.completions_rejected").inc()
+            raise FencingViolation(
+                f"completion for lease {lease_id} (epoch {epoch}) rejected: "
+                f"shard {slot.shard.shard_id} is {slot.state} at epoch "
+                f"{slot.epoch} — the lease expired and the shard was "
+                "reassigned"
+            )
+        if payload.get("shard_id") != slot.shard.shard_id:
+            raise LeaseError(
+                f"completion for lease {lease_id} names shard "
+                f"{payload.get('shard_id')!r}, lease covers "
+                f"{slot.shard.shard_id!r}"
+            )
+        if not payload.get("ok", False):
+            return self._completion_failed(job, slot, payload)
+        units, flips = job.checkpoint.completed_units(payload)
+        slot.state = _COMPLETED  # worker_id kept: it names the winner
+        job.units.extend(units)
+        job.flips += flips
+        if job.observe and (payload.get("spans") or payload.get("metrics")):
+            job.trace_batches.append(
+                (
+                    payload.get("spans") or [],
+                    payload.get("metrics") or {},
+                    slot.granted_tracer_s,
+                )
+            )
+        self.metrics.counter("fleet.completions").inc()
+        self.metrics.histogram("fleet.shard_seconds").record(
+            float(payload.get("elapsed_s", 0.0))
+        )
+        self.metrics.histogram("fleet.lease_to_complete_seconds").record(
+            max(now - slot.granted_s, 0.0)
+        )
+        self._update_gauges()
+        line = {key: payload[key] for key in _CHECKPOINT_KEYS}
+        append = job.checkpoint.record_shard_payload
+        job.changed()
+        return CompletionResult(
+            outcome="accepted", checkpoint_append=lambda: append(line)
+        )
+
+    def _completion_failed(
+        self, job: _FleetJob, slot: _ShardSlot, payload: dict
+    ) -> CompletionResult:
+        """A worker reported a shard attempt failed: retry or give up."""
+        slot.attempts += 1
+        error = str(payload.get("error") or "unknown error")
+        if slot.attempts > self.max_retries:
+            slot.state = _FAILED
+            slot.worker_id = None
+            failure = ShardFailure(
+                shard_id=slot.shard.shard_id,
+                attempts=slot.attempts,
+                error=error,
+            )
+            job.failures.append(failure)
+            self.metrics.counter("fleet.shard_failures").inc()
+            logger.error(
+                "fleet shard %s failed permanently after %d attempt(s): %s",
+                slot.shard.shard_id,
+                slot.attempts,
+                error,
+            )
+            append = job.checkpoint.record_failure
+            job.changed()
+            self._update_gauges()
+            return CompletionResult(
+                outcome="failed", checkpoint_append=lambda: append(failure)
+            )
+        slot.state = _PENDING
+        slot.worker_id = None
+        logger.warning(
+            "fleet shard %s attempt %d failed (%s); will re-lease",
+            slot.shard.shard_id,
+            slot.attempts,
+            error,
+        )
+        self._update_gauges()
+        return CompletionResult(outcome="retry")
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _resolve(self, lease_id: str) -> tuple[_FleetJob, _ShardSlot, int]:
+        entry = self._leases.get(lease_id)
+        if entry is None:
+            raise UnknownLease(
+                f"unknown lease {lease_id!r} (bogus id, or its job settled)"
+            )
+        job_id, shard_id, epoch = entry
+        job = self._jobs.get(job_id)
+        if job is None:  # settled concurrently; treat like a closed job
+            raise UnknownLease(f"lease {lease_id!r}: job {job_id} has settled")
+        return job, job.slots[shard_id], epoch
+
+    def _expire_scan(self, now: float | None = None) -> int:
+        """Return expired leases to the pending pool; count them."""
+        now = self.clock() if now is None else now
+        expired = 0
+        for job in self._jobs.values():
+            for slot in job.slots.values():
+                if slot.state == _LEASED and now > slot.deadline_s:
+                    logger.warning(
+                        "lease %s on shard %s (worker %s) expired; "
+                        "shard returns to the pending pool",
+                        slot.lease_id,
+                        slot.shard.shard_id,
+                        slot.worker_id,
+                    )
+                    slot.state = _PENDING
+                    slot.worker_id = None
+                    expired += 1
+        if expired:
+            self.metrics.counter("fleet.leases_expired").inc(expired)
+            self._update_gauges()
+        return expired
+
+    def active_workers(self, now: float | None = None) -> int:
+        """Workers seen within the last two TTL windows."""
+        now = self.clock() if now is None else now
+        horizon = 2.0 * self.ttl_s
+        return sum(
+            1 for seen in self._worker_seen_s.values() if now - seen <= horizon
+        )
+
+    def stats(self) -> dict:
+        """The fleet section of ``/healthz`` and the dashboard stream."""
+        self._expire_scan()
+        pending = leased = completed = failed = 0
+        for job in self._jobs.values():
+            for slot in job.slots.values():
+                if slot.state == _PENDING:
+                    pending += 1
+                elif slot.state == _LEASED:
+                    leased += 1
+                elif slot.state == _COMPLETED:
+                    completed += 1
+                else:
+                    failed += 1
+        self._update_gauges()
+        return {
+            "jobs_open": len(self._jobs),
+            "workers_active": self.active_workers(),
+            "shards_pending": pending,
+            "leases_outstanding": leased,
+            "shards_completed": completed,
+            "shards_failed": failed,
+        }
+
+    def _update_gauges(self) -> None:
+        pending = leased = 0
+        for job in self._jobs.values():
+            for slot in job.slots.values():
+                if slot.state == _PENDING:
+                    pending += 1
+                elif slot.state == _LEASED:
+                    leased += 1
+        self.metrics.gauge("fleet.leases_outstanding").set(leased)
+        self.metrics.gauge("fleet.shards_pending").set(pending)
+        self.metrics.gauge("fleet.workers_active").set(self.active_workers())

@@ -84,5 +84,24 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "service.oldest_job_age_s",
         "service.queue_depth",
         "service.dashboard_snapshots",
+        # fleet (shard leasing over the service API)
+        "fleet.leases_granted",
+        "fleet.leases_expired",
+        "fleet.leases_reassigned",
+        "fleet.leases_outstanding",
+        "fleet.workers_active",
+        "fleet.shards_pending",
+        "fleet.heartbeats",
+        "fleet.heartbeats_rejected",
+        "fleet.completions",
+        "fleet.completions_duplicate",
+        "fleet.completions_rejected",
+        "fleet.shard_failures",
+        "fleet.shard_seconds",
+        "fleet.lease_to_complete_seconds",
+        # fleet worker process
+        "worker.shards_executed",
+        "worker.shards_discarded",
+        "worker.lease_polls",
     }
 )

@@ -263,6 +263,52 @@ class ServiceClient:
             self.fetch_results_text(job_id), source=f"service job {job_id}"
         )
 
+    # -- fleet lease protocol ------------------------------------------
+
+    def lease_shards(self, worker_id: str, max_shards: int = 1) -> dict:
+        """Ask the server for up to ``max_shards`` shard leases.
+
+        Returns the raw lease payload: ``{"leases": [...]}`` with each
+        entry decodable by :meth:`repro.fleet.leases.LeaseGrant.
+        from_payload`, plus ``retry_after_s`` when the pool is empty.
+        """
+        _status, payload = self._request(
+            "POST",
+            "/v1/leases",
+            body=json.dumps({"worker_id": worker_id, "max_shards": max_shards}),
+        )
+        return payload
+
+    def lease_heartbeat(self, lease_id: str, worker_id: str, epoch: int) -> dict:
+        """Renew one lease; raises :class:`ServiceError` 409 when fenced."""
+        _status, payload = self._request(
+            "POST",
+            f"/v1/leases/{lease_id}/heartbeat",
+            body=json.dumps({"worker_id": worker_id, "epoch": epoch}),
+        )
+        return payload
+
+    def lease_complete(
+        self, lease_id: str, worker_id: str, epoch: int, result: dict
+    ) -> dict:
+        """Upload one shard outcome; idempotent, fenced by ``epoch``.
+
+        ``result`` is the wire form from
+        :func:`repro.fleet.leases.outcome_to_payload`.  The response's
+        ``outcome`` is ``accepted``/``duplicate``/``retry``/``failed``;
+        a fenced upload (lease expired, shard reassigned) raises
+        :class:`ServiceError` with status 409 and the worker must
+        discard its local result.
+        """
+        _status, payload = self._request(
+            "POST",
+            f"/v1/leases/{lease_id}/complete",
+            body=json.dumps(
+                {"worker_id": worker_id, "epoch": epoch, "result": result}
+            ),
+        )
+        return payload
+
     def healthz(self) -> dict:
         """The service's ``/healthz`` payload."""
         _status, payload = self._request("GET", "/healthz")

@@ -32,7 +32,12 @@ from pathlib import Path
 from typing import Callable
 
 from repro.characterization.campaign import CampaignSpec
-from repro.characterization.engine import plan_shards, run_engine
+from repro.characterization.engine import (
+    CampaignCheckpoint,
+    plan_shards,
+    run_engine,
+)
+from repro.fleet.leases import LeaseManager
 from repro.obs import (
     MetricsRegistry,
     NullTracer,
@@ -438,12 +443,21 @@ class JobManager:
 class JobSupervisor:
     """Runs queued jobs through the campaign engine, one at a time.
 
-    The engine call itself runs on a worker thread (``asyncio.to_thread``)
-    so the event loop keeps serving requests; ``engine_workers > 1``
-    additionally fans shards out over the engine's process pool.  The
-    ``draining`` callable doubles as the engine's ``stop_check``, so a
-    SIGTERM stops the current job at the next shard boundary with its
-    checkpoint intact.
+    Two backends share the job lifecycle and produce byte-identical
+    results (every shard's records are a pure function of its seed):
+
+    * ``backend="local"`` — the engine call runs on a worker thread
+      (``asyncio.to_thread``) so the event loop keeps serving requests;
+      ``engine_workers > 1`` additionally fans shards out over the
+      engine's process pool.
+    * ``backend="fleet"`` — shards are published to the
+      :class:`~repro.fleet.leases.LeaseManager` and pulled over HTTP by
+      ``repro worker`` processes; the supervisor just watches progress
+      and settles the job when every shard is accounted for.
+
+    The ``draining`` callable doubles as the engine's ``stop_check`` (and
+    the fleet loop's), so a SIGTERM stops the current job at the next
+    shard boundary with its checkpoint intact.
     """
 
     def __init__(
@@ -455,7 +469,14 @@ class JobSupervisor:
         draining: Callable[[], bool] | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | NullTracer | None = None,
+        backend: str = "local",
+        lease_manager: LeaseManager | None = None,
+        checkpoint_lock: asyncio.Lock | None = None,
     ) -> None:
+        if backend not in ("local", "fleet"):
+            raise ValueError(f"backend must be 'local' or 'fleet', got {backend!r}")
+        if backend == "fleet" and lease_manager is None:
+            raise ValueError("backend='fleet' requires a lease_manager")
         self.manager = manager
         self.checkpoints_dir = Path(checkpoints_dir)
         self.checkpoints_dir.mkdir(parents=True, exist_ok=True)
@@ -463,6 +484,14 @@ class JobSupervisor:
         self.shard_size = shard_size
         self.draining = draining if draining is not None else lambda: False
         self.metrics = metrics if metrics is not None else manager.metrics
+        self.backend = backend
+        self.lease_manager = lease_manager
+        #: Shared with the HTTP layer: accepted-completion checkpoint
+        #: appends hold it, and :meth:`_run_job_fleet` takes it before
+        #: closing a job so a close never races an in-flight append.
+        self.checkpoint_lock = (
+            checkpoint_lock if checkpoint_lock is not None else asyncio.Lock()
+        )
         #: The service-wide tracer; each job's engine trace is collected
         #: on a per-job tracer (parented by the job's ``trace_parent``)
         #: and folded into this one when the job settles.
@@ -495,7 +524,14 @@ class JobSupervisor:
         job.set_state(state, **extra)
 
     async def run_job(self, job: Job) -> None:
-        """Execute one job through the engine and settle its state."""
+        """Execute one job through the selected backend and settle it."""
+        if self.backend == "fleet":
+            await self._run_job_fleet(job)
+            return
+        await self._run_job_local(job)
+
+    async def _run_job_local(self, job: Job) -> None:
+        """Execute one job through the in-process engine."""
         loop = asyncio.get_running_loop()
         self._enter_state(job, RUNNING)
         await asyncio.to_thread(self.manager.persist, job)
@@ -582,6 +618,164 @@ class JobSupervisor:
         self.metrics.counter("service.jobs_completed").inc()
         logger.info(
             "job %s done: %d records in %.2fs (%d shards resumed)",
+            job.job_id,
+            job.records,
+            elapsed_s,
+            result.shards_resumed,
+        )
+
+    async def _run_job_fleet(self, job: Job) -> None:
+        """Publish one job's shards to the fleet and wait for completion.
+
+        The supervisor never executes a shard itself: it opens the job in
+        the :class:`~repro.fleet.leases.LeaseManager`, translates lease
+        activity into the same progress events the local backend emits,
+        and settles the job when every shard is completed or permanently
+        failed.  A drain abandons the job ``interrupted`` with its
+        checkpoint intact — outstanding worker uploads are fenced off and
+        a restart resumes the remaining shards.
+        """
+        assert self.lease_manager is not None  # guaranteed by __init__
+        self._enter_state(job, RUNNING, backend="fleet")
+        await asyncio.to_thread(self.manager.persist, job)
+
+        shards = plan_shards(job.spec, self.shard_size)
+        ckpt = CampaignCheckpoint(self.checkpoint_path(job), job.spec, self.shard_size)
+        resumed: dict[str, dict] = {}
+        if ckpt.path.exists():
+            try:
+                resumed = await asyncio.to_thread(ckpt.load)
+            except ValueError as error:
+                logger.warning(
+                    "job %s checkpoint unusable (%s); starting fresh",
+                    job.job_id,
+                    error,
+                )
+                await asyncio.to_thread(ckpt.start)
+        else:
+            await asyncio.to_thread(ckpt.start)
+
+        # The fleet trace: one detached span on the job tracer covers the
+        # whole fan-out; its context header rides in every lease so worker
+        # shard spans parent under it across the wire.
+        job_tracer: Tracer | NullTracer = NullTracer()
+        fleet_span = None
+        trace_header = None
+        trace_shift_s = 0.0
+        if self.tracer.enabled:
+            job_tracer = Tracer(context=TraceContext.from_header(job.trace_parent))
+            trace_shift_s = self.tracer.now_s()
+            fleet_span = job_tracer.start_span(
+                "fleet.job", job=job.job_id, shards=len(shards)
+            )
+            context = fleet_span.context()
+            trace_header = context.to_header() if context is not None else None
+
+        changed = asyncio.Event()
+        started_s = monotonic_s()
+        self.lease_manager.open_job(
+            job.job_id,
+            job.spec.to_json(),
+            shards,
+            resumed,
+            ckpt,
+            units_total=sum(len(shard.site_indices) for shard in shards),
+            observe=self.tracer.enabled,
+            trace_parent=trace_header,
+            trace_now=job_tracer.now_s if self.tracer.enabled else None,
+            on_change=changed.set,
+        )
+
+        interrupted = False
+        last_done = -1
+        while True:
+            status = self.lease_manager.job_status(job.job_id)
+            if status.units_done != last_done:
+                last_done = status.units_done
+                elapsed_s = monotonic_s() - started_s
+                eta_s = None
+                if 0 < status.units_done < status.units_total:
+                    eta_s = round(
+                        elapsed_s
+                        / status.units_done
+                        * (status.units_total - status.units_done),
+                        3,
+                    )
+                job.publish(
+                    {
+                        "event": "progress",
+                        "done": status.units_done,
+                        "total": status.units_total,
+                        "flips": status.flips,
+                        "elapsed_s": round(elapsed_s, 3),
+                        "eta_s": eta_s,
+                    }
+                )
+            if status.settled:
+                break
+            if self.draining():
+                interrupted = True
+                break
+            changed.clear()
+            try:
+                await asyncio.wait_for(changed.wait(), timeout=0.25)
+            except asyncio.TimeoutError:
+                pass
+
+        async with self.checkpoint_lock:
+            result = self.lease_manager.close_job(job.job_id)
+        elapsed_s = monotonic_s() - started_s
+        if self.tracer.enabled and fleet_span is not None:
+            for spans, metrics_snapshot, granted_s in result.trace_batches:
+                job_tracer.ingest(spans, parent=fleet_span, shift_s=granted_s)
+                if metrics_snapshot:
+                    self.metrics.merge_snapshot(metrics_snapshot)
+            fleet_span.set(
+                shards_completed=result.shards_completed,
+                shards_resumed=result.shards_resumed,
+            )
+            fleet_span.__exit__(None, None, None)
+            self.tracer.ingest(job_tracer.drain(), shift_s=trace_shift_s)
+
+        if interrupted:
+            self._enter_state(
+                job, INTERRUPTED, shards_run=result.shards_completed
+            )
+            await asyncio.to_thread(self.manager.persist, job)
+            self.metrics.counter("service.jobs_interrupted").inc()
+            logger.info(
+                "fleet job %s interrupted by drain after %d shard(s); "
+                "checkpoint kept",
+                job.job_id,
+                result.shards_completed,
+            )
+            return
+        self.metrics.histogram("service.job_seconds").record(elapsed_s)
+        if result.failures:
+            first = result.failures[0]
+            await self._fail(
+                job,
+                f"{len(result.failures)} shard(s) failed permanently; "
+                f"first: {first.shard_id}: {first.error}",
+            )
+            return
+        await asyncio.to_thread(self.manager.store.put, job.spec, result.records)
+        self.checkpoint_path(job).unlink(missing_ok=True)
+        job.records = len(result.records)
+        self._record_state_duration(job)
+        job.state = DONE
+        job.publish(
+            {
+                "event": "done",
+                "records": job.records,
+                "elapsed_s": round(elapsed_s, 3),
+                "shards_resumed": result.shards_resumed,
+            }
+        )
+        await asyncio.to_thread(self.manager.persist, job)
+        self.metrics.counter("service.jobs_completed").inc()
+        logger.info(
+            "fleet job %s done: %d records in %.2fs (%d shards resumed)",
             job.job_id,
             job.records,
             elapsed_s,

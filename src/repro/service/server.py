@@ -2,10 +2,14 @@
 
 The service turns the PR 3 campaign engine into a multi-tenant job
 system, the way litex-rowhammer-tester exposes its payload executor
-behind a remote client — many clients submit sweeps against one managed
-worker fleet, and cached results are served back instantly.
+behind a remote client.  Submitted campaigns run on one of two
+backends, selected by ``ServiceConfig.backend``: ``local`` drives the
+engine's in-process pool on the server box, while ``fleet`` publishes
+each job's shards to the :mod:`repro.fleet` lease manager and
+``repro worker`` processes pull them over the ``/v1/leases`` API —
+same spec, byte-identical results either way.
 
-Routes (all JSON; see docs/SERVICE.md for the full reference)::
+Routes (all JSON; see docs/SERVICE.md and docs/FLEET.md)::
 
     POST /v1/campaigns                submit a CampaignSpec (validated
                                       against the experiment registry)
@@ -14,6 +18,12 @@ Routes (all JSON; see docs/SERVICE.md for the full reference)::
     GET  /v1/campaigns/{id}/events    NDJSON progress stream (chunked)
     GET  /v1/campaigns/{id}/results   schema-v2 results (byte-identical
                                       to a local `repro campaign` run)
+    POST /v1/leases                   lease pending shards to a worker
+                                      (fleet backend; empty + Retry-After
+                                      hint when no work is available)
+    POST /v1/leases/{id}/heartbeat    renew a lease before its TTL
+    POST /v1/leases/{id}/complete     upload one shard outcome
+                                      (fenced by epoch; idempotent)
     GET  /v1/dashboard                live NDJSON fleet snapshots
                                       (``?interval=<s>&count=<n>``)
     GET  /metrics                     Prometheus text exposition
@@ -52,6 +62,7 @@ from urllib.parse import parse_qs
 
 from repro import __version__
 from repro.characterization.campaign import CampaignSpec
+from repro.fleet.leases import LeaseError, LeaseManager
 from repro.obs import (
     TRACE_HEADER,
     MetricsRegistry,
@@ -134,6 +145,9 @@ ROUTES: tuple[Route, ...] = (
     Route("GET", "/v1/campaigns/{job_id}", "status"),
     Route("GET", "/v1/campaigns/{job_id}/events", "events"),
     Route("GET", "/v1/campaigns/{job_id}/results", "results"),
+    Route("POST", "/v1/leases", "lease"),
+    Route("POST", "/v1/leases/{lease_id}/heartbeat", "heartbeat"),
+    Route("POST", "/v1/leases/{lease_id}/complete", "complete"),
 )
 
 
@@ -149,6 +163,12 @@ class ServiceConfig:
     queue_limit: int = 16
     rate_per_s: float = 50.0
     rate_burst: float = 100.0
+    #: Where submitted jobs execute: ``"local"`` runs the engine in this
+    #: process; ``"fleet"`` leases shards to ``repro worker`` processes.
+    backend: str = "local"
+    #: Fleet lease TTL: a worker must heartbeat within this window or its
+    #: shard is reassigned to another worker.
+    lease_ttl_s: float = 10.0
     #: When set, the actually-bound port is written here once listening
     #: (useful with ``port=0`` for tests and benchmarks).
     port_file: str | Path | None = None
@@ -254,6 +274,13 @@ class CampaignService:
             rate_burst=config.rate_burst,
             metrics=self.metrics,
         )
+        self.lease_manager = LeaseManager(
+            ttl_s=config.lease_ttl_s, metrics=self.metrics
+        )
+        #: Serializes accepted-completion checkpoint appends against the
+        #: supervisor's close (close must never race an in-flight append,
+        #: or the post-settle unlink could leave a headerless stray file).
+        self._checkpoint_lock = asyncio.Lock()
         self.supervisor = JobSupervisor(
             self.manager,
             self.data_dir / "checkpoints",
@@ -262,6 +289,9 @@ class CampaignService:
             draining=lambda: self._draining,
             metrics=self.metrics,
             tracer=self.tracer,
+            backend=config.backend,
+            lease_manager=self.lease_manager,
+            checkpoint_lock=self._checkpoint_lock,
         )
         self._draining = False
         self._server: asyncio.base_events.Server | None = None
@@ -421,9 +451,20 @@ class CampaignService:
             )
             return "unknown", True
         if matched.name == "healthz":
+            # Fleet stats come off the loop thread (the LeaseManager is
+            # event-loop-only); the rest of the payload hops to a thread.
+            fleet = self.lease_manager.stats()
             payload = await asyncio.to_thread(self._health_payload)
+            payload["backend"] = self.config.backend
+            payload["fleet"] = fleet
             await self._send_json(writer, 200, payload)
             return "healthz", True
+        if matched.name == "lease":
+            return "lease", await self._post_lease(request, writer)
+        if matched.name in ("heartbeat", "complete"):
+            return matched.name, await self._post_lease_op(
+                matched.name, params["lease_id"], request, writer
+            )
         if matched.name == "metrics":
             self.manager.update_state_gauges()
             fmt = parse_qs(request.query).get("format", ["prometheus"])[0]
@@ -541,6 +582,96 @@ class CampaignService:
         await self._send_json(writer, 202 if outcome == "new" else 200, payload)
         return True
 
+    def _json_body(self, request: HttpRequest) -> dict:
+        """Parse a JSON object body; raises ``ValueError`` on garbage."""
+        if not request.body:
+            return {}
+        payload = json.loads(request.body.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    async def _post_lease(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """``POST /v1/leases``: hand pending shards to a pull worker.
+
+        An empty grant list is a normal answer (no fleet job open, every
+        shard leased, or the server is draining); it carries a
+        ``retry_after_s`` hint so workers poll politely instead of
+        hammering the API.
+        """
+        try:
+            payload = self._json_body(request)
+            worker_id = str(payload.get("worker_id") or request.client_id)
+            max_shards = int(payload.get("max_shards", 1))
+        except (ValueError, UnicodeDecodeError) as error:
+            await self._send_json(
+                writer, 400, {"error": f"invalid lease request: {error}"}
+            )
+            return True
+        if self._draining:
+            await self._send_json(
+                writer, 200, {"leases": [], "retry_after_s": 1.0}
+            )
+            return True
+        try:
+            grants = self.lease_manager.acquire(worker_id, max_shards)
+        except LeaseError as error:
+            await self._send_json(writer, error.status, {"error": str(error)})
+            return True
+        body: dict = {"leases": [grant.to_payload() for grant in grants]}
+        if not grants:
+            body["retry_after_s"] = 0.5
+        await self._send_json(writer, 200, body)
+        return True
+
+    async def _post_lease_op(
+        self,
+        op: str,
+        lease_id: str,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """``POST /v1/leases/{id}/heartbeat|complete``: fenced lease ops.
+
+        Both present the worker id and the fencing epoch the lease was
+        granted under; a stale pair answers ``409`` and the worker must
+        discard its result.  Accepted completions append to the job's
+        engine checkpoint off the loop, serialized by the checkpoint
+        lock so the supervisor's close never races an in-flight append.
+        """
+        try:
+            payload = self._json_body(request)
+            worker_id = str(payload["worker_id"])
+            epoch = int(payload["epoch"])
+        except (ValueError, KeyError, UnicodeDecodeError) as error:
+            await self._send_json(
+                writer,
+                400,
+                {"error": f"invalid {op} request: {error!r}"},
+            )
+            return True
+        try:
+            if op == "heartbeat":
+                ttl_s = self.lease_manager.heartbeat(lease_id, worker_id, epoch)
+                await self._send_json(writer, 200, {"ttl_s": ttl_s})
+                return True
+            result_payload = payload.get("result")
+            if not isinstance(result_payload, dict):
+                raise LeaseError("completion is missing its 'result' object")
+            async with self._checkpoint_lock:
+                result = self.lease_manager.complete(
+                    lease_id, worker_id, epoch, result_payload
+                )
+                if result.checkpoint_append is not None:
+                    await asyncio.to_thread(result.checkpoint_append)
+        except LeaseError as error:
+            await self._send_json(writer, error.status, {"error": str(error)})
+            return True
+        await self._send_json(writer, 200, {"outcome": result.outcome})
+        return True
+
     async def _get_results(
         self, writer: asyncio.StreamWriter, job
     ) -> bool:
@@ -594,15 +725,21 @@ class CampaignService:
         writer.write(b"0\r\n\r\n")
         await writer.drain()
 
-    def _dashboard_snapshot(self) -> dict:
-        """One NDJSON line of the live dashboard stream (worker thread)."""
+    def _dashboard_snapshot(self, fleet: dict) -> dict:
+        """One NDJSON line of the live dashboard stream (worker thread).
+
+        ``fleet`` is the lease manager's stats, sampled on the loop
+        thread by the caller (the manager is event-loop-only).
+        """
         self.manager.update_state_gauges()
         return {
             "uptime_s": round(monotonic_s() - self._started_s, 3),
             "draining": self._draining,
+            "backend": self.config.backend,
             "jobs": job_states(self.manager.jobs.values()),
             "queue_depth": self.manager.queued_count(),
             "results_cached": len(self.store.keys()),
+            "fleet": fleet,
         }
 
     async def _stream_dashboard(
@@ -634,7 +771,8 @@ class CampaignService:
         writer.write(head.encode("latin-1"))
         sent = 0
         while True:
-            snapshot = await asyncio.to_thread(self._dashboard_snapshot)
+            fleet = self.lease_manager.stats()
+            snapshot = await asyncio.to_thread(self._dashboard_snapshot, fleet)
             data = (json.dumps(snapshot) + "\n").encode("utf-8")
             writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
             await writer.drain()

@@ -35,6 +35,21 @@ SERVICE_STORE_READ = "service.store.read"
 """Entry of ``ResultStore.read_text`` — lets tests inject IO errors or
 delays on the cached-result read path."""
 
+FLEET_WORKER_EXECUTE = "fleet.worker.execute"
+"""Start of one leased shard's execution in
+:class:`repro.fleet.worker.FleetWorker` — a crash here simulates a
+worker killed mid-shard (before any result exists), so the lease must
+expire and the shard be reassigned."""
+
+FLEET_WORKER_COMPLETE = "fleet.worker.complete"
+"""Just before the worker uploads a finished shard — a crash here
+simulates a worker dying *after* the work but *before* the completion
+call, the window where reassignment must not double-count."""
+
+FLEET_WORKER_HEARTBEAT = "fleet.worker.heartbeat"
+"""The worker's lease-heartbeat send — an ``io-error`` here simulates
+dropped heartbeats, which must let the lease expire on the server."""
+
 FAULT_POINTS: frozenset[str] = frozenset(
     {
         ENGINE_SHARD_START,
@@ -42,6 +57,9 @@ FAULT_POINTS: frozenset[str] = frozenset(
         SERVICE_JOB_PERSIST,
         SERVICE_STORE_PUT,
         SERVICE_STORE_READ,
+        FLEET_WORKER_EXECUTE,
+        FLEET_WORKER_COMPLETE,
+        FLEET_WORKER_HEARTBEAT,
     }
 )
 """All fault-point names the production code declares."""

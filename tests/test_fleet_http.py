@@ -1,0 +1,203 @@
+"""Fleet backend end-to-end over real HTTP: workers, crashes, fencing.
+
+These tests run the full wire stack — a ``repro serve --backend fleet``
+subprocess plus ``repro worker`` subprocesses — and hold the fleet to
+the same oracle as everything else in the repo: the merged results must
+be byte-identical to a sequential in-process ``run_campaign``, even when
+a worker is SIGKILLed mid-job or a zombie races a reassigned lease.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.characterization.campaign import dumps_results, run_campaign
+from repro.characterization.engine import execute_shard
+from repro.fleet.leases import outcome_to_payload, shard_from_payload
+from repro.service.client import ServiceError
+from tests.test_service_http import REPO_SRC, ServerProcess, small_spec
+
+
+class WorkerProcess:
+    """A ``repro worker`` subprocess attached to a fleet server."""
+
+    def __init__(self, port, worker_id, concurrency=1, max_idle_s=None):
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = str(REPO_SRC)
+        args = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--server",
+            f"http://127.0.0.1:{port}",
+            "--worker-id",
+            worker_id,
+            "--concurrency",
+            str(concurrency),
+            "--poll-s",
+            "0.05",
+        ]
+        if max_idle_s is not None:
+            args += ["--max-idle-s", str(max_idle_s)]
+        self.process = subprocess.Popen(
+            args,
+            env=environment,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+
+    def wait(self, timeout_s=90.0):
+        return self.process.wait(timeout=timeout_s)
+
+    def kill9(self):
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10)
+
+
+def run_shard_payload(grant: dict) -> dict:
+    """What an honest worker would upload for a lease grant."""
+    outcome = execute_shard(
+        grant["spec"],
+        shard_from_payload(grant["shard"]),
+        attempt=grant["attempt"],
+    )
+    return outcome_to_payload(outcome)
+
+
+def test_fleet_job_with_two_workers_matches_local_run(tmp_path):
+    server = ServerProcess(
+        tmp_path, extra_args=("--backend", "fleet", "--lease-ttl-s", "5.0")
+    )
+    workers = []
+    try:
+        client = server.client(client_id="fleet-e2e")
+        health = client.healthz()
+        assert health["backend"] == "fleet"
+        assert "fleet" in health
+        spec = small_spec(name="fleet-http", seed=31)
+        submitted = client.submit(spec)
+        workers = [
+            WorkerProcess(server.port, f"w{i}", max_idle_s=5.0)
+            for i in (1, 2)
+        ]
+        final = client.wait(submitted.job_id, timeout_s=120)
+        assert final.state == "done"
+        text = client.fetch_results_text(final.job_id)
+        assert text == dumps_results(spec, run_campaign(spec))
+        for worker in workers:
+            assert worker.wait() == 0  # idled out cleanly, no errors
+    finally:
+        for worker in workers:
+            worker.kill9()
+        server.kill()
+
+
+def test_worker_sigkilled_mid_job_is_replaced_without_corruption(tmp_path):
+    server = ServerProcess(
+        tmp_path, extra_args=("--backend", "fleet", "--lease-ttl-s", "2.0")
+    )
+    doomed = survivor = None
+    try:
+        client = server.client(client_id="fleet-crash")
+        spec = small_spec(name="fleet-crash", seed=33, sites_per_module=3)
+        submitted = client.submit(spec)
+        doomed = WorkerProcess(server.port, "doomed")
+        # Wait until the worker actually holds a lease, then SIGKILL it
+        # mid-shard — the worst case: no goodbye, heartbeats just stop.
+        deadline = time.monotonic() + 60.0
+        while client.healthz()["fleet"]["leases_outstanding"] == 0:
+            assert time.monotonic() < deadline, "worker never leased a shard"
+            time.sleep(0.05)
+        doomed.kill9()
+        survivor = WorkerProcess(server.port, "survivor", max_idle_s=8.0)
+        final = client.wait(submitted.job_id, timeout_s=180)
+        assert final.state == "done"
+        text = client.fetch_results_text(final.job_id)
+        assert text == dumps_results(spec, run_campaign(spec))
+        assert survivor.wait() == 0
+    finally:
+        for worker in (doomed, survivor):
+            if worker is not None:
+                worker.kill9()
+        server.kill()
+
+
+def test_lease_protocol_reassigns_expired_lease_and_fences_zombie(tmp_path):
+    """Drive the wire protocol by hand: expiry, epoch bump, late upload."""
+    server = ServerProcess(
+        tmp_path, extra_args=("--backend", "fleet", "--lease-ttl-s", "1.0")
+    )
+    try:
+        client = server.client(client_id="fleet-proto")
+        spec = small_spec(name="fleet-proto", seed=32)
+        submitted = client.submit(spec)
+        # submit returns before the supervisor opens the job for leasing.
+        deadline = time.monotonic() + 30.0
+        while True:
+            payload = client.lease_shards("zombie", max_shards=1)
+            if payload["leases"]:
+                break
+            assert time.monotonic() < deadline, "job never became leasable"
+            time.sleep(0.05)
+        grant = payload["leases"][0]
+        assert (
+            client.lease_heartbeat(grant["lease_id"], "zombie", grant["epoch"])[
+                "ttl_s"
+            ]
+            > 0
+        )
+        zombie_upload = run_shard_payload(grant)
+        time.sleep(1.3)  # heartbeats stop; the lease expires
+
+        with pytest.raises(ServiceError) as expired:
+            client.lease_heartbeat(grant["lease_id"], "zombie", grant["epoch"])
+        assert expired.value.status == 409
+        with pytest.raises(ServiceError) as unknown:
+            client.lease_heartbeat("L9999", "zombie", 0)
+        assert unknown.value.status == 404
+
+        # The survivor re-leases the same shard under a bumped epoch.
+        regrant = client.lease_shards("survivor", max_shards=1)["leases"][0]
+        assert regrant["shard"]["shard_id"] == grant["shard"]["shard_id"]
+        assert regrant["epoch"] == grant["epoch"] + 1
+
+        # The zombie's late upload is fenced off; the survivor's lands.
+        with pytest.raises(ServiceError) as fenced:
+            client.lease_complete(
+                grant["lease_id"], "zombie", grant["epoch"], zombie_upload
+            )
+        assert fenced.value.status == 409
+        response = client.lease_complete(
+            regrant["lease_id"], "survivor", regrant["epoch"],
+            run_shard_payload(regrant),
+        )
+        assert response["outcome"] == "accepted"
+
+        # Drain the rest of the job by hand and check the merged output.
+        while True:
+            leases = client.lease_shards("survivor", max_shards=4)["leases"]
+            if not leases:
+                break
+            for entry in leases:
+                client.lease_complete(
+                    entry["lease_id"], "survivor", entry["epoch"],
+                    run_shard_payload(entry),
+                )
+        final = client.wait(submitted.job_id, timeout_s=60)
+        assert final.state == "done"
+        text = client.fetch_results_text(final.job_id)
+        assert text == dumps_results(spec, run_campaign(spec))
+
+        counters = {
+            entry["name"]: entry["value"]
+            for entry in client.metrics()["counters"]
+        }
+        assert counters.get("fleet.leases_reassigned", 0) >= 1
+        assert counters.get("fleet.completions_rejected", 0) >= 1
+    finally:
+        server.kill()
