@@ -2,11 +2,19 @@
 
 Prints the per-die mean/min/max ACmin across the sweep and the log-log
 trend-line slope beyond 7.8 us (paper: -1.020 / -1.013 / -1.013).
+
+The aggregation runs through the warehouse ``sweep`` analytics report:
+records are ingested into an in-memory :class:`repro.warehouse.Warehouse`
+and the per-(die, temperature, sweep-point) series comes back from
+``analytics("sweep")`` — the same fold the service's
+``GET /v1/analytics/sweep`` serves, exercised here at figure scale.
 """
 
 from repro import units
-from repro.characterization import CharacterizationRunner, aggregate_by_die
+from repro.characterization import CharacterizationRunner
+from repro.characterization.campaign import CampaignSpec
 from repro.characterization.results import loglog_slope
+from repro.warehouse import Warehouse
 
 from conftest import BENCH_MODULES, BENCH_SITES, BENCH_SWEEP, emit, fmt, run_once
 
@@ -18,23 +26,36 @@ def _campaign():
 
 def test_fig06_acmin_sweep(benchmark):
     records = run_once(benchmark, _campaign)
+    spec = CampaignSpec(
+        name="fig06",
+        module_ids=tuple(BENCH_MODULES),
+        experiment="acmin",
+        t_aggon_values=tuple(BENCH_SWEEP),
+        temperature_c=50.0,
+        sites_per_module=BENCH_SITES,
+    )
+    with Warehouse(":memory:") as warehouse:
+        warehouse.ingest_records(spec, records, key="fig06")
+        series = warehouse.analytics("sweep", experiment="acmin")["dies"]
+
     rows = []
     slope_points: dict[str, list[tuple[float, float]]] = {}
-    for t_aggon in BENCH_SWEEP:
-        sub = [r for r in records if r.t_aggon == t_aggon]
-        for die, aggregate in aggregate_by_die(sub, lambda r: r.acmin).items():
+    for index, t_aggon in enumerate(BENCH_SWEEP):
+        for die in sorted(series):
+            point = series[die]["50.0"][index]
+            assert point["sweep"] == t_aggon
             rows.append(
                 [
                     units.format_time(t_aggon),
                     die,
-                    fmt(aggregate.mean, 4),
-                    fmt(aggregate.minimum),
-                    fmt(aggregate.maximum),
-                    f"{aggregate.observed}/{aggregate.count}",
+                    fmt(point["mean"], 4),
+                    fmt(point["minimum"]),
+                    fmt(point["maximum"]),
+                    f"{point['observed']}/{point['count']}",
                 ]
             )
-            if aggregate.mean is not None and t_aggon >= units.TREFI:
-                slope_points.setdefault(die, []).append((t_aggon, aggregate.mean))
+            if point["mean"] is not None and t_aggon >= units.TREFI:
+                slope_points.setdefault(die, []).append((t_aggon, point["mean"]))
     emit(
         "Fig. 6: ACmin vs tAggON (single-sided, 50C)",
         ["tAggON", "die", "mean", "min", "max", "rows w/ flip"],

@@ -3,10 +3,17 @@
 ACmin at 80 degC normalized to 50 degC (< 1 everywhere in the press
 regime) and the vulnerable-row fraction at 80 degC (rising toward 100 %,
 including Mfr. H 4Gb A-die, which shows no bitflips at all at 50 degC).
+
+Both temperature campaigns land in one in-memory warehouse and the
+comparison reads the ``sweep`` analytics report, whose per-die series
+are keyed by temperature — the 50C-vs-80C view is two series of the
+same report, exactly how ``GET /v1/analytics/sweep`` serves it.
 """
 
 from repro import units
-from repro.characterization import CharacterizationRunner, aggregate_by_die
+from repro.characterization import CharacterizationRunner
+from repro.characterization.campaign import CampaignSpec
+from repro.warehouse import Warehouse
 
 from conftest import BENCH_SITES, emit, fmt, run_once
 
@@ -21,20 +28,33 @@ def _campaign():
     return cool, hot
 
 
+def _spec(temperature_c):
+    return CampaignSpec(
+        name=f"fig13-{temperature_c:g}c",
+        module_ids=tuple(MODULES),
+        experiment="acmin",
+        t_aggon_values=POINTS,
+        temperature_c=temperature_c,
+        sites_per_module=BENCH_SITES,
+    )
+
+
 def test_fig13_14_temperature(benchmark):
     cool, hot = run_once(benchmark, _campaign)
+    with Warehouse(":memory:") as warehouse:
+        warehouse.ingest_records(_spec(50.0), cool, key="fig13-cool")
+        warehouse.ingest_records(_spec(80.0), hot, key="fig13-hot")
+        series = warehouse.analytics("sweep", experiment="acmin")["dies"]
+
     rows = []
     ratios = []
-    for t_aggon in POINTS:
-        cool_by_die = aggregate_by_die(
-            [r for r in cool if r.t_aggon == t_aggon], lambda r: r.acmin
-        )
-        hot_by_die = aggregate_by_die(
-            [r for r in hot if r.t_aggon == t_aggon], lambda r: r.acmin
-        )
-        for die in sorted(cool_by_die):
-            cool_mean = cool_by_die[die].mean
-            hot_mean = hot_by_die[die].mean
+    for index, t_aggon in enumerate(POINTS):
+        for die in sorted(series):
+            cool_point = series[die]["50.0"][index]
+            hot_point = series[die]["80.0"][index]
+            assert cool_point["sweep"] == hot_point["sweep"] == t_aggon
+            cool_mean = cool_point["mean"]
+            hot_mean = hot_point["mean"]
             ratio = hot_mean / cool_mean if cool_mean and hot_mean else None
             if ratio is not None and t_aggon >= units.TREFI:
                 ratios.append(ratio)
@@ -45,8 +65,8 @@ def test_fig13_14_temperature(benchmark):
                     fmt(cool_mean, 4),
                     fmt(hot_mean, 4),
                     fmt(ratio, 2),
-                    f"{cool_by_die[die].hit_fraction:.2f}",
-                    f"{hot_by_die[die].hit_fraction:.2f}",
+                    f"{cool_point['hit_fraction']:.2f}",
+                    f"{hot_point['hit_fraction']:.2f}",
                 ]
             )
     emit(
@@ -56,5 +76,5 @@ def test_fig13_14_temperature(benchmark):
     )
     assert ratios and all(r < 1.0 for r in ratios)  # Obsv. 9
     # Obsv. 10: H-4Gb-A shows bitflips only at 80C (in the press regime).
-    h4_cool = [r for r in cool if r.die_key == "H-4Gb-A" and r.t_aggon == 6 * units.MS]
-    assert all(r.acmin is None for r in h4_cool)
+    h4_press = series["H-4Gb-A"]["50.0"][POINTS.index(6 * units.MS)]
+    assert h4_press["observed"] == 0

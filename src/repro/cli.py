@@ -315,6 +315,128 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warehouse_db_path(args: argparse.Namespace) -> Path:
+    """Resolve the warehouse file from ``--db`` / ``--data-dir``."""
+    if args.db is not None:
+        return Path(args.db)
+    if args.data_dir is not None:
+        return Path(args.data_dir) / "warehouse.sqlite3"
+    raise SystemExit("one of --db or --data-dir is required")
+
+
+def _cmd_warehouse(args: argparse.Namespace) -> int:
+    from repro.warehouse import Warehouse, WarehouseError
+
+    db_path = _warehouse_db_path(args)
+    try:
+        warehouse = Warehouse(db_path)
+    except WarehouseError as error:
+        if args.action != "rebuild":
+            logger.error("%s", error)
+            return 2
+        # A schema-version mismatch on rebuild: the file is derived
+        # state, so drop it and start over.
+        Path(db_path).unlink(missing_ok=True)
+        warehouse = Warehouse(db_path)
+    try:
+        if args.action == "rebuild":
+            results_dir = (
+                Path(args.results_dir)
+                if args.results_dir is not None
+                else Path(args.data_dir) / "results"
+                if args.data_dir is not None
+                else None
+            )
+            if results_dir is None:
+                logger.error("rebuild needs --data-dir or --results-dir")
+                return 2
+            report = warehouse.rebuild_from_store(results_dir)
+            print(
+                f"rebuilt {db_path}: {report['records']} record(s) from "
+                f"{report['sources']} source(s) in {results_dir}"
+            )
+            return 0
+        if args.action == "ingest":
+            if args.file is None:
+                logger.error("ingest needs a results/checkpoint FILE")
+                return 2
+            path = Path(args.file)
+            key = args.key if args.key is not None else path.stem
+            try:
+                if args.checkpoint:
+                    count = warehouse.ingest_checkpoint_file(
+                        path, key=key, finalize=args.finalize
+                    )
+                else:
+                    count = warehouse.ingest_results_text(
+                        path.read_text(), key=key
+                    )
+            except (OSError, ValueError, WarehouseError) as error:
+                logger.error("ingest of %s failed: %s", path, error)
+                return 1
+            print(f"ingested {count} record(s) from {path} as {key!r}")
+            return 0
+        if args.action == "verify":
+            report = warehouse.verify()
+            print(json.dumps(report, indent=1))
+            return 0 if report["ok"] else 1
+        # stats
+        print(json.dumps(warehouse.stats(), indent=1))
+        return 0
+    finally:
+        warehouse.close()
+
+
+def _cmd_analytics(args: argparse.Namespace) -> int:
+    from repro.warehouse import REPORTS
+
+    if args.report not in REPORTS:
+        logger.error(
+            "unknown report %r; known: %s", args.report, sorted(REPORTS)
+        )
+        return 2
+    if args.server is not None:
+        from repro.service import ServiceClient, ServiceError
+
+        client = ServiceClient(args.server, client_id=args.client_id)
+        try:
+            payload = client.analytics(
+                args.report,
+                experiment=args.experiment,
+                module_id=args.module,
+                die_key=args.die,
+            )
+        except ServiceError as error:
+            logger.error("analytics request failed: %s", error)
+            return 1
+    else:
+        from repro.warehouse import Warehouse, WarehouseError
+
+        try:
+            warehouse = Warehouse(_warehouse_db_path(args))
+        except WarehouseError as error:
+            logger.error("%s", error)
+            return 2
+        try:
+            payload = warehouse.analytics(
+                args.report,
+                experiment=args.experiment,
+                module_id=args.module,
+                die_key=args.die,
+            )
+        finally:
+            warehouse.close()
+    text = json.dumps(payload, indent=1)
+    if args.output is not None:
+        from repro.obs import atomic_write_text
+
+        atomic_write_text(Path(args.output), text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     from repro.bender import compile_program, disassemble
     from repro.bender.builder import (
@@ -761,6 +883,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the job's progress events while waiting",
     )
     submit.set_defaults(handler=_cmd_submit)
+
+    warehouse_cmd = commands.add_parser(
+        "warehouse",
+        help="maintain the columnar result warehouse (derived SQLite index)",
+        description=(
+            "The warehouse indexes schema-v2 results for aggregate "
+            "queries (see docs/WAREHOUSE.md).  It is derived state: "
+            "'rebuild' drops everything and re-ingests the JSONL "
+            "results store, converging after any crash or version "
+            "bump; 'verify' reports torn ingests; 'ingest' backfills "
+            "one results file or streams an engine checkpoint."
+        ),
+    )
+    warehouse_cmd.add_argument(
+        "action",
+        choices=("rebuild", "ingest", "verify", "stats"),
+        help="maintenance action",
+    )
+    warehouse_cmd.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="results JSON (or checkpoint JSONL with --checkpoint) to ingest",
+    )
+    warehouse_cmd.add_argument(
+        "--db", default=None, help="warehouse file (default: DATA_DIR/warehouse.sqlite3)"
+    )
+    warehouse_cmd.add_argument(
+        "--data-dir", default=None, help="service data directory"
+    )
+    warehouse_cmd.add_argument(
+        "--results-dir",
+        default=None,
+        help="results store to rebuild from (default: DATA_DIR/results)",
+    )
+    warehouse_cmd.add_argument(
+        "--key", default=None, help="source key for ingest (default: file stem)"
+    )
+    warehouse_cmd.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="FILE is an engine checkpoint JSONL (streams shards exactly-once)",
+    )
+    warehouse_cmd.add_argument(
+        "--finalize",
+        action="store_true",
+        help="mark the source complete after a checkpoint ingest",
+    )
+    warehouse_cmd.set_defaults(handler=_cmd_warehouse)
+
+    analytics_cmd = commands.add_parser(
+        "analytics",
+        help="query warehouse aggregates (acmin/temperature/ber/sweep/modules)",
+        description=(
+            "Run one analytics report against a local warehouse file "
+            "(--db/--data-dir) or a running service (--server).  "
+            "Reports: acmin (percentiles per die revision), temperature "
+            "(per-die deltas), ber (BER curves), sweep (per-die series "
+            "over an experiment's sweep axis), modules (per-module "
+            "summaries)."
+        ),
+    )
+    analytics_cmd.add_argument(
+        "report", help="report name: acmin, temperature, ber, sweep, or modules"
+    )
+    analytics_cmd.add_argument("--db", default=None, help="warehouse file")
+    analytics_cmd.add_argument(
+        "--data-dir", default=None, help="service data directory"
+    )
+    analytics_cmd.add_argument(
+        "--server", default=None, help="service URL (query over HTTP instead)"
+    )
+    analytics_cmd.add_argument(
+        "--client-id", default=None, help="rate-limiting identity for --server"
+    )
+    analytics_cmd.add_argument(
+        "--experiment", default=None, help="narrow to one experiment"
+    )
+    analytics_cmd.add_argument(
+        "--module", default=None, help="narrow to one module id"
+    )
+    analytics_cmd.add_argument(
+        "--die", default=None, help="narrow to one die revision key"
+    )
+    analytics_cmd.add_argument(
+        "--output", default=None, help="write the report JSON here"
+    )
+    analytics_cmd.set_defaults(handler=_cmd_analytics)
 
     report = commands.add_parser(
         "obs-report", help="summarize (and merge) metrics or trace files"

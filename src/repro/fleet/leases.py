@@ -203,6 +203,12 @@ class CompletionResult:
     #: Set on ``"accepted"``: call it off the event loop to append the
     #: shard to the job's engine checkpoint (at most once per shard).
     checkpoint_append: Callable[[], None] | None = None
+    #: Set on ``"accepted"``: the owning job and the checkpoint shard
+    #: line, so the HTTP layer can stream the shard into the result
+    #: warehouse (off the event loop; exactly-once is the warehouse's
+    #: job, keyed by shard id).
+    job_id: str | None = None
+    shard_payload: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -584,7 +590,10 @@ class LeaseManager:
         append = job.checkpoint.record_shard_payload
         job.changed()
         return CompletionResult(
-            outcome="accepted", checkpoint_append=lambda: append(line)
+            outcome="accepted",
+            checkpoint_append=lambda: append(line),
+            job_id=job.job_id,
+            shard_payload=line,
         )
 
     def _completion_failed(

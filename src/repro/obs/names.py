@@ -103,5 +103,17 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "worker.shards_executed",
         "worker.shards_discarded",
         "worker.lease_polls",
+        # result warehouse (derived SQLite index over schema-v2 results)
+        "warehouse.ingests",
+        "warehouse.records_ingested",
+        "warehouse.shards_ingested",
+        "warehouse.shards_duplicate",
+        "warehouse.ingest_seconds",
+        "warehouse.rebuilds",
+        "warehouse.queries",
+        "warehouse.query_seconds",
+        "warehouse.sources",
+        "warehouse.records",
+        "warehouse.torn_detected",
     }
 )

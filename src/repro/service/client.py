@@ -28,7 +28,7 @@ import json
 import time
 from dataclasses import dataclass
 from typing import Iterator
-from urllib.parse import urlsplit
+from urllib.parse import urlencode, urlsplit
 
 from repro.characterization.campaign import CampaignSpec, loads_results
 from repro.obs import TRACE_HEADER, NullTracer, Tracer, get_logger
@@ -306,6 +306,32 @@ class ServiceClient:
             body=json.dumps(
                 {"worker_id": worker_id, "epoch": epoch, "result": result}
             ),
+        )
+        return payload
+
+    def analytics(
+        self,
+        report: str,
+        experiment: str | None = None,
+        module_id: str | None = None,
+        die_key: str | None = None,
+    ) -> dict:
+        """One warehouse analytics report (``acmin``, ``temperature``,
+        ``ber``, or ``modules``), optionally narrowed by experiment,
+        module id, or die revision key."""
+        query = urlencode(
+            {
+                name: value
+                for name, value in (
+                    ("experiment", experiment),
+                    ("module", module_id),
+                    ("die", die_key),
+                )
+                if value is not None
+            }
+        )
+        _status, payload = self._request(
+            "GET", f"/v1/analytics/{report}?{query}"
         )
         return payload
 

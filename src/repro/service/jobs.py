@@ -472,6 +472,7 @@ class JobSupervisor:
         backend: str = "local",
         lease_manager: LeaseManager | None = None,
         checkpoint_lock: asyncio.Lock | None = None,
+        warehouse=None,
     ) -> None:
         if backend not in ("local", "fleet"):
             raise ValueError(f"backend must be 'local' or 'fleet', got {backend!r}")
@@ -486,6 +487,14 @@ class JobSupervisor:
         self.metrics = metrics if metrics is not None else manager.metrics
         self.backend = backend
         self.lease_manager = lease_manager
+        #: Optional :class:`repro.warehouse.Warehouse`.  Completed jobs
+        #: are indexed under their job id (== result-store key): the
+        #: local backend ingests the full record set when a job settles,
+        #: the fleet backend streams shards as completions arrive (see
+        #: the HTTP layer) and catches up + finalizes here.  The
+        #: warehouse is derived state — ingest failures are logged,
+        #: never fail the job, and ``repro warehouse rebuild`` heals.
+        self.warehouse = warehouse
         #: Shared with the HTTP layer: accepted-completion checkpoint
         #: appends hold it, and :meth:`_run_job_fleet` takes it before
         #: closing a job so a close never races an in-flight append.
@@ -602,6 +611,7 @@ class JobSupervisor:
             )
             return
         await asyncio.to_thread(self.manager.store.put, job.spec, result.records)
+        await asyncio.to_thread(self._warehouse_ingest_records, job, result.records)
         self.checkpoint_path(job).unlink(missing_ok=True)
         job.records = len(result.records)
         self._record_state_duration(job)
@@ -623,6 +633,56 @@ class JobSupervisor:
             elapsed_s,
             result.shards_resumed,
         )
+
+    def _warehouse_ingest_records(self, job: Job, records: list) -> None:
+        """Index a settled local job's records (worker thread)."""
+        if self.warehouse is None:
+            return
+        try:
+            self.warehouse.ingest_records(
+                job.spec, records, key=job.job_id, kind="results"
+            )
+        except Exception:
+            logger.exception(
+                "warehouse ingest failed for job %s; run "
+                "'repro warehouse rebuild' to reconverge",
+                job.job_id,
+            )
+
+    def _warehouse_open_fleet(self, job: Job) -> None:
+        """Open the streaming warehouse source for a fleet job (thread)."""
+        if self.warehouse is None:
+            return
+        try:
+            self.warehouse.open_source(
+                job.spec, key=job.job_id, kind="checkpoint"
+            )
+        except Exception:
+            logger.exception(
+                "warehouse source open failed for fleet job %s", job.job_id
+            )
+
+    def _warehouse_complete_fleet(self, job: Job) -> None:
+        """Catch up and finalize a settled fleet job's source (thread).
+
+        Shards streamed live are skipped by provenance (exactly-once);
+        shards resumed from a pre-existing checkpoint — which never
+        passed through the HTTP completion path — are ingested here, so
+        the source converges to the checkpoint before it is finalized
+        and the checkpoint file unlinked.
+        """
+        if self.warehouse is None:
+            return
+        try:
+            self.warehouse.ingest_checkpoint_file(
+                self.checkpoint_path(job), key=job.job_id, finalize=True
+            )
+        except Exception:
+            logger.exception(
+                "warehouse finalize failed for fleet job %s; run "
+                "'repro warehouse rebuild' to reconverge",
+                job.job_id,
+            )
 
     async def _run_job_fleet(self, job: Job) -> None:
         """Publish one job's shards to the fleet and wait for completion.
@@ -673,6 +733,9 @@ class JobSupervisor:
 
         changed = asyncio.Event()
         started_s = monotonic_s()
+        # Open the warehouse source before shards can complete, so the
+        # HTTP layer's streaming ingest always finds it.
+        await asyncio.to_thread(self._warehouse_open_fleet, job)
         self.lease_manager.open_job(
             job.job_id,
             job.spec.to_json(),
@@ -760,6 +823,7 @@ class JobSupervisor:
             )
             return
         await asyncio.to_thread(self.manager.store.put, job.spec, result.records)
+        await asyncio.to_thread(self._warehouse_complete_fleet, job)
         self.checkpoint_path(job).unlink(missing_ok=True)
         job.records = len(result.records)
         self._record_state_duration(job)

@@ -24,6 +24,10 @@ Routes (all JSON; see docs/SERVICE.md and docs/FLEET.md)::
     POST /v1/leases/{id}/heartbeat    renew a lease before its TTL
     POST /v1/leases/{id}/complete     upload one shard outcome
                                       (fenced by epoch; idempotent)
+    GET  /v1/analytics/{report}       warehouse aggregates (ACmin
+                                      percentiles per die, temperature
+                                      deltas, BER curves, per-module
+                                      summaries; see docs/WAREHOUSE.md)
     GET  /v1/dashboard                live NDJSON fleet snapshots
                                       (``?interval=<s>&count=<n>``)
     GET  /metrics                     Prometheus text exposition
@@ -84,6 +88,7 @@ from repro.service.jobs import (
     TERMINAL_STATES,
 )
 from repro.service.store import ResultStore
+from repro.warehouse import REPORTS, Warehouse
 
 __all__ = ["ServiceConfig", "HttpRequest", "CampaignService", "serve"]
 
@@ -140,6 +145,7 @@ ROUTES: tuple[Route, ...] = (
     Route("GET", "/healthz", "healthz"),
     Route("GET", "/metrics", "metrics"),
     Route("GET", "/v1/dashboard", "dashboard"),
+    Route("GET", "/v1/analytics/{report}", "analytics"),
     Route("POST", "/v1/campaigns", "submit"),
     Route("GET", "/v1/campaigns", "list"),
     Route("GET", "/v1/campaigns/{job_id}", "status"),
@@ -266,6 +272,12 @@ class CampaignService:
             self.tracer = NullTracer()
         declare_standard_metrics(self.metrics)
         self.store = ResultStore(self.data_dir / "results")
+        #: Derived columnar index over completed results; analytics
+        #: queries and streaming fleet ingest go through here.  All
+        #: warehouse calls hop to worker threads (sqlite is blocking).
+        self.warehouse = Warehouse(
+            self.data_dir / "warehouse.sqlite3", metrics=self.metrics
+        )
         self.manager = JobManager(
             self.data_dir,
             self.store,
@@ -292,6 +304,7 @@ class CampaignService:
             backend=config.backend,
             lease_manager=self.lease_manager,
             checkpoint_lock=self._checkpoint_lock,
+            warehouse=self.warehouse,
         )
         self._draining = False
         self._server: asyncio.base_events.Server | None = None
@@ -354,6 +367,7 @@ class CampaignService:
             await self._server.wait_closed()
         for writer in list(self._writers):
             writer.close()
+        await asyncio.to_thread(self.warehouse.close)
         logger.info("server stopped")
 
     # -- connection handling -------------------------------------------
@@ -480,6 +494,10 @@ class CampaignService:
             return "metrics", True
         if matched.name == "dashboard":
             return "dashboard", await self._stream_dashboard(writer, request)
+        if matched.name == "analytics":
+            return "analytics", await self._get_analytics(
+                params["report"], request, writer
+            )
         if matched.name == "submit":
             return "submit", await self._post_campaign(request, writer)
         if matched.name == "list":
@@ -666,10 +684,73 @@ class CampaignService:
                 )
                 if result.checkpoint_append is not None:
                     await asyncio.to_thread(result.checkpoint_append)
+                if result.outcome == "accepted" and result.shard_payload:
+                    # Stream the accepted shard into the warehouse.  The
+                    # warehouse is a derived index: an ingest failure is
+                    # logged, never fails the completion (rebuild heals).
+                    await asyncio.to_thread(
+                        self._warehouse_ingest_shard,
+                        result.job_id,
+                        result.shard_payload,
+                    )
         except LeaseError as error:
             await self._send_json(writer, error.status, {"error": str(error)})
             return True
         await self._send_json(writer, 200, {"outcome": result.outcome})
+        return True
+
+    def _warehouse_ingest_shard(self, job_id: str, payload: dict) -> None:
+        """Stream one accepted fleet shard into the warehouse (thread).
+
+        Exactly-once lives in the warehouse (per-shard provenance key),
+        so replays after lease reassignment ingest nothing.  Failures
+        are logged and swallowed: the warehouse is derived state and
+        ``repro warehouse rebuild`` reconverges it from the store.
+        """
+        try:
+            self.warehouse.ingest_shard(job_id, payload)
+        except Exception:
+            logger.exception(
+                "warehouse shard ingest failed for job %s (shard %s); "
+                "the warehouse may need a rebuild",
+                job_id,
+                payload.get("shard_id"),
+            )
+
+    async def _get_analytics(
+        self, report: str, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """``GET /v1/analytics/{report}``: warehouse aggregate queries.
+
+        Optional query params narrow the fold: ``experiment``,
+        ``module`` (a module id), ``die`` (a die revision key).  The
+        query runs on a worker thread — sqlite and the fold never touch
+        the event loop.
+        """
+        params = parse_qs(request.query)
+
+        def first(name: str) -> str | None:
+            values = params.get(name)
+            return values[0] if values else None
+
+        if report not in REPORTS:
+            await self._send_json(
+                writer,
+                404,
+                {
+                    "error": f"unknown analytics report {report!r}",
+                    "reports": sorted(REPORTS),
+                },
+            )
+            return True
+        payload = await asyncio.to_thread(
+            self.warehouse.analytics,
+            report,
+            first("experiment"),
+            first("module"),
+            first("die"),
+        )
+        await self._send_json(writer, 200, payload)
         return True
 
     async def _get_results(

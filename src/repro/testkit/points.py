@@ -50,6 +50,18 @@ FLEET_WORKER_HEARTBEAT = "fleet.worker.heartbeat"
 """The worker's lease-heartbeat send — an ``io-error`` here simulates
 dropped heartbeats, which must let the lease expire on the server."""
 
+WAREHOUSE_INGEST = "warehouse.ingest"
+"""Start of one warehouse ingest step (a backfill batch, a streamed
+shard, or a source registration) — a crash here loses the step before
+any row is written, leaving the source detectably incomplete."""
+
+WAREHOUSE_COMMIT = "warehouse.commit"
+"""Immediately before a warehouse transaction commit — a crash here
+rolls the in-flight step back on reopen; an ``io-error`` surfaces as a
+failed ingest the caller must handle.  Either way the source stays
+``complete=0`` until the final commit lands, so torn ingests are
+detected and ``repro warehouse rebuild`` reconverges."""
+
 FAULT_POINTS: frozenset[str] = frozenset(
     {
         ENGINE_SHARD_START,
@@ -60,6 +72,8 @@ FAULT_POINTS: frozenset[str] = frozenset(
         FLEET_WORKER_EXECUTE,
         FLEET_WORKER_COMPLETE,
         FLEET_WORKER_HEARTBEAT,
+        WAREHOUSE_INGEST,
+        WAREHOUSE_COMMIT,
     }
 )
 """All fault-point names the production code declares."""

@@ -1,0 +1,613 @@
+"""The warehouse: a crash-safe SQLite index over campaign results.
+
+One :class:`Warehouse` owns one database file (or ``:memory:``).  The
+connection is created with ``check_same_thread=False`` and every public
+method takes an internal lock, because the service calls in from
+``asyncio.to_thread`` worker threads — never from the event loop.
+
+Crash-safety contract (exercised by ``tests/test_warehouse_crash.py``):
+
+* Every ingest path registers its source row with ``complete=0`` and
+  only flips it to ``1`` in the final commit, so a kill mid-ingest
+  leaves a *detectably torn* source (:meth:`Warehouse.torn_sources`,
+  :meth:`Warehouse.verify`) rather than silently partial answers.
+* Streaming shard ingest writes the ``shards`` provenance row and the
+  shard's records in one transaction keyed by ``(source, shard_id)``,
+  so a re-delivered shard (lease reassignment, worker retry) is a
+  no-op — exactly-once per shard.
+* The named fault points :data:`~repro.testkit.points.WAREHOUSE_INGEST`
+  and :data:`~repro.testkit.points.WAREHOUSE_COMMIT` sit at the ingest
+  and commit boundaries; ``testkit.faults`` can kill, fail, or delay
+  them deterministically.
+* :meth:`Warehouse.rebuild_from_store` drops everything and re-ingests
+  from the JSONL results store — the warehouse is a derived index, the
+  JSONL files stay the source of truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.characterization.campaign import CampaignSpec, loads_results
+from repro.characterization import registry
+from repro.obs import MetricsRegistry, monotonic_s
+from repro.testkit.points import WAREHOUSE_COMMIT, WAREHOUSE_INGEST
+from repro.testkit.faults import fault_point
+from repro.warehouse.schema import (
+    SCHEMA_SQL,
+    WAREHOUSE_SCHEMA_VERSION,
+    pragma_statements,
+)
+
+__all__ = ["Warehouse", "WarehouseError", "sweep_field"]
+
+#: Record columns stored natively; anything else lands in ``extra``.
+_COLUMN_FIELDS = (
+    "module_id",
+    "die_key",
+    "access",
+    "temperature_c",
+    "t_aggon",
+    "t_aggoff",
+    "activation_count",
+    "site_row",
+    "acmin",
+    "taggonmin",
+    "ber",
+    "bitflips",
+    "one_to_zero",
+)
+
+#: Per-experiment sweep axis and primary observable, mirroring how the
+#: engine enumerates sweep points (``t_aggon`` for acmin/ber sweeps,
+#: ``activation_count`` for taggonmin).
+_SWEEP_FIELDS = {
+    "acmin": ("t_aggon", "acmin"),
+    "taggonmin": ("activation_count", "taggonmin"),
+    "ber": ("t_aggon", "ber"),
+}
+
+#: Columns :meth:`Warehouse.iter_rows` accepts in a projection.
+_SELECTABLE_COLUMNS = frozenset(
+    _COLUMN_FIELDS + ("experiment", "record_index", "sweep_value", "value")
+)
+
+_INSERT_RECORD = (
+    "INSERT INTO records (source_id, record_index, experiment, module_id, "
+    "die_key, access, temperature_c, t_aggon, t_aggoff, activation_count, "
+    "site_row, sweep_value, value, acmin, taggonmin, ber, bitflips, "
+    "one_to_zero) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
+    "?, ?)"
+)
+
+
+class WarehouseError(RuntimeError):
+    """A warehouse-level failure (schema mismatch, unknown source, ...)."""
+
+
+def sweep_field(experiment: str) -> tuple[str | None, str | None]:
+    """``(sweep_axis_field, observable_field)`` for an experiment name."""
+    return _SWEEP_FIELDS.get(experiment, (None, None))
+
+
+def _record_row(
+    source_id: int, record_index: int, experiment: str, fields: dict
+) -> tuple:
+    sweep_name, value_name = sweep_field(experiment)
+    sweep = fields.get(sweep_name) if sweep_name else None
+    value = fields.get(value_name) if value_name else None
+    return (
+        source_id,
+        record_index,
+        experiment,
+        fields.get("module_id"),
+        fields.get("die_key"),
+        fields.get("access"),
+        fields.get("temperature_c"),
+        fields.get("t_aggon"),
+        fields.get("t_aggoff"),
+        fields.get("activation_count"),
+        fields.get("site_row"),
+        sweep,
+        value,
+        fields.get("acmin"),
+        fields.get("taggonmin"),
+        fields.get("ber"),
+        fields.get("bitflips"),
+        fields.get("one_to_zero"),
+    )
+
+
+class Warehouse:
+    """An indexed, rebuildable, crash-safe view of campaign records."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        metrics: MetricsRegistry | None = None,
+        exclusive: bool = True,
+        batch_size: int = 2000,
+    ) -> None:
+        self.path = str(path)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.batch_size = max(int(batch_size), 1)
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(
+            self.path, check_same_thread=False, timeout=30.0
+        )
+        self._connection.row_factory = sqlite3.Row
+        cursor = self._connection.cursor()
+        for statement in pragma_statements(exclusive=exclusive):
+            cursor.execute(statement)
+        cursor.executescript(SCHEMA_SQL)
+        row = cursor.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            cursor.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(WAREHOUSE_SCHEMA_VERSION),),
+            )
+        elif row["value"] != str(WAREHOUSE_SCHEMA_VERSION):
+            self._connection.close()
+            raise WarehouseError(
+                f"warehouse {self.path} has schema version {row['value']}, "
+                f"this build writes v{WAREHOUSE_SCHEMA_VERSION}; run "
+                "'repro warehouse rebuild' (the warehouse is a derived "
+                "index, no data is lost)"
+            )
+        self._connection.commit()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Commit and close the underlying connection (idempotent)."""
+        with self._lock:
+            try:
+                self._connection.commit()
+            except sqlite3.ProgrammingError:
+                return
+            self._connection.close()
+
+    def __enter__(self) -> "Warehouse":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- ingestion: batch backfill -------------------------------------
+
+    def ingest_results_text(
+        self, text: str, key: str, kind: str = "results"
+    ) -> int:
+        """Backfill one schema-v2 results document (JSONL interchange)."""
+        spec, records = loads_results(text, source=f"warehouse:{key}")
+        return self.ingest_records(spec, records, key=key, kind=kind)
+
+    def ingest_records(
+        self,
+        spec: CampaignSpec,
+        records: Iterable[object],
+        key: str,
+        kind: str = "records",
+    ) -> int:
+        """(Re-)ingest a full record set under ``key``; returns the count.
+
+        The source stays ``complete=0`` across the batched commits and
+        flips to ``1`` only in the final commit — a crash mid-way leaves
+        a torn source that :meth:`verify` reports and ``repro warehouse
+        rebuild`` repairs.
+        """
+        started = monotonic_s()
+        experiment = registry.get(spec.experiment)
+        with self._lock:
+            try:
+                source_id = self._begin_source(key, kind, spec)
+                count = 0
+                batch: list[tuple] = []
+                for record in records:
+                    fields = dataclasses.asdict(record)
+                    batch.append(
+                        _record_row(source_id, count, experiment.name, fields)
+                    )
+                    count += 1
+                    if len(batch) >= self.batch_size:
+                        self._commit_batch(batch)
+                        batch = []
+                if batch:
+                    self._commit_batch(batch)
+                cursor = self._connection.cursor()
+                cursor.execute(
+                    "UPDATE sources SET complete = 1, ingested_records = ? "
+                    "WHERE source_id = ?",
+                    (count, source_id),
+                )
+                fault_point(WAREHOUSE_COMMIT)
+                self._connection.commit()
+            except BaseException:
+                self._connection.rollback()
+                raise
+        self.metrics.counter("warehouse.ingests").inc()
+        self.metrics.counter("warehouse.records_ingested").inc(count)
+        self.metrics.histogram("warehouse.ingest_seconds").record(
+            monotonic_s() - started
+        )
+        return count
+
+    def _commit_batch(self, batch: list[tuple]) -> None:
+        fault_point(WAREHOUSE_INGEST)
+        cursor = self._connection.cursor()
+        cursor.executemany(_INSERT_RECORD, batch)
+        fault_point(WAREHOUSE_COMMIT)
+        self._connection.commit()
+
+    def _begin_source(self, key: str, kind: str, spec: CampaignSpec) -> int:
+        """Register (or reset) a source row; commits ``complete=0``."""
+        fault_point(WAREHOUSE_INGEST)
+        cursor = self._connection.cursor()
+        cursor.execute("DELETE FROM sources WHERE key = ?", (key,))
+        cursor.execute(
+            "INSERT INTO sources (kind, key, experiment, spec_json, "
+            "ingested_records, complete) VALUES (?, ?, ?, ?, 0, 0)",
+            (kind, key, spec.experiment, spec.to_json()),
+        )
+        source_id = int(cursor.lastrowid)
+        self._connection.commit()
+        return source_id
+
+    # -- ingestion: streaming from the engine/fleet checkpoint ---------
+
+    def open_source(
+        self, spec: CampaignSpec, key: str, kind: str = "checkpoint"
+    ) -> int:
+        """Open a streaming source for per-shard ingest (``complete=0``)."""
+        with self._lock:
+            try:
+                row = self._connection.execute(
+                    "SELECT source_id FROM sources WHERE key = ?", (key,)
+                ).fetchone()
+                if row is not None:
+                    return int(row["source_id"])
+                return self._begin_source(key, kind, spec)
+            except BaseException:
+                self._connection.rollback()
+                raise
+
+    def ingest_shard(self, key: str, payload: dict) -> int:
+        """Ingest one checkpoint shard line exactly once.
+
+        ``payload`` is the engine-checkpoint shard schema
+        (``shard_id``/``seed``/``attempt``/``units`` with per-unit
+        ``{"unit": index, "record": fields}``).  The provenance row and
+        the records commit atomically, so a duplicate delivery — the
+        same shard re-uploaded after a lease reassignment — is detected
+        by the ``(source, shard_id)`` primary key and ingests nothing.
+        Returns the number of records ingested (0 for duplicates).
+        """
+        started = monotonic_s()
+        with self._lock:
+            try:
+                row = self._connection.execute(
+                    "SELECT source_id, experiment FROM sources WHERE key = ?",
+                    (key,),
+                ).fetchone()
+                if row is None:
+                    raise WarehouseError(
+                        f"no open warehouse source {key!r}; call "
+                        "open_source() before streaming shards"
+                    )
+                source_id = int(row["source_id"])
+                experiment = row["experiment"]
+                fault_point(WAREHOUSE_INGEST)
+                cursor = self._connection.cursor()
+                seed = payload.get("seed")
+                cursor.execute(
+                    "INSERT OR IGNORE INTO shards (source_id, shard_id, "
+                    "seed, attempt, units) VALUES (?, ?, ?, ?, ?)",
+                    (
+                        source_id,
+                        payload["shard_id"],
+                        str(seed) if seed is not None else None,
+                        payload.get("attempt"),
+                        len(payload.get("units", ())),
+                    ),
+                )
+                if cursor.rowcount == 0:
+                    self._connection.rollback()
+                    self.metrics.counter("warehouse.shards_duplicate").inc()
+                    return 0
+                rows = [
+                    _record_row(
+                        source_id, entry["unit"], experiment, entry["record"]
+                    )
+                    for entry in payload.get("units", ())
+                ]
+                cursor.executemany(_INSERT_RECORD, rows)
+                cursor.execute(
+                    "UPDATE sources SET ingested_records = "
+                    "ingested_records + ? WHERE source_id = ?",
+                    (len(rows), source_id),
+                )
+                fault_point(WAREHOUSE_COMMIT)
+                self._connection.commit()
+            except BaseException:
+                self._connection.rollback()
+                raise
+        self.metrics.counter("warehouse.shards_ingested").inc()
+        self.metrics.counter("warehouse.records_ingested").inc(len(rows))
+        self.metrics.histogram("warehouse.ingest_seconds").record(
+            monotonic_s() - started
+        )
+        return len(rows)
+
+    def ingest_checkpoint_file(
+        self, path: str | Path, key: str, finalize: bool = False
+    ) -> int:
+        """Stream an engine-checkpoint JSONL file's shards into ``key``.
+
+        Incremental and exactly-once: shards already ingested (streamed
+        live by the service, or by a previous call) are skipped via the
+        ``(source, shard_id)`` provenance key, so this can run while a
+        campaign is in flight, after a resume, or as a catch-up at job
+        completion — it converges to the checkpoint's content.  A
+        truncated trailing line (writer killed mid-append) is skipped,
+        matching ``CampaignCheckpoint.load``.  Returns the number of
+        *new* records ingested.
+        """
+        text = Path(path).read_text()
+        lines = text.splitlines()
+        spec: CampaignSpec | None = None
+        ingested = 0
+        shard_lines: list[dict] = []
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue  # truncated trailing append; that shard re-runs
+            kind = payload.get("kind")
+            if kind == "header":
+                spec = CampaignSpec.from_json(json.dumps(payload["spec"]))
+            elif kind == "shard":
+                shard_lines.append(payload)
+        if spec is None:
+            raise WarehouseError(
+                f"checkpoint {path} has no header line; cannot ingest"
+            )
+        self.open_source(spec, key=key, kind="checkpoint")
+        for payload in shard_lines:
+            ingested += self.ingest_shard(key, payload)
+        if finalize:
+            self.finalize_source(key)
+        return ingested
+
+    def finalize_source(self, key: str) -> None:
+        """Mark a streaming source complete (its job finished cleanly)."""
+        with self._lock:
+            try:
+                cursor = self._connection.cursor()
+                cursor.execute(
+                    "UPDATE sources SET complete = 1 WHERE key = ?", (key,)
+                )
+                if cursor.rowcount == 0:
+                    raise WarehouseError(f"no warehouse source {key!r}")
+                fault_point(WAREHOUSE_COMMIT)
+                self._connection.commit()
+            except BaseException:
+                self._connection.rollback()
+                raise
+
+    def discard_source(self, key: str) -> None:
+        """Drop one source and all its records/shards (idempotent)."""
+        with self._lock:
+            try:
+                self._connection.execute(
+                    "DELETE FROM sources WHERE key = ?", (key,)
+                )
+                self._connection.commit()
+            except BaseException:
+                self._connection.rollback()
+                raise
+
+    # -- integrity and rebuild -----------------------------------------
+
+    def torn_sources(self) -> list[dict]:
+        """Sources whose ingest never completed (crash mid-stream)."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT s.key, s.kind, s.experiment, s.ingested_records, "
+                "(SELECT COUNT(*) FROM records r "
+                " WHERE r.source_id = s.source_id) AS actual "
+                "FROM sources s WHERE s.complete = 0 ORDER BY s.key"
+            ).fetchall()
+        torn = [dict(row) for row in rows]
+        if torn:
+            self.metrics.counter("warehouse.torn_detected").inc(len(torn))
+        return torn
+
+    def verify(self) -> dict:
+        """Integrity report: torn sources and count mismatches."""
+        with self._lock:
+            sources = self._connection.execute(
+                "SELECT s.key, s.kind, s.experiment, s.complete, "
+                "s.ingested_records, "
+                "(SELECT COUNT(*) FROM records r "
+                " WHERE r.source_id = s.source_id) AS actual "
+                "FROM sources s ORDER BY s.key"
+            ).fetchall()
+        report: dict = {"sources": [], "torn": [], "mismatched": []}
+        for row in sources:
+            entry = dict(row)
+            report["sources"].append(entry)
+            if not entry["complete"]:
+                report["torn"].append(entry["key"])
+            elif entry["actual"] != entry["ingested_records"]:
+                report["mismatched"].append(entry["key"])
+        report["ok"] = not report["torn"] and not report["mismatched"]
+        return report
+
+    def rebuild_from_store(self, results_dir: str | Path) -> dict:
+        """Drop everything, re-ingest every results JSON in a store dir.
+
+        The results store (:class:`repro.service.store.ResultStore`
+        layout: ``<key>.json`` schema-v2 documents) is the source of
+        truth; this converges the warehouse to exactly the state a
+        fresh ingest of those files produces, whatever torn state a
+        crash left behind.
+        """
+        root = Path(results_dir)
+        with self._lock:
+            try:
+                self._connection.execute("DELETE FROM sources")
+                self._connection.commit()
+            except BaseException:
+                self._connection.rollback()
+                raise
+        ingested: dict[str, int] = {}
+        for path in sorted(root.glob("*.json")):
+            ingested[path.stem] = self.ingest_results_text(
+                path.read_text(), key=path.stem, kind="results"
+            )
+        self.metrics.counter("warehouse.rebuilds").inc()
+        return {"sources": len(ingested), "records": sum(ingested.values())}
+
+    def stats(self) -> dict:
+        """Row counts and completeness, for dashboards and the CLI."""
+        with self._lock:
+            sources = self._connection.execute(
+                "SELECT COUNT(*) AS n, COALESCE(SUM(complete), 0) AS done "
+                "FROM sources"
+            ).fetchone()
+            records = self._connection.execute(
+                "SELECT COUNT(*) AS n FROM records"
+            ).fetchone()
+            shards = self._connection.execute(
+                "SELECT COUNT(*) AS n FROM shards"
+            ).fetchone()
+            experiments = self._connection.execute(
+                "SELECT experiment, COUNT(*) AS n FROM records "
+                "GROUP BY experiment ORDER BY experiment"
+            ).fetchall()
+        self.metrics.gauge("warehouse.sources").set(int(sources["n"]))
+        self.metrics.gauge("warehouse.records").set(int(records["n"]))
+        return {
+            "path": self.path,
+            "schema_version": WAREHOUSE_SCHEMA_VERSION,
+            "sources": int(sources["n"]),
+            "sources_complete": int(sources["done"]),
+            "records": int(records["n"]),
+            "shards": int(shards["n"]),
+            "by_experiment": {
+                row["experiment"]: int(row["n"]) for row in experiments
+            },
+        }
+
+    def shard_provenance(self, key: str) -> dict[str, int]:
+        """``shard_id -> ingested unit count`` for one source."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT source_id FROM sources WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                raise WarehouseError(f"no warehouse source {key!r}")
+            shards = self._connection.execute(
+                "SELECT shard_id, units FROM shards WHERE source_id = ? "
+                "ORDER BY shard_id",
+                (int(row["source_id"]),),
+            ).fetchall()
+        return {shard["shard_id"]: int(shard["units"]) for shard in shards}
+
+    # -- queries -------------------------------------------------------
+
+    def analytics(
+        self,
+        report: str,
+        experiment: str | None = None,
+        module_id: str | None = None,
+        die_key: str | None = None,
+    ) -> dict:
+        """Run one named analytics report (timed); see ``analytics.py``."""
+        from repro.warehouse.analytics import run_report
+
+        started = monotonic_s()
+        payload = run_report(
+            self,
+            report,
+            experiment=experiment,
+            module_id=module_id,
+            die_key=die_key,
+        )
+        self.metrics.histogram("warehouse.query_seconds").record(
+            monotonic_s() - started
+        )
+        return payload
+
+    def iter_rows(
+        self,
+        experiment: str | None = None,
+        module_id: str | None = None,
+        die_key: str | None = None,
+        complete_only: bool = True,
+        columns: tuple[str, ...] | None = None,
+    ) -> Iterator[sqlite3.Row]:
+        """Record rows in campaign sweep order (JSONL record order).
+
+        Ordered by ``(source key, record_index)`` so a fold over the
+        rows visits records exactly as a fold over the corresponding
+        JSONL documents would — the basis of the byte-equivalence
+        guarantee.  ``columns`` narrows the projection to the record
+        fields a fold actually reads (the columnar win: analytics
+        queries materialize two or three columns, not nineteen);
+        ``None`` selects everything.
+        """
+        if columns:
+            unknown = [c for c in columns if c not in _SELECTABLE_COLUMNS]
+            if unknown:
+                raise WarehouseError(
+                    f"unknown record columns {unknown}; "
+                    f"selectable: {sorted(_SELECTABLE_COLUMNS)}"
+                )
+            select = ", ".join(f"r.{column}" for column in columns)
+        else:
+            select = "r.*"
+        clauses = []
+        params: list[object] = []
+        if complete_only:
+            clauses.append("s.complete = 1")
+        if experiment is not None:
+            clauses.append("r.experiment = ?")
+            params.append(experiment)
+        if module_id is not None:
+            clauses.append("r.module_id = ?")
+            params.append(module_id)
+        if die_key is not None:
+            clauses.append("r.die_key = ?")
+            params.append(die_key)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        sql = (
+            f"SELECT {select} FROM records r "
+            "JOIN sources s ON s.source_id = r.source_id "
+            f"{where} ORDER BY s.key, r.record_index"
+        )
+        with self._lock:
+            rows = self._connection.execute(sql, params).fetchall()
+        self.metrics.counter("warehouse.queries").inc()
+        return iter(rows)
+
+    def count_records(self, complete_only: bool = False) -> int:
+        """Total ingested records (including incomplete sources by default)."""
+        sql = "SELECT COUNT(*) AS n FROM records"
+        if complete_only:
+            sql = (
+                "SELECT COUNT(*) AS n FROM records r JOIN sources s "
+                "ON s.source_id = r.source_id WHERE s.complete = 1"
+            )
+        with self._lock:
+            row = self._connection.execute(sql).fetchone()
+        return int(row["n"])

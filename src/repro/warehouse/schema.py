@@ -1,0 +1,133 @@
+"""Warehouse schema and tuned SQLite pragmas.
+
+The warehouse is a *derived* columnar index over schema-v2 results
+(:mod:`repro.characterization.campaign`): JSONL stays the interchange
+format, the SQLite file is rebuildable at any time from the results
+store, and every query answer must be byte-equivalent to a pure-Python
+fold over the same JSONL records (the differential suite in
+``tests/test_warehouse_diff.py`` enforces this).
+
+Pragma tuning follows the proven calibration-database recipe
+(SNIPPETS.md snippet 3): explicit page size, a fixed-size page cache
+expressed in KiB (negative ``cache_size``), WAL journaling so ingest
+commits are sequential appends, and exclusive locking because exactly
+one :class:`repro.warehouse.db.Warehouse` owns a file at a time (the
+service guards its connection with a lock; CLI and bench usage is
+single-process).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CACHE_SIZE_BYTES",
+    "PAGE_SIZE",
+    "SCHEMA_SQL",
+    "WAREHOUSE_SCHEMA_VERSION",
+    "cache_size_pragma",
+    "pragma_statements",
+]
+
+#: Bump when the table layout changes; an on-disk mismatch demands a
+#: ``repro warehouse rebuild`` (the file is derived, never the truth).
+WAREHOUSE_SCHEMA_VERSION = 1
+
+#: SQLite page size.  4 KiB matches common filesystem block sizes; the
+#: records table is wide but rows are small, so small pages keep the
+#: (module, experiment, sweep) index dense.
+PAGE_SIZE = 4096
+
+#: Page-cache budget.  16 MiB holds the whole index working set for a
+#: ~100k-record fixture, so aggregate queries never re-read pages.
+CACHE_SIZE_BYTES = 16 * 1024 * 1024
+
+
+def cache_size_pragma(budget_bytes: int = CACHE_SIZE_BYTES) -> int:
+    """``PRAGMA cache_size`` value for a byte budget (negative = KiB)."""
+    return -(budget_bytes // 1024)
+
+
+def pragma_statements(exclusive: bool = True) -> tuple[str, ...]:
+    """The connection-setup pragmas, in application order.
+
+    ``page_size`` must precede the first write to an empty database;
+    ``journal_mode=WAL`` turns ingest commits into log appends;
+    ``synchronous=NORMAL`` is durable-enough for a derived index that
+    can always be rebuilt; ``locking_mode=EXCLUSIVE`` skips per-query
+    lock acquisition for the single-owner access pattern.
+    """
+    statements = [
+        f"PRAGMA page_size={PAGE_SIZE}",
+        f"PRAGMA cache_size={cache_size_pragma()}",
+        "PRAGMA journal_mode=WAL",
+        "PRAGMA synchronous=NORMAL",
+        "PRAGMA temp_store=MEMORY",
+        "PRAGMA foreign_keys=ON",
+    ]
+    if exclusive:
+        statements.insert(2, "PRAGMA locking_mode=EXCLUSIVE")
+    return tuple(statements)
+
+
+#: The whole warehouse layout.  ``sources`` carries ingest provenance
+#: and the torn-ingest flag (``complete=0`` until the final commit);
+#: ``shards`` records exactly-once streaming ingestion per checkpoint
+#: shard; ``records`` is the columnar index itself, keyed by
+#: ``(source_id, record_index)`` where ``record_index`` is the record's
+#: position in the campaign's sequential sweep order — the same order
+#: the JSONL results file lists them — so ordered retrieval replays the
+#: JSONL fold exactly.
+SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS sources (
+    source_id        INTEGER PRIMARY KEY,
+    kind             TEXT NOT NULL,
+    key              TEXT NOT NULL UNIQUE,
+    experiment       TEXT NOT NULL,
+    spec_json        TEXT NOT NULL,
+    ingested_records INTEGER NOT NULL DEFAULT 0,
+    complete         INTEGER NOT NULL DEFAULT 0
+);
+
+CREATE TABLE IF NOT EXISTS shards (
+    source_id INTEGER NOT NULL REFERENCES sources(source_id)
+        ON DELETE CASCADE,
+    shard_id  TEXT NOT NULL,
+    seed      TEXT,    -- provenance only; engine seeds exceed 63 bits
+    attempt   INTEGER,
+    units     INTEGER NOT NULL,
+    PRIMARY KEY (source_id, shard_id)
+);
+
+CREATE TABLE IF NOT EXISTS records (
+    source_id        INTEGER NOT NULL REFERENCES sources(source_id)
+        ON DELETE CASCADE,
+    record_index     INTEGER NOT NULL,
+    experiment       TEXT NOT NULL,
+    module_id        TEXT NOT NULL,
+    die_key          TEXT NOT NULL,
+    access           TEXT,
+    temperature_c    REAL,
+    t_aggon          REAL,
+    t_aggoff         REAL,
+    activation_count INTEGER,
+    site_row         INTEGER,
+    sweep_value      REAL,
+    value            REAL,
+    acmin            INTEGER,
+    taggonmin        REAL,
+    ber              REAL,
+    bitflips         INTEGER,
+    one_to_zero      INTEGER,
+    PRIMARY KEY (source_id, record_index)
+);
+
+CREATE INDEX IF NOT EXISTS idx_records_module_experiment_sweep
+    ON records (module_id, experiment, sweep_value);
+
+CREATE INDEX IF NOT EXISTS idx_records_experiment_die
+    ON records (experiment, die_key);
+"""

@@ -1,0 +1,233 @@
+"""Crash consistency of the warehouse under injected faults.
+
+The contract under test (``docs/WAREHOUSE.md``): a kill or IO failure
+at the ``warehouse.ingest`` / ``warehouse.commit`` fault points never
+leaves a *silently* partial index.  Committed-but-unfinished sources
+stay ``complete=0``, so they are (a) excluded from every analytics
+answer and (b) reported by ``verify()``/``torn_sources()``; and because
+the JSONL results store is the source of truth, ``repro warehouse
+rebuild`` converges the index back to byte-identical query results no
+matter where the crash landed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.characterization.campaign import (
+    CampaignSpec,
+    dumps_results,
+    run_campaign,
+)
+from repro.cli import main
+from repro.testkit import FaultPlan, FaultSpec
+from repro.testkit.faults import FaultError, InjectedCrash
+from repro.testkit.points import WAREHOUSE_COMMIT, WAREHOUSE_INGEST
+from repro.warehouse import REPORTS, Warehouse
+
+REPORT_NAMES = sorted(REPORTS)
+
+
+def small_spec(**kwargs):
+    defaults = dict(
+        name="warehouse-crash",
+        module_ids=("S3",),
+        experiment="acmin",
+        t_aggon_values=(636.0, 7800.0),
+        activation_counts=(1, 100),
+        sites_per_module=2,
+        seed=23,
+    )
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """A results store with two campaign documents (the ground truth)."""
+    root = tmp_path_factory.mktemp("results")
+    for key, seed in (("alpha", 23), ("beta", 24)):
+        spec = small_spec(name=f"crash-{key}", seed=seed)
+        (root / f"{key}.json").write_text(
+            dumps_results(spec, run_campaign(spec))
+        )
+    return root
+
+
+def reference_answers(store):
+    """Every report, computed by a fresh untouched warehouse."""
+    with Warehouse(":memory:") as reference:
+        reference.rebuild_from_store(store)
+        return {
+            name: json.dumps(reference.analytics(name), sort_keys=True)
+            for name in REPORT_NAMES
+        }
+
+
+def all_answers(warehouse):
+    return {
+        name: json.dumps(warehouse.analytics(name), sort_keys=True)
+        for name in REPORT_NAMES
+    }
+
+
+def crash_then_rebuild(tmp_path, store, spec_fault, expected_error):
+    """Inject one fault mid-backfill; assert detection, then convergence."""
+    db_path = tmp_path / "warehouse.sqlite3"
+    torn_doc = (store / "alpha.json").read_text()
+    warehouse = Warehouse(db_path, batch_size=3)
+    try:
+        plan = FaultPlan(spec_fault)
+        with plan:
+            with pytest.raises(expected_error):
+                warehouse.ingest_results_text(torn_doc, key="alpha")
+        assert plan.fired
+    finally:
+        warehouse.close()
+
+    # "Restart": a fresh process opens the same file and must *see* the
+    # tear before trusting any answer.
+    reopened = Warehouse(db_path)
+    try:
+        report = reopened.verify()
+        assert not report["ok"]
+        assert "alpha" in report["torn"]
+        assert [entry["key"] for entry in reopened.torn_sources()] == ["alpha"]
+        # Torn sources never leak into analytics: every report equals a
+        # fold over zero records.
+        with Warehouse(":memory:") as blank:
+            assert all_answers(reopened) == all_answers(blank)
+
+        # Rebuild from the JSONL store converges to identical answers.
+        rebuilt = reopened.rebuild_from_store(store)
+        assert rebuilt["sources"] == 2
+        assert reopened.verify()["ok"]
+        assert all_answers(reopened) == reference_answers(store)
+    finally:
+        reopened.close()
+
+
+def test_crash_mid_ingest_is_detected_and_rebuild_converges(tmp_path, store):
+    # at_hit=3: the source row and one 3-record batch are already
+    # durable when the kill lands — a *partially* ingested source.
+    crash_then_rebuild(
+        tmp_path,
+        store,
+        FaultSpec(WAREHOUSE_INGEST, "crash", at_hit=3),
+        InjectedCrash,
+    )
+
+
+def test_io_error_at_commit_is_detected_and_rebuild_converges(tmp_path, store):
+    crash_then_rebuild(
+        tmp_path,
+        store,
+        FaultSpec(WAREHOUSE_COMMIT, "io-error", at_hit=1),
+        FaultError,
+    )
+
+
+def test_truncate_at_commit_degrades_to_kill_and_rebuild_converges(
+    tmp_path, store
+):
+    # ``truncate`` at a plain fault point is a kill (no payload); the
+    # recovery obligations are the same.
+    crash_then_rebuild(
+        tmp_path,
+        store,
+        FaultSpec(WAREHOUSE_COMMIT, "truncate", at_hit=2),
+        InjectedCrash,
+    )
+
+
+def test_cli_rebuild_repairs_a_torn_warehouse(tmp_path, store, capsys):
+    """`repro warehouse rebuild` is the operator-facing recovery path."""
+    data_dir = tmp_path / "state"
+    results_dir = data_dir / "results"
+    results_dir.mkdir(parents=True)
+    for path in store.glob("*.json"):
+        (results_dir / path.name).write_text(path.read_text())
+    db_path = data_dir / "warehouse.sqlite3"
+
+    warehouse = Warehouse(db_path)
+    try:
+        plan = FaultPlan(FaultSpec(WAREHOUSE_COMMIT, "crash", at_hit=1))
+        with plan:
+            with pytest.raises(InjectedCrash):
+                warehouse.ingest_results_text(
+                    (store / "alpha.json").read_text(), key="alpha"
+                )
+        assert plan.fired
+    finally:
+        warehouse.close()
+
+    assert main(["warehouse", "verify", "--db", str(db_path)]) == 1
+    assert main(["warehouse", "rebuild", "--data-dir", str(data_dir)]) == 0
+    assert main(["warehouse", "verify", "--db", str(db_path)]) == 0
+    capsys.readouterr()
+
+    with Warehouse(db_path) as rebuilt:
+        assert all_answers(rebuilt) == reference_answers(store)
+
+
+def test_streaming_shard_crash_then_redelivery_is_exactly_once(store):
+    """A shard killed mid-commit redelivers cleanly — no rows doubled."""
+    import dataclasses
+
+    spec = small_spec(name="crash-stream", seed=23)
+    records = run_campaign(spec)
+    # Two-unit shards in the engine-checkpoint wire shape, JSON-round-
+    # tripped exactly as the lease upload path would deliver them.
+    shards = []
+    for index, start in enumerate(range(0, len(records), 2)):
+        shards.append(
+            json.loads(
+                json.dumps(
+                    {
+                        "shard_id": f"s{index}",
+                        "seed": spec.seed + index,
+                        "attempt": 1,
+                        "units": [
+                            {
+                                "unit": start + offset,
+                                "record": dataclasses.asdict(record),
+                            }
+                            for offset, record in enumerate(
+                                records[start : start + 2]
+                            )
+                        ],
+                    }
+                )
+            )
+        )
+
+    with Warehouse(":memory:") as warehouse:
+        warehouse.open_source(spec, key="stream")
+        plan = FaultPlan(FaultSpec(WAREHOUSE_COMMIT, "crash", at_hit=1))
+        with plan:
+            with pytest.raises(InjectedCrash):
+                warehouse.ingest_shard("stream", shards[0])
+        assert plan.fired
+        # The torn shard left nothing behind: no provenance, no records.
+        assert warehouse.shard_provenance("stream") == {}
+        assert warehouse.count_records() == 0
+
+        # Redelivery (the lease protocol's retry) ingests exactly once;
+        # a duplicate upload after that is a no-op.
+        ingested = sum(
+            warehouse.ingest_shard("stream", shard) for shard in shards
+        )
+        assert ingested == len(records)
+        assert warehouse.ingest_shard("stream", shards[0]) == 0
+        assert warehouse.count_records() == len(records)
+        warehouse.finalize_source("stream")
+        assert warehouse.verify()["ok"]
+
+        # Converged state answers exactly like a batch backfill.
+        with Warehouse(":memory:") as reference:
+            reference.ingest_results_text(
+                dumps_results(spec, records), key="stream"
+            )
+            assert all_answers(warehouse) == all_answers(reference)

@@ -368,12 +368,123 @@ def bench_fleet(smoke: bool) -> dict:
     }
 
 
+def _synthetic_acmin_payload(records: int) -> dict:
+    """A deterministic ~N-record schema-v2 results document.
+
+    Field values are arithmetic functions of the record index (no RNG:
+    the fixture must be identical on every run and every machine).
+    Sixteen modules/dies so filtered queries touch 1/16 of the rows, a
+    ten-point t_AggON sweep, and a ~14% no-bitflip (``None``) fraction.
+    """
+    sweep = (36.0, 186.0, 636.0, 1536.0, 7800.0, 30_000.0, 70_200.0,
+             300_000.0, 6_000_000.0, 30_000_000.0)
+    spec = CampaignSpec(
+        name="warehouse-bench",
+        module_ids=("S3",),
+        experiment="acmin",
+        t_aggon_values=sweep,
+        seed=10,
+    )
+    rows = []
+    for index in range(records):
+        rows.append(
+            {
+                "experiment": "acmin",
+                "module_id": f"M{index % 16}",
+                "die_key": f"die-{index % 16}",
+                "access": "single" if index % 3 else "double",
+                "temperature_c": 50.0 if index % 2 else 80.0,
+                "t_aggon": sweep[index % len(sweep)],
+                "site_row": index % 512,
+                "acmin": None if index % 7 == 0 else 40 + (index * 2654435761) % 9973,
+            }
+        )
+    import dataclasses
+
+    return {
+        "schema_version": 2,
+        "spec": dataclasses.asdict(spec),
+        "records": rows,
+    }
+
+
+def bench_warehouse_analytics(smoke: bool) -> dict:
+    """Indexed warehouse aggregates vs the JSONL replay they replace.
+
+    Both paths answer the same filtered analytics queries over the same
+    ~100k-record fixture; answers are asserted byte-identical, so the
+    wall-time ratio is a true like-for-like speedup.  The replay path is
+    what the figure benches used to do per query: re-parse the results
+    document and fold the raw records.  The gate (>= 10x full scale)
+    holds the warehouse to its headline claim.
+    """
+    from repro.warehouse import Warehouse
+    from repro.warehouse.analytics import fold_acmin_percentiles
+
+    records = 20_000 if smoke else 100_000
+    payload = _synthetic_acmin_payload(records)
+    text = json.dumps(payload)
+    queries = [f"M{module}" for module in range(6)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        warehouse = Warehouse(Path(tmp) / "bench.sqlite3")
+        try:
+            warehouse.ingest_results_text(text, key="bench")  # not timed
+
+            start = time.perf_counter()
+            indexed = [
+                warehouse.analytics("acmin", module_id=module)
+                for module in queries
+            ]
+            warehouse_wall_s = time.perf_counter() - start
+        finally:
+            warehouse.close()
+
+    start = time.perf_counter()
+    replayed = []
+    for module in queries:
+        raw = json.loads(text)["records"]  # the replay re-parses per query
+        replayed.append(
+            fold_acmin_percentiles(
+                [row for row in raw if row["module_id"] == module]
+            )
+        )
+    replay_wall_s = time.perf_counter() - start
+
+    for got, expected in zip(indexed, replayed):
+        if json.dumps(got, sort_keys=True) != json.dumps(expected, sort_keys=True):
+            raise RuntimeError("warehouse analytics diverged from JSONL replay")
+    speedup = replay_wall_s / warehouse_wall_s if warehouse_wall_s > 0 else 0.0
+    floor = 2.0 if smoke else 10.0
+    if speedup < floor:
+        raise RuntimeError(
+            f"warehouse analytics speedup {speedup:.1f}x is below the "
+            f"{floor:.0f}x gate (indexed {warehouse_wall_s:.3f}s vs replay "
+            f"{replay_wall_s:.3f}s)"
+        )
+    return {
+        "name": "warehouse_analytics",
+        "wall_s": warehouse_wall_s,
+        "throughput": len(queries) / warehouse_wall_s if warehouse_wall_s > 0 else 0.0,
+        "unit": "queries/s",
+        "detail": {
+            "records": records,
+            "queries": len(queries),
+            "replay_wall_s": replay_wall_s,
+            "speedup": speedup,
+            "byte_identical": True,
+        },
+        "profiler_top": [],
+    }
+
+
 BENCHMARKS = {
     "campaign_engine": bench_campaign_engine,
     "figure_acmin_sweep": bench_figure_acmin_sweep,
     "isa_compiled": bench_isa_compiled,
     "service_throughput": bench_service_throughput,
     "fleet": bench_fleet,
+    "warehouse_analytics": bench_warehouse_analytics,
 }
 
 
